@@ -1,0 +1,51 @@
+//! Ablation: traffic burstiness. Real coherence traffic arrives in bursts;
+//! bursts are friendlier to power-gating (long coherent quiet periods)
+//! but punish blocking schemes at burst onsets. Power Punch should keep
+//! its near-No-PG latency across the burstiness range.
+
+use punchsim::power::PowerModel;
+use punchsim::stats::Table;
+use punchsim::traffic::{InjectionConfig, SyntheticSim, TrafficPattern};
+use punchsim::types::{SchemeKind, SimConfig};
+use punchsim_bench::synth_cycles;
+
+fn main() {
+    let pm = PowerModel::default_45nm();
+    println!("== ablation: traffic burstiness at 0.005 flits/node/cycle ==");
+    let mut t = Table::new([
+        "burstiness",
+        "scheme",
+        "latency",
+        "wait/pkt",
+        "off %",
+        "static saved %",
+    ]);
+    for b in [0.0, 0.3, 0.6, 0.8] {
+        for scheme in [
+            SchemeKind::NoPg,
+            SchemeKind::ConvOptPg,
+            SchemeKind::PowerPunchFull,
+        ] {
+            let cfg = SimConfig::with_scheme(scheme);
+            let mut inj = InjectionConfig::at_rate(0.005);
+            inj.burstiness = b;
+            let mut sim =
+                SyntheticSim::with_injection(cfg, TrafficPattern::UniformRandom, inj);
+            let r = sim.run_experiment(synth_cycles() / 4, synth_cycles());
+            t.row([
+                format!("{b:.1}"),
+                scheme.label().to_string(),
+                format!("{:.1}", r.avg_packet_latency()),
+                format!("{:.2}", r.avg_wakeup_wait()),
+                format!("{:.1}", r.off_fraction() * 100.0),
+                format!("{:.1}", pm.static_savings(&r) * 100.0),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "expected: burstier traffic lengthens idle periods (more off-time\n\
+         for every scheme) while Power Punch's latency stays pinned to\n\
+         No-PG; ConvOpt's penalty persists at burst onsets."
+    );
+}

@@ -1,0 +1,44 @@
+//! Ablation: what the "Opt" in ConvOpt-PG buys (§2.3). Plain conventional
+//! gating wakes a router only when a packet is already stalled next to it;
+//! the optimized version adds the look-ahead early wakeup [24] and the
+//! idle-timeout filter. Power Punch then removes the remaining blocking.
+
+use punchsim::stats::Table;
+use punchsim::traffic::{SyntheticSim, TrafficPattern};
+use punchsim::types::{SchemeKind, SimConfig};
+use punchsim_bench::synth_cycles;
+
+fn main() {
+    println!("== ablation: conventional gating optimizations ==");
+    let mut t = Table::new([
+        "scheme",
+        "latency",
+        "blocked/pkt",
+        "wait cyc/pkt",
+        "off %",
+    ]);
+    for scheme in [
+        SchemeKind::NoPg,
+        SchemeKind::ConvPg,
+        SchemeKind::ConvOptPg,
+        SchemeKind::PowerPunchSignal,
+        SchemeKind::PowerPunchFull,
+    ] {
+        let cfg = SimConfig::with_scheme(scheme);
+        let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
+        let r = sim.run_experiment(synth_cycles() / 4, synth_cycles());
+        t.row([
+            scheme.label().to_string(),
+            format!("{:.1}", r.avg_packet_latency()),
+            format!("{:.2}", r.avg_pg_encounters()),
+            format!("{:.2}", r.avg_wakeup_wait()),
+            format!("{:.1}", r.off_fraction() * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected: each step cuts waiting — blocked-only wakeups (Conv) >\n\
+         one-hop early wakeups (ConvOpt) > multi-hop punches (PP-Signal) >\n\
+         punches + NI slack (PP-PG)."
+    );
+}

@@ -1,0 +1,51 @@
+//! Ablation: punch-signal depth H (§4.1 discusses the simplified 2-hop and
+//! extended 4-hop designs).
+//!
+//! Expected shape: H=2 cannot cover Twakeup=8 on a 3-stage router
+//! (2 x Trouter = 6 < 8) and leaves residual blocking; H=3 covers it;
+//! H=4 buys nothing at Twakeup=8 but wakes routers earlier, costing
+//! off-cycles ("sending wakeup signals with 5 hops or more would be
+//! counter-productive").
+
+use punchsim::power::PowerModel;
+use punchsim::stats::Table;
+use punchsim::traffic::{SyntheticSim, TrafficPattern};
+use punchsim::types::{SchemeKind, SimConfig};
+use punchsim_bench::synth_cycles;
+
+fn main() {
+    let pm = PowerModel::default_45nm();
+    println!("== ablation: punch depth H (3-stage router, Twakeup=8) ==");
+    let mut t = Table::new([
+        "H",
+        "latency",
+        "vs No-PG",
+        "wait cyc/pkt",
+        "off %",
+        "static saved %",
+        "punch hops sent",
+    ]);
+    let base = {
+        let cfg = SimConfig::with_scheme(SchemeKind::NoPg);
+        let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
+        sim.run_experiment(synth_cycles() / 4, synth_cycles())
+            .avg_packet_latency()
+    };
+    for h in 1..=4u16 {
+        let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+        cfg.power.punch_hops = h;
+        let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
+        let r = sim.run_experiment(synth_cycles() / 4, synth_cycles());
+        t.row([
+            h.to_string(),
+            format!("{:.1}", r.avg_packet_latency()),
+            format!("{:+.1}%", (r.avg_packet_latency() / base - 1.0) * 100.0),
+            format!("{:.2}", r.avg_wakeup_wait()),
+            format!("{:.1}", r.off_fraction() * 100.0),
+            format!("{:.1}", pm.static_savings(&r) * 100.0),
+            r.pg.punch_hops.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("expected: latency penalty shrinks up to H=3; H=4 only spends more wire activity and on-time.");
+}

@@ -1,0 +1,37 @@
+//! §6.6(1): hardware cost of the punch-signal network — wire widths from
+//! the codebook enumeration and the area overhead versus conventional
+//! power-gating (paper: ~2.4% of NoC area for the H=3 design).
+
+use punchsim::core::Codebook;
+use punchsim::power::AreaModel;
+use punchsim::stats::Table;
+use punchsim::types::Mesh;
+
+fn main() {
+    println!("== §6.6(1): punch-network hardware cost ==");
+    let area = AreaModel::default_45nm();
+    let mut t = Table::new([
+        "punch depth H",
+        "X bits",
+        "Y bits",
+        "wire bits/router",
+        "NoC area overhead",
+    ]);
+    for h in 2..=4u16 {
+        let cb = Codebook::enumerate(Mesh::new(8, 8), h);
+        let (x, y) = (cb.max_x_width(), cb.max_y_width());
+        t.row([
+            h.to_string(),
+            x.to_string(),
+            y.to_string(),
+            (2 * x + 2 * y).to_string(),
+            format!("{:.1}%", area.punch_overhead(x, y) * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("paper: 2.4% additional NoC area for the 5-bit/2-bit H=3 design");
+    let cb3 = Codebook::enumerate(Mesh::new(8, 8), 3);
+    let o = area.punch_overhead(cb3.max_x_width(), cb3.max_y_width());
+    assert!((0.015..0.035).contains(&o), "area overhead {o} out of band");
+    println!("disc_area: OK");
+}

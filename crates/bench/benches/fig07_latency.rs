@@ -1,0 +1,49 @@
+//! Figure 7: average packet latency of the PARSEC benchmarks under the
+//! four schemes (full-system runs on the MESI CMP substrate).
+//!
+//! Paper shape to match: ConvOpt-PG +69.1% over No-PG on average,
+//! PowerPunch-Signal +12.6%, PowerPunch-PG +7.9%.
+
+use punchsim::cmp::Benchmark;
+use punchsim::stats::Table;
+use punchsim::types::SchemeKind;
+use punchsim_bench::{average, parsec_campaign, pick};
+
+fn main() {
+    let runs = parsec_campaign();
+    println!("== Figure 7: average packet latency (cycles) ==");
+    let mut t = Table::new([
+        "benchmark",
+        "No-PG",
+        "ConvOpt-PG",
+        "PowerPunch-Signal",
+        "PowerPunch-PG",
+    ]);
+    for b in Benchmark::ALL {
+        t.row([
+            b.name().to_string(),
+            format!("{:.1}", pick(&runs, b, SchemeKind::NoPg).latency),
+            format!("{:.1}", pick(&runs, b, SchemeKind::ConvOptPg).latency),
+            format!(
+                "{:.1}",
+                pick(&runs, b, SchemeKind::PowerPunchSignal).latency
+            ),
+            format!("{:.1}", pick(&runs, b, SchemeKind::PowerPunchFull).latency),
+        ]);
+    }
+    println!("{t}");
+    let base = average(&runs, SchemeKind::NoPg, |r| r.latency);
+    println!("average latency increase over No-PG (paper in parentheses):");
+    for (scheme, paper) in [
+        (SchemeKind::ConvOptPg, "+69.1%"),
+        (SchemeKind::PowerPunchSignal, "+12.6%"),
+        (SchemeKind::PowerPunchFull, "+7.9%"),
+    ] {
+        let avg = average(&runs, scheme, |r| r.latency);
+        println!(
+            "  {:<18} {:+.1}%   (paper {paper})",
+            scheme.label(),
+            (avg / base - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 8: full-system execution time, normalized to No-PG.
+//!
+//! Paper shape to match: PowerPunch-Signal +2.3% and PowerPunch-PG +0.4%
+//! execution time on average; ConvOpt-PG visibly worse.
+
+use punchsim::cmp::Benchmark;
+use punchsim::stats::Table;
+use punchsim::types::SchemeKind;
+use punchsim_bench::{parsec_campaign, pick};
+
+fn main() {
+    let runs = parsec_campaign();
+    println!("== Figure 8: execution time normalized to No-PG ==");
+    let mut t = Table::new([
+        "benchmark",
+        "No-PG",
+        "ConvOpt-PG",
+        "PowerPunch-Signal",
+        "PowerPunch-PG",
+    ]);
+    let mut sums = [0.0f64; 3];
+    for b in Benchmark::ALL {
+        let base = pick(&runs, b, SchemeKind::NoPg).exec_cycles as f64;
+        let conv = pick(&runs, b, SchemeKind::ConvOptPg).exec_cycles as f64 / base;
+        let pps = pick(&runs, b, SchemeKind::PowerPunchSignal).exec_cycles as f64 / base;
+        let ppf = pick(&runs, b, SchemeKind::PowerPunchFull).exec_cycles as f64 / base;
+        sums[0] += conv;
+        sums[1] += pps;
+        sums[2] += ppf;
+        t.row([
+            b.name().to_string(),
+            "1.000".to_string(),
+            format!("{conv:.3}"),
+            format!("{pps:.3}"),
+            format!("{ppf:.3}"),
+        ]);
+    }
+    println!("{t}");
+    let n = Benchmark::ALL.len() as f64;
+    println!("average execution-time increase (paper in parentheses):");
+    println!("  ConvOpt-PG         {:+.2}%", (sums[0] / n - 1.0) * 100.0);
+    println!(
+        "  PowerPunch-Signal  {:+.2}%   (paper +2.3%)",
+        (sums[1] / n - 1.0) * 100.0
+    );
+    println!(
+        "  PowerPunch-PG      {:+.2}%   (paper +0.4%)",
+        (sums[2] / n - 1.0) * 100.0
+    );
+}

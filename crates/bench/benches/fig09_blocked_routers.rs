@@ -1,0 +1,47 @@
+//! Figure 9: average number of powered-off (blocked) routers a packet
+//! encounters from source to destination.
+//!
+//! Paper shape to match: 4.21 (ConvOpt) -> 1.09 (PP-Signal) -> 0.96 (PP-PG).
+
+use punchsim::cmp::Benchmark;
+use punchsim::stats::Table;
+use punchsim::types::SchemeKind;
+use punchsim_bench::{average, parsec_campaign, pick};
+
+fn main() {
+    let runs = parsec_campaign();
+    println!("== Figure 9: powered-off routers encountered per packet ==");
+    let mut t = Table::new([
+        "benchmark",
+        "ConvOpt-PG",
+        "PowerPunch-Signal",
+        "PowerPunch-PG",
+    ]);
+    for b in Benchmark::ALL {
+        t.row([
+            b.name().to_string(),
+            format!("{:.2}", pick(&runs, b, SchemeKind::ConvOptPg).encounters),
+            format!(
+                "{:.2}",
+                pick(&runs, b, SchemeKind::PowerPunchSignal).encounters
+            ),
+            format!(
+                "{:.2}",
+                pick(&runs, b, SchemeKind::PowerPunchFull).encounters
+            ),
+        ]);
+    }
+    println!("{t}");
+    println!("averages (paper in parentheses):");
+    for (scheme, paper) in [
+        (SchemeKind::ConvOptPg, "4.21"),
+        (SchemeKind::PowerPunchSignal, "1.09"),
+        (SchemeKind::PowerPunchFull, "0.96"),
+    ] {
+        println!(
+            "  {:<18} {:.2}   (paper {paper})",
+            scheme.label(),
+            average(&runs, scheme, |r| r.encounters)
+        );
+    }
+}

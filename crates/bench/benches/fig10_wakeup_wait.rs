@@ -1,0 +1,40 @@
+//! Figure 10: cycles per packet spent waiting for routers to wake up.
+//!
+//! Paper shape to match: PP-PG improves on PP-Signal by ~36% here (the NI
+//! slack hides wakeup latency that the encounter count of Figure 9 cannot
+//! show), and both are far below ConvOpt-PG.
+
+use punchsim::cmp::Benchmark;
+use punchsim::stats::Table;
+use punchsim::types::SchemeKind;
+use punchsim_bench::{average, parsec_campaign, pick};
+
+fn main() {
+    let runs = parsec_campaign();
+    println!("== Figure 10: cycles/packet waiting for router wakeup ==");
+    let mut t = Table::new([
+        "benchmark",
+        "ConvOpt-PG",
+        "PowerPunch-Signal",
+        "PowerPunch-PG",
+    ]);
+    for b in Benchmark::ALL {
+        t.row([
+            b.name().to_string(),
+            format!("{:.2}", pick(&runs, b, SchemeKind::ConvOptPg).wait),
+            format!("{:.2}", pick(&runs, b, SchemeKind::PowerPunchSignal).wait),
+            format!("{:.2}", pick(&runs, b, SchemeKind::PowerPunchFull).wait),
+        ]);
+    }
+    println!("{t}");
+    let conv = average(&runs, SchemeKind::ConvOptPg, |r| r.wait);
+    let pps = average(&runs, SchemeKind::PowerPunchSignal, |r| r.wait);
+    let ppf = average(&runs, SchemeKind::PowerPunchFull, |r| r.wait);
+    println!("averages: ConvOpt {conv:.2}, PP-Signal {pps:.2}, PP-PG {ppf:.2}");
+    if pps > 0.0 {
+        println!(
+            "PP-PG improvement over PP-Signal: {:.1}%   (paper: 36.2%)",
+            (1.0 - ppf / pps) * 100.0
+        );
+    }
+}

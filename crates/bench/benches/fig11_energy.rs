@@ -1,0 +1,65 @@
+//! Figure 11: breakdown of router energy (dynamic / static / power-gating
+//! overhead), normalized to No-PG.
+//!
+//! Paper shape to match: ~83% net static-energy savings for all three
+//! gating schemes; total router energy savings 50.3% (ConvOpt), 52.9%
+//! (PP-Signal), 54.1% (PP-PG) — Power Punch slightly ahead.
+
+use punchsim::cmp::Benchmark;
+use punchsim::stats::Table;
+use punchsim::types::SchemeKind;
+use punchsim_bench::{parsec_campaign, pick, RunMetrics};
+
+fn total(r: RunMetrics) -> f64 {
+    r.dynamic_pj + r.static_pj + r.overhead_pj
+}
+
+fn main() {
+    let runs = parsec_campaign();
+    println!("== Figure 11: router energy breakdown, normalized to No-PG ==");
+    let mut t = Table::new([
+        "benchmark",
+        "scheme",
+        "dynamic",
+        "static",
+        "PG overhead",
+        "total",
+    ]);
+    let mut agg = [(0.0, 0.0); 4]; // (total ratio, net static ratio)
+    for b in Benchmark::ALL {
+        let base = total(pick(&runs, b, SchemeKind::NoPg));
+        let base_static = pick(&runs, b, SchemeKind::NoPg).static_pj;
+        for (i, scheme) in SchemeKind::EVALUATED.iter().enumerate() {
+            let r = pick(&runs, b, *scheme);
+            t.row([
+                b.name().to_string(),
+                scheme.label().to_string(),
+                format!("{:.3}", r.dynamic_pj / base),
+                format!("{:.3}", r.static_pj / base),
+                format!("{:.3}", r.overhead_pj / base),
+                format!("{:.3}", total(r) / base),
+            ]);
+            agg[i].0 += total(r) / base;
+            agg[i].1 += (r.static_pj + r.overhead_pj) / base_static;
+        }
+    }
+    println!("{t}");
+    let n = Benchmark::ALL.len() as f64;
+    println!("averages (paper in parentheses):");
+    for (i, (scheme, paper_total)) in [
+        (SchemeKind::NoPg, "0.0%"),
+        (SchemeKind::ConvOptPg, "50.3%"),
+        (SchemeKind::PowerPunchSignal, "52.9%"),
+        (SchemeKind::PowerPunchFull, "54.1%"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        println!(
+            "  {:<18} total energy saved {:>5.1}% (paper {paper_total}); net static saved {:>5.1}% (paper ~83%)",
+            scheme.label(),
+            (1.0 - agg[i].0 / n) * 100.0,
+            (1.0 - agg[i].1 / n) * 100.0,
+        );
+    }
+}

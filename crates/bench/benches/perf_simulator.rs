@@ -1,0 +1,43 @@
+//! Criterion performance benchmarks of the simulator itself (not a paper
+//! figure): cycles/second of the network substrate and the codebook
+//! enumeration cost quoted in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use punchsim::core::Codebook;
+use punchsim::traffic::{SyntheticSim, TrafficPattern};
+use punchsim::types::{Mesh, SchemeKind, SimConfig};
+
+fn bench_network_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for scheme in [SchemeKind::NoPg, SchemeKind::PowerPunchFull] {
+        g.bench_function(format!("1k cycles 8x8 {scheme}"), |b| {
+            b.iter_batched(
+                || {
+                    let cfg = SimConfig::with_scheme(scheme);
+                    let mut sim =
+                        SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.05);
+                    sim.run(500); // warm structures
+                    sim
+                },
+                |mut sim| {
+                    sim.run(1_000);
+                    black_box(sim.report().stats.packets_delivered)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_codebook(c: &mut Criterion) {
+    c.bench_function("codebook enumerate 8x8 H=3", |b| {
+        b.iter(|| black_box(Codebook::enumerate(Mesh::new(8, 8), 3)).total_wire_bits());
+    });
+}
+
+criterion_group!(benches, bench_network_tick, bench_codebook);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Shared infrastructure for the figure-regeneration benches.
+//!
+//! Every table and figure of the paper's evaluation section has a bench
+//! target in `benches/`; `cargo bench` prints each one as a text table with
+//! the paper's reported numbers alongside for shape comparison (see
+//! EXPERIMENTS.md). The 8-benchmark x 4-scheme full-system campaign behind
+//! Figures 7-11 is expensive, so its results are cached on disk and shared
+//! by those five targets.
+//!
+//! Set `PP_FAST=1` to run shortened simulations (smoke mode).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use punchsim::cmp::{Benchmark, CmpConfig, CmpSim};
+use punchsim::power::PowerModel;
+use punchsim::types::SchemeKind;
+
+/// `true` when `PP_FAST=1`: run shortened simulations.
+pub fn fast_mode() -> bool {
+    std::env::var("PP_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Instructions per core for full-system runs (shortened in fast mode).
+pub fn instr_per_core() -> u64 {
+    if fast_mode() {
+        20_000
+    } else {
+        80_000
+    }
+}
+
+/// Measured cycles for synthetic-traffic runs.
+pub fn synth_cycles() -> u64 {
+    if fast_mode() {
+        6_000
+    } else {
+        20_000
+    }
+}
+
+/// One full-system run's distilled metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Workload.
+    pub benchmark: Benchmark,
+    /// Scheme.
+    pub scheme: SchemeKind,
+    /// Execution cycles (measured window).
+    pub exec_cycles: u64,
+    /// Mean packet latency in cycles.
+    pub latency: f64,
+    /// Mean powered-off routers encountered per packet (Fig 9).
+    pub encounters: f64,
+    /// Mean wakeup-wait cycles per packet (Fig 10).
+    pub wait: f64,
+    /// Dynamic router energy, pJ (Fig 11).
+    pub dynamic_pj: f64,
+    /// Static router energy, pJ (Fig 11).
+    pub static_pj: f64,
+    /// Power-gating overhead energy, pJ (Fig 11).
+    pub overhead_pj: f64,
+    /// No-PG static energy of the same window, pJ.
+    pub baseline_static_pj: f64,
+}
+
+impl RunMetrics {
+    fn to_line(self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{} {} {} {} {} {} {} {} {} {}",
+            self.benchmark.name(),
+            scheme_tag(self.scheme),
+            self.exec_cycles,
+            self.latency,
+            self.encounters,
+            self.wait,
+            self.dynamic_pj,
+            self.static_pj,
+            self.overhead_pj,
+            self.baseline_static_pj,
+        );
+        s
+    }
+
+    fn from_line(line: &str) -> Option<RunMetrics> {
+        let mut it = line.split_whitespace();
+        let bench = it.next()?;
+        let benchmark = Benchmark::ALL.into_iter().find(|b| b.name() == bench)?;
+        let scheme = scheme_from_tag(it.next()?)?;
+        Some(RunMetrics {
+            benchmark,
+            scheme,
+            exec_cycles: it.next()?.parse().ok()?,
+            latency: it.next()?.parse().ok()?,
+            encounters: it.next()?.parse().ok()?,
+            wait: it.next()?.parse().ok()?,
+            dynamic_pj: it.next()?.parse().ok()?,
+            static_pj: it.next()?.parse().ok()?,
+            overhead_pj: it.next()?.parse().ok()?,
+            baseline_static_pj: it.next()?.parse().ok()?,
+        })
+    }
+}
+
+fn scheme_tag(s: SchemeKind) -> &'static str {
+    match s {
+        SchemeKind::NoPg => "nopg",
+        SchemeKind::ConvPg => "conv",
+        SchemeKind::ConvOptPg => "convopt",
+        SchemeKind::PowerPunchSignal => "pps",
+        SchemeKind::PowerPunchFull => "ppf",
+    }
+}
+
+fn scheme_from_tag(t: &str) -> Option<SchemeKind> {
+    Some(match t {
+        "nopg" => SchemeKind::NoPg,
+        "conv" => SchemeKind::ConvPg,
+        "convopt" => SchemeKind::ConvOptPg,
+        "pps" => SchemeKind::PowerPunchSignal,
+        "ppf" => SchemeKind::PowerPunchFull,
+        _ => return None,
+    })
+}
+
+fn cache_path() -> PathBuf {
+    // Benches run with the package as CWD; anchor the cache in the
+    // workspace target directory (or the temp dir as a fallback) so every
+    // figure target shares it.
+    let dir = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::temp_dir());
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!(
+        "punchsim-parsec-campaign-v1-{}.txt",
+        instr_per_core()
+    ))
+}
+
+/// Runs (or loads from the on-disk cache) the full PARSEC campaign:
+/// every benchmark under every evaluated scheme. This is the data behind
+/// Figures 7, 8, 9, 10 and 11.
+pub fn parsec_campaign() -> Vec<RunMetrics> {
+    let path = cache_path();
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        let runs: Vec<RunMetrics> = text.lines().filter_map(RunMetrics::from_line).collect();
+        if runs.len() == Benchmark::ALL.len() * SchemeKind::EVALUATED.len() {
+            eprintln!("(loaded cached campaign from {})", path.display());
+            return runs;
+        }
+    }
+    let pm = PowerModel::default_45nm();
+    let mut runs = Vec::new();
+    for bench in Benchmark::ALL {
+        for scheme in SchemeKind::EVALUATED {
+            eprintln!("running {bench} under {scheme}...");
+            let mut cfg = CmpConfig::new(bench, scheme);
+            cfg.instr_per_core = instr_per_core();
+            cfg.warmup_instr = instr_per_core() / 10;
+            let r = CmpSim::new(cfg).run();
+            assert!(r.completed, "{bench}/{scheme} did not complete");
+            let b = pm.breakdown(&r.net);
+            runs.push(RunMetrics {
+                benchmark: bench,
+                scheme,
+                exec_cycles: r.exec_cycles,
+                latency: r.net.avg_packet_latency(),
+                encounters: r.net.avg_pg_encounters(),
+                wait: r.net.avg_wakeup_wait(),
+                dynamic_pj: b.dynamic_pj,
+                static_pj: b.static_pj,
+                overhead_pj: b.overhead_pj,
+                baseline_static_pj: pm.baseline_static_pj(&r.net),
+            });
+        }
+    }
+    let text: String = runs.iter().map(|r| r.to_line() + "\n").collect();
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("warning: could not cache campaign at {}: {e}", path.display());
+    }
+    runs
+}
+
+/// The metrics of `bench` under `scheme` from a campaign slice.
+pub fn pick(runs: &[RunMetrics], bench: Benchmark, scheme: SchemeKind) -> RunMetrics {
+    *runs
+        .iter()
+        .find(|r| r.benchmark == bench && r.scheme == scheme)
+        .expect("campaign covers all pairs")
+}
+
+/// Geometric-mean-free average of a metric across benchmarks for a scheme.
+pub fn average<F: Fn(RunMetrics) -> f64>(
+    runs: &[RunMetrics],
+    scheme: SchemeKind,
+    f: F,
+) -> f64 {
+    let vals: Vec<f64> = runs
+        .iter()
+        .filter(|r| r.scheme == scheme)
+        .map(|r| f(*r))
+        .collect();
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_line_roundtrip() {
+        let m = RunMetrics {
+            benchmark: Benchmark::Canneal,
+            scheme: SchemeKind::PowerPunchFull,
+            exec_cycles: 12345,
+            latency: 35.25,
+            encounters: 0.5,
+            wait: 1.25,
+            dynamic_pj: 1e9,
+            static_pj: 2e9,
+            overhead_pj: 3e7,
+            baseline_static_pj: 4e9,
+        };
+        let back = RunMetrics::from_line(&m.to_line()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn scheme_tags_roundtrip() {
+        for s in [
+            SchemeKind::NoPg,
+            SchemeKind::ConvPg,
+            SchemeKind::ConvOptPg,
+            SchemeKind::PowerPunchSignal,
+            SchemeKind::PowerPunchFull,
+        ] {
+            assert_eq!(scheme_from_tag(scheme_tag(s)), Some(s));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Memory controllers (one per mesh corner, as in Table 2).
+
+use punchsim_types::{Cycle, NodeId};
+
+use crate::protocol::{Op, ProtoMsg};
+
+/// A memory controller endpoint: fixed-latency reads, posted writes.
+#[derive(Debug, Clone)]
+pub struct MemCtrl {
+    node: NodeId,
+    latency: Cycle,
+    /// Pending `(ready_at, home, response)` in arrival order.
+    pending: Vec<(Cycle, NodeId, ProtoMsg)>,
+    /// Reads served.
+    pub reads: u64,
+    /// Writes absorbed.
+    pub writes: u64,
+}
+
+impl MemCtrl {
+    /// Creates a controller at `node` with the given access latency
+    /// (Table 2: 128 cycles).
+    pub fn new(node: NodeId, latency: Cycle) -> Self {
+        MemCtrl {
+            node,
+            latency,
+            pending: Vec::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// This controller's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Handles a request delivered at `now`.
+    pub fn handle(&mut self, src: NodeId, msg: ProtoMsg, now: Cycle) {
+        match msg.op {
+            Op::MemRead => {
+                self.reads += 1;
+                self.pending.push((
+                    now + self.latency,
+                    src,
+                    ProtoMsg::new(Op::MemData, msg.addr),
+                ));
+            }
+            Op::MemWrite => {
+                // Posted write: absorbed without a response.
+                self.writes += 1;
+            }
+            other => panic!("memory controller received unexpected {other:?}"),
+        }
+    }
+
+    /// Returns responses due at `now`, and homes to forewarn (`slack2`
+    /// cycles before each response — the controller knows a packet is
+    /// coming, the paper's slack-2 resource valid bit).
+    pub fn tick(&mut self, now: Cycle, slack2: Cycle) -> (Vec<NodeId>, Vec<(NodeId, ProtoMsg)>) {
+        let mut warn = Vec::new();
+        let mut due = Vec::new();
+        self.pending.retain(|&(at, home, msg)| {
+            if at == now + slack2 {
+                warn.push(self.node);
+                let _ = home;
+            }
+            if at <= now {
+                due.push((home, msg));
+                false
+            } else {
+                true
+            }
+        });
+        (warn, due)
+    }
+
+    /// Outstanding reads (test hook).
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_completes_after_latency() {
+        let mut m = MemCtrl::new(NodeId(0), 128);
+        m.handle(NodeId(9), ProtoMsg::new(Op::MemRead, 0x40), 10);
+        assert_eq!(m.outstanding(), 1);
+        for c in 11..138 {
+            let (_, due) = m.tick(c, 6);
+            assert!(due.is_empty(), "cycle {c}");
+        }
+        let (_, due) = m.tick(138, 6);
+        assert_eq!(due, vec![(NodeId(9), ProtoMsg::new(Op::MemData, 0x40))]);
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.reads, 1);
+    }
+
+    #[test]
+    fn forewarning_fires_before_response() {
+        let mut m = MemCtrl::new(NodeId(0), 128);
+        m.handle(NodeId(9), ProtoMsg::new(Op::MemRead, 0x40), 0);
+        let mut warned_at = None;
+        for c in 1..=128 {
+            let (warn, _) = m.tick(c, 6);
+            if !warn.is_empty() {
+                warned_at = Some(c);
+            }
+        }
+        assert_eq!(warned_at, Some(122), "6 cycles before the response");
+    }
+
+    #[test]
+    fn writes_are_posted() {
+        let mut m = MemCtrl::new(NodeId(0), 128);
+        m.handle(NodeId(9), ProtoMsg::new(Op::MemWrite, 0x80), 0);
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.writes, 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! MESI directory-protocol messages and their wire encoding.
+//!
+//! The protocol is a two-level MESI with a blocking full-map directory
+//! co-located with the shared L2 banks, using the minimum three virtual
+//! networks for deadlock freedom (Table 2 of the paper):
+//!
+//! * **vnet 0 — request**: `GetS`, `GetM`, `PutM`/`PutE` from L1s to homes;
+//! * **vnet 1 — forward**: `Inv`, `FwdGetS`, `FwdGetM` from homes to
+//!   owners/sharers, plus home-to-memory fetches;
+//! * **vnet 2 — response**: data and acknowledgements, which always sink.
+//!
+//! The dependence chain request -> forward -> response is acyclic, and
+//! responses are always consumed, so the protocol cannot deadlock on the
+//! message level.
+
+use punchsim_noc::MsgClass;
+use punchsim_types::{NodeId, VnetId};
+
+/// A cache-block address (block-aligned; granularities below 64 B do not
+/// exist at this level).
+pub type BlockAddr = u64;
+
+/// Protocol message opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// L1 -> home: read miss (wants Shared or Exclusive-clean).
+    GetS,
+    /// L1 -> home: write miss or upgrade (wants Modified).
+    GetM,
+    /// L1 -> home: dirty writeback (carries data).
+    PutM,
+    /// L1 -> home: clean-exclusive eviction notice.
+    PutE,
+    /// Home -> sharer: invalidate; reply `InvAck` to the home.
+    Inv,
+    /// Home -> owner: another core wants a shared copy; send data home.
+    FwdGetS,
+    /// Home -> owner: another core wants ownership; send data home.
+    FwdGetM,
+    /// Home -> memory controller: fetch a block.
+    MemRead,
+    /// Home -> memory controller: write a block back.
+    MemWrite,
+    /// Memory controller -> home: fetched data.
+    MemData,
+    /// Home -> L1: shared data grant.
+    Data,
+    /// Home -> L1: exclusive data grant (E on loads with no sharers, M on
+    /// stores).
+    DataExcl,
+    /// Sharer -> home: invalidation acknowledged.
+    InvAck,
+    /// Owner -> home: data yielded on a forward (downgrade or transfer).
+    OwnerData,
+    /// Old owner -> home: forward raced a writeback; the home completed the
+    /// transaction with `PutM` data, drop this.
+    FwdNack,
+    /// Home -> L1: writeback observed / eviction notice accepted.
+    WbAck,
+}
+
+impl Op {
+    /// All opcodes, for table-driven tests.
+    pub const ALL: [Op; 16] = [
+        Op::GetS,
+        Op::GetM,
+        Op::PutM,
+        Op::PutE,
+        Op::Inv,
+        Op::FwdGetS,
+        Op::FwdGetM,
+        Op::MemRead,
+        Op::MemWrite,
+        Op::MemData,
+        Op::Data,
+        Op::DataExcl,
+        Op::InvAck,
+        Op::OwnerData,
+        Op::FwdNack,
+        Op::WbAck,
+    ];
+
+    fn code(self) -> u64 {
+        Op::ALL.iter().position(|&o| o == self).expect("in table") as u64
+    }
+
+    fn from_code(c: u64) -> Option<Op> {
+        Op::ALL.get(c as usize).copied()
+    }
+
+    /// The virtual network this opcode travels on.
+    pub fn vnet(self) -> VnetId {
+        match self {
+            Op::GetS | Op::GetM | Op::PutM | Op::PutE => VnetId(0),
+            Op::Inv | Op::FwdGetS | Op::FwdGetM | Op::MemRead | Op::MemWrite => VnetId(1),
+            Op::MemData
+            | Op::Data
+            | Op::DataExcl
+            | Op::InvAck
+            | Op::OwnerData
+            | Op::FwdNack
+            | Op::WbAck => VnetId(2),
+        }
+    }
+
+    /// Whether the message carries a cache line (multi-flit data packet).
+    pub fn class(self) -> MsgClass {
+        match self {
+            Op::PutM
+            | Op::MemData
+            | Op::Data
+            | Op::DataExcl
+            | Op::OwnerData
+            | Op::MemWrite => MsgClass::Data,
+            _ => MsgClass::Control,
+        }
+    }
+}
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoMsg {
+    /// Operation.
+    pub op: Op,
+    /// Block the operation concerns.
+    pub addr: BlockAddr,
+    /// Auxiliary node (the original requestor in forwards; unused = 0).
+    pub aux: NodeId,
+}
+
+impl ProtoMsg {
+    /// Creates a message with no auxiliary node.
+    pub fn new(op: Op, addr: BlockAddr) -> Self {
+        ProtoMsg {
+            op,
+            addr,
+            aux: NodeId(0),
+        }
+    }
+
+    /// Creates a message carrying the original requestor.
+    pub fn with_aux(op: Op, addr: BlockAddr, aux: NodeId) -> Self {
+        ProtoMsg { op, addr, aux }
+    }
+
+    /// Packs into the network payload word: op in bits 60..64, aux in bits
+    /// 48..60, block address in bits 0..48.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block address exceeds 48 bits.
+    pub fn encode(self) -> u64 {
+        assert!(self.addr < (1 << 48), "block address too wide");
+        (self.op.code() << 60) | ((self.aux.0 as u64) << 48) | self.addr
+    }
+
+    /// Unpacks from a network payload word.
+    pub fn decode(w: u64) -> Option<ProtoMsg> {
+        let op = Op::from_code(w >> 60)?;
+        Some(ProtoMsg {
+            op,
+            addr: w & ((1 << 48) - 1),
+            aux: NodeId(((w >> 48) & 0xFFF) as u16),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all_ops() {
+        for op in Op::ALL {
+            let m = ProtoMsg::with_aux(op, 0x1234_5678_9ABC, NodeId(63));
+            let d = ProtoMsg::decode(m.encode()).unwrap();
+            assert_eq!(d, m);
+        }
+    }
+
+    #[test]
+    fn vnets_are_acyclic_by_class() {
+        // Requests on 0, forwards on 1, responses on 2 — and every opcode
+        // is assigned.
+        for op in Op::ALL {
+            let v = op.vnet().0;
+            assert!(v < 3);
+        }
+        assert_eq!(Op::GetS.vnet(), VnetId(0));
+        assert_eq!(Op::Inv.vnet(), VnetId(1));
+        assert_eq!(Op::Data.vnet(), VnetId(2));
+    }
+
+    #[test]
+    fn data_messages_are_multi_flit() {
+        assert_eq!(Op::Data.class(), MsgClass::Data);
+        assert_eq!(Op::PutM.class(), MsgClass::Data);
+        assert_eq!(Op::GetS.class(), MsgClass::Control);
+        assert_eq!(Op::InvAck.class(), MsgClass::Control);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wide_address_rejected() {
+        ProtoMsg::new(Op::GetS, 1 << 50).encode();
+    }
+}

@@ -1,0 +1,252 @@
+//! Protocol fuzzing: L1 controllers and a directory bank exchanging
+//! messages over an adversarial channel that delays and reorders messages
+//! *more* aggressively than the real NoC ever could (only per-pair
+//! same-class FIFO order is preserved where the design relies on it —
+//! nothing else). Every interleaving must terminate with a coherent
+//! system and every request answered.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use punchsim_cmp::dir::DirBank;
+use punchsim_cmp::protocol::{BlockAddr, Op, ProtoMsg};
+use punchsim_cmp::tile::{Access, L1, L1State};
+use punchsim_types::NodeId;
+
+const HOME: NodeId = NodeId(100);
+const MEM: NodeId = NodeId(101);
+
+/// A message in flight with its delivery time.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    at: u64,
+    src: NodeId,
+    dst: NodeId,
+    msg: ProtoMsg,
+}
+
+struct Harness {
+    l1s: Vec<L1>,
+    dir: DirBank,
+    wire: Vec<InFlight>,
+    mem_pending: Vec<(u64, ProtoMsg)>,
+    now: u64,
+    rng: StdRng,
+    pending_core: Vec<Option<(BlockAddr, bool)>>,
+    completed: usize,
+}
+
+impl Harness {
+    fn new(cores: usize, seed: u64) -> Self {
+        Harness {
+            l1s: (0..cores)
+                .map(|i| L1::new(NodeId(i as u16), 4, 2)) // tiny: heavy evictions
+                .collect(),
+            dir: DirBank::new(HOME, 4, 2, vec![MEM]), // tiny L2: heavy refetches
+            wire: Vec::new(),
+            mem_pending: Vec::new(),
+            now: 0,
+            rng: StdRng::seed_from_u64(seed),
+            pending_core: vec![None; cores],
+            completed: 0,
+        }
+    }
+
+    /// Sends with a random delay; same-source protocol-class pairs keep
+    /// their order only when the real network would (same vnet + class).
+    fn post(&mut self, src: NodeId, dst: NodeId, msg: ProtoMsg) {
+        let mut at = self.now + 1 + self.rng.random_range(0..12u64);
+        // Preserve FIFO only for identical (src, dst, vnet) *control*
+        // traffic — the only ordering the real NoC guarantees (one control
+        // VC per vnet). Data-class messages ride two VCs and may reorder
+        // freely, so the fuzzer lets them.
+        if msg.op.class() == punchsim_noc::MsgClass::Control {
+            for f in &self.wire {
+                if f.src == src
+                    && f.dst == dst
+                    && f.msg.op.vnet() == msg.op.vnet()
+                    && f.msg.op.class() == msg.op.class()
+                {
+                    at = at.max(f.at + 1);
+                }
+            }
+        }
+        if std::env::var("FUZZ_TRACE").is_ok() && msg.addr == 0xf {
+            eprintln!("[{}] post {}->{} {:?} (deliver @{at})", self.now, src, dst, msg.op);
+        }
+        self.wire.push(InFlight { at, src, dst, msg });
+    }
+
+    fn step(&mut self) {
+        self.now += 1;
+        // Memory responses.
+        let due_mem: Vec<ProtoMsg> = {
+            let now = self.now;
+            let mut v = Vec::new();
+            self.mem_pending.retain(|&(at, m)| {
+                if at <= now {
+                    v.push(m);
+                    false
+                } else {
+                    true
+                }
+            });
+            v
+        };
+        for m in due_mem {
+            self.post(MEM, HOME, m);
+        }
+        // Wire deliveries (in timestamp order for determinism).
+        let mut due: Vec<InFlight> = Vec::new();
+        let now = self.now;
+        self.wire.retain(|f| {
+            if f.at <= now {
+                due.push(*f);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|f| (f.at, f.src.0, f.msg.encode()));
+        for f in due {
+            if f.dst == HOME {
+                let mut out = Vec::new();
+                self.dir.handle(f.src, f.msg, &mut out);
+                for (dst, m) in out {
+                    if matches!(m.op, Op::MemRead) {
+                        self.mem_pending
+                            .push((self.now + 5, ProtoMsg::new(Op::MemData, m.addr)));
+                    } else if matches!(m.op, Op::MemWrite) {
+                        // absorbed
+                    } else {
+                        self.post(HOME, dst, m);
+                    }
+                }
+            } else if f.dst == MEM {
+                if f.msg.op == Op::MemRead {
+                    self.mem_pending
+                        .push((self.now + 5, ProtoMsg::new(Op::MemData, f.msg.addr)));
+                }
+            } else {
+                let idx = f.dst.index();
+                let mut out = Vec::new();
+                let resumed =
+                    self.l1s[idx].handle(f.src, f.msg, |_| HOME, &mut out);
+                for (dst, m) in out {
+                    self.post(f.dst, dst, m);
+                }
+                if resumed {
+                    self.pending_core[idx] = None;
+                    self.completed += 1;
+                }
+            }
+        }
+    }
+
+    fn maybe_issue(&mut self, blocks: u64) {
+        for i in 0..self.l1s.len() {
+            if self.pending_core[i].is_some() {
+                continue;
+            }
+            if self.rng.random_range(0.0..1.0) < 0.3 {
+                let addr: BlockAddr = self.rng.random_range(0..blocks);
+                let is_write = self.rng.random_range(0.0..1.0) < 0.4;
+                let mut out = Vec::new();
+                let res = self.l1s[i].access(addr, is_write, HOME, &mut out);
+                for (dst, m) in out {
+                    self.post(NodeId(i as u16), dst, m);
+                }
+                if res == Access::Miss {
+                    self.pending_core[i] = Some((addr, is_write));
+                } else {
+                    self.completed += 1;
+                }
+            }
+        }
+    }
+
+    fn quiesced(&self) -> bool {
+        self.wire.is_empty()
+            && self.mem_pending.is_empty()
+            && self.pending_core.iter().all(Option::is_none)
+    }
+
+    fn check_coherence(&self) {
+        // Single-writer invariant across all L1s at quiescence.
+        use std::collections::HashMap;
+        let mut holders: HashMap<BlockAddr, Vec<(usize, L1State)>> = HashMap::new();
+        for (i, l1) in self.l1s.iter().enumerate() {
+            for (addr, st) in l1.resident() {
+                holders.entry(addr).or_default().push((i, st));
+            }
+        }
+        for (addr, hs) in holders {
+            let excl = hs
+                .iter()
+                .any(|(_, s)| matches!(s, L1State::M | L1State::E));
+            assert!(
+                !(excl && hs.len() > 1),
+                "block {addr:#x} incoherent: {hs:?}"
+            );
+        }
+    }
+}
+
+fn fuzz(seed: u64, cores: usize, blocks: u64, rounds: u64) {
+    let mut h = Harness::new(cores, seed);
+    for _ in 0..rounds {
+        h.maybe_issue(blocks);
+        h.step();
+    }
+    // Drain.
+    let mut guard = 0;
+    while !h.quiesced() {
+        h.step();
+        guard += 1;
+        if guard >= 200_000 {
+            for (i, p) in h.pending_core.iter().enumerate() {
+                if let Some((a, w)) = p {
+                    eprintln!(
+                        "core {i}: pending addr {a:#x} write={w}; dir state {:?} busy {}",
+                        h.dir.dir_state(*a),
+                        h.dir.is_busy(*a)
+                    );
+                }
+            }
+            panic!("seed {seed}: protocol failed to quiesce");
+        }
+    }
+    h.check_coherence();
+    assert!(h.completed > 0);
+}
+
+#[test]
+fn fuzz_small_hot_block_set() {
+    // 4 cores hammering 3 blocks: maximal contention and eviction churn.
+    for seed in 0..150 {
+        fuzz(seed, 4, 3, 800);
+    }
+}
+
+#[test]
+fn fuzz_medium_working_set() {
+    for seed in 1000..1060 {
+        fuzz(seed, 8, 16, 600);
+    }
+}
+
+#[test]
+fn fuzz_many_cores_one_block() {
+    // Every core fights for the same block: pure ownership migration.
+    for seed in 2000..2080 {
+        fuzz(seed, 12, 1, 500);
+    }
+}
+
+#[test]
+fn fuzz_with_extreme_delays() {
+    // Long soaks with large random reorder windows.
+    for seed in [7777, 31337, 424242, 5150, 90210] {
+        fuzz(seed, 6, 8, 5_000);
+    }
+}

@@ -1,0 +1,363 @@
+//! Punch-signal codebooks: enumerating every distinct target set a link can
+//! carry, and assigning the codewords that make merging contention-free.
+//!
+//! This reproduces §4.1 steps 3–5 of the paper. For each directed link the
+//! closure of reachable *normalized* target sets is computed by fixpoint:
+//! a link's sets are all combinations of (a) at most one locally generated
+//! wakeup and (b) the relayed remainder of sets arriving on the upstream
+//! links, filtered by XY next-hop direction and normalized (implied targets
+//! dropped). Table 1 of the paper — the 22 sets on the X+ link of router 27
+//! of an 8x8 mesh for 3-hop punches, encodable in 5 bits — falls out of
+//! this enumeration, as do the 2-bit Y links.
+
+use std::collections::BTreeSet;
+
+use punchsim_types::{routing, Direction, Mesh, NodeId};
+
+use crate::punch::PunchSet;
+
+/// The codebook of one directed link: every non-empty normalized target set
+/// it can carry, in canonical order, plus the derived wire width.
+#[derive(Debug, Clone)]
+pub struct LinkCodebook {
+    /// Router the link leaves.
+    pub from: NodeId,
+    /// Direction the link points.
+    pub dir: Direction,
+    sets: Vec<PunchSet>,
+}
+
+impl LinkCodebook {
+    /// Number of distinct non-empty signals.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The distinct signals, canonical (sorted targets), ascending.
+    pub fn sets(&self) -> &[PunchSet] {
+        &self.sets
+    }
+
+    /// Wire width in bits: enough codewords for every set plus the idle
+    /// state (code 0).
+    pub fn width_bits(&self) -> u32 {
+        usize::BITS - self.sets.len().leading_zeros()
+    }
+
+    /// The codeword assigned to `set` (0 is the idle wire), or `None` if the
+    /// set is not expressible on this link — which the fabric's generation
+    /// arbitration guarantees never happens.
+    pub fn encode(&self, set: &PunchSet) -> Option<u16> {
+        if set.is_empty() {
+            return Some(0);
+        }
+        let c = set.canonical();
+        self.sets
+            .binary_search(&c)
+            .ok()
+            .map(|i| (i + 1) as u16)
+    }
+
+    /// The target set for a codeword, or `None` if out of range.
+    pub fn decode(&self, code: u16) -> Option<PunchSet> {
+        if code == 0 {
+            return Some(PunchSet::new());
+        }
+        self.sets.get(code as usize - 1).copied()
+    }
+}
+
+/// All link codebooks of a mesh for a given punch depth.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    mesh: Mesh,
+    hops: u16,
+    /// Indexed `[router][direction]`; `None` at mesh edges.
+    links: Vec<[Option<LinkCodebook>; 4]>,
+}
+
+impl Codebook {
+    /// Enumerates the codebooks for `mesh` with punch depth `hops` by
+    /// fixpoint closure. Cost is polynomial in mesh size and tiny in
+    /// practice (an 8x8 mesh at H=3 converges in a few iterations).
+    pub fn enumerate(mesh: Mesh, hops: u16) -> Self {
+        let n = mesh.nodes();
+        // Locally generated targets per (router, out-dir): every router
+        // within `hops` whose XY path leaves through that direction.
+        let gen: Vec<[Vec<NodeId>; 4]> = mesh
+            .iter_nodes()
+            .map(|r| {
+                let mut g: [Vec<NodeId>; 4] = Default::default();
+                for t in mesh.iter_nodes() {
+                    if t == r || mesh.distance(r, t) > hops {
+                        continue;
+                    }
+                    let d = routing::xy_direction(mesh, r, t).expect("t != r");
+                    g[d.index()].push(t);
+                }
+                g
+            })
+            .collect();
+        // Reachable set closure per directed link.
+        let mut sets: Vec<[BTreeSet<PunchSet>; 4]> = vec![Default::default(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for r in mesh.iter_nodes() {
+                for dir in Direction::ALL {
+                    if mesh.neighbor(r, dir).is_none() {
+                        continue;
+                    }
+                    // Options arriving from each upstream link, filtered to
+                    // the targets that continue through (r, dir).
+                    let mut relay_options: Vec<Vec<PunchSet>> = Vec::new();
+                    for in_dir in Direction::ALL {
+                        let Some(up) = mesh.neighbor(r, in_dir) else {
+                            continue;
+                        };
+                        // The upstream link points from `up` toward `r`.
+                        let up_link = &sets[up.index()][in_dir.opposite().index()];
+                        let mut filtered: BTreeSet<PunchSet> = BTreeSet::new();
+                        for s in up_link {
+                            let mut f = PunchSet::new();
+                            for &t in s.targets() {
+                                if t == r {
+                                    continue; // consumed at r
+                                }
+                                if routing::xy_direction(mesh, r, t) == Some(dir) {
+                                    f.insert_normalized(mesh, r, t);
+                                }
+                            }
+                            if !f.is_empty() {
+                                filtered.insert(f.canonical());
+                            }
+                        }
+                        if !filtered.is_empty() {
+                            relay_options.push(filtered.into_iter().collect());
+                        }
+                    }
+                    // Combine relays across upstream links (each may be
+                    // absent), then with at most one local generation.
+                    let mut combos: Vec<PunchSet> = vec![PunchSet::new()];
+                    for opts in &relay_options {
+                        let mut next = Vec::with_capacity(combos.len() * (opts.len() + 1));
+                        for base in &combos {
+                            next.push(*base);
+                            for s in opts {
+                                let mut merged = *base;
+                                for &t in s.targets() {
+                                    merged.insert_normalized(mesh, r, t);
+                                }
+                                next.push(merged);
+                            }
+                        }
+                        combos = next;
+                    }
+                    let out = &mut sets[r.index()][dir.index()];
+                    let before = out.len();
+                    for base in &combos {
+                        if !base.is_empty() {
+                            out.insert(base.canonical());
+                        }
+                        for &g in &gen[r.index()][dir.index()] {
+                            let mut merged = *base;
+                            merged.insert_normalized(mesh, r, g);
+                            out.insert(merged.canonical());
+                        }
+                    }
+                    if out.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let links = mesh
+            .iter_nodes()
+            .map(|r| {
+                let mut row: [Option<LinkCodebook>; 4] = Default::default();
+                for dir in Direction::ALL {
+                    if mesh.neighbor(r, dir).is_none() {
+                        continue;
+                    }
+                    row[dir.index()] = Some(LinkCodebook {
+                        from: r,
+                        dir,
+                        sets: sets[r.index()][dir.index()].iter().copied().collect(),
+                    });
+                }
+                row
+            })
+            .collect();
+        Codebook { mesh, hops, links }
+    }
+
+    /// The mesh this codebook was enumerated for.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The punch depth H.
+    pub fn hops(&self) -> u16 {
+        self.hops
+    }
+
+    /// The codebook of the link leaving `r` toward `dir`, or `None` at a
+    /// mesh edge.
+    pub fn link(&self, r: NodeId, dir: Direction) -> Option<&LinkCodebook> {
+        self.links[r.index()][dir.index()].as_ref()
+    }
+
+    /// Iterates over all link codebooks.
+    pub fn iter(&self) -> impl Iterator<Item = &LinkCodebook> {
+        self.links.iter().flatten().flatten()
+    }
+
+    /// The widest X-direction link in bits.
+    pub fn max_x_width(&self) -> u32 {
+        self.iter()
+            .filter(|l| l.dir.is_x())
+            .map(LinkCodebook::width_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The widest Y-direction link in bits.
+    pub fn max_y_width(&self) -> u32 {
+        self.iter()
+            .filter(|l| l.dir.is_y())
+            .map(LinkCodebook::width_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total punch wiring bits leaving all routers (area-model input).
+    pub fn total_wire_bits(&self) -> u64 {
+        self.iter().map(|l| l.width_bits() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_x_plus_of_r27_has_22_sets_in_5_bits() {
+        // The paper's Table 1: all distinctive target sets on the X+ link
+        // of R27 in an 8x8 mesh with 3-hop punches.
+        let cb = Codebook::enumerate(Mesh::new(8, 8), 3);
+        let link = cb.link(NodeId(27), Direction::East).unwrap();
+        assert_eq!(link.set_count(), 22);
+        assert_eq!(link.width_bits(), 5);
+    }
+
+    #[test]
+    fn table1_contains_paper_examples() {
+        let cb = Codebook::enumerate(Mesh::new(8, 8), 3);
+        let link = cb.link(NodeId(27), Direction::East).unwrap();
+        let m = Mesh::new(8, 8);
+        let set = |ids: &[u16]| {
+            let mut s = PunchSet::new();
+            for &i in ids {
+                s.insert_normalized(m, NodeId(27), NodeId(i));
+            }
+            s.canonical()
+        };
+        // Entries 1, 8, 13, 19, 22 of Table 1.
+        for ids in [
+            &[28][..],
+            &[29][..],
+            &[21, 36][..],
+            &[44, 29][..],
+            &[29, 36][..],
+        ] {
+            let s = set(ids);
+            assert!(
+                link.encode(&s).is_some(),
+                "set {s} must be in the codebook"
+            );
+        }
+        // Merging 27->21 with 26->29 yields plain {21} (entry 3): both are
+        // encodable and 29 is implied.
+        let merged = set(&[21, 29]);
+        assert_eq!(merged, set(&[21]));
+    }
+
+    #[test]
+    fn y_links_need_2_bits() {
+        // §4.1 step 4: Y-direction punch signals have 3 distinctive sets
+        // (straight-line targets only), so 2 bits suffice.
+        let cb = Codebook::enumerate(Mesh::new(8, 8), 3);
+        for l in cb.iter().filter(|l| l.dir.is_y()) {
+            assert!(
+                l.set_count() <= 3,
+                "link {}->{} has {} sets",
+                l.from,
+                l.dir,
+                l.set_count()
+            );
+            // Every Y set is a singleton after normalization.
+            for s in l.sets() {
+                assert_eq!(s.len(), 1, "Y set {s} must be a singleton");
+            }
+        }
+        assert_eq!(cb.max_y_width(), 2);
+    }
+
+    #[test]
+    fn x_links_fit_5_bits_at_h3() {
+        let cb = Codebook::enumerate(Mesh::new(8, 8), 3);
+        assert_eq!(cb.max_x_width(), 5);
+        // No X set carries more than 2 explicit targets at H=3.
+        for l in cb.iter().filter(|l| l.dir.is_x()) {
+            for s in l.sets() {
+                assert!(s.len() <= 2, "{s} on {}->{}", l.from, l.dir);
+            }
+        }
+    }
+
+    #[test]
+    fn h4_x_links_fit_8_bits() {
+        // §4.1 step 5: "for the case of 4-hop wakeup signal slack, the
+        // width of punch signals is 8-bit for the X directions and 2-bit
+        // for the Y directions". Our enumeration confirms the 8-bit X
+        // claim exactly (145 sets on the worst link). Y links carry 4
+        // straight-line distances plus the idle state = 5 codes, which
+        // needs 3 bits; the paper's "2-bit" figure counts only the 4
+        // distances (idle signalled separately). See EXPERIMENTS.md.
+        let cb = Codebook::enumerate(Mesh::new(8, 8), 4);
+        assert_eq!(cb.max_x_width(), 8);
+        assert_eq!(cb.max_y_width(), 3);
+        for l in cb.iter().filter(|l| l.dir.is_y()) {
+            assert!(l.set_count() <= 4);
+        }
+    }
+
+    #[test]
+    fn h2_is_narrower_than_h3() {
+        let cb2 = Codebook::enumerate(Mesh::new(8, 8), 2);
+        let cb3 = Codebook::enumerate(Mesh::new(8, 8), 3);
+        assert!(cb2.max_x_width() < cb3.max_x_width());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cb = Codebook::enumerate(Mesh::new(8, 8), 3);
+        let link = cb.link(NodeId(27), Direction::East).unwrap();
+        for (i, s) in link.sets().iter().enumerate() {
+            let code = link.encode(s).unwrap();
+            assert_eq!(code as usize, i + 1);
+            assert_eq!(link.decode(code).unwrap(), *s);
+        }
+        assert_eq!(link.decode(0).unwrap(), PunchSet::new());
+        assert_eq!(link.encode(&PunchSet::new()).unwrap(), 0);
+        assert!(link.decode(999).is_none());
+    }
+
+    #[test]
+    fn edge_links_are_absent() {
+        let cb = Codebook::enumerate(Mesh::new(4, 4), 3);
+        assert!(cb.link(NodeId(0), Direction::North).is_none());
+        assert!(cb.link(NodeId(0), Direction::West).is_none());
+        assert!(cb.link(NodeId(0), Direction::East).is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! Per-router power-gate state machines shared by every gating scheme.
+
+use punchsim_noc::{PgCounters, PowerState};
+use punchsim_types::{Cycle, NodeId};
+
+/// Internal state of one router's sleep switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    /// Powered on; tracks consecutive idle cycles for the timeout filter.
+    On { idle_cycles: u32 },
+    /// Power-gated.
+    Off,
+    /// Waking; fully on once `ready_at` is reached.
+    Waking { ready_at: Cycle },
+}
+
+/// The array of sleep switches for all routers, with the wakeup/timeout
+/// bookkeeping every scheme needs (Figure 1/2 of the paper).
+///
+/// Timing convention: [`GateArray::begin_cycle`] is called at the end of
+/// network cycle `c` (inside the power manager's `tick`). State changes
+/// requested during `tick(c)` become visible to the network at cycle `c+1`,
+/// modelling the one-cycle latency of the power-gating controller.
+#[derive(Debug, Clone)]
+pub struct GateArray {
+    gates: Vec<Gate>,
+    wakeup_latency: Cycle,
+    idle_timeout: u32,
+    counters: PgCounters,
+}
+
+impl GateArray {
+    /// Creates `n` routers, all powered on.
+    pub fn new(n: usize, wakeup_latency: u32, idle_timeout: u32) -> Self {
+        GateArray {
+            gates: vec![Gate::On { idle_cycles: 0 }; n],
+            wakeup_latency: wakeup_latency as Cycle,
+            idle_timeout,
+            counters: PgCounters::new(n),
+        }
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` when managing zero routers.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Public power state of router `r`.
+    pub fn state(&self, r: NodeId) -> PowerState {
+        match self.gates[r.index()] {
+            Gate::On { .. } => PowerState::On,
+            Gate::Off => PowerState::Off,
+            Gate::Waking { ready_at } => PowerState::WakingUp { ready_at },
+        }
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> &PgCounters {
+        &self.counters
+    }
+
+    /// Resets counters (end of warm-up); states are preserved.
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    /// Extra sideband-activity counter hooks for the schemes.
+    pub fn counters_mut(&mut self) -> &mut PgCounters {
+        &mut self.counters
+    }
+
+    /// Accounts the state each router held during `cycle` and promotes
+    /// routers whose wakeup completes before the next cycle. Call exactly
+    /// once at the start of every power-manager tick, before processing
+    /// events.
+    pub fn begin_cycle(&mut self, cycle: Cycle) {
+        for (i, g) in self.gates.iter_mut().enumerate() {
+            match *g {
+                Gate::Off => self.counters.off_cycles[i] += 1,
+                Gate::Waking { ready_at } => {
+                    self.counters.waking_cycles[i] += 1;
+                    if cycle + 1 >= ready_at {
+                        *g = Gate::On { idle_cycles: 0 };
+                    }
+                }
+                Gate::On { .. } => {}
+            }
+        }
+    }
+
+    /// Requests a wakeup of router `r` during `cycle`: an off router starts
+    /// its wakeup transient and is fully on at `cycle + wakeup_latency`
+    /// (the wakeup signal arrived *during* `cycle`, so the transient spans
+    /// cycles `cycle..cycle + wakeup_latency`, hardware-style). On or
+    /// already-waking routers are unaffected (but an on router's idle timer
+    /// is reset).
+    pub fn request_wake(&mut self, r: NodeId, cycle: Cycle) {
+        let i = r.index();
+        match self.gates[i] {
+            Gate::Off => {
+                self.counters.wake_events[i] += 1;
+                self.gates[i] = Gate::Waking {
+                    ready_at: cycle + self.wakeup_latency,
+                };
+            }
+            Gate::On { .. } => self.gates[i] = Gate::On { idle_cycles: 0 },
+            Gate::Waking { .. } => {}
+        }
+    }
+
+    /// Marks router `r` as "needed soon": resets the idle timer so the
+    /// timeout filter will not power it off this cycle.
+    pub fn keep_awake(&mut self, r: NodeId) {
+        if let Gate::On { .. } = self.gates[r.index()] {
+            self.gates[r.index()] = Gate::On { idle_cycles: 0 };
+        }
+    }
+
+    /// Advances idle timers using the network's per-router idleness and
+    /// powers off routers that pass the timeout filter and the
+    /// scheme-specific `may_sleep` predicate. Call once per tick, after
+    /// event processing.
+    pub fn advance_idle(&mut self, idle: &[bool], mut may_sleep: impl FnMut(usize) -> bool) {
+        for (i, g) in self.gates.iter_mut().enumerate() {
+            if let Gate::On { idle_cycles } = *g {
+                if idle[i] {
+                    let ic = idle_cycles + 1;
+                    if ic >= self.idle_timeout && may_sleep(i) {
+                        self.counters.sleep_events[i] += 1;
+                        *g = Gate::Off;
+                    } else {
+                        *g = Gate::On { idle_cycles: ic };
+                    }
+                } else {
+                    *g = Gate::On { idle_cycles: 0 };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleeps_after_timeout_idle_cycles() {
+        let mut g = GateArray::new(1, 8, 4);
+        let idle = [true];
+        for c in 0..3 {
+            g.begin_cycle(c);
+            g.advance_idle(&idle, |_| true);
+            assert_eq!(g.state(NodeId(0)), PowerState::On, "cycle {c}");
+        }
+        g.begin_cycle(3);
+        g.advance_idle(&idle, |_| true);
+        assert_eq!(g.state(NodeId(0)), PowerState::Off);
+        assert_eq!(g.counters().sleep_events[0], 1);
+    }
+
+    #[test]
+    fn activity_resets_idle_timer() {
+        let mut g = GateArray::new(1, 8, 4);
+        for c in 0..10 {
+            g.begin_cycle(c);
+            // Busy every third cycle: never reaches 4 consecutive idles.
+            g.advance_idle(&[c % 3 != 0], |_| true);
+        }
+        assert_eq!(g.state(NodeId(0)), PowerState::On);
+    }
+
+    #[test]
+    fn wakeup_takes_wakeup_latency_cycles() {
+        let mut g = GateArray::new(1, 8, 4);
+        // Put it to sleep.
+        for c in 0..4 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true], |_| true);
+        }
+        assert_eq!(g.state(NodeId(0)), PowerState::Off);
+        // WU asserted during cycle 10.
+        g.begin_cycle(10);
+        g.request_wake(NodeId(0), 10);
+        g.advance_idle(&[true], |_| true);
+        assert_eq!(
+            g.state(NodeId(0)),
+            PowerState::WakingUp { ready_at: 18 },
+            "the transient spans cycles 10..18; fully on at 10 + 8"
+        );
+        for c in 11..=17 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true], |_| true);
+        }
+        // After tick(17) the router is on for cycle 18.
+        assert_eq!(g.state(NodeId(0)), PowerState::On);
+        assert_eq!(g.counters().wake_events[0], 1);
+        // Cycles 11..=17 were accounted as waking (the arrival cycle 10 was
+        // already counted as off).
+        assert_eq!(g.counters().total_waking_cycles(), 7);
+    }
+
+    #[test]
+    fn keep_awake_blocks_sleep() {
+        let mut g = GateArray::new(1, 8, 2);
+        for c in 0..20 {
+            g.begin_cycle(c);
+            g.keep_awake(NodeId(0)); // e.g. a punch forewarning each cycle
+            g.advance_idle(&[true], |_| true);
+        }
+        assert_eq!(g.state(NodeId(0)), PowerState::On);
+    }
+
+    #[test]
+    fn may_sleep_predicate_vetoes() {
+        let mut g = GateArray::new(2, 8, 1);
+        for c in 0..5 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true, true], |i| i == 1);
+        }
+        assert_eq!(g.state(NodeId(0)), PowerState::On);
+        assert_eq!(g.state(NodeId(1)), PowerState::Off);
+    }
+
+    #[test]
+    fn off_cycles_accumulate() {
+        let mut g = GateArray::new(1, 8, 1);
+        for c in 0..10 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true], |_| true);
+        }
+        // Slept after tick(0) (1 idle cycle >= timeout 1): off during 1..=9.
+        assert_eq!(g.counters().total_off_cycles(), 9);
+    }
+}

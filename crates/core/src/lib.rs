@@ -1,0 +1,80 @@
+//! The Power Punch power-gating schemes — the primary contribution of
+//! *Power Punch: Towards Non-blocking Power-gating of NoC Routers*
+//! (HPCA 2015) — together with the conventional baselines it is compared
+//! against.
+//!
+//! * [`gating`] — per-router sleep-switch state machines (Figure 1/2)
+//! * [`punch`] — punch signals: normalized target sets and the sideband
+//!   fabric that relays merged wakeups one hop per cycle (§4.1)
+//! * [`codebook`] — enumeration of every distinct signal a link can carry
+//!   and the codeword widths (Table 1: 5-bit X links, 2-bit Y links at H=3)
+//! * [`manager`] — [`PowerManager`] implementations: conventional gating,
+//!   ConvOpt (timeout + early wakeup), PowerPunch-Signal, PowerPunch-PG
+//!
+//! # Examples
+//!
+//! Build the manager for a scheme and attach it to a network:
+//!
+//! ```
+//! use punchsim_core::build_power_manager;
+//! use punchsim_noc::Network;
+//! use punchsim_types::{SchemeKind, SimConfig};
+//!
+//! let cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+//! let net = Network::new(&cfg.noc, build_power_manager(&cfg));
+//! assert_eq!(net.power_manager().kind(), SchemeKind::PowerPunchFull);
+//! ```
+
+pub mod codebook;
+pub mod gating;
+pub mod manager;
+pub mod punch;
+
+pub use codebook::{Codebook, LinkCodebook};
+pub use gating::GateArray;
+pub use manager::{ConvPgManager, PowerPunchManager};
+pub use punch::{PunchFabric, PunchSet};
+
+use punchsim_noc::{AlwaysOn, PowerManager};
+use punchsim_types::{SchemeKind, SimConfig};
+
+/// Builds the [`PowerManager`] for the scheme selected in `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn build_power_manager(cfg: &SimConfig) -> Box<dyn PowerManager> {
+    cfg.validate().expect("invalid SimConfig");
+    let mesh = cfg.noc.mesh;
+    let hop = cfg.noc.hop_latency();
+    match cfg.scheme {
+        SchemeKind::NoPg => Box::new(AlwaysOn::new(mesh.nodes())),
+        SchemeKind::ConvPg => Box::new(ConvPgManager::new(mesh, &cfg.power, false)),
+        SchemeKind::ConvOptPg => Box::new(ConvPgManager::new(mesh, &cfg.power, true)),
+        SchemeKind::PowerPunchSignal => {
+            Box::new(PowerPunchManager::new(mesh, &cfg.power, hop, false))
+        }
+        SchemeKind::PowerPunchFull => {
+            Box::new(PowerPunchManager::new(mesh, &cfg.power, hop, true))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_maps_every_scheme() {
+        for k in [
+            SchemeKind::NoPg,
+            SchemeKind::ConvPg,
+            SchemeKind::ConvOptPg,
+            SchemeKind::PowerPunchSignal,
+            SchemeKind::PowerPunchFull,
+        ] {
+            let cfg = SimConfig::with_scheme(k);
+            assert_eq!(build_power_manager(&cfg).kind(), k);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Power-gating scheme implementations of the [`PowerManager`] trait.
+//!
+//! * [`ConvPgManager`] — conventional power-gating (Figure 2 handshake),
+//!   optionally with the ConvOpt optimizations: the idle-timeout filter and
+//!   the one-hop early wakeup at route-computation time (paper ref. 24).
+//! * [`PowerPunchManager`] — the paper's contribution: multi-hop punch
+//!   signals (§4.1) and, optionally, injection-node slack (§4.2).
+
+use punchsim_noc::{IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
+use punchsim_types::{routing, Cycle, Mesh, NodeId, PowerConfig, SchemeKind};
+
+use crate::gating::GateArray;
+use crate::punch::PunchFabric;
+
+/// Conventional power-gating: the WU wire of Figure 2 wakes a sleeping
+/// router when a neighbour (or the local NI) has a stalled packet for it.
+///
+/// With `early_wakeup`, the WU is additionally asserted as soon as the
+/// output direction of an arriving head flit is computed (look-ahead
+/// routing), hiding roughly one router-pipeline's worth of wakeup latency
+/// (paper ref. 24) — the paper's `ConvOpt-PG` when combined with the
+/// 4-cycle timeout filter.
+#[derive(Debug)]
+pub struct ConvPgManager {
+    kind: SchemeKind,
+    mesh: Mesh,
+    gate: GateArray,
+    early_wakeup: bool,
+}
+
+impl ConvPgManager {
+    /// Creates the conventional scheme. `early_wakeup` selects ConvOpt
+    /// behaviour; plain conventional gating uses the minimum 2-cycle
+    /// timeout, ConvOpt uses `power.idle_timeout`.
+    pub fn new(mesh: Mesh, power: &PowerConfig, early_wakeup: bool) -> Self {
+        let timeout = if early_wakeup {
+            power.idle_timeout
+        } else {
+            2 // the minimum needed to let in-flight flits land (§2.2)
+        };
+        ConvPgManager {
+            kind: if early_wakeup {
+                SchemeKind::ConvOptPg
+            } else {
+                SchemeKind::ConvPg
+            },
+            mesh,
+            gate: GateArray::new(mesh.nodes(), power.wakeup_latency, timeout),
+            early_wakeup,
+        }
+    }
+}
+
+impl PowerManager for ConvPgManager {
+    fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    fn state(&self, r: NodeId) -> PowerState {
+        self.gate.state(r)
+    }
+
+    fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>) {
+        self.gate.begin_cycle(cycle);
+        for ev in events {
+            match *ev {
+                PmEvent::BlockedNeed { router } => {
+                    self.gate.counters_mut().wu_assertions += 1;
+                    self.gate.request_wake(router, cycle);
+                }
+                PmEvent::HeadArrival { router, dst } if self.early_wakeup => {
+                    if let Some(next) = routing::xy_next_hop(self.mesh, router, dst) {
+                        self.gate.counters_mut().wu_assertions += 1;
+                        self.gate.request_wake(next, cycle);
+                    }
+                }
+                // Conventional gating has no multi-hop or NI-slack channel.
+                _ => {}
+            }
+        }
+        self.gate.advance_idle(idle.idle, |_| true);
+    }
+
+    fn counters(&self) -> &PgCounters {
+        self.gate.counters()
+    }
+
+    fn reset_counters(&mut self) {
+        self.gate.reset_counters();
+    }
+}
+
+/// The Power Punch scheme (§4): punch signals race ahead of packets through
+/// the sideband fabric, waking every router on the imminent path; with
+/// `ni_slack`, wakeups additionally exploit "slack 1" (destination known at
+/// NI entry) and "slack 2" (L2/directory access start) at injection nodes.
+#[derive(Debug)]
+pub struct PowerPunchManager {
+    kind: SchemeKind,
+    gate: GateArray,
+    fabric: PunchFabric,
+    /// Slack 1: punches launch at NI entry (destination just known).
+    slack1: bool,
+    /// Slack 2: the local router wakes at resource-access start.
+    slack2: bool,
+    /// Sleep filter: a router notified by a punch may not power off until
+    /// this cycle — it knows a packet arrives within the window (§4.3),
+    /// which replaces blind timeout filtering with exact forewarning.
+    forewarn_until: Vec<Cycle>,
+    forewarn_window: Cycle,
+}
+
+impl PowerPunchManager {
+    /// Creates the Power Punch scheme for `mesh`. `ni_slack = false` is the
+    /// paper's `PowerPunch-Signal`, `true` is the full `PowerPunch-PG`.
+    ///
+    /// `hop_latency` is the per-hop packet latency (router stages + link),
+    /// used to size the forewarning window.
+    pub fn new(mesh: Mesh, power: &PowerConfig, hop_latency: u64, ni_slack: bool) -> Self {
+        Self::with_slacks(mesh, power, hop_latency, ni_slack, ni_slack)
+    }
+
+    /// Creates a Power Punch manager with the two injection-node slack
+    /// mechanisms (§4.2) controlled independently — an ablation hook.
+    /// `slack1` launches punches at NI entry; `slack2` wakes the local
+    /// router at resource-access start. The paper's `PowerPunch-PG` is
+    /// both on; `PowerPunch-Signal` is both off.
+    pub fn with_slacks(
+        mesh: Mesh,
+        power: &PowerConfig,
+        hop_latency: u64,
+        slack1: bool,
+        slack2: bool,
+    ) -> Self {
+        PowerPunchManager {
+            kind: if slack1 || slack2 {
+                SchemeKind::PowerPunchFull
+            } else {
+                SchemeKind::PowerPunchSignal
+            },
+            gate: GateArray::new(mesh.nodes(), power.wakeup_latency, power.idle_timeout),
+            fabric: PunchFabric::new(mesh, power.punch_hops),
+            slack1,
+            slack2,
+            forewarn_until: vec![0; mesh.nodes()],
+            // A punch notification means a packet arrives within at most
+            // H hops of packet flight time; afterwards the regular idle
+            // timeout takes over (the punch gives *exact* short-horizon
+            // knowledge, so the window must not outlive it — §4.3).
+            forewarn_window: power.punch_hops as u64 * hop_latency,
+        }
+    }
+
+    /// The punch fabric (for inspection in tests and examples).
+    pub fn fabric(&self) -> &PunchFabric {
+        &self.fabric
+    }
+
+    fn notify_local(&mut self, node: NodeId, cycle: Cycle) {
+        self.gate.request_wake(node, cycle);
+        self.forewarn_until[node.index()] =
+            self.forewarn_until[node.index()].max(cycle + self.forewarn_window);
+    }
+}
+
+impl PowerManager for PowerPunchManager {
+    fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    fn state(&self, r: NodeId) -> PowerState {
+        self.gate.state(r)
+    }
+
+    fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>) {
+        self.gate.begin_cycle(cycle);
+        for ev in events {
+            match *ev {
+                // Multi-hop punch: generated the moment a head flit is
+                // buffered (look-ahead information is available then).
+                PmEvent::HeadArrival { router, dst } => {
+                    self.fabric.generate(router, dst);
+                }
+                // Safety net: the conventional handshake still exists (a
+                // punch that could not fully cover the wakeup leaves a
+                // stalled packet; the WU wire keeps the guarantee).
+                PmEvent::BlockedNeed { router } => {
+                    self.gate.counters_mut().wu_assertions += 1;
+                    self.gate.request_wake(router, cycle);
+                }
+                // Slack 1 (PowerPunch-PG): destination known at NI entry.
+                PmEvent::NiMessageKnown { node, dst } if self.slack1 => {
+                    self.notify_local(node, cycle);
+                    self.fabric.generate(node, dst);
+                }
+                // Without slack 1, punches launch when the packet is ready
+                // to inject (PowerPunch-Signal).
+                PmEvent::NiReadyToInject { node, dst } if !self.slack1 => {
+                    self.notify_local(node, cycle);
+                    self.fabric.generate(node, dst);
+                }
+                // Slack 2 (PowerPunch-PG): a packet will be generated, so
+                // wake the local router even before the destination exists.
+                PmEvent::FutureInjection { node } if self.slack2 => {
+                    self.notify_local(node, cycle);
+                }
+                _ => {}
+            }
+        }
+        // Advance punch signals one hop; every router they reach wakes up
+        // (or stays awake) and learns a packet is imminent.
+        let gate = &mut self.gate;
+        let forewarn_until = &mut self.forewarn_until;
+        let window = self.forewarn_window;
+        self.fabric.tick(|r| {
+            gate.request_wake(r, cycle);
+            forewarn_until[r.index()] = forewarn_until[r.index()].max(cycle + window);
+        });
+        self.gate.counters_mut().punch_hops = self.fabric.hops_sent;
+        let fw = &self.forewarn_until;
+        self.gate
+            .advance_idle(idle.idle, |i| cycle >= fw[i]);
+    }
+
+    fn counters(&self) -> &PgCounters {
+        self.gate.counters()
+    }
+
+    fn reset_counters(&mut self) {
+        self.gate.reset_counters();
+        self.fabric.hops_sent = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punchsim_types::Mesh;
+
+    fn power() -> PowerConfig {
+        PowerConfig::default()
+    }
+
+    fn all_idle(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    fn sleep_all(m: &mut dyn PowerManager, n: usize, from: Cycle, ticks: u64) {
+        let idle = all_idle(n);
+        for c in from..from + ticks {
+            m.tick(c, &[], IdleInfo { idle: &idle });
+        }
+    }
+
+    #[test]
+    fn conv_wakes_only_on_blocked_need() {
+        let mesh = Mesh::new(4, 4);
+        let mut m = ConvPgManager::new(mesh, &power(), false);
+        sleep_all(&mut m, 16, 0, 10);
+        assert_eq!(m.state(NodeId(5)), PowerState::Off);
+        m.tick(
+            10,
+            &[PmEvent::BlockedNeed { router: NodeId(5) }],
+            IdleInfo { idle: &all_idle(16) },
+        );
+        assert!(matches!(m.state(NodeId(5)), PowerState::WakingUp { .. }));
+        // Twakeup = 8, requested during 10: on at 18.
+        assert_eq!(
+            m.state(NodeId(5)),
+            PowerState::WakingUp { ready_at: 18 }
+        );
+    }
+
+    #[test]
+    fn convopt_early_wakeup_targets_next_hop() {
+        let mesh = Mesh::new(8, 8);
+        let mut m = ConvPgManager::new(mesh, &power(), true);
+        sleep_all(&mut m, 64, 0, 10);
+        assert_eq!(m.state(NodeId(28)), PowerState::Off);
+        // Head flit latched at R27 headed to R31: next hop R28 wakes now.
+        m.tick(
+            10,
+            &[PmEvent::HeadArrival {
+                router: NodeId(27),
+                dst: NodeId(31),
+            }],
+            IdleInfo { idle: &all_idle(64) },
+        );
+        assert!(matches!(m.state(NodeId(28)), PowerState::WakingUp { .. }));
+        // But not the router 2 hops ahead: conventional WU is single-hop.
+        assert_eq!(m.state(NodeId(29)), PowerState::Off);
+    }
+
+    #[test]
+    fn punch_wakes_routers_ahead_in_sequence() {
+        let mesh = Mesh::new(8, 8);
+        let mut m = PowerPunchManager::new(mesh, &power(), 4, false);
+        sleep_all(&mut m, 64, 0, 10);
+        for r in [25, 26, 27, 28, 29] {
+            assert_eq!(m.state(NodeId(r)), PowerState::Off);
+        }
+        // Head latched at R26 for destination R31: target is R29.
+        m.tick(
+            10,
+            &[PmEvent::HeadArrival {
+                router: NodeId(26),
+                dst: NodeId(31),
+            }],
+            IdleInfo { idle: &all_idle(64) },
+        );
+        // Fabric delivers one hop per cycle: 26 notified at tick 10 (local
+        // generation), 27 at 11, 28 at 12, 29 at 13.
+        assert!(matches!(m.state(NodeId(26)), PowerState::WakingUp { .. }));
+        assert_eq!(m.state(NodeId(27)), PowerState::Off);
+        m.tick(11, &[], IdleInfo { idle: &all_idle(64) });
+        assert!(matches!(m.state(NodeId(27)), PowerState::WakingUp { .. }));
+        m.tick(12, &[], IdleInfo { idle: &all_idle(64) });
+        assert!(matches!(m.state(NodeId(28)), PowerState::WakingUp { .. }));
+        m.tick(13, &[], IdleInfo { idle: &all_idle(64) });
+        assert_eq!(
+            m.state(NodeId(29)),
+            PowerState::WakingUp { ready_at: 13 + 8 }
+        );
+        // R30 (beyond the 3-hop target) stays asleep.
+        assert_eq!(m.state(NodeId(30)), PowerState::Off);
+        assert!(m.counters().punch_hops >= 3);
+    }
+
+    #[test]
+    fn forewarned_router_defers_sleep() {
+        let mesh = Mesh::new(8, 8);
+        let mut m = PowerPunchManager::new(mesh, &power(), 4, false);
+        // Notify R27 via a punch from R26 while everything is still on.
+        m.tick(
+            0,
+            &[PmEvent::HeadArrival {
+                router: NodeId(26),
+                dst: NodeId(31),
+            }],
+            IdleInfo { idle: &all_idle(64) },
+        );
+        // R27 was notified at tick 1; with window 3*4=12 it must not
+        // sleep before cycle 13 even though it is idle past the timeout.
+        sleep_all(&mut m, 64, 1, 10);
+        assert_eq!(m.state(NodeId(27)), PowerState::On, "forewarned");
+        // An un-notified far-away router slept long ago.
+        assert_eq!(m.state(NodeId(60)), PowerState::Off);
+        sleep_all(&mut m, 64, 11, 10);
+        assert_eq!(m.state(NodeId(27)), PowerState::Off, "window expired");
+    }
+
+    #[test]
+    fn ni_slack_wakes_local_router_on_future_injection() {
+        let mesh = Mesh::new(8, 8);
+        let mut m = PowerPunchManager::new(mesh, &power(), 4, true);
+        sleep_all(&mut m, 64, 0, 10);
+        m.tick(
+            10,
+            &[PmEvent::FutureInjection { node: NodeId(24) }],
+            IdleInfo { idle: &all_idle(64) },
+        );
+        assert!(matches!(m.state(NodeId(24)), PowerState::WakingUp { .. }));
+        // Signal-only scheme ignores slack 2.
+        let mut s = PowerPunchManager::new(mesh, &power(), 4, false);
+        sleep_all(&mut s, 64, 0, 10);
+        s.tick(
+            10,
+            &[PmEvent::FutureInjection { node: NodeId(24) }],
+            IdleInfo { idle: &all_idle(64) },
+        );
+        assert_eq!(s.state(NodeId(24)), PowerState::Off);
+    }
+
+    #[test]
+    fn scheme_kinds_are_reported() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(
+            ConvPgManager::new(mesh, &power(), false).kind(),
+            SchemeKind::ConvPg
+        );
+        assert_eq!(
+            ConvPgManager::new(mesh, &power(), true).kind(),
+            SchemeKind::ConvOptPg
+        );
+        assert_eq!(
+            PowerPunchManager::new(mesh, &power(), 4, false).kind(),
+            SchemeKind::PowerPunchSignal
+        );
+        assert_eq!(
+            PowerPunchManager::new(mesh, &power(), 4, true).kind(),
+            SchemeKind::PowerPunchFull
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! Punch signals: normalized target sets and the sideband fabric that
+//! relays them one hop per cycle (§4.1 of the paper).
+//!
+//! A *punch signal* is the merged encoding of every wakeup signal crossing a
+//! link in one cycle. Thanks to XY-routing turn restrictions and the
+//! *implied target* rule (a target on the path to a farther target can be
+//! dropped), the set of distinct signals per link is tiny — 22 on an X link
+//! for 3-hop punches (Table 1), 3 on a Y link — so merging is contention-free
+//! with 5-bit/2-bit wires. This module carries the *sets*; the codeword
+//! assignment lives in [`crate::codebook`].
+
+use punchsim_types::{routing, Direction, Mesh, NodeId};
+
+/// Maximum distinct targets a single punch signal can carry after
+/// normalization (2 suffices for 3-hop punches on X links; 4-hop punches
+/// need one more; the extra headroom is asserted, never silently dropped).
+pub const MAX_TARGETS: usize = 6;
+
+/// A normalized set of targeted routers carried by one punch signal.
+///
+/// Invariants: no duplicate targets, and no target lies on the XY path (from
+/// the sending router) to another target — such *implied* targets are
+/// removed by [`PunchSet::insert_normalized`], because every router a punch
+/// passes through is woken anyway (§4.1 step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PunchSet {
+    targets: [NodeId; MAX_TARGETS],
+    len: u8,
+}
+
+impl PunchSet {
+    /// The empty signal (idle wire).
+    pub fn new() -> Self {
+        PunchSet::default()
+    }
+
+    /// Number of explicit targets.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when the wire is idle.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The explicit targets, in insertion-then-normalization order.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets[..self.len as usize]
+    }
+
+    /// `true` if `t` is an explicit target.
+    pub fn contains(&self, t: NodeId) -> bool {
+        self.targets().contains(&t)
+    }
+
+    /// Inserts `t` into the set, maintaining the normalization invariant
+    /// with respect to XY paths rooted at `sender`:
+    ///
+    /// * if `t` lies on the path to an existing target, it is implied —
+    ///   nothing changes;
+    /// * existing targets that lie on the path to `t` become implied and
+    ///   are removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_TARGETS`] independent targets accumulate —
+    /// the fabric's one-local-generation-per-cycle arbitration makes that
+    /// unreachable.
+    pub fn insert_normalized(&mut self, mesh: Mesh, sender: NodeId, t: NodeId) {
+        debug_assert_ne!(t, sender, "a punch target is never the sender");
+        let mut keep = [NodeId(0); MAX_TARGETS];
+        let mut n = 0usize;
+        for &old in self.targets() {
+            if old == t || routing::xy_on_path(mesh, sender, old, t) {
+                // `t` is implied by `old`: set unchanged.
+                return;
+            }
+            if !routing::xy_on_path(mesh, sender, t, old) {
+                keep[n] = old;
+                n += 1;
+            }
+        }
+        assert!(n < MAX_TARGETS, "punch set overflow");
+        keep[n] = t;
+        n += 1;
+        self.targets = keep;
+        self.len = n as u8;
+    }
+
+    /// A canonical (sorted) copy, for codebook lookup and comparison.
+    pub fn canonical(&self) -> PunchSet {
+        let mut c = *self;
+        c.targets[..c.len as usize].sort_unstable();
+        c
+    }
+}
+
+impl std::fmt::Display for PunchSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.targets().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The per-link punch wires of the whole mesh, advanced one hop per cycle.
+///
+/// Each cycle, a router merges (a) punch sets arriving on its input wires
+/// and (b) at most one locally generated wakeup per output direction
+/// (additional local wakeups wait a cycle in a small queue — the hardware
+/// encoder can only express codebook sets), then forwards each target along
+/// its XY path. Every router a set arrives at is *notified*: the power
+/// manager wakes it if off and defers its sleep timer.
+#[derive(Debug, Clone)]
+pub struct PunchFabric {
+    mesh: Mesh,
+    hops: u16,
+    /// Sets that will arrive at router `r` from direction `d` next cycle.
+    arriving: Vec<[PunchSet; 4]>,
+    /// Pending locally generated targets per router and output direction.
+    gen_queues: Vec<[Vec<NodeId>; 4]>,
+    /// Total non-idle signal link traversals (wire energy metric).
+    pub hops_sent: u64,
+}
+
+impl PunchFabric {
+    /// Creates an idle fabric over `mesh` with punch depth `hops`.
+    pub fn new(mesh: Mesh, hops: u16) -> Self {
+        let n = mesh.nodes();
+        PunchFabric {
+            mesh,
+            hops,
+            arriving: vec![[PunchSet::new(); 4]; n],
+            gen_queues: vec![Default::default(); n],
+            hops_sent: 0,
+        }
+    }
+
+    /// Punch depth H (how many hops ahead wakeups target).
+    pub fn hops(&self) -> u16 {
+        self.hops
+    }
+
+    /// Queues a wakeup generated at `router` for a packet destined to `dst`.
+    ///
+    /// The target is the router `min(H, dist)` hops ahead on the XY path
+    /// (§4.1 step 1). Nothing is queued when `router == dst`.
+    pub fn generate(&mut self, router: NodeId, dst: NodeId) {
+        if router == dst {
+            return;
+        }
+        let target = routing::xy_router_ahead(self.mesh, router, dst, self.hops);
+        let dir = routing::xy_direction(self.mesh, router, target)
+            .expect("target != router by construction");
+        self.gen_queues[router.index()][dir.index()].push(target);
+    }
+
+    /// Advances the fabric one cycle. Calls `notify(router)` for every
+    /// router that receives a punch arrival (targeted *or* en route — both
+    /// must stay awake or wake up).
+    pub fn tick(&mut self, mut notify: impl FnMut(NodeId)) {
+        let n = self.mesh.nodes();
+        let mut next: Vec<[PunchSet; 4]> = vec![[PunchSet::new(); 4]; n];
+        for idx in 0..n {
+            let here = NodeId(idx as u16);
+            // Collect arrivals; any non-empty arrival notifies this router.
+            let mut outgoing = [PunchSet::new(); 4];
+            let mut any_arrival = false;
+            for d in 0..4 {
+                let set = std::mem::take(&mut self.arriving[idx][d]);
+                if set.is_empty() {
+                    continue;
+                }
+                any_arrival = true;
+                for &t in set.targets() {
+                    if t == here {
+                        continue; // final target reached; consumed
+                    }
+                    let dir = routing::xy_direction(self.mesh, here, t)
+                        .expect("t != here");
+                    outgoing[dir.index()].insert_normalized(self.mesh, here, t);
+                }
+            }
+            // Local generations also notify (they wake the local router when
+            // it is the first hop of an injection punch).
+            for (d, out) in outgoing.iter_mut().enumerate() {
+                if let Some(t) = self.pop_gen(idx, d) {
+                    any_arrival = true;
+                    out.insert_normalized(self.mesh, here, t);
+                }
+            }
+            if any_arrival {
+                notify(here);
+            }
+            // Ship each non-empty outgoing set one hop.
+            for (d, set) in outgoing.into_iter().enumerate() {
+                if set.is_empty() {
+                    continue;
+                }
+                let dir = Direction::ALL[d];
+                let Some(nb) = self.mesh.neighbor(here, dir) else {
+                    debug_assert!(false, "punch target routed off-mesh");
+                    continue;
+                };
+                self.hops_sent += 1;
+                next[nb.index()][dir.opposite().index()] = set;
+            }
+        }
+        self.arriving = next;
+    }
+
+    /// Pops the next queued local generation for output `d` of router `idx`,
+    /// skipping targets that merge into already-forwarded sets for free.
+    fn pop_gen(&mut self, idx: usize, d: usize) -> Option<NodeId> {
+        let q = &mut self.gen_queues[idx][d];
+        if q.is_empty() {
+            None
+        } else {
+            Some(q.remove(0))
+        }
+    }
+
+    /// In-flight punch sets as `(link_source, direction, set)` — the set is
+    /// currently traversing the wire leaving `link_source` toward
+    /// `direction` (test and validation hook).
+    pub fn in_flight(&self) -> Vec<(NodeId, Direction, PunchSet)> {
+        let mut v = Vec::new();
+        for (idx, arr) in self.arriving.iter().enumerate() {
+            for (d, set) in arr.iter().enumerate() {
+                if set.is_empty() {
+                    continue;
+                }
+                // Arriving at router `idx` from direction `d` means the set
+                // was sent by the neighbour in that direction.
+                let dir = Direction::ALL[d];
+                let src = self
+                    .mesh
+                    .neighbor(NodeId(idx as u16), dir)
+                    .expect("punch arrived over a real link");
+                v.push((src, dir.opposite(), *set));
+            }
+        }
+        v
+    }
+
+    /// `true` when no signals are in flight and no generations queued.
+    pub fn is_idle(&self) -> bool {
+        self.arriving
+            .iter()
+            .all(|a| a.iter().all(PunchSet::is_empty))
+            && self.gen_queues.iter().all(|g| g.iter().all(Vec::is_empty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh8() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn implied_targets_are_dropped() {
+        // §4.1 step 4: merging 27->21 with 26->29 keeps only {21} on the
+        // 27->28 wire, because 29 lies on the path from 27 to 21.
+        let m = mesh8();
+        let mut s = PunchSet::new();
+        s.insert_normalized(m, NodeId(27), NodeId(21));
+        s.insert_normalized(m, NodeId(27), NodeId(29));
+        assert_eq!(s.targets(), &[NodeId(21)]);
+        // Insertion order must not matter.
+        let mut s2 = PunchSet::new();
+        s2.insert_normalized(m, NodeId(27), NodeId(29));
+        s2.insert_normalized(m, NodeId(27), NodeId(21));
+        assert_eq!(s2.targets(), &[NodeId(21)]);
+    }
+
+    #[test]
+    fn independent_targets_coexist() {
+        // Table 1 entry 13: {21, 36} is a valid two-target set.
+        let m = mesh8();
+        let mut s = PunchSet::new();
+        s.insert_normalized(m, NodeId(27), NodeId(21));
+        s.insert_normalized(m, NodeId(27), NodeId(36));
+        let c = s.canonical();
+        assert_eq!(c.targets(), &[NodeId(21), NodeId(36)]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let m = mesh8();
+        let mut s = PunchSet::new();
+        s.insert_normalized(m, NodeId(27), NodeId(29));
+        s.insert_normalized(m, NodeId(27), NodeId(29));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn generate_targets_min_hops_ahead() {
+        let m = mesh8();
+        let mut f = PunchFabric::new(m, 3);
+        // Packet at R26 destined to R31: target R29 (paper example).
+        f.generate(NodeId(26), NodeId(31));
+        let mut notified = Vec::new();
+        // Cycle 1: the set leaves R26 eastward and arrives at R27.
+        f.tick(|r| notified.push(r));
+        assert_eq!(notified, vec![NodeId(26)]);
+        notified.clear();
+        f.tick(|r| notified.push(r));
+        assert_eq!(notified, vec![NodeId(27)]);
+        notified.clear();
+        f.tick(|r| notified.push(r));
+        assert_eq!(notified, vec![NodeId(28)]);
+        notified.clear();
+        f.tick(|r| notified.push(r));
+        assert_eq!(notified, vec![NodeId(29)]);
+        notified.clear();
+        // Consumed at the target: nothing further.
+        f.tick(|r| notified.push(r));
+        assert!(notified.is_empty());
+        assert!(f.is_idle());
+        assert_eq!(f.hops_sent, 3);
+    }
+
+    #[test]
+    fn turning_punch_follows_xy_path() {
+        let m = mesh8();
+        let mut f = PunchFabric::new(m, 3);
+        // R26 -> dst R44 (x=4,y=5): path 27, 28, then south; 3-hop target
+        // is R36 (x=4,y=4).
+        f.generate(NodeId(26), NodeId(44));
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            f.tick(|r| seen.push(r));
+        }
+        assert_eq!(
+            seen,
+            vec![NodeId(26), NodeId(27), NodeId(28), NodeId(36)],
+            "notification sweeps the XY path to the 3-hop target"
+        );
+    }
+
+    #[test]
+    fn same_cycle_generations_merge_contention_free() {
+        let m = mesh8();
+        let mut f = PunchFabric::new(m, 3);
+        // R27 targets R21 (via 28); simultaneously R26's relay would do so
+        // too. Generate two wakeups at 27 with different destinations whose
+        // targets share the eastward wire.
+        f.generate(NodeId(27), NodeId(23)); // target 3 hops east: R30
+        f.generate(NodeId(27), NodeId(21)); // target R21 (2 east, 1 north)
+        // One local generation per output per cycle: the second waits.
+        let mut rounds: Vec<Vec<NodeId>> = Vec::new();
+        for _ in 0..8 {
+            let mut v = Vec::new();
+            f.tick(|r| v.push(r));
+            rounds.push(v);
+        }
+        let all: Vec<NodeId> = rounds.concat();
+        // Both 30 and 21 eventually get notified.
+        assert!(all.contains(&NodeId(30)));
+        assert!(all.contains(&NodeId(21)));
+        assert!(f.is_idle());
+    }
+
+    #[test]
+    fn relay_merges_with_local_generation() {
+        let m = mesh8();
+        let mut f = PunchFabric::new(m, 3);
+        // A relay from R26 (target 36, turning south at 28) and a local
+        // generation at R27 (target 30, straight east) share the 27->28 wire
+        // in the same cycle without delaying each other.
+        f.generate(NodeId(26), NodeId(36));
+        f.tick(|_| {}); // 26 -> 27 in flight
+        f.generate(NodeId(27), NodeId(23)); // target R30 via east
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            f.tick(|r| seen.push(r));
+        }
+        assert!(seen.contains(&NodeId(36)));
+        assert!(seen.contains(&NodeId(30)));
+        // 36 and 30 diverge at 28; both were carried across 27->28 at once.
+        assert!(f.is_idle());
+    }
+}

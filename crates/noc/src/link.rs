@@ -1,0 +1,98 @@
+//! Fixed-latency delivery pipes modelling links and sideband wires.
+
+use std::collections::VecDeque;
+
+use punchsim_types::Cycle;
+
+/// A FIFO pipe that delivers items a fixed number of cycles after they are
+/// pushed — used for flit links, credit return wires and the NI-to-router
+/// connection.
+///
+/// # Examples
+///
+/// ```
+/// use punchsim_noc::link::Pipe;
+///
+/// let mut p: Pipe<&str> = Pipe::new();
+/// p.push_at("hello", 5);
+/// assert!(p.pop_ready(4).is_none());
+/// assert_eq!(p.pop_ready(5), Some("hello"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipe<T> {
+    queue: VecDeque<(Cycle, T)>,
+}
+
+impl<T> Default for Pipe<T> {
+    fn default() -> Self {
+        Pipe {
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl<T> Pipe<T> {
+    /// Creates an empty pipe.
+    pub fn new() -> Self {
+        Pipe::default()
+    }
+
+    /// Schedules `item` for delivery at cycle `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `at` is earlier than the delivery cycle
+    /// of the last queued item — deliveries must be scheduled in order.
+    pub fn push_at(&mut self, item: T, at: Cycle) {
+        debug_assert!(
+            self.queue.back().is_none_or(|(t, _)| *t <= at),
+            "out-of-order pipe scheduling"
+        );
+        self.queue.push_back((at, item));
+    }
+
+    /// Pops the next item whose delivery cycle is `<= now`, if any.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.queue.front().is_some_and(|(t, _)| *t <= now) {
+            self.queue.pop_front().map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// Number of in-flight items.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_order_at_time() {
+        let mut p = Pipe::new();
+        p.push_at(1, 10);
+        p.push_at(2, 10);
+        p.push_at(3, 12);
+        assert_eq!(p.pop_ready(9), None);
+        assert_eq!(p.pop_ready(10), Some(1));
+        assert_eq!(p.pop_ready(10), Some(2));
+        assert_eq!(p.pop_ready(10), None);
+        assert_eq!(p.pop_ready(12), Some(3));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn late_pop_still_delivers() {
+        let mut p = Pipe::new();
+        p.push_at("x", 1);
+        assert_eq!(p.pop_ready(100), Some("x"));
+    }
+}

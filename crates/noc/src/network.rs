@@ -1,0 +1,647 @@
+//! The whole-network simulation object: routers, links, NIs, and the power
+//! manager, advanced one cycle at a time.
+
+use std::collections::HashMap;
+
+use punchsim_types::{routing, Cycle, Mesh, NocConfig, NodeId, PacketId, Port, PortMap};
+
+use crate::flit::{Flit, Message, MsgClass, PacketMeta};
+use crate::link::Pipe;
+use crate::ni::Ni;
+use crate::power::{IdleInfo, PmEvent, PowerManager, PowerState};
+use crate::router::{Router, RouterActivity};
+use crate::stats::{NetStats, NetworkReport};
+use crate::trace::{PacketRecord, TraceLog};
+use crate::vc::VcLayout;
+
+/// A cycle-accurate mesh network under a pluggable power-gating scheme.
+///
+/// Endpoints interact through [`Network::send`] (hand a [`Message`] to a
+/// node's NI), [`Network::take_delivered`] (collect messages that ejected at
+/// a node), and [`Network::tick`].
+///
+/// # Examples
+///
+/// ```
+/// use punchsim_noc::{Network, Message, MsgClass, AlwaysOn};
+/// use punchsim_types::{NocConfig, NodeId, VnetId};
+///
+/// let cfg = NocConfig::default();
+/// let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+/// let mut net = Network::new(&cfg, pm);
+/// net.send(Message {
+///     src: NodeId(0),
+///     dst: NodeId(9),
+///     vnet: VnetId(0),
+///     class: MsgClass::Control,
+///     payload: 42,
+///     gen_cycle: 0,
+/// });
+/// for _ in 0..40 {
+///     net.tick();
+/// }
+/// let got = net.take_delivered(NodeId(9));
+/// assert_eq!(got.len(), 1);
+/// assert_eq!(got[0].payload, 42);
+/// ```
+pub struct Network {
+    cfg: NocConfig,
+    mesh: Mesh,
+    cycle: Cycle,
+    routers: Vec<Router>,
+    nis: Vec<Ni>,
+    /// Flit pipes into router `n`, per input port (`Local` = from its NI).
+    flit_in: Vec<PortMap<Pipe<Flit>>>,
+    /// Credit pipes into router `n`, per *output* port.
+    credit_in: Vec<PortMap<Pipe<usize>>>,
+    /// Credit pipes into NI `n` (for the local input port of its router).
+    ni_credit_in: Vec<Pipe<usize>>,
+    /// Ejected-flit pipes into NI `n`.
+    eject_in: Vec<Pipe<Flit>>,
+    packets: HashMap<u64, PacketMeta>,
+    next_packet: u64,
+    pm: Box<dyn PowerManager>,
+    events: Vec<PmEvent>,
+    stats: NetStats,
+    outbox: Vec<Vec<Message>>,
+    ni_flits: u64,
+    injected_flits: u64,
+    measure_start: Cycle,
+    trace: Option<TraceLog>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("cycle", &self.cycle)
+            .field("scheme", &self.pm.kind())
+            .field("nodes", &self.mesh.nodes())
+            .field("in_flight_packets", &self.packets.len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Builds the network described by `cfg` under power manager `pm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`NocConfig::validate`].
+    pub fn new(cfg: &NocConfig, pm: Box<dyn PowerManager>) -> Self {
+        cfg.validate().expect("invalid NocConfig");
+        let mesh = cfg.mesh;
+        let layout = VcLayout::new(cfg);
+        let n = mesh.nodes();
+        let routers = mesh
+            .iter_nodes()
+            .map(|id| {
+                let has = PortMap::from_fn(|p| match p {
+                    Port::Local => true,
+                    Port::Link(d) => mesh.neighbor(id, d).is_some(),
+                });
+                Router::new(id, layout, cfg.router_stages, has)
+            })
+            .collect();
+        let nis = mesh
+            .iter_nodes()
+            .map(|id| Ni::new(id, layout, cfg.ni_latency))
+            .collect();
+        Network {
+            cfg: cfg.clone(),
+            mesh,
+            cycle: 0,
+            routers,
+            nis,
+            flit_in: (0..n).map(|_| PortMap::from_fn(|_| Pipe::new())).collect(),
+            credit_in: (0..n).map(|_| PortMap::from_fn(|_| Pipe::new())).collect(),
+            ni_credit_in: (0..n).map(|_| Pipe::new()).collect(),
+            eject_in: (0..n).map(|_| Pipe::new()).collect(),
+            packets: HashMap::new(),
+            next_packet: 0,
+            pm,
+            events: Vec::new(),
+            stats: NetStats::default(),
+            outbox: vec![Vec::new(); n],
+            ni_flits: 0,
+            injected_flits: 0,
+            measure_start: 0,
+            trace: None,
+        }
+    }
+
+    /// Starts recording per-packet completion records (up to `capacity`);
+    /// read them back with [`Network::trace`] or [`Network::take_trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// The packet trace recorded so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the trace, disabling further recording.
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.trace.take()
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The mesh this network is built on.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Power state of router `r` under the active scheme.
+    pub fn power_state(&self, r: NodeId) -> PowerState {
+        self.pm.state(r)
+    }
+
+    /// The active power manager (for scheme-specific inspection).
+    pub fn power_manager(&self) -> &dyn PowerManager {
+        self.pm.as_ref()
+    }
+
+    /// Number of packets somewhere between NI enqueue and tail ejection.
+    pub fn in_flight(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Hands `msg` to the NI of `msg.src` at the current cycle.
+    ///
+    /// Returns the packet id assigned to the message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.src`/`msg.dst` are outside the mesh or `msg.vnet` is
+    /// out of range.
+    pub fn send(&mut self, msg: Message) -> PacketId {
+        assert!(self.mesh.contains(msg.src), "bad source {}", msg.src);
+        assert!(self.mesh.contains(msg.dst), "bad destination {}", msg.dst);
+        assert!(
+            msg.vnet.index() < self.cfg.vnets as usize,
+            "vnet {} out of range",
+            msg.vnet
+        );
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let len = match msg.class {
+            MsgClass::Control => self.cfg.ctrl_packet_flits as u16,
+            MsgClass::Data => self.cfg.data_packet_flits as u16,
+        };
+        let ni = &mut self.nis[msg.src.index()];
+        ni.enqueue(id, &msg, len, self.cycle);
+        // Look-ahead route for the first hop; a message to the local node
+        // still traverses the local router (inject then immediately eject),
+        // as in GARNET.
+        let route_port = match routing::xy_direction(self.mesh, msg.src, msg.dst) {
+            Some(d) => Port::Link(d),
+            None => Port::Local,
+        };
+        ni.set_route_of_last(msg.vnet, route_port);
+        // Slack 1: destination is known the moment the message enters the NI.
+        self.events.push(PmEvent::NiMessageKnown {
+            node: msg.src,
+            dst: msg.dst,
+        });
+        self.packets
+            .insert(id.0, PacketMeta::new(msg, len, self.cycle, true));
+        self.stats.packets_injected += 1;
+        self.injected_flits += len as u64;
+        id
+    }
+
+    /// Reports that `node` will generate a packet shortly although its
+    /// destination is not yet known — the paper's "slack 2" (§4.2), e.g. the
+    /// start of an L2 or directory access. Only `PowerPunch-PG` uses it.
+    pub fn notify_future_injection(&mut self, node: NodeId) {
+        self.events.push(PmEvent::FutureInjection { node });
+    }
+
+    /// Takes every message that has been delivered to `node` so far.
+    pub fn take_delivered(&mut self, node: NodeId) -> Vec<Message> {
+        std::mem::take(&mut self.outbox[node.index()])
+    }
+
+    /// Advances the network by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.cycle;
+        self.deliver_flits(now);
+        self.deliver_credits(now);
+        self.allocate_routers(now);
+        self.deliver_ejections(now);
+        self.inject_from_nis(now);
+        self.power_tick(now);
+        self.cycle = now + 1;
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Ends the warm-up window: zeroes all statistics and counters; packets
+    /// currently in flight are excluded from delivered-packet statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.ni_flits = 0;
+        self.injected_flits = 0;
+        for meta in self.packets.values_mut() {
+            meta.measured = false;
+        }
+        for r in &mut self.routers {
+            r.activity.reset();
+        }
+        self.pm.reset_counters();
+        self.measure_start = self.cycle;
+    }
+
+    /// Snapshot of statistics, activity and power-gating counters for the
+    /// measured window.
+    pub fn report(&self) -> NetworkReport {
+        let mut activity = RouterActivity::default();
+        for r in &self.routers {
+            activity.merge(&r.activity);
+        }
+        let cycles = self.cycle - self.measure_start;
+        let denom = cycles as f64 * self.mesh.nodes() as f64;
+        NetworkReport {
+            scheme: self.pm.kind(),
+            routers: self.mesh.nodes(),
+            cycles,
+            stats: self.stats.clone(),
+            activity,
+            pg: self.pm.counters().clone(),
+            ni_flits: self.ni_flits,
+            offered_load: if cycles == 0 {
+                0.0
+            } else {
+                self.injected_flits as f64 / denom
+            },
+        }
+    }
+
+    fn deliver_flits(&mut self, now: Cycle) {
+        for idx in 0..self.routers.len() {
+            for port in Port::ALL {
+                while let Some(flit) = self.flit_in[idx][port].pop_ready(now) {
+                    if flit.kind.is_head() {
+                        let meta = self
+                            .packets
+                            .get_mut(&flit.packet.0)
+                            .expect("meta exists while in flight");
+                        if port != Port::Local {
+                            meta.hops += 1;
+                        }
+                        self.events.push(PmEvent::HeadArrival {
+                            router: NodeId(idx as u16),
+                            dst: flit.dst,
+                        });
+                    }
+                    self.routers[idx].latch(port, flit, now);
+                }
+            }
+        }
+    }
+
+    fn deliver_credits(&mut self, now: Cycle) {
+        for idx in 0..self.routers.len() {
+            for port in Port::ALL {
+                while let Some(vc) = self.credit_in[idx][port].pop_ready(now) {
+                    self.routers[idx].credit(port, vc);
+                }
+            }
+            while let Some(vc) = self.ni_credit_in[idx].pop_ready(now) {
+                self.nis[idx].credit(vc);
+            }
+        }
+    }
+
+    fn allocate_routers(&mut self, now: Cycle) {
+        let link = self.cfg.link_latency as Cycle;
+        for idx in 0..self.routers.len() {
+            let here = NodeId(idx as u16);
+            // A flit granted SA at `now` is latched downstream at
+            // `now + 2 + link`; the downstream router only needs to be on
+            // by then, so the tail of its wakeup overlaps flit transit.
+            let arrival = now + 2 + link;
+            let down_on = PortMap::from_fn(|p| match p {
+                Port::Local => true,
+                Port::Link(d) => self
+                    .mesh
+                    .neighbor(here, d)
+                    .is_some_and(|n| self.pm.is_available(n, arrival)),
+            });
+            let outcome = self.routers[idx].allocate(now, &down_on);
+            for b in outcome.pg_blocked {
+                let d = b
+                    .next_router_port
+                    .direction()
+                    .expect("PG can only block link ports");
+                let next = self
+                    .mesh
+                    .neighbor(here, d)
+                    .expect("blocked port has a neighbor");
+                self.events.push(PmEvent::BlockedNeed { router: next });
+                if let Some(meta) = self.packets.get_mut(&b.packet.0) {
+                    meta.wakeup_wait += 1;
+                    // Figure 9: count each blocking router once per packet
+                    // encounter.
+                    if meta.blocked_on != Some(next) {
+                        meta.blocked_on = Some(next);
+                        meta.pg_encounters += 1;
+                    }
+                }
+            }
+            for dep in outcome.departures {
+                // Credit back to the upstream of the input the flit vacated.
+                match dep.in_port {
+                    Port::Local => {
+                        self.ni_credit_in[idx].push_at(dep.in_vc, now + 1 + link);
+                    }
+                    Port::Link(d) => {
+                        let up = self
+                            .mesh
+                            .neighbor(here, d)
+                            .expect("flits only arrive over real links");
+                        self.credit_in[up.index()][Port::Link(d.opposite())]
+                            .push_at(dep.in_vc, now + 1 + link);
+                    }
+                }
+                match dep.out_port {
+                    Port::Local => {
+                        self.eject_in[idx].push_at(dep.flit, now + 2);
+                    }
+                    Port::Link(d) => {
+                        let next = self
+                            .mesh
+                            .neighbor(here, d)
+                            .expect("allocation never targets a mesh edge");
+                        let mut flit = dep.flit;
+                        // Look-ahead routing: compute the output port this
+                        // flit will request at `next`.
+                        flit.route_port =
+                            match routing::xy_direction(self.mesh, next, flit.dst) {
+                                Some(nd) => Port::Link(nd),
+                                None => Port::Local,
+                            };
+                        self.stats.link_traversals += 1;
+                        self.flit_in[next.index()][Port::Link(d.opposite())]
+                            .push_at(flit, now + 2 + link);
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver_ejections(&mut self, now: Cycle) {
+        for idx in 0..self.nis.len() {
+            while let Some(flit) = self.eject_in[idx].pop_ready(now) {
+                self.ni_flits += 1;
+                if let Some(done) = self.nis[idx].eject(&flit) {
+                    let meta = self
+                        .packets
+                        .remove(&done.0)
+                        .expect("completed packet has meta");
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(PacketRecord::from_meta(done, &meta, now));
+                    }
+                    if meta.measured {
+                        self.stats.packets_delivered += 1;
+                        self.stats.flits_delivered += meta.len_flits as u64;
+                        self.stats
+                            .latency
+                            .record((now - meta.ni_enqueue) as f64);
+                        self.stats
+                            .net_latency
+                            .record(now.saturating_sub(meta.inject) as f64);
+                        self.stats.hops.record(meta.hops as f64);
+                        self.stats.pg_encounters.record(meta.pg_encounters as f64);
+                        self.stats.wakeup_wait.record(meta.wakeup_wait as f64);
+                    }
+                    self.outbox[idx].push(meta.message);
+                }
+            }
+        }
+    }
+
+    fn inject_from_nis(&mut self, now: Cycle) {
+        let link = self.cfg.link_latency as Cycle;
+        for idx in 0..self.nis.len() {
+            let node = NodeId(idx as u16);
+            // An NI flit sent at `now` latches into the local router at
+            // `now + 1 + link`: the local router's wakeup tail overlaps.
+            let router_on = self.pm.is_available(node, now + 1 + link);
+            let outcome = self.nis[idx].tick_inject(now, router_on);
+            for (pkt, dst) in outcome.newly_ready {
+                self.events.push(PmEvent::NiReadyToInject { node, dst });
+                let _ = pkt;
+            }
+            for pkt in outcome.blocked_on_local {
+                self.events.push(PmEvent::BlockedNeed { router: node });
+                if let Some(meta) = self.packets.get_mut(&pkt.0) {
+                    meta.wakeup_wait += 1;
+                    if meta.blocked_on != Some(node) {
+                        meta.blocked_on = Some(node);
+                        meta.pg_encounters += 1;
+                    }
+                }
+            }
+            if let Some(pkt) = outcome.head_injected {
+                if let Some(meta) = self.packets.get_mut(&pkt.0) {
+                    meta.inject = now;
+                }
+            }
+            if let Some(flit) = outcome.sent {
+                self.ni_flits += 1;
+                self.flit_in[idx][Port::Local].push_at(flit, now + 1 + link);
+            }
+        }
+    }
+
+    fn power_tick(&mut self, now: Cycle) {
+        let idle: Vec<bool> = (0..self.routers.len())
+            .map(|idx| {
+                self.routers[idx].datapath_empty()
+                    && !self.nis[idx].mid_packet()
+                    && Port::ALL
+                        .iter()
+                        .all(|&p| self.flit_in[idx][p].is_empty())
+            })
+            .collect();
+        self.pm.tick(now, &self.events, IdleInfo { idle: &idle });
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::AlwaysOn;
+    use punchsim_types::VnetId;
+
+    fn msg(src: u16, dst: u16, class: MsgClass) -> Message {
+        Message {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            vnet: VnetId(0),
+            class,
+            payload: (src as u64) << 32 | dst as u64,
+            gen_cycle: 0,
+        }
+    }
+
+    fn net() -> Network {
+        let cfg = NocConfig::default();
+        let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+        Network::new(&cfg, pm)
+    }
+
+    #[test]
+    fn single_control_packet_zero_load_latency() {
+        let mut n = net();
+        // R0 -> R3: 3 hops, 3-stage pipeline, link latency 1, NI latency 3.
+        n.send(msg(0, 3, MsgClass::Control));
+        n.run(40);
+        assert_eq!(n.take_delivered(NodeId(3)).len(), 1);
+        let r = n.report();
+        assert_eq!(r.stats.packets_delivered, 1);
+        // enqueue t=0, ready t=3, sent t=3, latch R0 t=5, per hop 4 cycles,
+        // latch R3 at 5+12... wait: R0 is hop 0. R0 SA t=6, latch R1 t=9,
+        // latch R2 t=13, latch R3 t=17, SA t=18, eject t=20.
+        assert_eq!(r.stats.latency.mean(), 20.0);
+        assert_eq!(r.stats.hops.mean(), 3.0);
+        assert_eq!(r.stats.pg_encounters.mean(), 0.0);
+        assert_eq!(r.stats.wakeup_wait.mean(), 0.0);
+    }
+
+    #[test]
+    fn data_packet_serialization_latency() {
+        let mut n = net();
+        // 5-flit packet to a neighbour: tail trails head by 4 cycles.
+        n.send(msg(0, 1, MsgClass::Data));
+        n.run(40);
+        assert_eq!(n.take_delivered(NodeId(1)).len(), 1);
+        let r = n.report();
+        // Head: enqueue 0, sent 3, latch R0 @5, SA @6, latch R1 @9, SA @10,
+        // eject @12. The 3-flit VC depth throttles the stream through the
+        // NI->R0 and R0->R1 credit loops (credits take 2 cycles to return),
+        // so the tail is sent @9, forwarded by R0 @13 after the credit from
+        // R1 arrives, latched @16, and ejected @19.
+        assert_eq!(r.stats.latency.mean(), 19.0);
+    }
+
+    #[test]
+    fn local_delivery_goes_through_local_router() {
+        let mut n = net();
+        n.send(msg(5, 5, MsgClass::Control));
+        n.run(20);
+        let got = n.take_delivered(NodeId(5));
+        assert_eq!(got.len(), 1);
+        let r = n.report();
+        assert_eq!(r.stats.hops.mean(), 0.0);
+        // enqueue 0, sent 3, latch 5, SA 6, eject 8.
+        assert_eq!(r.stats.latency.mean(), 8.0);
+    }
+
+    #[test]
+    fn many_random_packets_all_delivered() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut n = net();
+        let mut expected = vec![0usize; 64];
+        for i in 0..300 {
+            let src = rng.random_range(0..64u16);
+            let dst = rng.random_range(0..64u16);
+            let class = if i % 3 == 0 {
+                MsgClass::Data
+            } else {
+                MsgClass::Control
+            };
+            let mut m = msg(src, dst, class);
+            m.vnet = VnetId(rng.random_range(0..3u8));
+            n.send(m);
+            expected[dst as usize] += 1;
+            if i % 2 == 0 {
+                n.tick();
+            }
+        }
+        // Drain.
+        for _ in 0..2000 {
+            n.tick();
+            if n.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(n.in_flight(), 0, "all packets must drain");
+        for d in 0..64u16 {
+            assert_eq!(
+                n.take_delivered(NodeId(d)).len(),
+                expected[d as usize],
+                "node {d}"
+            );
+        }
+        let r = n.report();
+        assert_eq!(r.stats.packets_delivered, 300);
+        assert!(r.stats.latency.mean() > 0.0);
+    }
+
+    #[test]
+    fn four_stage_pipeline_adds_one_cycle_per_hop() {
+        let cfg = NocConfig {
+            router_stages: 4,
+            ..NocConfig::default()
+        };
+        let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+        let mut n = Network::new(&cfg, pm);
+        n.send(msg(0, 3, MsgClass::Control));
+        n.run(50);
+        let r = n.report();
+        assert_eq!(r.stats.packets_delivered, 1);
+        // 4 routers on the path (R0..R3) each add one extra cycle vs the
+        // 3-stage case: 20 + 4 = 24.
+        assert_eq!(r.stats.latency.mean(), 24.0);
+    }
+
+    #[test]
+    fn reset_stats_excludes_warmup() {
+        let mut n = net();
+        n.send(msg(0, 7, MsgClass::Control));
+        n.run(5);
+        n.reset_stats();
+        n.run(60);
+        let r = n.report();
+        // The warm-up packet completed but is not measured.
+        assert_eq!(r.stats.packets_delivered, 0);
+        assert_eq!(n.take_delivered(NodeId(7)).len(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seedless_run() {
+        let run = || {
+            let mut n = net();
+            for i in 0..50u16 {
+                n.send(msg(i % 64, (i * 7 + 3) % 64, MsgClass::Data));
+                n.tick();
+            }
+            n.run(1500);
+            let r = n.report();
+            (
+                r.stats.packets_delivered,
+                r.stats.latency.mean(),
+                r.stats.hops.mean(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,264 @@
+//! The power-management interface between the network substrate and a
+//! power-gating scheme.
+//!
+//! The network reports micro-architectural events ([`PmEvent`]) and per-router
+//! idleness each cycle; the [`PowerManager`] decides which routers are on,
+//! off or waking. The schemes themselves (conventional, ConvOpt, Power
+//! Punch) live in `punchsim-core`; this crate only provides the trait and
+//! the trivial [`AlwaysOn`] baseline so the substrate is testable on its own.
+
+use punchsim_types::{Cycle, NodeId, SchemeKind};
+
+/// Power state of one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerState {
+    /// Powered on; can receive, allocate and forward flits.
+    On,
+    /// Power-gated; blocks every path through the router.
+    Off,
+    /// Waking up; becomes `On` at the stored cycle.
+    WakingUp {
+        /// First cycle at which the router is fully on.
+        ready_at: Cycle,
+    },
+}
+
+impl PowerState {
+    /// `true` only for `On`.
+    #[inline]
+    pub fn is_on(self) -> bool {
+        matches!(self, PowerState::On)
+    }
+}
+
+/// A micro-architectural event reported to the power manager.
+///
+/// Events generated during cycle `t` are processed by
+/// [`PowerManager::tick`] for cycle `t`; their effects (wakeups, punch
+/// signals) become visible to the network from cycle `t + 1`, matching the
+/// one-cycle controller latency of the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmEvent {
+    /// A head flit was latched (BW stage) at `router` for a packet headed to
+    /// `dst`. This is where look-ahead information becomes available: the
+    /// ConvOpt early wakeup (paper ref. 24) and the Power Punch multi-hop
+    /// wakeup (§4.1) are both generated here.
+    HeadArrival {
+        /// Router that latched the head flit.
+        router: NodeId,
+        /// Packet destination.
+        dst: NodeId,
+    },
+    /// A head-of-line flit at a neighbour of `router` (or at its local NI)
+    /// is stalled because `router` is not on. This is the conventional WU
+    /// handshake signal of Figure 2; it is re-emitted every stalled cycle
+    /// (a level signal).
+    BlockedNeed {
+        /// The sleeping router that must wake for traffic to proceed.
+        router: NodeId,
+    },
+    /// A message entered the NI at `node` and its destination is now known —
+    /// the beginning of "slack 1" (§4.2). Emitted `ni_latency` cycles before
+    /// the packet could first inject.
+    NiMessageKnown {
+        /// Injecting node.
+        node: NodeId,
+        /// Message destination.
+        dst: NodeId,
+    },
+    /// The endpoint at `node` knows a packet *will* be generated although
+    /// its destination is not known yet — the beginning of "slack 2" (§4.2),
+    /// e.g. the start of an L2/directory access.
+    FutureInjection {
+        /// Node that will inject.
+        node: NodeId,
+    },
+    /// The packet at the head of the NI at `node` has finished the NI
+    /// pipeline and is attempting to inject (the paper's "checking the
+    /// availability of the connected input port").
+    NiReadyToInject {
+        /// Injecting node.
+        node: NodeId,
+        /// Packet destination.
+        dst: NodeId,
+    },
+}
+
+/// Per-cycle idleness snapshot handed to [`PowerManager::tick`].
+#[derive(Debug, Clone, Copy)]
+pub struct IdleInfo<'a> {
+    /// `idle[r]` is `true` when router `r`'s datapath is empty *and* no flit
+    /// is in flight toward it on any incoming link (the paper's two-cycle
+    /// safety timeout is subsumed by the in-flight check).
+    pub idle: &'a [bool],
+}
+
+/// Aggregate power-gating activity counters for a run.
+#[derive(Debug, Clone, Default)]
+pub struct PgCounters {
+    /// Per-router cycles spent fully off.
+    pub off_cycles: Vec<u64>,
+    /// Per-router cycles spent in the wakeup transient.
+    pub waking_cycles: Vec<u64>,
+    /// Per-router count of sleep transitions (each costs roughly one
+    /// break-even time of energy overhead).
+    pub sleep_events: Vec<u64>,
+    /// Per-router count of wakeup transitions.
+    pub wake_events: Vec<u64>,
+    /// Total punch-signal link traversals (sideband wire activity).
+    pub punch_hops: u64,
+    /// Total cycles a conventional WU wire was asserted.
+    pub wu_assertions: u64,
+}
+
+impl PgCounters {
+    /// Creates zeroed counters for `n` routers.
+    pub fn new(n: usize) -> Self {
+        PgCounters {
+            off_cycles: vec![0; n],
+            waking_cycles: vec![0; n],
+            sleep_events: vec![0; n],
+            wake_events: vec![0; n],
+            punch_hops: 0,
+            wu_assertions: 0,
+        }
+    }
+
+    /// Sum of off cycles over all routers.
+    pub fn total_off_cycles(&self) -> u64 {
+        self.off_cycles.iter().sum()
+    }
+
+    /// Sum of waking cycles over all routers.
+    pub fn total_waking_cycles(&self) -> u64 {
+        self.waking_cycles.iter().sum()
+    }
+
+    /// Sum of wake events over all routers.
+    pub fn total_wake_events(&self) -> u64 {
+        self.wake_events.iter().sum()
+    }
+
+    /// Resets every counter to zero (used at the end of warm-up).
+    pub fn reset(&mut self) {
+        for v in [
+            &mut self.off_cycles,
+            &mut self.waking_cycles,
+            &mut self.sleep_events,
+            &mut self.wake_events,
+        ] {
+            v.iter_mut().for_each(|c| *c = 0);
+        }
+        self.punch_hops = 0;
+        self.wu_assertions = 0;
+    }
+}
+
+/// A power-gating scheme controlling all routers of one network.
+///
+/// Implementations live in `punchsim-core`; the network calls
+/// [`PowerManager::tick`] exactly once per cycle, after delivering that
+/// cycle's events.
+pub trait PowerManager {
+    /// Which scheme this manager implements.
+    fn kind(&self) -> SchemeKind;
+
+    /// Current power state of router `r`.
+    fn state(&self, r: NodeId) -> PowerState;
+
+    /// `true` when router `r` is fully on (PG signal deasserted).
+    fn is_on(&self, r: NodeId) -> bool {
+        self.state(r).is_on()
+    }
+
+    /// `true` when router `r` will be able to receive a flit that arrives at
+    /// cycle `by`: it is on now, or its deterministic wakeup countdown
+    /// completes by then. This lets switch allocation overlap the tail of a
+    /// wakeup with flit transit — the paper's hiding arithmetic
+    /// (`Twakeup/Trouter` hops, §3) assumes exactly this overlap.
+    fn is_available(&self, r: NodeId, by: Cycle) -> bool {
+        match self.state(r) {
+            PowerState::On => true,
+            PowerState::WakingUp { ready_at } => ready_at <= by,
+            PowerState::Off => false,
+        }
+    }
+
+    /// Advances the manager by one cycle: process `events` generated during
+    /// `cycle`, move wakeup timers, propagate punch signals, and take sleep
+    /// decisions using `idle`.
+    fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>);
+
+    /// Activity counters accumulated so far.
+    fn counters(&self) -> &PgCounters;
+
+    /// Resets activity counters (end of warm-up). Power states are kept.
+    fn reset_counters(&mut self);
+}
+
+/// The `No-PG` baseline: every router is always on.
+#[derive(Debug, Clone)]
+pub struct AlwaysOn {
+    counters: PgCounters,
+}
+
+impl AlwaysOn {
+    /// Creates the baseline manager for `n` routers.
+    pub fn new(n: usize) -> Self {
+        AlwaysOn {
+            counters: PgCounters::new(n),
+        }
+    }
+}
+
+impl PowerManager for AlwaysOn {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::NoPg
+    }
+
+    fn state(&self, _r: NodeId) -> PowerState {
+        PowerState::On
+    }
+
+    fn tick(&mut self, _cycle: Cycle, _events: &[PmEvent], _idle: IdleInfo<'_>) {}
+
+    fn counters(&self) -> &PgCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_stays_on() {
+        let mut m = AlwaysOn::new(4);
+        assert!(m.is_on(NodeId(0)));
+        m.tick(1, &[PmEvent::BlockedNeed { router: NodeId(1) }], IdleInfo { idle: &[true; 4] });
+        assert!(m.is_on(NodeId(1)));
+        assert_eq!(m.counters().total_off_cycles(), 0);
+        assert_eq!(m.kind(), SchemeKind::NoPg);
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut c = PgCounters::new(2);
+        c.off_cycles[0] = 5;
+        c.punch_hops = 7;
+        c.reset();
+        assert_eq!(c.total_off_cycles(), 0);
+        assert_eq!(c.punch_hops, 0);
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(PowerState::On.is_on());
+        assert!(!PowerState::Off.is_on());
+        assert!(!PowerState::WakingUp { ready_at: 3 }.is_on());
+    }
+}

@@ -1,0 +1,568 @@
+//! The wormhole virtual-channel router.
+//!
+//! Pipeline model (Figure 3 of the paper):
+//!
+//! * **3-stage** (look-ahead routing + speculative switch allocation):
+//!   `BW | VA+SA | ST`, plus one link cycle — 4 cycles per hop at zero load.
+//! * **4-stage** (look-ahead routing): `BW | VA | SA | ST`, plus one link
+//!   cycle — 5 cycles per hop at zero load.
+//!
+//! A flit latched during cycle `t` (BW) becomes allocation-eligible at
+//! `t + 1`. A head flit that wins VA at cycle `v` may compete in SA the same
+//! cycle in 3-stage mode (speculation, at lower priority than committed
+//! flits) or from `v + 1` in 4-stage mode. An SA winner traverses the
+//! crossbar (ST) at `s + 1` and is latched downstream at
+//! `s + 1 + link_latency + 1`.
+
+use punchsim_types::{Cycle, NodeId, PacketId, Port, PortMap};
+
+use crate::flit::Flit;
+use crate::vc::{Vc, VcLayout, VcRoute};
+
+/// Per-router dynamic-activity counters consumed by the power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterActivity {
+    /// Flits latched into input buffers (BW operations).
+    pub buffer_writes: u64,
+    /// Flits read out of input buffers (on SA grants).
+    pub buffer_reads: u64,
+    /// Crossbar traversals (equals `buffer_reads`).
+    pub crossbar_traversals: u64,
+    /// Successful VC allocations.
+    pub va_grants: u64,
+    /// Switch-allocation grants.
+    pub sa_grants: u64,
+}
+
+impl RouterActivity {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, o: &RouterActivity) {
+        self.buffer_writes += o.buffer_writes;
+        self.buffer_reads += o.buffer_reads;
+        self.crossbar_traversals += o.crossbar_traversals;
+        self.va_grants += o.va_grants;
+        self.sa_grants += o.sa_grants;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = RouterActivity::default();
+    }
+}
+
+/// A flit leaving the router this cycle, as reported by [`Router::allocate`].
+#[derive(Debug, Clone)]
+pub struct Departure {
+    /// Output port the flit leaves through.
+    pub out_port: Port,
+    /// Input port it came from (for credit return).
+    pub in_port: Port,
+    /// Input VC it came from (for credit return).
+    pub in_vc: usize,
+    /// The flit itself, with `vc` already set to the downstream VC.
+    pub flit: Flit,
+}
+
+/// A head-of-line flit stalled only because the downstream router is not on.
+#[derive(Debug, Clone, Copy)]
+pub struct PgBlocked {
+    /// The sleeping/waking router that must power on.
+    pub next_router_port: Port,
+    /// The stalled packet (for the Figure 10 waiting-cycles metric).
+    pub packet: PacketId,
+}
+
+/// Result of one allocation cycle.
+#[derive(Debug, Default)]
+pub struct AllocOutcome {
+    /// Flits granted ST this cycle.
+    pub departures: Vec<Departure>,
+    /// Packets stalled by power-gating this cycle (one entry per stalled
+    /// packet whose *only* missing resource is the downstream router).
+    pub pg_blocked: Vec<PgBlocked>,
+}
+
+/// One mesh router: five ports of VC buffers plus separable VA/SA allocators.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: NodeId,
+    layout: VcLayout,
+    stages: u8,
+    inputs: PortMap<Vec<Vc>>,
+    /// Credits toward each downstream VC, per output port. `Local` is the
+    /// ejection port and is initialized effectively infinite (the NI is a
+    /// guaranteed sink, required for protocol-level deadlock freedom).
+    out_credits: PortMap<Vec<u32>>,
+    /// Output VCs currently owned by an in-flight packet.
+    out_vc_busy: PortMap<Vec<bool>>,
+    va_rr: PortMap<usize>,
+    sa_in_rr: PortMap<usize>,
+    sa_out_rr: PortMap<usize>,
+    /// Activity counters for the power model.
+    pub activity: RouterActivity,
+}
+
+/// Effectively-infinite ejection credit for the `Local` output port.
+const EJECT_CREDITS: u32 = 1 << 30;
+
+impl Router {
+    /// Creates a router with empty buffers and full credits.
+    ///
+    /// `has_neighbor` marks which link directions exist (mesh edges have
+    /// fewer); absent neighbours get zero credits so allocation never
+    /// selects them (XY routing never requests them anyway).
+    pub fn new(id: NodeId, layout: VcLayout, stages: u8, has_neighbor: PortMap<bool>) -> Self {
+        let total = layout.total();
+        let inputs = PortMap::from_fn(|_| (0..total).map(|i| Vc::new(layout.depth(i))).collect());
+        let out_credits = PortMap::from_fn(|p| match p {
+            Port::Local => vec![EJECT_CREDITS; total],
+            Port::Link(_) if has_neighbor[p] => {
+                (0..total).map(|i| layout.depth(i) as u32).collect()
+            }
+            Port::Link(_) => vec![0; total],
+        });
+        Router {
+            id,
+            layout,
+            stages,
+            inputs,
+            out_credits,
+            out_vc_busy: PortMap::from_fn(|_| vec![false; total]),
+            va_rr: PortMap::default(),
+            sa_in_rr: PortMap::default(),
+            sa_out_rr: PortMap::default(),
+            activity: RouterActivity::default(),
+        }
+    }
+
+    /// This router's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Latches `flit` into input `port` (the BW stage) during `cycle`.
+    pub fn latch(&mut self, port: Port, mut flit: Flit, cycle: Cycle) {
+        flit.latched_at = cycle;
+        self.activity.buffer_writes += 1;
+        let vc = flit.vc;
+        self.inputs[port][vc].push(flit);
+    }
+
+    /// Returns a credit for downstream VC `vc` of output `port`.
+    pub fn credit(&mut self, port: Port, vc: usize) {
+        self.out_credits[port][vc] += 1;
+        debug_assert!(
+            port == Port::Local || self.out_credits[port][vc] <= self.layout.depth(vc) as u32,
+            "credit overflow on {port} vc{vc}"
+        );
+    }
+
+    /// `true` when every input VC is empty (no flit anywhere in the
+    /// datapath) — one of the conditions for power-gating the router.
+    pub fn datapath_empty(&self) -> bool {
+        self.inputs
+            .iter()
+            .all(|(_, vcs)| vcs.iter().all(Vc::is_empty))
+    }
+
+    /// Total buffered flits (debug/occupancy metric).
+    pub fn occupancy(&self) -> usize {
+        self.inputs
+            .iter()
+            .map(|(_, vcs)| vcs.iter().map(Vc::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Runs VC allocation then switch allocation for `cycle`.
+    ///
+    /// `down_on[p]` tells whether the router downstream of output `p` is
+    /// fully powered on (`Local` must be `true`). Departing flits carry a
+    /// recomputed look-ahead route for the next router; the network layer
+    /// does that, so `route_port` on departures still refers to *this*
+    /// router's output.
+    pub fn allocate(&mut self, cycle: Cycle, down_on: &PortMap<bool>) -> AllocOutcome {
+        self.vc_allocate(cycle);
+        self.switch_allocate(cycle, down_on)
+    }
+
+    /// VC allocation: head flits at the front of their VC request an output
+    /// VC of their (vnet, class) at their look-ahead output port.
+    fn vc_allocate(&mut self, cycle: Cycle) {
+        // Gather requests: (in_port, in_vc, out_port) for eligible unrouted heads.
+        let mut requests: Vec<(Port, usize, Port)> = Vec::new();
+        for (in_port, vcs) in self.inputs.iter() {
+            for (in_vc, vc) in vcs.iter().enumerate() {
+                if !matches!(vc.route, VcRoute::Unrouted) {
+                    continue;
+                }
+                let Some(front) = vc.front() else { continue };
+                if !front.kind.is_head() || front.latched_at >= cycle {
+                    continue;
+                }
+                requests.push((in_port, in_vc, front.route_port));
+            }
+        }
+        // Grant per output port, rotating priority across the global input
+        // VC index so no input starves.
+        for out_port in Port::ALL {
+            let total = self.layout.total();
+            let space = 5 * total;
+            let start = self.va_rr[out_port] % space;
+            let mut granted_any = false;
+            for off in 0..space {
+                let g = (start + off) % space;
+                let (ip_idx, iv) = (g / total, g % total);
+                let in_port = Port::ALL[ip_idx];
+                let Some(&(rp, rv, _)) = requests
+                    .iter()
+                    .find(|&&(p, v, o)| p == in_port && v == iv && o == out_port)
+                else {
+                    continue;
+                };
+                let _ = (rp, rv);
+                // Find a free output VC of the right vnet/class.
+                let front = self.inputs[in_port][iv]
+                    .front()
+                    .expect("request implies a front flit");
+                let cand = self.layout.candidates(front.vnet, front.class);
+                let free = cand.clone().find(|&ov| !self.out_vc_busy[out_port][ov]);
+                let Some(out_vc) = free else { continue };
+                self.out_vc_busy[out_port][out_vc] = true;
+                self.inputs[in_port][iv].route = VcRoute::Routed {
+                    out_port,
+                    out_vc,
+                    va_cycle: cycle,
+                };
+                self.activity.va_grants += 1;
+                if !granted_any {
+                    // Rotate past the first winner.
+                    self.va_rr[out_port] = (g + 1) % space;
+                    granted_any = true;
+                }
+            }
+        }
+    }
+
+    /// Separable input-first switch allocation with speculation support.
+    fn switch_allocate(&mut self, cycle: Cycle, down_on: &PortMap<bool>) -> AllocOutcome {
+        let mut outcome = AllocOutcome::default();
+        // Phase 0: classify each VC's front flit.
+        // candidate = eligible + routed + credit + downstream on.
+        // pg_blocked = eligible + routed + credit, downstream off.
+        #[derive(Clone, Copy)]
+        struct Cand {
+            in_port: Port,
+            in_vc: usize,
+            out_port: Port,
+            speculative: bool,
+        }
+        let mut per_input: PortMap<Option<Cand>> = PortMap::default();
+        let mut seen_blocked: Vec<PacketId> = Vec::new();
+        for in_port in Port::ALL {
+            let total = self.layout.total();
+            let start = self.sa_in_rr[in_port] % total;
+            let mut best: Option<Cand> = None;
+            for off in 0..total {
+                let iv = (start + off) % total;
+                let vc = &self.inputs[in_port][iv];
+                let Some(front) = vc.front() else { continue };
+                if front.latched_at >= cycle {
+                    continue;
+                }
+                let VcRoute::Routed {
+                    out_port,
+                    out_vc,
+                    va_cycle,
+                } = vc.route
+                else {
+                    continue;
+                };
+                let speculative = va_cycle == cycle;
+                if speculative && self.stages != 3 {
+                    continue; // 4-stage: SA starts the cycle after VA.
+                }
+                if self.out_credits[out_port][out_vc] == 0 {
+                    continue; // no downstream buffer space
+                }
+                if !down_on[out_port] {
+                    // Stalled purely by power-gating: report for the WU
+                    // handshake and the Fig. 9/10 metrics (once per packet).
+                    if !seen_blocked.contains(&front.packet) {
+                        seen_blocked.push(front.packet);
+                        outcome.pg_blocked.push(PgBlocked {
+                            next_router_port: out_port,
+                            packet: front.packet,
+                        });
+                    }
+                    continue;
+                }
+                let cand = Cand {
+                    in_port,
+                    in_vc: iv,
+                    out_port,
+                    speculative,
+                };
+                match &best {
+                    None => best = Some(cand),
+                    // Committed flits beat speculative ones.
+                    Some(b) if b.speculative && !speculative => best = Some(cand),
+                    _ => {}
+                }
+            }
+            per_input[in_port] = best;
+        }
+        // Phase 2: output arbitration, committed-over-speculative, then
+        // round-robin over input ports.
+        for out_port in Port::ALL {
+            let start = self.sa_out_rr[out_port] % 5;
+            let mut winner: Option<(usize, Cand)> = None;
+            for off in 0..5 {
+                let ip_idx = (start + off) % 5;
+                let in_port = Port::ALL[ip_idx];
+                let Some(c) = per_input[in_port] else { continue };
+                if c.out_port != out_port {
+                    continue;
+                }
+                match &winner {
+                    None => winner = Some((ip_idx, c)),
+                    Some((_, w)) if w.speculative && !c.speculative => {
+                        winner = Some((ip_idx, c));
+                    }
+                    _ => {}
+                }
+            }
+            let Some((ip_idx, c)) = winner else { continue };
+            self.sa_out_rr[out_port] = (ip_idx + 1) % 5;
+            // Grant: pop the flit, consume a credit, update VC state.
+            let VcRoute::Routed { out_vc, .. } = self.inputs[c.in_port][c.in_vc].route else {
+                unreachable!("winner must be routed")
+            };
+            let vc = &mut self.inputs[c.in_port][c.in_vc];
+            let mut flit = vc.pop().expect("winner has a front flit");
+            if flit.kind.is_tail() {
+                vc.route = VcRoute::Unrouted;
+                self.out_vc_busy[c.out_port][out_vc] = false;
+            }
+            self.out_credits[c.out_port][out_vc] -= 1;
+            self.sa_in_rr[c.in_port] = (c.in_vc + 1) % self.layout.total();
+            self.activity.buffer_reads += 1;
+            self.activity.crossbar_traversals += 1;
+            self.activity.sa_grants += 1;
+            flit.vc = out_vc;
+            outcome.departures.push(Departure {
+                out_port: c.out_port,
+                in_port: c.in_port,
+                in_vc: c.in_vc,
+                flit,
+            });
+            // The input port is consumed for this cycle; make sure no other
+            // output picks the same input (each input feeds one crossbar
+            // line). `per_input` already guarantees this: one candidate per
+            // input port.
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, MsgClass};
+    use punchsim_types::{Direction, NocConfig, VnetId};
+
+    fn mk_router() -> Router {
+        let cfg = NocConfig::default();
+        Router::new(
+            NodeId(0),
+            VcLayout::new(&cfg),
+            3,
+            PortMap::from_fn(|_| true),
+        )
+    }
+
+    fn flit(kind: FlitKind, seq: u16, out: Port) -> Flit {
+        Flit {
+            packet: PacketId(7),
+            kind,
+            vnet: VnetId(0),
+            class: MsgClass::Data,
+            dst: NodeId(9),
+            route_port: out,
+            vc: 0,
+            seq,
+            latched_at: 0,
+        }
+    }
+
+    fn all_on() -> PortMap<bool> {
+        PortMap::from_fn(|_| true)
+    }
+
+    #[test]
+    fn three_stage_head_departs_after_one_alloc_cycle() {
+        let mut r = mk_router();
+        let out = Port::Link(Direction::East);
+        r.latch(Port::Local, flit(FlitKind::HeadTail, 0, out), 10);
+        // Not eligible in the latch cycle.
+        assert!(r.allocate(10, &all_on()).departures.is_empty());
+        // Cycle 11: VA + speculative SA both succeed.
+        let o = r.allocate(11, &all_on());
+        assert_eq!(o.departures.len(), 1);
+        assert_eq!(o.departures[0].out_port, out);
+        assert!(r.datapath_empty());
+    }
+
+    #[test]
+    fn four_stage_needs_two_alloc_cycles() {
+        let cfg = NocConfig::default();
+        let mut r = Router::new(
+            NodeId(0),
+            VcLayout::new(&cfg),
+            4,
+            PortMap::from_fn(|_| true),
+        );
+        let out = Port::Link(Direction::East);
+        r.latch(Port::Local, flit(FlitKind::HeadTail, 0, out), 10);
+        assert!(r.allocate(11, &all_on()).departures.is_empty()); // VA only
+        let o = r.allocate(12, &all_on());
+        assert_eq!(o.departures.len(), 1);
+    }
+
+    #[test]
+    fn wormhole_streams_one_flit_per_cycle() {
+        let mut r = mk_router();
+        let out = Port::Link(Direction::East);
+        r.latch(Port::Local, flit(FlitKind::Head, 0, out), 10);
+        r.latch(Port::Local, flit(FlitKind::Body, 1, out), 11);
+        r.latch(Port::Local, flit(FlitKind::Tail, 2, out), 12);
+        let mut got = Vec::new();
+        for c in 11..=14 {
+            for d in r.allocate(c, &all_on()).departures {
+                got.push((c, d.flit.seq));
+            }
+        }
+        assert_eq!(got, vec![(11, 0), (12, 1), (13, 2)]);
+        assert!(r.datapath_empty());
+    }
+
+    #[test]
+    fn blocked_when_downstream_off() {
+        let mut r = mk_router();
+        let out = Port::Link(Direction::East);
+        r.latch(Port::Local, flit(FlitKind::HeadTail, 0, out), 10);
+        let mut down = all_on();
+        down[out] = false;
+        let o = r.allocate(11, &down);
+        assert!(o.departures.is_empty());
+        assert_eq!(o.pg_blocked.len(), 1);
+        assert_eq!(o.pg_blocked[0].next_router_port, out);
+        // Downstream wakes: flit proceeds.
+        let o = r.allocate(12, &all_on());
+        assert_eq!(o.departures.len(), 1);
+    }
+
+    #[test]
+    fn credits_bound_departures() {
+        let mut r = mk_router();
+        let out = Port::Link(Direction::East);
+        // Data VC 0 downstream has depth 3; stream a 5-flit packet without
+        // returning credits: only 3 flits may leave. Latch one flit per
+        // cycle (as a link would deliver them), interleaved with allocation
+        // so the local 3-deep buffer never overflows.
+        let kinds = [
+            FlitKind::Head,
+            FlitKind::Body,
+            FlitKind::Body,
+            FlitKind::Body,
+            FlitKind::Tail,
+        ];
+        let mut next = 0usize;
+        let mut sent = 0;
+        for c in 10..30 {
+            if next < kinds.len() && r.occupancy() < 3 {
+                r.latch(Port::Local, flit(kinds[next], next as u16, out), c);
+                next += 1;
+            }
+            sent += r.allocate(c, &all_on()).departures.len();
+        }
+        assert_eq!(sent, 3);
+        // Return one credit; one more flit flows.
+        r.credit(out, 0);
+        for c in 30..33 {
+            sent += r.allocate(c, &all_on()).departures.len();
+        }
+        assert_eq!(sent, 4);
+    }
+
+    #[test]
+    fn two_inputs_share_one_output_fairly() {
+        let mut r = mk_router();
+        let out = Port::Link(Direction::East);
+        // Two single-flit packets from different inputs, same output.
+        let mut f1 = flit(FlitKind::HeadTail, 0, out);
+        f1.packet = PacketId(1);
+        let mut f2 = flit(FlitKind::HeadTail, 0, out);
+        f2.packet = PacketId(2);
+        f2.vc = 1;
+        r.latch(Port::Local, f1, 10);
+        r.latch(Port::Link(Direction::West), f2, 10);
+        let o1 = r.allocate(11, &all_on());
+        assert_eq!(o1.departures.len(), 1);
+        let o2 = r.allocate(12, &all_on());
+        assert_eq!(o2.departures.len(), 1);
+        let a = o1.departures[0].flit.packet;
+        let b = o2.departures[0].flit.packet;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_outputs_depart_same_cycle() {
+        let mut r = mk_router();
+        let mut f1 = flit(FlitKind::HeadTail, 0, Port::Link(Direction::East));
+        f1.packet = PacketId(1);
+        let mut f2 = flit(FlitKind::HeadTail, 0, Port::Link(Direction::South));
+        f2.packet = PacketId(2);
+        r.latch(Port::Link(Direction::West), f1, 10);
+        r.latch(Port::Link(Direction::North), f2, 10);
+        let o = r.allocate(11, &all_on());
+        assert_eq!(o.departures.len(), 2);
+    }
+
+    #[test]
+    fn control_flits_use_control_vc() {
+        let mut r = mk_router();
+        let out = Port::Link(Direction::East);
+        let mut f = flit(FlitKind::HeadTail, 0, out);
+        f.class = MsgClass::Control;
+        f.vc = 2; // control VC of vnet 0
+        r.latch(Port::Local, f, 10);
+        let o = r.allocate(11, &all_on());
+        assert_eq!(o.departures.len(), 1);
+        // Granted downstream VC must be the control VC (index 2).
+        assert_eq!(o.departures[0].flit.vc, 2);
+    }
+
+    #[test]
+    fn vc_allocation_exclusive_until_tail() {
+        let mut r = mk_router();
+        let out = Port::Link(Direction::East);
+        // Packet A (multi-flit, in VC0) claims downstream VC 0 and stalls
+        // after head (no more flits yet). Packet B in VC1 must get VC 1.
+        let mut head_a = flit(FlitKind::Head, 0, out);
+        head_a.packet = PacketId(1);
+        head_a.vc = 0;
+        let mut head_b = flit(FlitKind::Head, 0, out);
+        head_b.packet = PacketId(2);
+        head_b.vc = 1;
+        r.latch(Port::Local, head_a, 10);
+        r.latch(Port::Local, head_b, 10);
+        let mut out_vcs = Vec::new();
+        for c in 11..14 {
+            for d in r.allocate(c, &all_on()).departures {
+                out_vcs.push(d.flit.vc);
+            }
+        }
+        out_vcs.sort_unstable();
+        assert_eq!(out_vcs, vec![0, 1]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Network-level statistics and the end-of-run report.
+
+use punchsim_stats::RunningStats;
+use punchsim_types::{Cycle, SchemeKind};
+
+use crate::power::PgCounters;
+use crate::router::RouterActivity;
+
+/// Aggregated per-run network statistics, updated as packets complete.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Packets injected into NI queues (measured window).
+    pub packets_injected: u64,
+    /// Packets fully delivered (measured window).
+    pub packets_delivered: u64,
+    /// Flits delivered (measured window).
+    pub flits_delivered: u64,
+    /// End-to-end latency: NI enqueue to tail ejection.
+    pub latency: RunningStats,
+    /// Network latency: head injection into the router to tail ejection.
+    pub net_latency: RunningStats,
+    /// Hop counts of delivered packets.
+    pub hops: RunningStats,
+    /// Powered-off routers encountered per packet (Figure 9).
+    pub pg_encounters: RunningStats,
+    /// Cycles per packet spent waiting on router wakeups (Figure 10).
+    pub wakeup_wait: RunningStats,
+    /// Flit link traversals (inter-router links only; energy input).
+    pub link_traversals: u64,
+}
+
+impl NetStats {
+    /// Resets every aggregate (end of warm-up).
+    pub fn reset(&mut self) {
+        *self = NetStats::default();
+    }
+}
+
+/// A snapshot of everything a power model or figure harness needs after
+/// (or during) a run.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Scheme that produced this run.
+    pub scheme: SchemeKind,
+    /// Number of routers.
+    pub routers: usize,
+    /// Cycles in the measured window.
+    pub cycles: Cycle,
+    /// Delivered-traffic statistics.
+    pub stats: NetStats,
+    /// Summed router datapath activity (measured window).
+    pub activity: RouterActivity,
+    /// Power-gating counters (measured window).
+    pub pg: PgCounters,
+    /// Flits handled by NIs (inject + eject), for NI energy.
+    pub ni_flits: u64,
+    /// Average injected load over the measured window, flits/node/cycle.
+    pub offered_load: f64,
+}
+
+impl NetworkReport {
+    /// Mean end-to-end packet latency in cycles.
+    pub fn avg_packet_latency(&self) -> f64 {
+        self.stats.latency.mean()
+    }
+
+    /// Fraction of router-cycles spent fully off (static-energy saving
+    /// potential before overheads).
+    pub fn off_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.pg.total_off_cycles() as f64 / (self.cycles as f64 * self.routers as f64)
+    }
+
+    /// Mean number of powered-off routers encountered per packet (Fig. 9).
+    pub fn avg_pg_encounters(&self) -> f64 {
+        self.stats.pg_encounters.mean()
+    }
+
+    /// Mean cycles per packet waiting for wakeups (Fig. 10).
+    pub fn avg_wakeup_wait(&self) -> f64 {
+        self.stats.wakeup_wait.mean()
+    }
+
+    /// Delivered throughput in flits/node/cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.stats.flits_delivered as f64 / (self.cycles as f64 * self.routers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_ratios() {
+        let mut stats = NetStats::default();
+        stats.latency.extend([10.0, 20.0]);
+        stats.flits_delivered = 640;
+        let mut pg = PgCounters::new(2);
+        pg.off_cycles = vec![50, 150];
+        let r = NetworkReport {
+            scheme: SchemeKind::NoPg,
+            routers: 2,
+            cycles: 100,
+            stats,
+            activity: RouterActivity::default(),
+            pg,
+            ni_flits: 0,
+            offered_load: 0.0,
+        };
+        assert_eq!(r.avg_packet_latency(), 15.0);
+        assert_eq!(r.off_fraction(), 1.0);
+        assert!((r.throughput() - 3.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-packet trace recording for offline analysis.
+
+use punchsim_types::{Cycle, NodeId, PacketId, VnetId};
+
+use crate::flit::{MsgClass, PacketMeta};
+
+/// One delivered packet's lifecycle record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketRecord {
+    /// Packet id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Virtual network.
+    pub vnet: VnetId,
+    /// Control or data packet.
+    pub class: MsgClass,
+    /// Cycle the message entered the NI.
+    pub enqueued: Cycle,
+    /// Cycle the head flit left the NI.
+    pub injected: Cycle,
+    /// Cycle the tail flit ejected.
+    pub delivered: Cycle,
+    /// Hops traversed.
+    pub hops: u16,
+    /// Powered-off routers encountered.
+    pub pg_encounters: u32,
+    /// Cycles spent waiting on wakeups.
+    pub wakeup_wait: u64,
+}
+
+impl PacketRecord {
+    /// Builds a record from completed-packet bookkeeping.
+    pub fn from_meta(id: PacketId, meta: &PacketMeta, delivered: Cycle) -> Self {
+        PacketRecord {
+            id,
+            src: meta.message.src,
+            dst: meta.message.dst,
+            vnet: meta.message.vnet,
+            class: meta.message.class,
+            enqueued: meta.ni_enqueue,
+            injected: meta.inject,
+            delivered,
+            hops: meta.hops,
+            pg_encounters: meta.pg_encounters,
+            wakeup_wait: meta.wakeup_wait,
+        }
+    }
+
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.delivered - self.enqueued
+    }
+
+    /// CSV header matching [`PacketRecord::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "id,src,dst,vnet,class,enqueued,injected,delivered,latency,hops,pg_encounters,wakeup_wait"
+    }
+
+    /// One CSV row (no trailing newline).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.id.0,
+            self.src.0,
+            self.dst.0,
+            self.vnet.0,
+            match self.class {
+                MsgClass::Control => "ctrl",
+                MsgClass::Data => "data",
+            },
+            self.enqueued,
+            self.injected,
+            self.delivered,
+            self.latency(),
+            self.hops,
+            self.pg_encounters,
+            self.wakeup_wait
+        )
+    }
+}
+
+/// A bounded in-memory trace of delivered packets.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    records: Vec<PacketRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a trace holding at most `capacity` records (older packets
+    /// beyond the cap are counted in [`TraceLog::dropped`], not stored).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, respecting the capacity.
+    pub fn push(&mut self, rec: PacketRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded packets, in completion order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Records that did not fit in the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the whole trace as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(PacketRecord::csv_header());
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&r.to_csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::Message;
+
+    fn rec(id: u64) -> PacketRecord {
+        let meta = PacketMeta::new(
+            Message {
+                src: NodeId(1),
+                dst: NodeId(2),
+                vnet: VnetId(0),
+                class: MsgClass::Control,
+                payload: 0,
+                gen_cycle: 5,
+            },
+            1,
+            5,
+            true,
+        );
+        PacketRecord::from_meta(PacketId(id), &meta, 25)
+    }
+
+    #[test]
+    fn latency_and_csv() {
+        let r = rec(7);
+        assert_eq!(r.latency(), 20);
+        let row = r.to_csv_row();
+        assert!(row.starts_with("7,1,2,0,ctrl,5,"));
+        assert_eq!(
+            row.split(',').count(),
+            PacketRecord::csv_header().split(',').count()
+        );
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut log = TraceLog::new(2);
+        for i in 0..5 {
+            log.push(rec(i));
+        }
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.to_csv().lines().count(), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixed-width-bucket histogram for integer-valued latency samples.
+
+/// A histogram over `u64` samples with unit-width buckets up to a cap;
+/// samples at or above the cap land in an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use punchsim_stats::Histogram;
+///
+/// let mut h = Histogram::new(64);
+/// h.record(10);
+/// h.record(10);
+/// h.record(999); // overflow bucket
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket(10), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.percentile(0.5), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with unit buckets for values `0..cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; cap],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        match self.buckets.get_mut(v as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in the bucket for value `v` (0 if `v` is beyond the cap).
+    pub fn bucket(&self, v: u64) -> u64 {
+        self.buckets.get(v as usize).copied().unwrap_or(0)
+    }
+
+    /// Count of samples at or above the cap.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The smallest value `v` such that at least `q` (in `0.0..=1.0`) of the
+    /// samples are `<= v`. Overflow samples report the cap value.
+    ///
+    /// Returns 0 when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (v, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return v as u64;
+            }
+        }
+        self.buckets.len() as u64
+    }
+
+    /// Merges another histogram (same cap) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caps differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "cap mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Iterates `(value, count)` for non-empty buckets, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut h = Histogram::new(100);
+        for v in 1..=9 {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 5.0);
+        assert_eq!(h.percentile(0.5), 5);
+        assert_eq!(h.percentile(1.0), 9);
+        assert_eq!(h.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn overflow_counted() {
+        let mut h = Histogram::new(4);
+        h.record(3);
+        h.record(4);
+        h.record(100);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        // Overflowed samples saturate the percentile at the cap.
+        assert_eq!(h.percentile(1.0), 4);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record(1);
+        b.record(1);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.bucket(1), 2);
+        assert_eq!(a.bucket(7), 1);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn iter_skips_empty() {
+        let mut h = Histogram::new(10);
+        h.record(2);
+        h.record(2);
+        h.record(5);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(2, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let h = Histogram::new(10);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic traffic patterns (§6.4 of the paper and the usual suspects).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use punchsim_types::{Coord, Mesh, NodeId};
+
+/// A synthetic destination-selection pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Every node equally likely (including self).
+    UniformRandom,
+    /// `(x, y) -> (y, x)` — the paper's most adversarial load (Figure 12c).
+    Transpose,
+    /// Bit-complement of the node index (corner-to-corner pressure).
+    BitComplement,
+    /// Bit-reversal of the node index.
+    BitReverse,
+    /// One-bit rotate (perfect shuffle) of the node index.
+    Shuffle,
+    /// Half-way around each dimension (`tornado`).
+    Tornado,
+    /// Nearest neighbour: one hop east (wraps to the row start).
+    Neighbor,
+    /// All traffic to a fixed hotspot node.
+    Hotspot(NodeId),
+}
+
+impl TrafficPattern {
+    /// The three patterns evaluated in Figure 12, in figure order.
+    pub const FIGURE12: [TrafficPattern; 3] = [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Transpose,
+    ];
+
+    /// Short label for figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "uniform-random",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitComplement => "bit-complement",
+            TrafficPattern::BitReverse => "bit-reverse",
+            TrafficPattern::Shuffle => "shuffle",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Neighbor => "neighbor",
+            TrafficPattern::Hotspot(_) => "hotspot",
+        }
+    }
+
+    /// Picks the destination for a packet injected at `src`.
+    ///
+    /// Deterministic patterns ignore `rng`. Index-bit patterns assume the
+    /// node count is a power of two (true for the evaluated 4x4/8x8/16x16
+    /// meshes); for other sizes they fall back to a modulo mapping.
+    pub fn destination(self, mesh: Mesh, src: NodeId, rng: &mut StdRng) -> NodeId {
+        let n = mesh.nodes() as u16;
+        let bits = n.trailing_zeros();
+        match self {
+            TrafficPattern::UniformRandom => NodeId(rng.random_range(0..n)),
+            TrafficPattern::Transpose => {
+                let c = mesh.coord(src);
+                // Transpose assumes a square mesh; clamp otherwise.
+                let x = c.y.min(mesh.width() - 1);
+                let y = c.x.min(mesh.height() - 1);
+                mesh.node(Coord::new(x, y))
+            }
+            TrafficPattern::BitComplement => NodeId((!src.0) & (n - 1)),
+            TrafficPattern::BitReverse => {
+                let r = src.0.reverse_bits() >> (16 - bits);
+                NodeId(r % n)
+            }
+            TrafficPattern::Shuffle => {
+                let s = ((src.0 << 1) | (src.0 >> (bits.max(1) - 1) as u16 & 1)) & (n - 1);
+                NodeId(s % n)
+            }
+            TrafficPattern::Tornado => {
+                let c = mesh.coord(src);
+                let x = (c.x + mesh.width() / 2) % mesh.width();
+                let y = (c.y + mesh.height() / 2) % mesh.height();
+                mesh.node(Coord::new(x, y))
+            }
+            TrafficPattern::Neighbor => {
+                let c = mesh.coord(src);
+                let x = (c.x + 1) % mesh.width();
+                mesh.node(Coord::new(x, c.y))
+            }
+            TrafficPattern::Hotspot(h) => h,
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let m = Mesh::new(8, 8);
+        // R27 = (3,3) maps to itself; R26 = (2,3) maps to (3,2) = R19.
+        let mut r = rng();
+        assert_eq!(
+            TrafficPattern::Transpose.destination(m, NodeId(27), &mut r),
+            NodeId(27)
+        );
+        assert_eq!(
+            TrafficPattern::Transpose.destination(m, NodeId(26), &mut r),
+            NodeId(19)
+        );
+    }
+
+    #[test]
+    fn bit_complement_is_involution() {
+        let m = Mesh::new(8, 8);
+        let mut r = rng();
+        for src in m.iter_nodes() {
+            let d = TrafficPattern::BitComplement.destination(m, src, &mut r);
+            let back = TrafficPattern::BitComplement.destination(m, d, &mut r);
+            assert_eq!(back, src);
+        }
+    }
+
+    #[test]
+    fn all_destinations_in_mesh() {
+        let m = Mesh::new(8, 8);
+        let mut r = rng();
+        for p in [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitComplement,
+            TrafficPattern::BitReverse,
+            TrafficPattern::Shuffle,
+            TrafficPattern::Tornado,
+            TrafficPattern::Neighbor,
+            TrafficPattern::Hotspot(NodeId(5)),
+        ] {
+            for src in m.iter_nodes() {
+                let d = p.destination(m, src, &mut r);
+                assert!(m.contains(d), "{p} from {src} gave {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn tornado_travels_half_way() {
+        let m = Mesh::new(8, 8);
+        let mut r = rng();
+        let d = TrafficPattern::Tornado.destination(m, NodeId(0), &mut r);
+        assert_eq!(m.coord(d), Coord::new(4, 4));
+    }
+
+    #[test]
+    fn uniform_covers_whole_mesh() {
+        let m = Mesh::new(4, 4);
+        let mut r = rng();
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            let d = TrafficPattern::UniformRandom.destination(m, NodeId(0), &mut r);
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,353 @@
+//! Open-loop synthetic-traffic simulation harness.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use punchsim_core::build_power_manager;
+use punchsim_noc::{Message, MsgClass, Network, NetworkReport};
+use punchsim_types::{Cycle, NodeId, SimConfig, VnetId};
+
+use crate::pattern::TrafficPattern;
+
+/// Mix and process parameters for synthetic injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionConfig {
+    /// Offered load in flits/node/cycle (the Figure 12 x-axis).
+    pub rate_flits: f64,
+    /// Fraction of packets that are multi-flit data packets; the rest are
+    /// single-flit control packets (roughly the MESI mix).
+    pub data_fraction: f64,
+    /// Fraction of packets whose generation is known `slack2` cycles ahead
+    /// (the paper's valid-bit: 1 for L2/directory-originated messages,
+    /// 0 for L1-originated ones).
+    pub slack2_fraction: f64,
+    /// How many cycles ahead slack-2 forewarning fires.
+    pub slack2_cycles: Cycle,
+    /// Burstiness in `0.0..1.0`: 0 is a memoryless (Bernoulli) process;
+    /// larger values draw inter-arrival gaps from a hyperexponential mix
+    /// (short bursts separated by long quiet periods) with the same mean —
+    /// closer to the clustered coherence traffic of real applications.
+    pub burstiness: f64,
+}
+
+impl InjectionConfig {
+    /// A default mix at the given flit rate.
+    pub fn at_rate(rate_flits: f64) -> Self {
+        InjectionConfig {
+            rate_flits,
+            data_fraction: 0.4,
+            slack2_fraction: 0.8,
+            slack2_cycles: 6,
+            burstiness: 0.0,
+        }
+    }
+
+    /// Mean flits per packet for this mix.
+    pub fn avg_packet_flits(&self, ctrl: u8, data: u8) -> f64 {
+        self.data_fraction * data as f64 + (1.0 - self.data_fraction) * ctrl as f64
+    }
+}
+
+/// A complete synthetic-traffic experiment: a [`Network`] under the scheme
+/// from [`SimConfig`], driven by Bernoulli arrivals of a [`TrafficPattern`].
+///
+/// # Examples
+///
+/// ```
+/// use punchsim_traffic::{SyntheticSim, TrafficPattern};
+/// use punchsim_types::{Mesh, SchemeKind, SimConfig};
+///
+/// let mut cfg = SimConfig::with_scheme(SchemeKind::ConvOptPg);
+/// cfg.noc.mesh = Mesh::new(4, 4);
+/// let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.05);
+/// sim.run(3_000);
+/// assert!(sim.report().stats.packets_delivered > 0);
+/// ```
+#[derive(Debug)]
+pub struct SyntheticSim {
+    net: Network,
+    pattern: TrafficPattern,
+    inj: InjectionConfig,
+    rng: StdRng,
+    /// Per-node next scheduled arrival and whether slack-2 fires for it.
+    next_arrival: Vec<(Cycle, bool)>,
+    /// Per-packet Bernoulli probability per node per cycle.
+    p_packet: f64,
+    delivered_sink: u64,
+}
+
+impl SyntheticSim {
+    /// Builds the experiment at `rate_flits` flits/node/cycle with the
+    /// default mix.
+    pub fn new(cfg: SimConfig, pattern: TrafficPattern, rate_flits: f64) -> Self {
+        Self::with_injection(cfg, pattern, InjectionConfig::at_rate(rate_flits))
+    }
+
+    /// Builds the experiment with a custom injection mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the rate is negative.
+    pub fn with_injection(cfg: SimConfig, pattern: TrafficPattern, inj: InjectionConfig) -> Self {
+        assert!(inj.rate_flits >= 0.0, "negative injection rate");
+        let pm = build_power_manager(&cfg);
+        let net = Network::new(&cfg.noc, pm);
+        let avg =
+            inj.avg_packet_flits(cfg.noc.ctrl_packet_flits, cfg.noc.data_packet_flits);
+        let p_packet = (inj.rate_flits / avg).min(1.0);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let n = cfg.noc.mesh.nodes();
+        let mut sim = SyntheticSim {
+            net,
+            pattern,
+            inj,
+            next_arrival: vec![(0, false); n],
+            p_packet,
+            rng,
+            delivered_sink: 0,
+        };
+        for i in 0..n {
+            sim.next_arrival[i] = sim.draw_arrival(0);
+        }
+        // Re-seed deterministically after initialization order.
+        sim.rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+        sim
+    }
+
+    /// The network under test (immutable inspection).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Draws the next arrival at or after `from`: geometric inter-arrival
+    /// gaps, optionally mixed into a bursty hyperexponential with the same
+    /// mean (see [`InjectionConfig::burstiness`]).
+    fn draw_arrival(&mut self, from: Cycle) -> (Cycle, bool) {
+        if self.p_packet <= 0.0 {
+            return (Cycle::MAX, false);
+        }
+        let mean_gap = if self.p_packet >= 1.0 {
+            1.0
+        } else {
+            1.0 / self.p_packet
+        };
+        // Hyperexponential mix: with probability b the gap is short
+        // (mean/FACTOR, an in-burst arrival), otherwise long, scaled to
+        // preserve the overall mean.
+        const FACTOR: f64 = 8.0;
+        let b = self.inj.burstiness.clamp(0.0, 0.99);
+        let mean = if self.rng.random_range(0.0..1.0f64) < b {
+            mean_gap / FACTOR
+        } else {
+            mean_gap * (1.0 - b / FACTOR) / (1.0 - b)
+        };
+        let u: f64 = self.rng.random_range(0.0..1.0f64);
+        let gap = (-(1.0 - u).ln() * mean).ceil().max(1.0) as Cycle;
+        let slack2 = self.rng.random_range(0.0..1.0f64) < self.inj.slack2_fraction;
+        (from + gap, slack2)
+    }
+
+    /// Advances one cycle: fire slack-2 forewarnings, inject due packets,
+    /// tick the network, and drain deliveries.
+    pub fn tick(&mut self) {
+        let now = self.net.cycle();
+        let mesh = self.net.mesh();
+        for idx in 0..self.next_arrival.len() {
+            let (at, slack2) = self.next_arrival[idx];
+            let node = NodeId(idx as u16);
+            if slack2 && now + self.inj.slack2_cycles == at {
+                // Slack 2: the node knows a packet is coming before the
+                // destination is known (PowerPunch-PG exploits this).
+                self.net.notify_future_injection(node);
+            }
+            if at == now {
+                let dst = self.pattern.destination(mesh, node, &mut self.rng);
+                let class = if self.rng.random_range(0.0..1.0f64) < self.inj.data_fraction {
+                    MsgClass::Data
+                } else {
+                    MsgClass::Control
+                };
+                let vnet = VnetId(self.rng.random_range(0..3u8));
+                self.net.send(Message {
+                    src: node,
+                    dst,
+                    vnet,
+                    class,
+                    payload: 0,
+                    gen_cycle: now,
+                });
+                self.next_arrival[idx] = self.draw_arrival(now);
+            }
+        }
+        self.net.tick();
+        for idx in 0..self.next_arrival.len() {
+            self.delivered_sink += self.net.take_delivered(NodeId(idx as u16)).len() as u64;
+        }
+    }
+
+    /// Runs `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Runs a warm-up window, resets statistics, then a measured window.
+    pub fn run_experiment(&mut self, warmup: u64, measure: u64) -> NetworkReport {
+        self.run(warmup);
+        self.net.reset_stats();
+        self.run(measure);
+        self.report()
+    }
+
+    /// Statistics of the measured window.
+    pub fn report(&self) -> NetworkReport {
+        self.net.report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punchsim_types::{Mesh, SchemeKind};
+
+    fn cfg(scheme: SchemeKind, mesh: Mesh) -> SimConfig {
+        let mut c = SimConfig::with_scheme(scheme);
+        c.noc.mesh = mesh;
+        c
+    }
+
+    #[test]
+    fn no_pg_delivers_with_sane_latency() {
+        let mut sim = SyntheticSim::new(
+            cfg(SchemeKind::NoPg, Mesh::new(8, 8)),
+            TrafficPattern::UniformRandom,
+            0.05,
+        );
+        let r = sim.run_experiment(2_000, 8_000);
+        assert!(r.stats.packets_delivered > 1_000);
+        // Zero-load-ish latency in an 8x8 at 0.05 flits/node/cycle:
+        // NI 3 + ~5.3 hops x 4 + ejection, plus mild queueing.
+        let lat = r.stats.latency.mean();
+        assert!((15.0..45.0).contains(&lat), "latency {lat}");
+        assert_eq!(r.stats.pg_encounters.mean(), 0.0);
+    }
+
+    #[test]
+    fn conv_pg_blocks_and_saves_static() {
+        let mut no = SyntheticSim::new(
+            cfg(SchemeKind::NoPg, Mesh::new(8, 8)),
+            TrafficPattern::UniformRandom,
+            0.02,
+        );
+        let rn = no.run_experiment(2_000, 8_000);
+        let mut conv = SyntheticSim::new(
+            cfg(SchemeKind::ConvOptPg, Mesh::new(8, 8)),
+            TrafficPattern::UniformRandom,
+            0.02,
+        );
+        let rc = conv.run_experiment(2_000, 8_000);
+        assert!(rc.off_fraction() > 0.3, "off fraction {}", rc.off_fraction());
+        assert!(
+            rc.stats.latency.mean() > rn.stats.latency.mean() * 1.2,
+            "ConvOpt {} vs No-PG {}",
+            rc.stats.latency.mean(),
+            rn.stats.latency.mean()
+        );
+        assert!(rc.stats.pg_encounters.mean() > 1.0);
+        assert!(rc.stats.wakeup_wait.mean() > 1.0);
+    }
+
+    #[test]
+    fn power_punch_hides_most_blocking() {
+        let mesh = Mesh::new(8, 8);
+        let run = |scheme| {
+            let mut s = SyntheticSim::new(
+                cfg(scheme, mesh),
+                TrafficPattern::UniformRandom,
+                0.02,
+            );
+            s.run_experiment(2_000, 8_000)
+        };
+        let no = run(SchemeKind::NoPg);
+        let conv = run(SchemeKind::ConvOptPg);
+        let pps = run(SchemeKind::PowerPunchSignal);
+        let ppf = run(SchemeKind::PowerPunchFull);
+        // Latency ordering of Figure 7.
+        let (l_no, l_conv, l_pps, l_ppf) = (
+            no.stats.latency.mean(),
+            conv.stats.latency.mean(),
+            pps.stats.latency.mean(),
+            ppf.stats.latency.mean(),
+        );
+        assert!(l_conv > l_pps, "conv {l_conv} vs pp-signal {l_pps}");
+        assert!(l_pps >= l_ppf - 1e-9, "pp-signal {l_pps} vs pp-full {l_ppf}");
+        assert!(l_ppf < l_no * 1.25, "pp-full {l_ppf} vs no-pg {l_no}");
+        // Blocked-router counts (Figure 9 ordering).
+        assert!(conv.stats.pg_encounters.mean() > pps.stats.pg_encounters.mean());
+        // Wait cycles (Figure 10 ordering).
+        assert!(conv.stats.wakeup_wait.mean() > ppf.stats.wakeup_wait.mean());
+        // Punch still saves plenty of static energy.
+        assert!(ppf.off_fraction() > 0.3, "off {}", ppf.off_fraction());
+        assert!(ppf.pg.punch_hops > 0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = || {
+            let mut s = SyntheticSim::new(
+                cfg(SchemeKind::PowerPunchFull, Mesh::new(4, 4)),
+                TrafficPattern::Transpose,
+                0.05,
+            );
+            let r = s.run_experiment(500, 2_000);
+            (r.stats.packets_delivered, r.stats.latency.mean(), r.pg.punch_hops)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn burstiness_preserves_mean_rate() {
+        let run = |b: f64| {
+            let mut inj = InjectionConfig::at_rate(0.02);
+            inj.burstiness = b;
+            let mut s = SyntheticSim::with_injection(
+                cfg(SchemeKind::NoPg, Mesh::new(4, 4)),
+                TrafficPattern::UniformRandom,
+                inj,
+            );
+            let r = s.run_experiment(2_000, 20_000);
+            r.offered_load
+        };
+        let smooth = run(0.0);
+        let bursty = run(0.6);
+        assert!((bursty / smooth - 1.0).abs() < 0.15, "{smooth} vs {bursty}");
+    }
+
+    #[test]
+    fn bursty_traffic_raises_latency_variance() {
+        let run = |b: f64| {
+            let mut inj = InjectionConfig::at_rate(0.05);
+            inj.burstiness = b;
+            let mut s = SyntheticSim::with_injection(
+                cfg(SchemeKind::NoPg, Mesh::new(4, 4)),
+                TrafficPattern::UniformRandom,
+                inj,
+            );
+            let r = s.run_experiment(2_000, 15_000);
+            r.stats.latency.variance()
+        };
+        assert!(run(0.7) > run(0.0), "bursts must add queueing variance");
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut s = SyntheticSim::new(
+            cfg(SchemeKind::NoPg, Mesh::new(4, 4)),
+            TrafficPattern::UniformRandom,
+            0.0,
+        );
+        s.run(1_000);
+        assert_eq!(s.report().stats.packets_injected, 0);
+    }
+}

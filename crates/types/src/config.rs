@@ -1,0 +1,284 @@
+//! Simulation configuration, mirroring Table 2 of the paper.
+
+use crate::geometry::Mesh;
+
+/// Which power-gating scheme drives the routers (§5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Baseline: no power-gating, all routers always on.
+    NoPg,
+    /// Conventional power-gating: a sleeping router is woken only when a
+    /// blocked packet at a neighbour (or the local NI) needs it.
+    ConvPg,
+    /// Conventional power-gating optimized with the idle timeout filter and
+    /// the one-hop early wakeup at route-computation time — the paper's
+    /// `ConvOpt-PG` comparison point.
+    ConvOptPg,
+    /// Power Punch with multi-hop punch signals only (no NI slack) —
+    /// `PowerPunch-Signal`.
+    PowerPunchSignal,
+    /// Full Power Punch: multi-hop punch signals plus injection-node slack —
+    /// `PowerPunch-PG`.
+    PowerPunchFull,
+}
+
+impl SchemeKind {
+    /// The four schemes evaluated in the paper's figures, in figure order.
+    pub const EVALUATED: [SchemeKind; 4] = [
+        SchemeKind::NoPg,
+        SchemeKind::ConvOptPg,
+        SchemeKind::PowerPunchSignal,
+        SchemeKind::PowerPunchFull,
+    ];
+
+    /// Short label used in figure output, matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::NoPg => "No-PG",
+            SchemeKind::ConvPg => "Conv-PG",
+            SchemeKind::ConvOptPg => "ConvOpt-PG",
+            SchemeKind::PowerPunchSignal => "PowerPunch-Signal",
+            SchemeKind::PowerPunchFull => "PowerPunch-PG",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Router microarchitecture and network parameters (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Mesh dimensions (Table 2: 4x4, 8x8 or 16x16; default 8x8).
+    pub mesh: Mesh,
+    /// Number of virtual networks (3 for MESI without deadlock).
+    pub vnets: u8,
+    /// Data VCs per vnet (Table 2 / §2.1: two 3-flit data VCs).
+    pub data_vcs_per_vnet: u8,
+    /// Buffer depth of each data VC, in flits.
+    pub data_vc_depth: u8,
+    /// Control VCs per vnet (§2.1: one 1-flit control VC).
+    pub ctrl_vcs_per_vnet: u8,
+    /// Buffer depth of each control VC, in flits.
+    pub ctrl_vc_depth: u8,
+    /// Router pipeline depth: 3 (look-ahead routing + speculative switch
+    /// allocation, Figure 3b) or 4 (look-ahead routing, Figure 3a).
+    pub router_stages: u8,
+    /// Link traversal latency in cycles.
+    pub link_latency: u8,
+    /// Link width in bits (Table 2: 128 bits/cycle).
+    pub link_width_bits: u16,
+    /// NI pipeline latency in cycles (§5: "all the NI operations are packed
+    /// compactly in three cycles").
+    pub ni_latency: u8,
+    /// Flits in a data packet (64-byte cache line over 128-bit links plus
+    /// a head flit).
+    pub data_packet_flits: u8,
+    /// Flits in a control packet.
+    pub ctrl_packet_flits: u8,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            mesh: Mesh::new(8, 8),
+            vnets: 3,
+            data_vcs_per_vnet: 2,
+            data_vc_depth: 3,
+            ctrl_vcs_per_vnet: 1,
+            ctrl_vc_depth: 1,
+            router_stages: 3,
+            link_latency: 1,
+            link_width_bits: 128,
+            ni_latency: 3,
+            data_packet_flits: 5,
+            ctrl_packet_flits: 1,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Total VCs per input port (all vnets, data + control).
+    pub fn vcs_per_port(&self) -> usize {
+        self.vnets as usize * (self.data_vcs_per_vnet + self.ctrl_vcs_per_vnet) as usize
+    }
+
+    /// VCs per vnet (data + control).
+    pub fn vcs_per_vnet(&self) -> usize {
+        (self.data_vcs_per_vnet + self.ctrl_vcs_per_vnet) as usize
+    }
+
+    /// Zero-load per-hop latency in cycles (router pipeline + link).
+    pub fn hop_latency(&self) -> u64 {
+        self.router_stages as u64 + self.link_latency as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vnets == 0 {
+            return Err("at least one virtual network is required".into());
+        }
+        if self.data_vcs_per_vnet == 0 && self.ctrl_vcs_per_vnet == 0 {
+            return Err("each vnet needs at least one VC".into());
+        }
+        if !(3..=4).contains(&self.router_stages) {
+            return Err("router_stages must be 3 or 4".into());
+        }
+        if self.link_latency == 0 {
+            return Err("link_latency must be at least 1 cycle".into());
+        }
+        if self.data_packet_flits == 0 || self.ctrl_packet_flits == 0 {
+            return Err("packets must have at least one flit".into());
+        }
+        Ok(())
+    }
+}
+
+/// Power-gating parameters (§5 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerConfig {
+    /// Router wakeup latency in cycles (SPICE-estimated 8 in the paper;
+    /// swept 6..=12 in Figure 13).
+    pub wakeup_latency: u32,
+    /// Break-even time in cycles (~10 for on-chip routers, paper ref. 7).
+    pub break_even_time: u32,
+    /// Idle timeout before sleeping, in cycles (4, consistent with paper
+    /// refs. 7 and 9).
+    pub idle_timeout: u32,
+    /// Punch-signal hop depth H (2, 3 or 4; 3 covers Twakeup up to 9 cycles
+    /// for 3-stage routers, §4.1).
+    pub punch_hops: u16,
+    /// Cycles of slack-2: how long before the message reaches the NI the
+    /// node knows "some packet will be generated" (≈ L2/directory access
+    /// latency, ~6 cycles).
+    pub slack2_cycles: u32,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            wakeup_latency: 8,
+            break_even_time: 10,
+            idle_timeout: 4,
+            punch_hops: 3,
+            slack2_cycles: 6,
+        }
+    }
+}
+
+impl PowerConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=4).contains(&self.punch_hops) {
+            return Err("punch_hops must be in 1..=4 (paper evaluates 2-4)".into());
+        }
+        if self.wakeup_latency == 0 {
+            return Err("wakeup_latency must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+/// Top-level simulation configuration: network, power-gating and scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Network microarchitecture parameters.
+    pub noc: NocConfig,
+    /// Power-gating parameters.
+    pub power: PowerConfig,
+    /// Which power-gating scheme to run.
+    pub scheme: SchemeKind,
+    /// RNG seed for all stochastic components; a given seed reproduces a
+    /// run bit-for-bit.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            noc: NocConfig::default(),
+            power: PowerConfig::default(),
+            scheme: SchemeKind::NoPg,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A default configuration running the given scheme.
+    pub fn with_scheme(scheme: SchemeKind) -> Self {
+        SimConfig {
+            scheme,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Validates all sub-configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.noc.validate()?;
+        self.power.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        // Table 2 of the paper.
+        let c = NocConfig::default();
+        assert_eq!(c.mesh, Mesh::new(8, 8));
+        assert_eq!(c.vnets, 3);
+        assert_eq!(c.data_vc_depth, 3);
+        assert_eq!(c.ctrl_vc_depth, 1);
+        assert_eq!(c.link_width_bits, 128);
+        assert_eq!(c.ni_latency, 3);
+        assert_eq!(c.vcs_per_port(), 9);
+        assert_eq!(c.hop_latency(), 4);
+        c.validate().unwrap();
+
+        let p = PowerConfig::default();
+        assert_eq!(p.wakeup_latency, 8);
+        assert_eq!(p.break_even_time, 10);
+        assert_eq!(p.idle_timeout, 4);
+        assert_eq!(p.punch_hops, 3);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let c = NocConfig {
+            router_stages: 5,
+            ..NocConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let p = PowerConfig {
+            punch_hops: 9,
+            ..PowerConfig::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn scheme_labels_match_paper() {
+        assert_eq!(SchemeKind::ConvOptPg.label(), "ConvOpt-PG");
+        assert_eq!(SchemeKind::PowerPunchFull.to_string(), "PowerPunch-PG");
+        assert_eq!(SchemeKind::EVALUATED.len(), 4);
+    }
+}

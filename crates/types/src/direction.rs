@@ -1,0 +1,213 @@
+//! Router port directions and small direction-indexed maps.
+
+/// One of the four mesh link directions.
+///
+/// `East` is `X+`, `West` is `X-`, `South` is `Y+`, `North` is `Y-`
+/// (consistent with Figure 4's row-major numbering where ids grow eastward
+/// and southward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Toward smaller rows (`Y-`).
+    North,
+    /// Toward larger columns (`X+`).
+    East,
+    /// Toward larger rows (`Y+`).
+    South,
+    /// Toward smaller columns (`X-`).
+    West,
+}
+
+impl Direction {
+    /// All four directions in fixed N,E,S,W order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// `true` for `East`/`West` (the X dimension).
+    #[inline]
+    pub fn is_x(self) -> bool {
+        matches!(self, Direction::East | Direction::West)
+    }
+
+    /// `true` for `North`/`South` (the Y dimension).
+    #[inline]
+    pub fn is_y(self) -> bool {
+        !self.is_x()
+    }
+
+    /// Stable index in `0..4`, matching [`Direction::ALL`] order.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A router port: one of the four link directions or the local NI port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Port {
+    /// Port attached to the local network interface.
+    Local,
+    /// Port attached to the mesh link in the given direction.
+    Link(Direction),
+}
+
+impl Port {
+    /// All five ports: Local first, then N,E,S,W.
+    pub const ALL: [Port; 5] = [
+        Port::Local,
+        Port::Link(Direction::North),
+        Port::Link(Direction::East),
+        Port::Link(Direction::South),
+        Port::Link(Direction::West),
+    ];
+
+    /// Stable index in `0..5`, matching [`Port::ALL`] order.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Port::Local => 0,
+            Port::Link(d) => 1 + d.index(),
+        }
+    }
+
+    /// The link direction, or `None` for the local port.
+    #[inline]
+    pub fn direction(self) -> Option<Direction> {
+        match self {
+            Port::Local => None,
+            Port::Link(d) => Some(d),
+        }
+    }
+}
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Port::Local => f.write_str("L"),
+            Port::Link(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<Direction> for Port {
+    fn from(d: Direction) -> Self {
+        Port::Link(d)
+    }
+}
+
+/// A fixed-size map from [`Port`] to `T`, used for per-port router state.
+///
+/// # Examples
+///
+/// ```
+/// use punchsim_types::{Port, PortMap, Direction};
+///
+/// let mut credits: PortMap<u32> = PortMap::default();
+/// credits[Port::Link(Direction::East)] = 3;
+/// assert_eq!(credits[Port::Link(Direction::East)], 3);
+/// assert_eq!(credits[Port::Local], 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PortMap<T>([T; 5]);
+
+impl<T> PortMap<T> {
+    /// Builds a map by evaluating `f` for every port.
+    pub fn from_fn(mut f: impl FnMut(Port) -> T) -> Self {
+        PortMap(Port::ALL.map(&mut f))
+    }
+
+    /// Iterates over `(port, &value)` pairs in [`Port::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Port, &T)> {
+        Port::ALL.iter().copied().zip(self.0.iter())
+    }
+
+    /// Iterates over `(port, &mut value)` pairs in [`Port::ALL`] order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Port, &mut T)> {
+        Port::ALL.iter().copied().zip(self.0.iter_mut())
+    }
+}
+
+impl<T> std::ops::Index<Port> for PortMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, p: Port) -> &T {
+        &self.0[p.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Port> for PortMap<T> {
+    #[inline]
+    fn index_mut(&mut self, p: Port) -> &mut T {
+        &mut self.0[p.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn indices_are_stable_and_distinct() {
+        let mut seen = [false; 5];
+        for p in Port::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dimension_predicates() {
+        assert!(Direction::East.is_x());
+        assert!(Direction::West.is_x());
+        assert!(Direction::North.is_y());
+        assert!(Direction::South.is_y());
+    }
+
+    #[test]
+    fn portmap_from_fn() {
+        let m = PortMap::from_fn(|p| p.index() * 10);
+        assert_eq!(m[Port::Local], 0);
+        assert_eq!(m[Port::Link(Direction::West)], 40);
+        assert_eq!(m.iter().count(), 5);
+    }
+}

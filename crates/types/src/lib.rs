@@ -1,0 +1,86 @@
+//! Foundational types for the `punchsim` NoC simulator.
+//!
+//! This crate defines the vocabulary shared by every other `punchsim` crate:
+//! node/router identifiers, mesh [`geometry`], port [`direction`]s,
+//! dimension-order [`routing`], and the simulation [`config`] structures
+//! mirroring Table 2 of the Power Punch paper (HPCA 2015).
+//!
+//! # Examples
+//!
+//! ```
+//! use punchsim_types::{Mesh, NodeId, routing::xy_next_hop};
+//!
+//! let mesh = Mesh::new(8, 8);
+//! let src = NodeId(27);
+//! let dst = NodeId(31);
+//! // XY routing moves in X first: 27 -> 28.
+//! assert_eq!(xy_next_hop(mesh, src, dst), Some(NodeId(28)));
+//! ```
+
+pub mod config;
+pub mod direction;
+pub mod geometry;
+pub mod routing;
+
+pub use config::{NocConfig, PowerConfig, SchemeKind, SimConfig};
+pub use direction::{Direction, Port, PortMap};
+pub use geometry::{Coord, Mesh};
+
+/// A simulation timestamp, in router clock cycles.
+pub type Cycle = u64;
+
+/// Identifier of a node (tile) in the mesh; routers and network interfaces
+/// share this numbering, row-major from the top-left corner as in Figure 4
+/// of the paper (node 0 at the north-west corner, X+ eastward, Y+ southward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Returns the raw index as a `usize`, for indexing per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a packet, unique within a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PacketId(pub u64);
+
+impl std::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a virtual network (message class). The MESI protocol in
+/// `punchsim-cmp` uses three: request, forward, and response, which is the
+/// minimum for deadlock freedom stated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VnetId(pub u8);
+
+impl VnetId {
+    /// Returns the raw index as a `usize`, for indexing per-vnet tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VnetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VN{}", self.0)
+    }
+}

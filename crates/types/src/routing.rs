@@ -1,0 +1,214 @@
+//! Dimension-order (XY) routing.
+//!
+//! The paper implements Power Punch on a 2D mesh with XY routing (§4.1):
+//! packets travel the full X offset first, then the full Y offset. The
+//! resulting turn restriction — `Y->X` turns are illegal — is what lets
+//! punch signals be merged into narrow codewords.
+
+use crate::direction::Direction;
+use crate::geometry::Mesh;
+use crate::NodeId;
+
+/// The XY-routing output direction at `from` for a packet headed to `to`,
+/// or `None` when `from == to` (the packet ejects locally).
+///
+/// # Examples
+///
+/// ```
+/// use punchsim_types::{Mesh, NodeId, Direction, routing::xy_direction};
+///
+/// let mesh = Mesh::new(8, 8);
+/// // Packet at R26 headed to R31 travels east first (Figure 4).
+/// assert_eq!(xy_direction(mesh, NodeId(26), NodeId(31)), Some(Direction::East));
+/// ```
+pub fn xy_direction(mesh: Mesh, from: NodeId, to: NodeId) -> Option<Direction> {
+    let (f, t) = (mesh.coord(from), mesh.coord(to));
+    if f.x < t.x {
+        Some(Direction::East)
+    } else if f.x > t.x {
+        Some(Direction::West)
+    } else if f.y < t.y {
+        Some(Direction::South)
+    } else if f.y > t.y {
+        Some(Direction::North)
+    } else {
+        None
+    }
+}
+
+/// The next router on the XY path from `from` to `to`, or `None` when
+/// `from == to`.
+pub fn xy_next_hop(mesh: Mesh, from: NodeId, to: NodeId) -> Option<NodeId> {
+    let dir = xy_direction(mesh, from, to)?;
+    Some(
+        mesh.neighbor(from, dir)
+            .expect("XY direction always points inside the mesh"),
+    )
+}
+
+/// The router exactly `hops` hops along the XY path from `from` to `to`.
+///
+/// If the path is shorter than `hops`, returns the destination `to` itself.
+/// This is precisely the paper's *targeted router* rule: the wakeup target
+/// is the router `min(H, dist)` hops ahead (§4.1 step 1).
+pub fn xy_router_ahead(mesh: Mesh, from: NodeId, to: NodeId, hops: u16) -> NodeId {
+    let mut cur = from;
+    for _ in 0..hops {
+        match xy_next_hop(mesh, cur, to) {
+            Some(next) => cur = next,
+            None => break,
+        }
+    }
+    cur
+}
+
+/// Returns `true` if `mid` lies on the XY path from `from` to `to`
+/// (endpoints included). Used to drop *implied* punch targets (§4.1 step 4).
+pub fn xy_on_path(mesh: Mesh, from: NodeId, to: NodeId, mid: NodeId) -> bool {
+    let (f, t, m) = (mesh.coord(from), mesh.coord(to), mesh.coord(mid));
+    // X phase: same row as source, x between f.x and t.x.
+    let in_x_phase = m.y == f.y && m.x >= f.x.min(t.x) && m.x <= f.x.max(t.x);
+    // Y phase: same column as destination, y between f.y and t.y.
+    let in_y_phase = m.x == t.x && m.y >= f.y.min(t.y) && m.y <= f.y.max(t.y);
+    in_x_phase || in_y_phase
+}
+
+/// An iterator over the routers of an XY route, excluding the source and
+/// including the destination.
+#[derive(Debug, Clone)]
+pub struct XyPath {
+    mesh: Mesh,
+    cur: NodeId,
+    dst: NodeId,
+}
+
+impl Iterator for XyPath {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let next = xy_next_hop(self.mesh, self.cur, self.dst)?;
+        self.cur = next;
+        Some(next)
+    }
+}
+
+/// The XY route from `from` to `to` as an iterator of intermediate routers
+/// and the destination (the source is not yielded).
+///
+/// # Examples
+///
+/// ```
+/// use punchsim_types::{Mesh, NodeId, routing::xy_path};
+///
+/// let mesh = Mesh::new(8, 8);
+/// let hops: Vec<_> = xy_path(mesh, NodeId(26), NodeId(36)).collect();
+/// assert_eq!(hops, vec![NodeId(27), NodeId(28), NodeId(36)]);
+/// ```
+pub fn xy_path(mesh: Mesh, from: NodeId, to: NodeId) -> XyPath {
+    XyPath {
+        mesh,
+        cur: from,
+        dst: to,
+    }
+}
+
+/// Returns `true` if turning from travel direction `incoming` to `outgoing`
+/// is legal under XY routing (Y->X turns are forbidden).
+pub fn xy_turn_legal(incoming: Direction, outgoing: Direction) -> bool {
+    // Continuing straight or turning X->Y is legal; U-turns and Y->X are not.
+    if outgoing == incoming.opposite() {
+        return false;
+    }
+    !(incoming.is_y() && outgoing.is_x())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh8() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn x_before_y() {
+        // R26 -> R29 goes straight east; R26 -> R36 goes east then south.
+        let m = mesh8();
+        let p: Vec<_> = xy_path(m, NodeId(26), NodeId(29)).collect();
+        assert_eq!(p, vec![NodeId(27), NodeId(28), NodeId(29)]);
+        let p: Vec<_> = xy_path(m, NodeId(26), NodeId(36)).collect();
+        assert_eq!(p, vec![NodeId(27), NodeId(28), NodeId(36)]);
+    }
+
+    #[test]
+    fn path_length_equals_distance() {
+        let m = mesh8();
+        for a in m.iter_nodes() {
+            for b in m.iter_nodes() {
+                assert_eq!(xy_path(m, a, b).count(), m.distance(a, b) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn router_ahead_respects_min_rule() {
+        let m = mesh8();
+        // Paper §4.1: packet with source R0, destination R7, currently at R3:
+        // the targeted router for a 3-hop punch is R6.
+        assert_eq!(xy_router_ahead(m, NodeId(3), NodeId(7), 3), NodeId(6));
+        // Closer than H hops: the destination itself is the target.
+        assert_eq!(xy_router_ahead(m, NodeId(5), NodeId(7), 3), NodeId(7));
+        assert_eq!(xy_router_ahead(m, NodeId(7), NodeId(7), 3), NodeId(7));
+    }
+
+    #[test]
+    fn paper_example_r26_to_r31_targets_r29() {
+        // §4.1 step 1: "a packet currently at R26 with destination R31 knows
+        // precisely that the targeted router is R29".
+        let m = mesh8();
+        assert_eq!(xy_router_ahead(m, NodeId(26), NodeId(31), 3), NodeId(29));
+    }
+
+    #[test]
+    fn on_path_examples() {
+        let m = mesh8();
+        // R27 and R28 are along the path from R26 to R29 (§4.1 step 2).
+        assert!(xy_on_path(m, NodeId(26), NodeId(29), NodeId(27)));
+        assert!(xy_on_path(m, NodeId(26), NodeId(29), NodeId(28)));
+        assert!(!xy_on_path(m, NodeId(26), NodeId(29), NodeId(35)));
+        // R29 is along the path from R27 to R21 (§4.1 step 4).
+        assert!(xy_on_path(m, NodeId(27), NodeId(21), NodeId(29)));
+        // Endpoints count.
+        assert!(xy_on_path(m, NodeId(26), NodeId(29), NodeId(26)));
+        assert!(xy_on_path(m, NodeId(26), NodeId(29), NodeId(29)));
+    }
+
+    #[test]
+    fn on_path_matches_enumeration() {
+        let m = Mesh::new(5, 5);
+        for a in m.iter_nodes() {
+            for b in m.iter_nodes() {
+                let path: Vec<_> = std::iter::once(a).chain(xy_path(m, a, b)).collect();
+                for c in m.iter_nodes() {
+                    assert_eq!(
+                        xy_on_path(m, a, b, c),
+                        path.contains(&c),
+                        "a={a} b={b} c={c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn turn_legality() {
+        use Direction::*;
+        // Paper §4.1 step 3: "Y+ to X+ turns are illegal".
+        assert!(!xy_turn_legal(South, East));
+        assert!(!xy_turn_legal(North, West));
+        assert!(xy_turn_legal(East, South));
+        assert!(xy_turn_legal(East, North));
+        assert!(xy_turn_legal(East, East));
+        assert!(!xy_turn_legal(East, West)); // U-turn
+    }
+}

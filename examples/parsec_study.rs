@@ -1,0 +1,52 @@
+//! Full-system study: run one PARSEC-like benchmark on the 64-core MESI CMP
+//! under all four schemes (the per-benchmark slice of Figures 7-11).
+//!
+//! ```sh
+//! cargo run --release --example parsec_study [benchmark]
+//! ```
+//!
+//! `benchmark` is one of: blackscholes bodytrack canneal dedup ferret
+//! fluidanimate swaptions x264 (default: dedup).
+
+use punchsim::prelude::*;
+use punchsim::stats::Table;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dedup".into());
+    let bench = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name:?}; using dedup");
+            Benchmark::Dedup
+        });
+    let pm = PowerModel::default_45nm();
+    println!("full-system run of `{bench}` on a 64-core 8x8 CMP (this takes a minute)...\n");
+    let mut table = Table::new([
+        "scheme",
+        "exec cycles",
+        "exec vs No-PG",
+        "pkt latency",
+        "blocked/pkt",
+        "wait cyc/pkt",
+        "static saved %",
+    ]);
+    let mut base_exec = 0.0;
+    for scheme in SchemeKind::EVALUATED {
+        let report = CmpSim::new(CmpConfig::new(bench, scheme)).run();
+        assert!(report.completed, "{bench} under {scheme} did not finish");
+        if scheme == SchemeKind::NoPg {
+            base_exec = report.exec_cycles as f64;
+        }
+        table.row([
+            scheme.label().to_string(),
+            report.exec_cycles.to_string(),
+            format!("{:+.2}%", (report.exec_cycles as f64 / base_exec - 1.0) * 100.0),
+            format!("{:.1}", report.net.avg_packet_latency()),
+            format!("{:.2}", report.net.avg_pg_encounters()),
+            format!("{:.2}", report.net.avg_wakeup_wait()),
+            format!("{:.1}", pm.static_savings(&report.net) * 100.0),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,41 @@
+//! Quickstart: run one network under Power Punch and print the headline
+//! numbers next to the No-PG baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use punchsim::prelude::*;
+use punchsim::stats::Table;
+
+fn main() {
+    let pm = PowerModel::default_45nm();
+    let mut table = Table::new([
+        "scheme",
+        "avg latency (cyc)",
+        "blocked routers/pkt",
+        "wakeup wait (cyc)",
+        "router off %",
+        "static energy saved %",
+    ]);
+    for scheme in SchemeKind::EVALUATED {
+        // An 8x8 mesh (Table 2 of the paper) under light uniform traffic.
+        let cfg = SimConfig::with_scheme(scheme);
+        let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
+        let report = sim.run_experiment(5_000, 20_000);
+        table.row([
+            scheme.label().to_string(),
+            format!("{:.1}", report.avg_packet_latency()),
+            format!("{:.2}", report.avg_pg_encounters()),
+            format!("{:.2}", report.avg_wakeup_wait()),
+            format!("{:.1}", report.off_fraction() * 100.0),
+            format!("{:.1}", pm.static_savings(&report) * 100.0),
+        ]);
+    }
+    println!("punchsim quickstart — 8x8 mesh, uniform random, 0.005 flits/node/cycle\n");
+    println!("{table}");
+    println!(
+        "Power Punch wakes routers ahead of packets, so it keeps the No-PG\n\
+         latency while saving almost as much static energy as blind gating."
+    );
+}

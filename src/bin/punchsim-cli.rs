@@ -1,0 +1,275 @@
+//! `punchsim` command-line interface: run any experiment without writing
+//! Rust.
+//!
+//! ```text
+//! punchsim-cli sweep   [--pattern P] [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
+//! punchsim-cli parsec  [--benchmark B] [--scheme S] [--instr N]
+//! punchsim-cli table1
+//! punchsim-cli schemes [--mesh WxH] [--rate R]
+//! ```
+//!
+//! Schemes: `nopg`, `conv`, `convopt`, `pps` (PowerPunch-Signal),
+//! `ppf` (PowerPunch-PG). Patterns: `uniform`, `transpose`, `bitcomp`,
+//! `bitrev`, `shuffle`, `tornado`, `neighbor`.
+
+use std::process::ExitCode;
+
+use punchsim::prelude::*;
+use punchsim::stats::Table;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "sweep" => sweep(&opts),
+        "parsec" => parsec(&opts),
+        "table1" => table1(),
+        "schemes" => schemes(&opts),
+        other => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage:
+  punchsim-cli sweep   [--pattern P] [--scheme S] [--mesh WxH] [--cycles N]
+  punchsim-cli parsec  [--benchmark B] [--scheme S] [--instr N]
+  punchsim-cli table1
+  punchsim-cli schemes [--mesh WxH] [--rate R] [--cycles N]
+
+schemes: nopg conv convopt pps ppf
+patterns: uniform transpose bitcomp bitrev shuffle tornado neighbor
+benchmarks: blackscholes bodytrack canneal dedup ferret fluidanimate swaptions x264";
+
+struct Opts {
+    pattern: TrafficPattern,
+    scheme: SchemeKind,
+    mesh: Mesh,
+    rate: f64,
+    cycles: u64,
+    benchmark: Benchmark,
+    instr: u64,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts {
+            pattern: TrafficPattern::UniformRandom,
+            scheme: SchemeKind::PowerPunchFull,
+            mesh: Mesh::new(8, 8),
+            rate: 0.005,
+            cycles: 20_000,
+            benchmark: Benchmark::Dedup,
+            instr: 80_000,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let val = it
+                .next()
+                .ok_or_else(|| format!("missing value for {flag}"))?;
+            match flag.as_str() {
+                "--pattern" => {
+                    o.pattern = match val.as_str() {
+                        "uniform" => TrafficPattern::UniformRandom,
+                        "transpose" => TrafficPattern::Transpose,
+                        "bitcomp" => TrafficPattern::BitComplement,
+                        "bitrev" => TrafficPattern::BitReverse,
+                        "shuffle" => TrafficPattern::Shuffle,
+                        "tornado" => TrafficPattern::Tornado,
+                        "neighbor" => TrafficPattern::Neighbor,
+                        p => return Err(format!("unknown pattern {p}")),
+                    }
+                }
+                "--scheme" => {
+                    o.scheme = match val.as_str() {
+                        "nopg" => SchemeKind::NoPg,
+                        "conv" => SchemeKind::ConvPg,
+                        "convopt" => SchemeKind::ConvOptPg,
+                        "pps" => SchemeKind::PowerPunchSignal,
+                        "ppf" => SchemeKind::PowerPunchFull,
+                        s => return Err(format!("unknown scheme {s}")),
+                    }
+                }
+                "--mesh" => {
+                    let (w, h) = val
+                        .split_once('x')
+                        .ok_or_else(|| format!("mesh must look like 8x8, got {val}"))?;
+                    let w: u16 = w.parse().map_err(|_| "bad mesh width".to_string())?;
+                    let h: u16 = h.parse().map_err(|_| "bad mesh height".to_string())?;
+                    o.mesh = Mesh::new(w, h);
+                }
+                "--rate" => {
+                    o.rate = val.parse().map_err(|_| "bad rate".to_string())?;
+                }
+                "--cycles" => {
+                    o.cycles = val.parse().map_err(|_| "bad cycle count".to_string())?;
+                }
+                "--instr" => {
+                    o.instr = val.parse().map_err(|_| "bad instruction count".to_string())?;
+                }
+                "--benchmark" => {
+                    o.benchmark = Benchmark::ALL
+                        .into_iter()
+                        .find(|b| b.name() == val.as_str())
+                        .ok_or_else(|| format!("unknown benchmark {val}"))?;
+                }
+                f => return Err(format!("unknown flag {f}")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn run_synth(opts: &Opts, scheme: SchemeKind, rate: f64) -> NetworkReport {
+    let mut cfg = SimConfig::with_scheme(scheme);
+    cfg.noc.mesh = opts.mesh;
+    let mut sim = SyntheticSim::new(cfg, opts.pattern, rate);
+    sim.run_experiment(opts.cycles / 4, opts.cycles)
+}
+
+fn sweep(opts: &Opts) {
+    let pm = PowerModel::default_45nm();
+    println!(
+        "load sweep: {} on {}x{} under {}",
+        opts.pattern,
+        opts.mesh.width(),
+        opts.mesh.height(),
+        opts.scheme
+    );
+    let mut t = Table::new(["load", "latency", "off %", "static W", "throughput"]);
+    for mult in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let rate = opts.rate * mult;
+        let r = run_synth(opts, opts.scheme, rate);
+        t.row([
+            format!("{rate:.4}"),
+            format!("{:.1}", r.avg_packet_latency()),
+            format!("{:.1}", r.off_fraction() * 100.0),
+            format!("{:.2}", pm.static_power_watts(&r)),
+            format!("{:.4}", r.throughput()),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn schemes(opts: &Opts) {
+    let pm = PowerModel::default_45nm();
+    println!(
+        "scheme comparison: {} at {} flits/node/cycle on {}x{}",
+        opts.pattern,
+        opts.rate,
+        opts.mesh.width(),
+        opts.mesh.height()
+    );
+    let mut t = Table::new([
+        "scheme",
+        "latency",
+        "blocked/pkt",
+        "wait/pkt",
+        "off %",
+        "static saved %",
+    ]);
+    for scheme in SchemeKind::EVALUATED {
+        let r = run_synth(opts, scheme, opts.rate);
+        t.row([
+            scheme.label().to_string(),
+            format!("{:.1}", r.avg_packet_latency()),
+            format!("{:.2}", r.avg_pg_encounters()),
+            format!("{:.2}", r.avg_wakeup_wait()),
+            format!("{:.1}", r.off_fraction() * 100.0),
+            format!("{:.1}", pm.static_savings(&r) * 100.0),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn parsec(opts: &Opts) {
+    let mut cfg = CmpConfig::new(opts.benchmark, opts.scheme);
+    cfg.instr_per_core = opts.instr;
+    cfg.warmup_instr = opts.instr / 10;
+    println!(
+        "full-system: {} under {} ({} instructions/core)...",
+        opts.benchmark, opts.scheme, opts.instr
+    );
+    let r = CmpSim::new(cfg).run();
+    println!("completed:        {}", r.completed);
+    println!("execution cycles: {}", r.exec_cycles);
+    println!("L1 miss rate:     {:.3}%", r.l1_miss_rate * 100.0);
+    println!("packet latency:   {:.1} cycles", r.net.avg_packet_latency());
+    println!("blocked/packet:   {:.2}", r.net.avg_pg_encounters());
+    println!("offered load:     {:.4} flits/node/cycle", r.net.offered_load);
+    println!("router off:       {:.1}%", r.net.off_fraction() * 100.0);
+}
+
+fn table1() {
+    use punchsim::core::Codebook;
+    use punchsim::types::{Direction, NodeId};
+    let cb = Codebook::enumerate(Mesh::new(8, 8), 3);
+    let link = cb.link(NodeId(27), Direction::East).expect("interior");
+    let mut t = Table::new(["#", "targeted routers", "punch signal"]);
+    for (i, s) in link.sets().iter().enumerate() {
+        t.row([
+            (i + 1).to_string(),
+            s.to_string(),
+            format!("{:05b}", link.encode(s).expect("in book")),
+        ]);
+    }
+    println!("{t}");
+    println!("{} sets, {} bits (paper: 22 sets, 5 bits)", link.set_count(), link.width_bits());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Opts::parse(&v)
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scheme, SchemeKind::PowerPunchFull);
+        assert_eq!(o.mesh, Mesh::new(8, 8));
+        assert_eq!(o.benchmark, Benchmark::Dedup);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse(&[
+            "--scheme", "convopt", "--mesh", "4x4", "--rate", "0.01",
+            "--pattern", "transpose", "--benchmark", "canneal",
+            "--cycles", "500", "--instr", "1000",
+        ])
+        .unwrap();
+        assert_eq!(o.scheme, SchemeKind::ConvOptPg);
+        assert_eq!(o.mesh, Mesh::new(4, 4));
+        assert_eq!(o.rate, 0.01);
+        assert_eq!(o.pattern, TrafficPattern::Transpose);
+        assert_eq!(o.benchmark, Benchmark::Canneal);
+        assert_eq!(o.cycles, 500);
+        assert_eq!(o.instr, 1000);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(parse(&["--scheme", "warp9"]).is_err());
+        assert!(parse(&["--mesh", "8by8"]).is_err());
+        assert!(parse(&["--mesh"]).is_err());
+        assert!(parse(&["--rate", "fast"]).is_err());
+        assert!(parse(&["--wormhole", "1"]).is_err());
+        assert!(parse(&["--benchmark", "doom"]).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # punchsim
+//!
+//! A from-scratch, cycle-accurate network-on-chip simulator reproducing
+//! *Power Punch: Towards Non-blocking Power-gating of NoC Routers*
+//! (Chen, Zhu, Pedram, Pinkston — HPCA 2015).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`types`] — mesh geometry, XY routing, configuration (Table 2)
+//! * [`noc`] — the cycle-accurate router/network substrate
+//! * [`core`] — the paper's contribution: power-gating controllers and the
+//!   Power Punch punch-signal fabric and codebook (Table 1)
+//! * [`power`] — DSENT-like router energy model and accounting
+//! * [`traffic`] — synthetic traffic patterns and injection processes
+//! * [`cmp`] — MESI-directory CMP substrate standing in for gem5+PARSEC
+//! * [`stats`] — counters, histograms and table rendering
+//!
+//! # Quickstart
+//!
+//! ```
+//! use punchsim::prelude::*;
+//!
+//! let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+//! cfg.noc.mesh = Mesh::new(4, 4);
+//! let mut sim = SyntheticSim::new(
+//!     cfg,
+//!     TrafficPattern::UniformRandom,
+//!     0.02, // flits/node/cycle
+//! );
+//! sim.run(5_000);
+//! let report = sim.report();
+//! assert!(report.stats.packets_delivered > 0);
+//! ```
+
+pub use punchsim_cmp as cmp;
+pub use punchsim_core as core;
+pub use punchsim_noc as noc;
+pub use punchsim_power as power;
+pub use punchsim_stats as stats;
+pub use punchsim_traffic as traffic;
+pub use punchsim_types as types;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use punchsim_cmp::{Benchmark, CmpConfig, CmpReport, CmpSim};
+    pub use punchsim_core::build_power_manager;
+    pub use punchsim_noc::{Network, NetworkReport, PowerManager};
+    pub use punchsim_power::{EnergyBreakdown, PowerModel};
+    pub use punchsim_traffic::{SyntheticSim, TrafficPattern};
+    pub use punchsim_types::{
+        Cycle, Direction, Mesh, NodeId, NocConfig, PacketId, Port, PowerConfig, SchemeKind,
+        SimConfig, VnetId,
+    };
+}

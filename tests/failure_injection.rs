@@ -1,0 +1,122 @@
+//! Failure injection: Power Punch's punch signals are an *optimization*;
+//! the conventional WU handshake (Figure 2) remains as the correctness
+//! safety net. These tests wrap the real power manager in a fault injector
+//! that drops or delays events and assert that no packet is ever lost and
+//! the network always drains — only performance may degrade.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use punchsim::core::build_power_manager;
+use punchsim::noc::{
+    IdleInfo, Message, MsgClass, Network, PgCounters, PmEvent, PowerManager, PowerState,
+};
+use punchsim::types::{Cycle, Mesh, NodeId, SchemeKind, SimConfig};
+
+/// Drops a fraction of non-essential events (everything except the
+/// `BlockedNeed` safety net) before handing them to the inner scheme.
+struct FaultyManager {
+    inner: Box<dyn PowerManager>,
+    rng: StdRng,
+    drop_prob: f64,
+}
+
+impl FaultyManager {
+    fn new(inner: Box<dyn PowerManager>, drop_prob: f64, seed: u64) -> Self {
+        FaultyManager {
+            inner,
+            rng: StdRng::seed_from_u64(seed),
+            drop_prob,
+        }
+    }
+}
+
+impl PowerManager for FaultyManager {
+    fn kind(&self) -> SchemeKind {
+        self.inner.kind()
+    }
+
+    fn state(&self, r: NodeId) -> PowerState {
+        self.inner.state(r)
+    }
+
+    fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>) {
+        let kept: Vec<PmEvent> = events
+            .iter()
+            .copied()
+            .filter(|ev| {
+                // Never drop the correctness-critical handshake.
+                matches!(ev, PmEvent::BlockedNeed { .. })
+                    || self.rng.random_range(0.0..1.0) >= self.drop_prob
+            })
+            .collect();
+        self.inner.tick(cycle, &kept, idle);
+    }
+
+    fn counters(&self) -> &PgCounters {
+        self.inner.counters()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+}
+
+fn run_with_drops(drop_prob: f64) -> (usize, f64) {
+    let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+    cfg.noc.mesh = Mesh::new(4, 4);
+    let inner = build_power_manager(&cfg);
+    let pm = Box::new(FaultyManager::new(inner, drop_prob, 99));
+    let mut net = Network::new(&cfg.noc, pm);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sent = 0usize;
+    for round in 0..600u64 {
+        if round % 10 == 0 {
+            let src = NodeId(rng.random_range(0..16u16));
+            let dst = NodeId(rng.random_range(0..16u16));
+            net.send(Message {
+                src,
+                dst,
+                vnet: punchsim::types::VnetId(0),
+                class: MsgClass::Control,
+                payload: 0,
+                gen_cycle: 0,
+            });
+            sent += 1;
+        }
+        net.tick();
+    }
+    let mut guard = 0;
+    while net.in_flight() > 0 {
+        net.tick();
+        guard += 1;
+        assert!(guard < 100_000, "network failed to drain");
+    }
+    let delivered: usize = (0..16u16)
+        .map(|n| net.take_delivered(NodeId(n)).len())
+        .sum();
+    (delivered.min(sent), net.report().stats.wakeup_wait.mean())
+}
+
+#[test]
+fn losing_every_punch_event_degrades_but_never_deadlocks() {
+    let (delivered, wait_all_dropped) = run_with_drops(1.0);
+    assert_eq!(delivered, 60, "all packets delivered without any punches");
+    let (delivered, wait_healthy) = run_with_drops(0.0);
+    assert_eq!(delivered, 60);
+    // Dropping punches turns the scheme into blocked-wakeup gating: the
+    // waiting time rises, demonstrating the punches were doing real work.
+    assert!(
+        wait_all_dropped > wait_healthy,
+        "dropped-punch wait {wait_all_dropped} vs healthy {wait_healthy}"
+    );
+}
+
+#[test]
+fn partial_event_loss_is_between_the_extremes() {
+    let (_, w0) = run_with_drops(0.0);
+    let (d, w50) = run_with_drops(0.5);
+    let (_, w100) = run_with_drops(1.0);
+    assert_eq!(d, 60);
+    assert!(w0 <= w50 + 1e-9 && w50 <= w100 + 1e-9, "{w0} {w50} {w100}");
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests: the paper's qualitative results must hold
+//! end-to-end (scheme orderings of Figures 7, 9, 10, 11) on synthetic
+//! traffic, and basic timing invariants of the substrate must stay exact.
+
+use punchsim::prelude::*;
+use punchsim::traffic::InjectionConfig;
+
+fn report(scheme: SchemeKind, rate: f64) -> NetworkReport {
+    let mut cfg = SimConfig::with_scheme(scheme);
+    cfg.noc.mesh = Mesh::new(8, 8);
+    let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, rate);
+    sim.run_experiment(3_000, 12_000)
+}
+
+#[test]
+fn figure7_latency_ordering() {
+    let no = report(SchemeKind::NoPg, 0.005);
+    let conv = report(SchemeKind::ConvOptPg, 0.005);
+    let pps = report(SchemeKind::PowerPunchSignal, 0.005);
+    let ppf = report(SchemeKind::PowerPunchFull, 0.005);
+    let (l0, l1, l2, l3) = (
+        no.avg_packet_latency(),
+        conv.avg_packet_latency(),
+        pps.avg_packet_latency(),
+        ppf.avg_packet_latency(),
+    );
+    // No-PG <= PP-PG < PP-Signal < ConvOpt (Figure 7).
+    assert!(l0 <= l3 + 0.5, "No-PG {l0} vs PP-PG {l3}");
+    assert!(l3 < l2, "PP-PG {l3} vs PP-Signal {l2}");
+    assert!(l2 < l1, "PP-Signal {l2} vs ConvOpt {l1}");
+    // ConvOpt suffers a large penalty; PowerPunch-PG a tiny one.
+    assert!(l1 / l0 > 1.3, "ConvOpt penalty only {}", l1 / l0 - 1.0);
+    assert!(l3 / l0 < 1.1, "PP-PG penalty {}", l3 / l0 - 1.0);
+}
+
+#[test]
+fn figure9_and_10_blocking_orderings() {
+    let conv = report(SchemeKind::ConvOptPg, 0.005);
+    let pps = report(SchemeKind::PowerPunchSignal, 0.005);
+    let ppf = report(SchemeKind::PowerPunchFull, 0.005);
+    // Fig 9: encountered powered-off routers drop dramatically.
+    assert!(conv.avg_pg_encounters() > 2.0);
+    assert!(pps.avg_pg_encounters() < conv.avg_pg_encounters() / 2.0);
+    assert!(ppf.avg_pg_encounters() <= pps.avg_pg_encounters());
+    // Fig 10: wakeup-wait cycles drop even more for PP-PG (NI slack).
+    assert!(conv.avg_wakeup_wait() > 10.0);
+    assert!(pps.avg_wakeup_wait() < conv.avg_wakeup_wait() / 2.0);
+    assert!(ppf.avg_wakeup_wait() < pps.avg_wakeup_wait());
+}
+
+#[test]
+fn figure11_energy_ordering() {
+    let pm = PowerModel::default_45nm();
+    let no = report(SchemeKind::NoPg, 0.005);
+    let conv = report(SchemeKind::ConvOptPg, 0.005);
+    let ppf = report(SchemeKind::PowerPunchFull, 0.005);
+    assert_eq!(pm.static_savings(&no), 0.0);
+    // Both gating schemes save the majority of static energy at low load.
+    assert!(pm.static_savings(&conv) > 0.5);
+    assert!(pm.static_savings(&ppf) > 0.5);
+    // Dynamic energy is similar across schemes (same traffic).
+    let d0 = pm.breakdown(&no).dynamic_pj;
+    let d1 = pm.breakdown(&ppf).dynamic_pj;
+    assert!((d1 / d0 - 1.0).abs() < 0.2, "dynamic ratio {}", d1 / d0);
+}
+
+#[test]
+fn punch_signals_flow_only_under_punch_schemes() {
+    let conv = report(SchemeKind::ConvOptPg, 0.01);
+    let ppf = report(SchemeKind::PowerPunchFull, 0.01);
+    assert_eq!(conv.pg.punch_hops, 0);
+    assert!(ppf.pg.punch_hops > 1_000);
+    // Conventional gating leans on the WU wire instead.
+    assert!(conv.pg.wu_assertions > 0);
+}
+
+#[test]
+fn saturation_throughput_unaffected_by_power_punch() {
+    // §6.4: PowerPunch-PG reaches the same maximum throughput as No-PG.
+    let run = |scheme| {
+        let mut cfg = SimConfig::with_scheme(scheme);
+        cfg.noc.mesh = Mesh::new(4, 4);
+        let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.6);
+        sim.run_experiment(3_000, 8_000).throughput()
+    };
+    let t_no = run(SchemeKind::NoPg);
+    let t_pp = run(SchemeKind::PowerPunchFull);
+    assert!(
+        (t_pp / t_no - 1.0).abs() < 0.08,
+        "saturation throughput No-PG {t_no} vs PP {t_pp}"
+    );
+}
+
+#[test]
+fn slack2_fraction_controls_full_scheme_advantage() {
+    // With no slack-2 and no slack-1 advantage the two punch schemes
+    // should converge; with full slack, PP-PG must win on wait cycles.
+    let run = |scheme, slack_frac: f64| {
+        let mut cfg = SimConfig::with_scheme(scheme);
+        cfg.noc.mesh = Mesh::new(8, 8);
+        let mut inj = InjectionConfig::at_rate(0.004);
+        inj.slack2_fraction = slack_frac;
+        let mut sim = SyntheticSim::with_injection(cfg, TrafficPattern::UniformRandom, inj);
+        sim.run_experiment(3_000, 10_000)
+    };
+    let full = run(SchemeKind::PowerPunchFull, 1.0);
+    let signal = run(SchemeKind::PowerPunchSignal, 1.0);
+    assert!(full.avg_wakeup_wait() < signal.avg_wakeup_wait());
+}
+
+#[test]
+fn four_stage_router_still_orders_schemes() {
+    let run = |scheme| {
+        let mut cfg = SimConfig::with_scheme(scheme);
+        cfg.noc.mesh = Mesh::new(8, 8);
+        cfg.noc.router_stages = 4;
+        cfg.power.wakeup_latency = 10;
+        let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
+        sim.run_experiment(2_000, 8_000)
+    };
+    let no = run(SchemeKind::NoPg);
+    let conv = run(SchemeKind::ConvOptPg);
+    let ppf = run(SchemeKind::PowerPunchFull);
+    assert!(conv.avg_packet_latency() > ppf.avg_packet_latency());
+    assert!(ppf.avg_packet_latency() < no.avg_packet_latency() * 1.12);
+}
+
+#[test]
+fn all_patterns_deliver_under_power_punch() {
+    for pattern in [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitComplement,
+        TrafficPattern::BitReverse,
+        TrafficPattern::Shuffle,
+        TrafficPattern::Tornado,
+        TrafficPattern::Neighbor,
+        TrafficPattern::Hotspot(NodeId(27)),
+    ] {
+        let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+        cfg.noc.mesh = Mesh::new(8, 8);
+        let mut sim = SyntheticSim::new(cfg, pattern, 0.01);
+        let r = sim.run_experiment(1_000, 4_000);
+        assert!(
+            r.stats.packets_delivered > 100,
+            "{pattern} delivered too few"
+        );
+    }
+}
