@@ -31,7 +31,7 @@ fn main() {
             inj.burstiness = b;
             let mut sim =
                 SyntheticSim::with_injection(cfg, TrafficPattern::UniformRandom, inj);
-            let r = sim.run_experiment(synth_cycles() / 4, synth_cycles());
+            let r = sim.run_experiment(synth_cycles() / 4, synth_cycles()).unwrap();
             t.row([
                 format!("{b:.1}"),
                 scheme.label().to_string(),

@@ -26,7 +26,7 @@ fn main() {
     ] {
         let cfg = SimConfig::with_scheme(scheme);
         let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
-        let r = sim.run_experiment(synth_cycles() / 4, synth_cycles());
+        let r = sim.run_experiment(synth_cycles() / 4, synth_cycles()).unwrap();
         t.row([
             scheme.label().to_string(),
             format!("{:.1}", r.avg_packet_latency()),

@@ -34,7 +34,7 @@ fn main() {
         let pm = Box::new(PowerPunchManager::with_slacks(
             mesh, &cfg.power, hop, s1, s2,
         ));
-        let mut net = punchsim::noc::Network::new(&cfg.noc, pm);
+        let mut net = punchsim::noc::Network::new(&cfg.noc, pm).unwrap();
         let r = drive(&mut net, synth_cycles());
         t.row([
             if s1 { "on" } else { "off" }.to_string(),
@@ -90,12 +90,13 @@ fn drive(net: &mut punchsim::noc::Network, cycles: u64) -> (f64, f64, f64) {
                     class: MsgClass::Control,
                     payload: 0,
                     gen_cycle: c,
-                });
+                })
+                .unwrap();
             } else {
                 i += 1;
             }
         }
-        net.tick();
+        net.tick().unwrap();
         for n in 0..nodes {
             net.take_delivered(NodeId(n as u16));
         }

@@ -28,14 +28,14 @@ fn main() {
     let base = {
         let cfg = SimConfig::with_scheme(SchemeKind::NoPg);
         let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
-        sim.run_experiment(synth_cycles() / 4, synth_cycles())
+        sim.run_experiment(synth_cycles() / 4, synth_cycles()).unwrap()
             .avg_packet_latency()
     };
     for h in 1..=4u16 {
         let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
         cfg.power.punch_hops = h;
         let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
-        let r = sim.run_experiment(synth_cycles() / 4, synth_cycles());
+        let r = sim.run_experiment(synth_cycles() / 4, synth_cycles()).unwrap();
         t.row([
             h.to_string(),
             format!("{:.1}", r.avg_packet_latency()),

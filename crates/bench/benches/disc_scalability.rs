@@ -30,7 +30,7 @@ fn main() {
             let mut cfg = SimConfig::with_scheme(scheme);
             cfg.noc.mesh = Mesh::new(w, h);
             let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.002);
-            sim.run_experiment(synth_cycles() / 4, synth_cycles())
+            sim.run_experiment(synth_cycles() / 4, synth_cycles()).unwrap()
                 .avg_packet_latency()
         };
         let no = run(SchemeKind::NoPg);

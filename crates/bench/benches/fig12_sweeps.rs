@@ -43,7 +43,7 @@ fn main() {
             for scheme in schemes {
                 let cfg = SimConfig::with_scheme(scheme);
                 let mut sim = SyntheticSim::new(cfg, pattern, rate);
-                let r = sim.run_experiment(synth_cycles() / 4, synth_cycles());
+                let r = sim.run_experiment(synth_cycles() / 4, synth_cycles()).unwrap();
                 lats.push(format!("{:.1}", r.avg_packet_latency()));
                 watts.push(format!("{:.2}", pm.static_power_watts(&r)));
             }

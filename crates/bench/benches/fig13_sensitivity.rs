@@ -38,7 +38,7 @@ fn main() {
                 cfg.power.punch_hops = 3;
                 let mut sim =
                     SyntheticSim::new(cfg, TrafficPattern::UniformRandom, rate);
-                let r = sim.run_experiment(synth_cycles() / 4, synth_cycles());
+                let r = sim.run_experiment(synth_cycles() / 4, synth_cycles()).unwrap();
                 lats.push(r.avg_packet_latency());
             }
             t.row([

@@ -19,11 +19,11 @@ fn bench_network_tick(c: &mut Criterion) {
                     let cfg = SimConfig::with_scheme(scheme);
                     let mut sim =
                         SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.05);
-                    sim.run(500); // warm structures
+                    sim.run(500).unwrap(); // warm structures
                     sim
                 },
                 |mut sim| {
-                    sim.run(1_000);
+                    sim.run(1_000).unwrap();
                     black_box(sim.report().stats.packets_delivered)
                 },
                 criterion::BatchSize::LargeInput,

@@ -9,8 +9,7 @@
 //! coherence traffic, and execution time that responds to network latency.
 //! DESIGN.md documents this substitution.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use punchsim_types::SimRng;
 
 use crate::protocol::BlockAddr;
 
@@ -217,7 +216,7 @@ impl SyntheticCore {
     /// Advances one cycle of compute; returns the memory reference to issue
     /// when the current burst ends, or `None` while still computing (or
     /// when done).
-    pub fn tick(&mut self, rng: &mut StdRng) -> Option<MemRef> {
+    pub fn tick(&mut self, rng: &mut SimRng) -> Option<MemRef> {
         if self.done() {
             return None;
         }
@@ -230,7 +229,7 @@ impl SyntheticCore {
         // burst length (geometric with mean (1-mem_ratio)/mem_ratio).
         self.retired += 1;
         let mean = (1.0 - self.params.mem_ratio) / self.params.mem_ratio;
-        let u: f64 = rng.random_range(0.0..1.0);
+        let u: f64 = rng.random_f64();
         self.burst_left = (-(1.0 - u).ln() * mean).round() as u64;
         Some(self.gen_ref(rng))
     }
@@ -238,17 +237,17 @@ impl SyntheticCore {
     /// Acknowledge that the pending reference completed (the core resumes).
     pub fn resume(&mut self) {}
 
-    fn gen_ref(&self, rng: &mut StdRng) -> MemRef {
+    fn gen_ref(&self, rng: &mut SimRng) -> MemRef {
         let p = &self.params;
         let is_write;
         let addr;
-        if rng.random_range(0.0..1.0) < p.shared_frac {
-            is_write = rng.random_range(0.0..1.0) < p.write_frac;
-            let hot = rng.random_range(0.0..1.0) < p.hot_frac;
+        if rng.random_f64() < p.shared_frac {
+            is_write = rng.random_f64() < p.write_frac;
+            let hot = rng.random_f64() < p.hot_frac;
             let span = if hot { HOT_BLOCKS } else { p.shared_blocks };
             addr = SHARED_BASE + rng.random_range(0..span);
         } else {
-            is_write = rng.random_range(0.0..1.0) < p.write_frac;
+            is_write = rng.random_f64() < p.write_frac;
             let base = (self.core_idx + 1) << 24;
             addr = base + rng.random_range(0..p.private_blocks);
         }
@@ -259,7 +258,6 @@ impl SyntheticCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn presets_cover_all_eight() {
@@ -276,7 +274,7 @@ mod tests {
 
     #[test]
     fn core_retires_quota_and_stops() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         let mut c = SyntheticCore::new(Benchmark::Swaptions, 0, 1_000);
         let mut refs = 0;
         let mut cycles = 0u64;
@@ -296,7 +294,7 @@ mod tests {
 
     #[test]
     fn private_refs_are_core_disjoint() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         let c0 = SyntheticCore::new(Benchmark::Blackscholes, 0, 10);
         let c1 = SyntheticCore::new(Benchmark::Blackscholes, 1, 10);
         for _ in 0..200 {
@@ -310,14 +308,15 @@ mod tests {
 
     #[test]
     fn shared_refs_land_in_shared_region() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SimRng::seed_from_u64(11);
         let c = SyntheticCore::new(Benchmark::Canneal, 3, 10);
+        let span = Benchmark::Canneal.params().shared_blocks;
         let mut saw_shared = false;
         for _ in 0..500 {
             let r = c.gen_ref(&mut rng);
             if r.addr >= SHARED_BASE {
                 saw_shared = true;
-                assert!(r.addr < SHARED_BASE + 400_000);
+                assert!(r.addr < SHARED_BASE + span);
             }
         }
         assert!(saw_shared, "canneal must reference shared data");

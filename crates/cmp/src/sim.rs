@@ -3,12 +3,10 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use punchsim_core::build_power_manager;
 use punchsim_noc::{Message, Network, NetworkReport};
-use punchsim_types::{Coord, Cycle, NodeId, SchemeKind, SimConfig};
+use punchsim_types::{Coord, Cycle, NodeId, SchemeKind, SimConfig, SimRng};
 
 use crate::benchmark::{Benchmark, SyntheticCore};
 use crate::dir::DirBank;
@@ -102,7 +100,7 @@ pub struct CmpSim {
     dirs: Vec<DirBank>,
     mems: Vec<MemCtrl>,
     blocked: Vec<bool>,
-    rng: StdRng,
+    rng: SimRng,
     /// Scheduled protocol sends per node: `(send_at, dst, msg)` FIFO.
     sends: Vec<VecDeque<(Cycle, NodeId, ProtoMsg)>>,
     warmed: bool,
@@ -126,8 +124,8 @@ impl CmpSim {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: CmpConfig) -> Self {
-        let pm = build_power_manager(&cfg.sim);
-        let net = Network::new(&cfg.sim.noc, pm);
+        let pm = build_power_manager(&cfg.sim).expect("invalid SimConfig");
+        let net = Network::new(&cfg.sim.noc, pm).expect("config validated above");
         let mesh = cfg.sim.noc.mesh;
         let n = mesh.nodes();
         let mem_nodes = corner_nodes(mesh.width(), mesh.height());
@@ -151,7 +149,7 @@ impl CmpSim {
             .iter()
             .map(|&m| MemCtrl::new(m, cfg.mem_latency))
             .collect();
-        let rng = StdRng::seed_from_u64(cfg.sim.seed);
+        let rng = SimRng::seed_from_u64(cfg.sim.seed);
         CmpSim {
             net,
             cores,
@@ -183,7 +181,7 @@ impl CmpSim {
         self.flush_sends(now);
         self.mem_tick(now);
         self.core_tick(now);
-        self.net.tick();
+        self.net.tick().expect("CMP watchdog: the MESI protocol wedged");
         if !self.warmed && self.cores.iter().all(|c| c.retired >= self.cfg.warmup_instr) {
             self.warmed = true;
             self.net.reset_stats();
@@ -292,14 +290,16 @@ impl CmpSim {
                     break;
                 }
                 self.sends[idx].pop_front();
-                self.net.send(Message {
-                    src: NodeId(idx as u16),
-                    dst,
-                    vnet: m.op.vnet(),
-                    class: m.op.class(),
-                    payload: m.encode(),
-                    gen_cycle: now,
-                });
+                self.net
+                    .send(Message {
+                        src: NodeId(idx as u16),
+                        dst,
+                        vnet: m.op.vnet(),
+                        class: m.op.class(),
+                        payload: m.encode(),
+                        gen_cycle: now,
+                    })
+                    .expect("protocol destinations are always in-mesh");
             }
         }
     }
@@ -318,14 +318,16 @@ impl CmpSim {
             }
         }
         for (src, dst, m) in to_send {
-            self.net.send(Message {
-                src,
-                dst,
-                vnet: m.op.vnet(),
-                class: m.op.class(),
-                payload: m.encode(),
-                gen_cycle: now,
-            });
+            self.net
+                .send(Message {
+                    src,
+                    dst,
+                    vnet: m.op.vnet(),
+                    class: m.op.class(),
+                    payload: m.encode(),
+                    gen_cycle: now,
+                })
+                .expect("protocol destinations are always in-mesh");
         }
     }
 

@@ -5,13 +5,11 @@
 //! nothing else). Every interleaving must terminate with a coherent
 //! system and every request answered.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use punchsim_cmp::dir::DirBank;
 use punchsim_cmp::protocol::{BlockAddr, Op, ProtoMsg};
 use punchsim_cmp::tile::{Access, L1, L1State};
-use punchsim_types::NodeId;
+use punchsim_types::{NodeId, SimRng};
 
 const HOME: NodeId = NodeId(100);
 const MEM: NodeId = NodeId(101);
@@ -31,7 +29,7 @@ struct Harness {
     wire: Vec<InFlight>,
     mem_pending: Vec<(u64, ProtoMsg)>,
     now: u64,
-    rng: StdRng,
+    rng: SimRng,
     pending_core: Vec<Option<(BlockAddr, bool)>>,
     completed: usize,
 }
@@ -46,7 +44,7 @@ impl Harness {
             wire: Vec::new(),
             mem_pending: Vec::new(),
             now: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             pending_core: vec![None; cores],
             completed: 0,
         }
@@ -148,9 +146,9 @@ impl Harness {
             if self.pending_core[i].is_some() {
                 continue;
             }
-            if self.rng.random_range(0.0..1.0) < 0.3 {
+            if self.rng.random_f64() < 0.3 {
                 let addr: BlockAddr = self.rng.random_range(0..blocks);
-                let is_write = self.rng.random_range(0.0..1.0) < 0.4;
+                let is_write = self.rng.random_f64() < 0.4;
                 let mut out = Vec::new();
                 let res = self.l1s[i].access(addr, is_write, HOME, &mut out);
                 for (dst, m) in out {

@@ -109,7 +109,23 @@ impl GateArray {
                 };
             }
             Gate::On { .. } => self.gates[i] = Gate::On { idle_cycles: 0 },
-            Gate::Waking { .. } => {}
+            // The level signal keeps retrying while the transient completes.
+            Gate::Waking { .. } => self.counters.wu_retries += 1,
+        }
+    }
+
+    /// Escalated wakeup from the network watchdog: unconditionally starts
+    /// (or continues) the wakeup of router `r`, overriding whatever kept its
+    /// sleep gate asserted. Counted separately from normal wake events so a
+    /// non-zero [`PgCounters::escalations`] flags that the safety net fired.
+    pub fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
+        self.counters.escalations += 1;
+        if self.gates[r.index()] == Gate::Off {
+            let i = r.index();
+            self.counters.wake_events[i] += 1;
+            self.gates[i] = Gate::Waking {
+                ready_at: cycle + self.wakeup_latency,
+            };
         }
     }
 

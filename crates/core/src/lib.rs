@@ -21,7 +21,8 @@
 //! use punchsim_types::{SchemeKind, SimConfig};
 //!
 //! let cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-//! let net = Network::new(&cfg.noc, build_power_manager(&cfg));
+//! let pm = build_power_manager(&cfg).unwrap();
+//! let net = Network::new(&cfg.noc, pm).unwrap();
 //! assert_eq!(net.power_manager().kind(), SchemeKind::PowerPunchFull);
 //! ```
 
@@ -35,19 +36,24 @@ pub use gating::GateArray;
 pub use manager::{ConvPgManager, PowerPunchManager};
 pub use punch::{PunchFabric, PunchSet};
 
+use punchsim_faults::FaultInjector;
 use punchsim_noc::{AlwaysOn, PowerManager};
-use punchsim_types::{SchemeKind, SimConfig};
+use punchsim_types::{SchemeKind, SimConfig, SimError};
 
 /// Builds the [`PowerManager`] for the scheme selected in `cfg`.
 ///
-/// # Panics
+/// When `cfg.faults` activates any fault mechanism, the scheme's manager is
+/// wrapped in a [`FaultInjector`] so the configured perturbations apply to
+/// its sideband traffic and power states.
 ///
-/// Panics if `cfg` fails validation.
-pub fn build_power_manager(cfg: &SimConfig) -> Box<dyn PowerManager> {
-    cfg.validate().expect("invalid SimConfig");
+/// # Errors
+///
+/// Returns [`SimError::Config`] if `cfg` fails validation.
+pub fn build_power_manager(cfg: &SimConfig) -> Result<Box<dyn PowerManager>, SimError> {
+    cfg.validate()?;
     let mesh = cfg.noc.mesh;
     let hop = cfg.noc.hop_latency();
-    match cfg.scheme {
+    let base: Box<dyn PowerManager> = match cfg.scheme {
         SchemeKind::NoPg => Box::new(AlwaysOn::new(mesh.nodes())),
         SchemeKind::ConvPg => Box::new(ConvPgManager::new(mesh, &cfg.power, false)),
         SchemeKind::ConvOptPg => Box::new(ConvPgManager::new(mesh, &cfg.power, true)),
@@ -57,12 +63,18 @@ pub fn build_power_manager(cfg: &SimConfig) -> Box<dyn PowerManager> {
         SchemeKind::PowerPunchFull => {
             Box::new(PowerPunchManager::new(mesh, &cfg.power, hop, true))
         }
+    };
+    if cfg.faults.is_active() {
+        Ok(Box::new(FaultInjector::new(base, &cfg.faults, mesh)))
+    } else {
+        Ok(base)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use punchsim_types::FaultConfig;
 
     #[test]
     fn builder_maps_every_scheme() {
@@ -74,7 +86,28 @@ mod tests {
             SchemeKind::PowerPunchFull,
         ] {
             let cfg = SimConfig::with_scheme(k);
-            assert_eq!(build_power_manager(&cfg).kind(), k);
+            assert_eq!(build_power_manager(&cfg).unwrap().kind(), k);
         }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        let mut cfg = SimConfig::default();
+        cfg.power.wakeup_latency = 0;
+        assert!(build_power_manager(&cfg).is_err());
+    }
+
+    #[test]
+    fn active_faults_wrap_the_scheme_transparently() {
+        let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+        cfg.faults = FaultConfig {
+            drop_punch_ppm: FaultConfig::ppm(0.5),
+            ..FaultConfig::default()
+        };
+        // The wrapper reports the wrapped scheme's kind.
+        assert_eq!(
+            build_power_manager(&cfg).unwrap().kind(),
+            SchemeKind::PowerPunchFull
+        );
     }
 }

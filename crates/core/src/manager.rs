@@ -81,6 +81,10 @@ impl PowerManager for ConvPgManager {
         self.gate.advance_idle(idle.idle, |_| true);
     }
 
+    fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
+        self.gate.force_wake(r, cycle);
+    }
+
     fn counters(&self) -> &PgCounters {
         self.gate.counters()
     }
@@ -220,6 +224,14 @@ impl PowerManager for PowerPunchManager {
         let fw = &self.forewarn_until;
         self.gate
             .advance_idle(idle.idle, |i| cycle >= fw[i]);
+    }
+
+    fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
+        self.gate.force_wake(r, cycle);
+    }
+
+    fn pending_punches(&self) -> usize {
+        self.fabric.pending()
     }
 
     fn counters(&self) -> &PgCounters {

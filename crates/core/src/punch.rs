@@ -249,6 +249,24 @@ impl PunchFabric {
         v
     }
 
+    /// Number of punch signals in flight on wires plus locally queued
+    /// generations — the sideband backlog reported in stall diagnostics.
+    pub fn pending(&self) -> usize {
+        let in_flight = self
+            .arriving
+            .iter()
+            .flat_map(|a| a.iter())
+            .filter(|s| !s.is_empty())
+            .count();
+        let queued: usize = self
+            .gen_queues
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(Vec::len)
+            .sum();
+        in_flight + queued
+    }
+
     /// `true` when no signals are in flight and no generations queued.
     pub fn is_idle(&self) -> bool {
         self.arriving

@@ -1,0 +1,566 @@
+//! Seeded, deterministic fault injection for the power-gating machinery.
+//!
+//! The Power Punch paper's central safety argument (§4.1–4.2) is that punch
+//! signals are *pure optimization*: the conventional WU handshake — a level
+//! signal re-asserted every stalled cycle — remains the correctness safety
+//! net, so losing, corrupting or delaying punches can cost latency but never
+//! deliverability. This crate makes that argument executable: a
+//! [`FaultInjector`] wraps any [`PowerManager`] and perturbs the sideband
+//! traffic flowing into it according to a [`FaultConfig`]:
+//!
+//! * **punch drops** — punch-carrying events vanish in transit;
+//! * **codeword corruption** — a punch decodes to a *different valid*
+//!   target set, waking the wrong routers (modeled by rewriting the
+//!   destination to another in-mesh router; every single-destination set is
+//!   a valid codebook entry);
+//! * **wakeup jitter** — surviving events are delivered a bounded uniform
+//!   number of cycles late;
+//! * **dropped WU assertions** — individual cycles of the level signal are
+//!   lost (only delaying wakeups while `p < 1`);
+//! * **stuck-off epochs** — a router's sleep gate ignores every wakeup for
+//!   a scheduled window, exercising the network watchdog's escalating
+//!   force-wake recovery.
+//!
+//! All randomness comes from one [`SimRng`] stream seeded by
+//! [`FaultConfig::seed`], independent of the traffic seed, so a fault
+//! schedule is bit-reproducible across runs and stable under traffic
+//! changes.
+
+use punchsim_noc::{IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
+use punchsim_types::{Cycle, FaultConfig, Mesh, NodeId, SchemeKind, SimRng, StuckEpoch};
+
+/// Counts of each fault actually injected so far (as opposed to the
+/// configured probabilities).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Punch-carrying events dropped in transit.
+    pub punches_dropped: u64,
+    /// Punch destinations rewritten to a different valid target.
+    pub punches_corrupted: u64,
+    /// Cycles of the conventional WU level signal lost (including every
+    /// assertion swallowed by an armed stuck-off epoch).
+    pub wu_dropped: u64,
+    /// Events delivered late due to wakeup jitter.
+    pub events_delayed: u64,
+    /// Stuck-off epochs that armed.
+    pub stuck_epochs_started: u64,
+    /// Stuck-off epochs cleared by the watchdog's force-wake escalation
+    /// (rather than expiring on their own).
+    pub forced_wakes: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected, the value surfaced as
+    /// [`PgCounters::faults_injected`].
+    pub fn total(&self) -> u64 {
+        self.punches_dropped
+            + self.punches_corrupted
+            + self.wu_dropped
+            + self.events_delayed
+            + self.stuck_epochs_started
+    }
+}
+
+/// Lifecycle of one scheduled [`StuckEpoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EpochState {
+    /// Waiting for the start cycle and an Off router.
+    Pending,
+    /// The router is stuck: externally Off, ignoring wakeups until `until`.
+    Armed {
+        /// First cycle at which the epoch expires on its own.
+        until: Cycle,
+    },
+    /// Expired or cleared by a force-wake.
+    Done,
+}
+
+/// A deterministic fault-injecting wrapper around any power manager.
+///
+/// Compose it over the scheme under test and attach the result to a
+/// [`Network`](punchsim_noc::Network); the network sees the same
+/// [`PowerManager`] interface, with faults applied to the event stream and
+/// power states in between.
+pub struct FaultInjector {
+    inner: Box<dyn PowerManager>,
+    mesh: Mesh,
+    rng: SimRng,
+    cfg: FaultConfig,
+    /// Events delayed by jitter, as `(due_cycle, event)`.
+    delayed: Vec<(Cycle, PmEvent)>,
+    /// Scratch buffer for the filtered event stream (reused across ticks).
+    filtered: Vec<PmEvent>,
+    epochs: Vec<(StuckEpoch, EpochState)>,
+    /// `stuck[r]` while some armed epoch masks router `r` to Off.
+    stuck: Vec<bool>,
+    stats: FaultStats,
+    /// Inner counters plus `faults_injected`, refreshed every tick so
+    /// `counters()` can hand out a reference.
+    counters_cache: PgCounters,
+}
+
+impl FaultInjector {
+    /// Wraps `inner` with the fault schedule in `cfg` over `mesh`.
+    ///
+    /// `cfg` is assumed validated (probabilities within 1_000_000 ppm,
+    /// stuck routers inside the mesh) —
+    /// [`punchsim_types::SimConfig::validate`] checks this.
+    pub fn new(inner: Box<dyn PowerManager>, cfg: &FaultConfig, mesh: Mesh) -> Self {
+        let counters_cache = inner.counters().clone();
+        FaultInjector {
+            inner,
+            mesh,
+            rng: SimRng::seed_from_u64(cfg.seed),
+            cfg: cfg.clone(),
+            delayed: Vec::new(),
+            filtered: Vec::new(),
+            epochs: cfg
+                .stuck_epochs
+                .iter()
+                .map(|&e| (e, EpochState::Pending))
+                .collect(),
+            stuck: vec![false; mesh.nodes()],
+            stats: FaultStats::default(),
+            counters_cache,
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The wrapped power manager.
+    pub fn inner(&self) -> &dyn PowerManager {
+        self.inner.as_ref()
+    }
+
+    /// Arms pending epochs whose start cycle has passed *and* whose router
+    /// is actually Off (a powered-on router cannot be stuck off), and
+    /// expires armed epochs whose window ended.
+    fn advance_epochs(&mut self, cycle: Cycle) {
+        let mut changed = false;
+        for (e, st) in &mut self.epochs {
+            match *st {
+                EpochState::Pending => {
+                    if cycle >= e.start && self.inner.state(e.router) == PowerState::Off {
+                        *st = EpochState::Armed {
+                            until: cycle.saturating_add(e.duration),
+                        };
+                        self.stats.stuck_epochs_started += 1;
+                        changed = true;
+                    }
+                }
+                EpochState::Armed { until } => {
+                    if cycle >= until {
+                        *st = EpochState::Done;
+                        changed = true;
+                    }
+                }
+                EpochState::Done => {}
+            }
+        }
+        if changed {
+            // A router may appear in several epochs: recompute the union.
+            self.stuck.iter_mut().for_each(|s| *s = false);
+            for (e, st) in &self.epochs {
+                if matches!(st, EpochState::Armed { .. }) {
+                    self.stuck[e.router.index()] = true;
+                }
+            }
+        }
+    }
+
+    /// Rewrites `dst` to a different in-mesh router — the decoded-to-wrong-
+    /// codeword model. Deterministic given the RNG stream position.
+    fn corrupt_dst(&mut self, dst: NodeId) -> NodeId {
+        let n = self.mesh.nodes() as u16;
+        if n <= 1 {
+            return dst;
+        }
+        let pick = self.rng.random_range(0..n - 1);
+        // Skip over the original so the corrupted value always differs.
+        if pick >= dst.0 {
+            NodeId(pick + 1)
+        } else {
+            NodeId(pick)
+        }
+    }
+
+    /// Applies drop/corrupt/jitter to one event; pushes the survivor into
+    /// `filtered` (or `delayed`).
+    fn perturb(&mut self, cycle: Cycle, ev: PmEvent) {
+        let mut ev = ev;
+        match &mut ev {
+            // The conventional WU handshake: a level signal.
+            PmEvent::BlockedNeed { router } => {
+                if self.stuck[router.index()] {
+                    // The stuck gate ignores the assertion outright.
+                    self.stats.wu_dropped += 1;
+                    return;
+                }
+                if self.cfg.drop_wu_ppm > 0 && self.rng.random_bool_ppm(self.cfg.drop_wu_ppm) {
+                    self.stats.wu_dropped += 1;
+                    return;
+                }
+            }
+            // Punch-carrying sideband events.
+            PmEvent::HeadArrival { dst, .. }
+            | PmEvent::NiMessageKnown { dst, .. }
+            | PmEvent::NiReadyToInject { dst, .. } => {
+                if self.cfg.drop_punch_ppm > 0
+                    && self.rng.random_bool_ppm(self.cfg.drop_punch_ppm)
+                {
+                    self.stats.punches_dropped += 1;
+                    return;
+                }
+                if self.cfg.corrupt_punch_ppm > 0
+                    && self.rng.random_bool_ppm(self.cfg.corrupt_punch_ppm)
+                {
+                    let d = *dst;
+                    *dst = self.corrupt_dst(d);
+                    self.stats.punches_corrupted += 1;
+                }
+            }
+            // Slack-2 forewarnings carry no destination but ride the same
+            // sideband, so they share the punch drop probability.
+            PmEvent::FutureInjection { .. } => {
+                if self.cfg.drop_punch_ppm > 0
+                    && self.rng.random_bool_ppm(self.cfg.drop_punch_ppm)
+                {
+                    self.stats.punches_dropped += 1;
+                    return;
+                }
+            }
+        }
+        if self.cfg.max_wakeup_jitter > 0 {
+            let d = self.rng.random_range(0..self.cfg.max_wakeup_jitter + 1) as Cycle;
+            if d > 0 {
+                self.stats.events_delayed += 1;
+                self.delayed.push((cycle + d, ev));
+                return;
+            }
+        }
+        self.filtered.push(ev);
+    }
+
+    fn refresh_counters(&mut self) {
+        self.counters_cache = self.inner.counters().clone();
+        self.counters_cache.faults_injected = self.stats.total();
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("scheme", &self.inner.kind())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PowerManager for FaultInjector {
+    fn kind(&self) -> SchemeKind {
+        self.inner.kind()
+    }
+
+    /// The inner state, masked to `Off` while a stuck epoch is armed on
+    /// `r`. The default `is_available` goes through this method, so the
+    /// network never routes into a stuck router's datapath.
+    fn state(&self, r: NodeId) -> PowerState {
+        if self.stuck[r.index()] {
+            PowerState::Off
+        } else {
+            self.inner.state(r)
+        }
+    }
+
+    fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>) {
+        self.advance_epochs(cycle);
+        // Jittered events whose delay elapsed are delivered this cycle.
+        let mut due = Vec::new();
+        self.delayed.retain(|(at, ev)| {
+            if *at <= cycle {
+                due.push(*ev);
+                false
+            } else {
+                true
+            }
+        });
+        self.filtered.clear();
+        self.filtered.extend(due);
+        for &ev in events {
+            self.perturb(cycle, ev);
+        }
+        let filtered = std::mem::take(&mut self.filtered);
+        self.inner.tick(cycle, &filtered, idle);
+        self.filtered = filtered;
+        self.refresh_counters();
+    }
+
+    /// Escalated wakeup: clears any armed stuck epoch on `r` (the
+    /// watchdog's force-wake overrides the faulty gate) and forwards.
+    fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
+        if self.stuck[r.index()] {
+            self.stuck[r.index()] = false;
+            self.stats.forced_wakes += 1;
+            for (e, st) in &mut self.epochs {
+                if e.router == r && matches!(st, EpochState::Armed { .. }) {
+                    *st = EpochState::Done;
+                }
+            }
+        }
+        self.inner.force_wake(r, cycle);
+        self.refresh_counters();
+    }
+
+    fn pending_punches(&self) -> usize {
+        self.inner.pending_punches() + self.delayed.len()
+    }
+
+    fn counters(&self) -> &PgCounters {
+        &self.counters_cache
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+        self.stats = FaultStats::default();
+        self.refresh_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punchsim_noc::AlwaysOn;
+
+    fn idle_none(n: usize) -> Vec<bool> {
+        vec![false; n]
+    }
+
+    /// A gate-array-free test double that records the events it receives.
+    struct Recorder {
+        counters: PgCounters,
+        seen: Vec<PmEvent>,
+        off: Vec<bool>,
+        forced: Vec<NodeId>,
+    }
+
+    impl Recorder {
+        fn new(n: usize) -> Self {
+            Recorder {
+                counters: PgCounters::new(n),
+                seen: Vec::new(),
+                off: vec![false; n],
+                forced: Vec::new(),
+            }
+        }
+    }
+
+    impl PowerManager for Recorder {
+        fn kind(&self) -> SchemeKind {
+            SchemeKind::ConvPg
+        }
+        fn state(&self, r: NodeId) -> PowerState {
+            if self.off[r.index()] {
+                PowerState::Off
+            } else {
+                PowerState::On
+            }
+        }
+        fn tick(&mut self, _cycle: Cycle, events: &[PmEvent], _idle: IdleInfo<'_>) {
+            self.seen.extend_from_slice(events);
+        }
+        fn force_wake(&mut self, r: NodeId, _cycle: Cycle) {
+            self.forced.push(r);
+            self.off[r.index()] = false;
+        }
+        fn counters(&self) -> &PgCounters {
+            &self.counters
+        }
+        fn reset_counters(&mut self) {
+            self.counters.reset();
+        }
+    }
+
+    fn head(router: u16, dst: u16) -> PmEvent {
+        PmEvent::HeadArrival {
+            router: NodeId(router),
+            dst: NodeId(dst),
+        }
+    }
+
+    #[test]
+    fn inactive_config_passes_everything_through() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig::default();
+        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
+        let evs = [head(0, 5), PmEvent::BlockedNeed { router: NodeId(3) }];
+        for c in 0..10 {
+            f.tick(c, &evs, IdleInfo { idle: &idle_none(16) });
+        }
+        assert_eq!(f.stats().total(), 0);
+        assert_eq!(f.counters().faults_injected, 0);
+    }
+
+    #[test]
+    fn full_drop_removes_all_punch_events_but_spares_wu() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig {
+            drop_punch_ppm: 1_000_000,
+            ..FaultConfig::default()
+        };
+        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
+        for c in 0..20 {
+            f.tick(
+                c,
+                &[head(0, 5), PmEvent::BlockedNeed { router: NodeId(3) }],
+                IdleInfo { idle: &idle_none(16) },
+            );
+        }
+        assert_eq!(f.stats().punches_dropped, 20);
+        // The WU safety net is untouched by punch drops.
+        assert_eq!(f.stats().wu_dropped, 0);
+        assert_eq!(f.counters().faults_injected, 20);
+    }
+
+    #[test]
+    fn corruption_rewrites_dst_to_valid_different_node() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig {
+            corrupt_punch_ppm: 1_000_000,
+            seed: 7,
+            ..FaultConfig::default()
+        };
+        let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh);
+        for c in 0..50 {
+            f.tick(c, &[head(0, 5)], IdleInfo { idle: &idle_none(16) });
+        }
+        assert_eq!(f.stats().punches_corrupted, 50);
+        for _ in 0..100 {
+            let d = f.corrupt_dst(NodeId(5));
+            assert_ne!(d, NodeId(5));
+            assert!(mesh.contains(d), "corrupted dst {d} must stay in-mesh");
+        }
+    }
+
+    #[test]
+    fn jitter_delays_but_never_loses_events() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig {
+            max_wakeup_jitter: 3,
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
+        for c in 0..40 {
+            f.tick(c, &[head(1, 9)], IdleInfo { idle: &idle_none(16) });
+        }
+        // Drain the queue.
+        for c in 40..50 {
+            f.tick(c, &[], IdleInfo { idle: &idle_none(16) });
+        }
+        assert!(f.stats().events_delayed > 0, "jitter should trigger");
+        assert_eq!(f.pending_punches(), 0, "queue fully drained");
+        assert_eq!(f.stats().punches_dropped, 0, "jitter never loses events");
+    }
+
+    #[test]
+    fn stuck_epoch_masks_state_and_force_wake_clears_it() {
+        let mesh = Mesh::new(4, 4);
+        let mut inner = Recorder::new(16);
+        inner.off[3] = true; // router 3 is genuinely off
+        let cfg = FaultConfig {
+            stuck_epochs: vec![StuckEpoch {
+                router: NodeId(3),
+                start: 5,
+                duration: 1_000,
+            }],
+            ..FaultConfig::default()
+        };
+        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh);
+        let idle = idle_none(16);
+        for c in 0..5 {
+            f.tick(c, &[], IdleInfo { idle: &idle });
+        }
+        assert_eq!(f.stats().stuck_epochs_started, 0, "not armed before start");
+        f.tick(5, &[], IdleInfo { idle: &idle });
+        assert_eq!(f.stats().stuck_epochs_started, 1);
+        assert_eq!(f.state(NodeId(3)), PowerState::Off);
+        // WU assertions are swallowed while stuck.
+        f.tick(
+            6,
+            &[PmEvent::BlockedNeed { router: NodeId(3) }],
+            IdleInfo { idle: &idle },
+        );
+        assert_eq!(f.stats().wu_dropped, 1);
+        // Escalation clears the mask and reaches the inner gate.
+        f.force_wake(NodeId(3), 7);
+        assert_eq!(f.stats().forced_wakes, 1);
+        assert_eq!(f.state(NodeId(3)), PowerState::On, "inner force_wake ran");
+        // The epoch is done: it must not re-arm.
+        for c in 8..30 {
+            f.tick(c, &[], IdleInfo { idle: &idle });
+        }
+        assert_eq!(f.stats().stuck_epochs_started, 1);
+    }
+
+    #[test]
+    fn stuck_epoch_waits_for_router_to_sleep() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig {
+            stuck_epochs: vec![StuckEpoch {
+                router: NodeId(2),
+                start: 0,
+                duration: 100,
+            }],
+            ..FaultConfig::default()
+        };
+        // The recorder keeps router 2 on: the epoch may never arm.
+        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
+        let idle = idle_none(16);
+        for c in 0..10 {
+            f.tick(c, &[], IdleInfo { idle: &idle });
+        }
+        assert_eq!(
+            f.stats().stuck_epochs_started,
+            0,
+            "an on router cannot be stuck off"
+        );
+        assert_eq!(f.state(NodeId(2)), PowerState::On);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig {
+            drop_punch_ppm: 300_000,
+            corrupt_punch_ppm: 100_000,
+            drop_wu_ppm: 50_000,
+            max_wakeup_jitter: 2,
+            seed: 99,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh);
+            let idle = vec![false; 16];
+            for c in 0..500 {
+                f.tick(
+                    c,
+                    &[
+                        head((c % 16) as u16, ((c * 3) % 16) as u16),
+                        PmEvent::BlockedNeed {
+                            router: NodeId((c % 16) as u16),
+                        },
+                    ],
+                    IdleInfo { idle: &idle },
+                );
+            }
+            f.stats().clone()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical seeds must give identical fault streams");
+        assert!(a.total() > 0, "faults should actually fire at these rates");
+    }
+}

@@ -17,7 +17,7 @@
 //! use punchsim_types::{NocConfig, NodeId, VnetId};
 //!
 //! let cfg = NocConfig::default();
-//! let mut net = Network::new(&cfg, Box::new(AlwaysOn::new(cfg.mesh.nodes())));
+//! let mut net = Network::new(&cfg, Box::new(AlwaysOn::new(cfg.mesh.nodes()))).unwrap();
 //! net.send(Message {
 //!     src: NodeId(0),
 //!     dst: NodeId(63),
@@ -25,9 +25,10 @@
 //!     class: MsgClass::Data,
 //!     payload: 7,
 //!     gen_cycle: 0,
-//! });
+//! })
+//! .unwrap();
 //! while net.in_flight() > 0 {
-//!     net.tick();
+//!     net.tick().unwrap();
 //! }
 //! assert_eq!(net.take_delivered(NodeId(63)).len(), 1);
 //! ```

@@ -1,9 +1,20 @@
 //! The whole-network simulation object: routers, links, NIs, and the power
 //! manager, advanced one cycle at a time.
+//!
+//! A progress watchdog rides along with every tick: cheap per-cycle
+//! invariant checks (flit conservation; no flit into a powered-off router's
+//! datapath), a no-forward-progress detector that surfaces a structured
+//! [`StallReport`] instead of silently looping, and an escalation path that
+//! force-wakes a router whose sleep gate keeps ignoring the level-signaled
+//! WU handshake — the executable form of the paper's §4.1–4.2 safety-net
+//! argument.
 
 use std::collections::HashMap;
 
-use punchsim_types::{routing, Cycle, Mesh, NocConfig, NodeId, PacketId, Port, PortMap};
+use punchsim_types::{
+    routing, BlockedPacket, Cycle, InvariantViolation, Mesh, NocConfig, NodeId, PacketId, Port,
+    PortMap, SimError, StallReport, WatchdogConfig,
+};
 
 use crate::flit::{Flit, Message, MsgClass, PacketMeta};
 use crate::link::Pipe;
@@ -28,7 +39,7 @@ use crate::vc::VcLayout;
 ///
 /// let cfg = NocConfig::default();
 /// let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
-/// let mut net = Network::new(&cfg, pm);
+/// let mut net = Network::new(&cfg, pm).unwrap();
 /// net.send(Message {
 ///     src: NodeId(0),
 ///     dst: NodeId(9),
@@ -36,9 +47,9 @@ use crate::vc::VcLayout;
 ///     class: MsgClass::Control,
 ///     payload: 42,
 ///     gen_cycle: 0,
-/// });
+/// }).unwrap();
 /// for _ in 0..40 {
-///     net.tick();
+///     net.tick().unwrap();
 /// }
 /// let got = net.take_delivered(NodeId(9));
 /// assert_eq!(got.len(), 1);
@@ -68,6 +79,21 @@ pub struct Network {
     injected_flits: u64,
     measure_start: Cycle,
     trace: Option<TraceLog>,
+    // --- watchdog state (lifetime of the network, never reset) ---
+    /// Flits accepted by `send` since construction.
+    conserv_injected: u64,
+    /// Flits of fully delivered packets since construction.
+    conserv_delivered: u64,
+    /// Flits currently between NI enqueue and tail ejection.
+    conserv_in_flight: u64,
+    /// Last cycle that saw a flit latch, NI send, departure or ejection.
+    last_progress: Cycle,
+    /// Any flit movement during the current tick.
+    moved: bool,
+    /// Consecutive cycles each router's WU has been asserted and ignored.
+    blocked_streak: Vec<Cycle>,
+    /// First invariant violation observed (latched; tick keeps failing).
+    violation: Option<InvariantViolation>,
 }
 
 impl std::fmt::Debug for Network {
@@ -84,11 +110,11 @@ impl std::fmt::Debug for Network {
 impl Network {
     /// Builds the network described by `cfg` under power manager `pm`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cfg` fails [`NocConfig::validate`].
-    pub fn new(cfg: &NocConfig, pm: Box<dyn PowerManager>) -> Self {
-        cfg.validate().expect("invalid NocConfig");
+    /// Returns [`SimError::Config`] if `cfg` fails [`NocConfig::validate`].
+    pub fn new(cfg: &NocConfig, pm: Box<dyn PowerManager>) -> Result<Self, SimError> {
+        cfg.validate()?;
         let mesh = cfg.mesh;
         let layout = VcLayout::new(cfg);
         let n = mesh.nodes();
@@ -106,7 +132,7 @@ impl Network {
             .iter_nodes()
             .map(|id| Ni::new(id, layout, cfg.ni_latency))
             .collect();
-        Network {
+        Ok(Network {
             cfg: cfg.clone(),
             mesh,
             cycle: 0,
@@ -126,7 +152,24 @@ impl Network {
             injected_flits: 0,
             measure_start: 0,
             trace: None,
-        }
+            conserv_injected: 0,
+            conserv_delivered: 0,
+            conserv_in_flight: 0,
+            last_progress: 0,
+            moved: false,
+            blocked_streak: vec![0; n],
+            violation: None,
+        })
+    }
+
+    /// Replaces the watchdog configuration (thresholds, invariant checks).
+    pub fn set_watchdog(&mut self, w: WatchdogConfig) {
+        self.cfg.watchdog = w;
+    }
+
+    /// The active watchdog configuration.
+    pub fn watchdog(&self) -> &WatchdogConfig {
+        &self.cfg.watchdog
     }
 
     /// Starts recording per-packet completion records (up to `capacity`);
@@ -179,18 +222,26 @@ impl Network {
     ///
     /// Returns the packet id assigned to the message.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `msg.src`/`msg.dst` are outside the mesh or `msg.vnet` is
-    /// out of range.
-    pub fn send(&mut self, msg: Message) -> PacketId {
-        assert!(self.mesh.contains(msg.src), "bad source {}", msg.src);
-        assert!(self.mesh.contains(msg.dst), "bad destination {}", msg.dst);
-        assert!(
-            msg.vnet.index() < self.cfg.vnets as usize,
-            "vnet {} out of range",
-            msg.vnet
-        );
+    /// Returns [`SimError::NodeOutOfRange`] if `msg.src` or `msg.dst` is
+    /// outside the mesh, and [`SimError::VnetOutOfRange`] if `msg.vnet` is
+    /// not a configured virtual network.
+    pub fn send(&mut self, msg: Message) -> Result<PacketId, SimError> {
+        for node in [msg.src, msg.dst] {
+            if !self.mesh.contains(node) {
+                return Err(SimError::NodeOutOfRange {
+                    node,
+                    nodes: self.mesh.nodes(),
+                });
+            }
+        }
+        if msg.vnet.index() >= self.cfg.vnets as usize {
+            return Err(SimError::VnetOutOfRange {
+                vnet: msg.vnet,
+                vnets: self.cfg.vnets,
+            });
+        }
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
         let len = match msg.class {
@@ -216,7 +267,9 @@ impl Network {
             .insert(id.0, PacketMeta::new(msg, len, self.cycle, true));
         self.stats.packets_injected += 1;
         self.injected_flits += len as u64;
-        id
+        self.conserv_injected += len as u64;
+        self.conserv_in_flight += len as u64;
+        Ok(id)
     }
 
     /// Reports that `node` will generate a packet shortly although its
@@ -232,22 +285,40 @@ impl Network {
     }
 
     /// Advances the network by one cycle.
-    pub fn tick(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invariant`] when a per-cycle invariant check
+    /// fails (flit conservation, flit into a powered-off router), and
+    /// [`SimError::Stall`] when no flit has moved for longer than
+    /// [`WatchdogConfig::stall_threshold`] while packets are in flight.
+    /// An invariant violation is latched: every subsequent tick keeps
+    /// returning it. A stall re-arms, so a caller that intentionally keeps
+    /// ticking past it will get a fresh report each threshold window.
+    pub fn tick(&mut self) -> Result<(), SimError> {
         let now = self.cycle;
+        self.moved = false;
         self.deliver_flits(now);
         self.deliver_credits(now);
         self.allocate_routers(now);
         self.deliver_ejections(now);
         self.inject_from_nis(now);
+        self.watchdog_escalate(now);
         self.power_tick(now);
         self.cycle = now + 1;
+        self.watchdog_check(now)
     }
 
-    /// Runs `n` cycles.
-    pub fn run(&mut self, n: u64) {
+    /// Runs `n` cycles, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Network::tick`].
+    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
         for _ in 0..n {
-            self.tick();
+            self.tick()?;
         }
+        Ok(())
     }
 
     /// Ends the warm-up window: zeroes all statistics and counters; packets
@@ -292,9 +363,20 @@ impl Network {
     }
 
     fn deliver_flits(&mut self, now: Cycle) {
+        let check = self.cfg.watchdog.invariant_checks;
         for idx in 0..self.routers.len() {
             for port in Port::ALL {
                 while let Some(flit) = self.flit_in[idx][port].pop_ready(now) {
+                    self.moved = true;
+                    if check
+                        && self.violation.is_none()
+                        && self.pm.state(NodeId(idx as u16)) == PowerState::Off
+                    {
+                        self.violation = Some(InvariantViolation::FlitIntoOffRouter {
+                            cycle: now,
+                            router: NodeId(idx as u16),
+                        });
+                    }
                     if flit.kind.is_head() {
                         let meta = self
                             .packets
@@ -364,6 +446,7 @@ impl Network {
                 }
             }
             for dep in outcome.departures {
+                self.moved = true;
                 // Credit back to the upstream of the input the flit vacated.
                 match dep.in_port {
                     Port::Local => {
@@ -408,11 +491,15 @@ impl Network {
         for idx in 0..self.nis.len() {
             while let Some(flit) = self.eject_in[idx].pop_ready(now) {
                 self.ni_flits += 1;
+                self.moved = true;
                 if let Some(done) = self.nis[idx].eject(&flit) {
                     let meta = self
                         .packets
                         .remove(&done.0)
                         .expect("completed packet has meta");
+                    self.conserv_delivered += meta.len_flits as u64;
+                    self.conserv_in_flight =
+                        self.conserv_in_flight.saturating_sub(meta.len_flits as u64);
                     if let Some(t) = self.trace.as_mut() {
                         t.push(PacketRecord::from_meta(done, &meta, now));
                     }
@@ -464,6 +551,7 @@ impl Network {
             }
             if let Some(flit) = outcome.sent {
                 self.ni_flits += 1;
+                self.moved = true;
                 self.flit_in[idx][Port::Local].push_at(flit, now + 1 + link);
             }
         }
@@ -481,6 +569,97 @@ impl Network {
             .collect();
         self.pm.tick(now, &self.events, IdleInfo { idle: &idle });
         self.events.clear();
+    }
+
+    /// Tracks per-router `BlockedNeed` streaks and force-wakes any router
+    /// whose sleep gate has ignored the level-signaled WU handshake for
+    /// [`WatchdogConfig::escalate_after`] consecutive cycles. Runs before
+    /// `power_tick` so the streak scan sees this cycle's events.
+    fn watchdog_escalate(&mut self, now: Cycle) {
+        let after = self.cfg.watchdog.escalate_after;
+        let n = self.blocked_streak.len();
+        // A bitset would be overkill: meshes are <= a few hundred routers.
+        let mut seen = vec![false; n];
+        for ev in &self.events {
+            if let PmEvent::BlockedNeed { router } = ev {
+                seen[router.index()] = true;
+            }
+        }
+        for (idx, seen) in seen.into_iter().enumerate() {
+            if !seen {
+                self.blocked_streak[idx] = 0;
+                continue;
+            }
+            self.blocked_streak[idx] += 1;
+            if after > 0 && self.blocked_streak[idx] >= after {
+                self.pm.force_wake(NodeId(idx as u16), now);
+                self.blocked_streak[idx] = 0;
+            }
+        }
+    }
+
+    /// End-of-tick invariant and progress checks.
+    fn watchdog_check(&mut self, now: Cycle) -> Result<(), SimError> {
+        if self.cfg.watchdog.invariant_checks {
+            if let Some(v) = &self.violation {
+                return Err(SimError::Invariant(v.clone()));
+            }
+            if self.conserv_injected != self.conserv_delivered + self.conserv_in_flight {
+                let v = InvariantViolation::FlitConservation {
+                    cycle: now,
+                    injected: self.conserv_injected,
+                    delivered: self.conserv_delivered,
+                    in_flight: self.conserv_in_flight,
+                };
+                self.violation = Some(v.clone());
+                return Err(SimError::Invariant(v));
+            }
+        }
+        if self.moved || self.packets.is_empty() {
+            self.last_progress = now;
+            return Ok(());
+        }
+        let threshold = self.cfg.watchdog.stall_threshold;
+        let stalled_for = now.saturating_sub(self.last_progress);
+        if threshold == 0 || stalled_for < threshold {
+            return Ok(());
+        }
+        let report = self.stall_report(now, stalled_for);
+        // Re-arm so a caller that deliberately keeps ticking gets one
+        // report per threshold window rather than one per cycle.
+        self.last_progress = now;
+        Err(SimError::Stall(Box::new(report)))
+    }
+
+    /// Snapshot of everything needed to diagnose a wedged network.
+    fn stall_report(&self, now: Cycle, stalled_for: Cycle) -> StallReport {
+        let mut off_routers = Vec::new();
+        let mut waking_routers = Vec::new();
+        for id in self.mesh.iter_nodes() {
+            match self.pm.state(id) {
+                PowerState::Off => off_routers.push(id),
+                PowerState::WakingUp { .. } => waking_routers.push(id),
+                PowerState::On => {}
+            }
+        }
+        let oldest_blocked = self
+            .packets
+            .iter()
+            .min_by_key(|(id, meta)| (meta.ni_enqueue, **id))
+            .map(|(id, meta)| BlockedPacket {
+                packet: PacketId(*id),
+                age: now.saturating_sub(meta.ni_enqueue),
+                blocked_on: meta.blocked_on,
+            });
+        StallReport {
+            cycle: now,
+            stalled_for,
+            in_flight_packets: self.packets.len(),
+            off_routers,
+            waking_routers,
+            oldest_blocked,
+            pending_punches: self.pm.pending_punches(),
+        }
     }
 }
 
@@ -504,15 +683,15 @@ mod tests {
     fn net() -> Network {
         let cfg = NocConfig::default();
         let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
-        Network::new(&cfg, pm)
+        Network::new(&cfg, pm).unwrap()
     }
 
     #[test]
     fn single_control_packet_zero_load_latency() {
         let mut n = net();
         // R0 -> R3: 3 hops, 3-stage pipeline, link latency 1, NI latency 3.
-        n.send(msg(0, 3, MsgClass::Control));
-        n.run(40);
+        n.send(msg(0, 3, MsgClass::Control)).unwrap();
+        n.run(40).unwrap();
         assert_eq!(n.take_delivered(NodeId(3)).len(), 1);
         let r = n.report();
         assert_eq!(r.stats.packets_delivered, 1);
@@ -529,8 +708,8 @@ mod tests {
     fn data_packet_serialization_latency() {
         let mut n = net();
         // 5-flit packet to a neighbour: tail trails head by 4 cycles.
-        n.send(msg(0, 1, MsgClass::Data));
-        n.run(40);
+        n.send(msg(0, 1, MsgClass::Data)).unwrap();
+        n.run(40).unwrap();
         assert_eq!(n.take_delivered(NodeId(1)).len(), 1);
         let r = n.report();
         // Head: enqueue 0, sent 3, latch R0 @5, SA @6, latch R1 @9, SA @10,
@@ -544,8 +723,8 @@ mod tests {
     #[test]
     fn local_delivery_goes_through_local_router() {
         let mut n = net();
-        n.send(msg(5, 5, MsgClass::Control));
-        n.run(20);
+        n.send(msg(5, 5, MsgClass::Control)).unwrap();
+        n.run(20).unwrap();
         let got = n.take_delivered(NodeId(5));
         assert_eq!(got.len(), 1);
         let r = n.report();
@@ -556,8 +735,8 @@ mod tests {
 
     #[test]
     fn many_random_packets_all_delivered() {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use punchsim_types::SimRng;
+        let mut rng = SimRng::seed_from_u64(42);
         let mut n = net();
         let mut expected = vec![0usize; 64];
         for i in 0..300 {
@@ -570,15 +749,15 @@ mod tests {
             };
             let mut m = msg(src, dst, class);
             m.vnet = VnetId(rng.random_range(0..3u8));
-            n.send(m);
+            n.send(m).unwrap();
             expected[dst as usize] += 1;
             if i % 2 == 0 {
-                n.tick();
+                n.tick().unwrap();
             }
         }
         // Drain.
         for _ in 0..2000 {
-            n.tick();
+            n.tick().unwrap();
             if n.in_flight() == 0 {
                 break;
             }
@@ -603,9 +782,9 @@ mod tests {
             ..NocConfig::default()
         };
         let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
-        let mut n = Network::new(&cfg, pm);
-        n.send(msg(0, 3, MsgClass::Control));
-        n.run(50);
+        let mut n = Network::new(&cfg, pm).unwrap();
+        n.send(msg(0, 3, MsgClass::Control)).unwrap();
+        n.run(50).unwrap();
         let r = n.report();
         assert_eq!(r.stats.packets_delivered, 1);
         // 4 routers on the path (R0..R3) each add one extra cycle vs the
@@ -616,10 +795,10 @@ mod tests {
     #[test]
     fn reset_stats_excludes_warmup() {
         let mut n = net();
-        n.send(msg(0, 7, MsgClass::Control));
-        n.run(5);
+        n.send(msg(0, 7, MsgClass::Control)).unwrap();
+        n.run(5).unwrap();
         n.reset_stats();
-        n.run(60);
+        n.run(60).unwrap();
         let r = n.report();
         // The warm-up packet completed but is not measured.
         assert_eq!(r.stats.packets_delivered, 0);
@@ -631,10 +810,10 @@ mod tests {
         let run = || {
             let mut n = net();
             for i in 0..50u16 {
-                n.send(msg(i % 64, (i * 7 + 3) % 64, MsgClass::Data));
-                n.tick();
+                n.send(msg(i % 64, (i * 7 + 3) % 64, MsgClass::Data)).unwrap();
+                n.tick().unwrap();
             }
-            n.run(1500);
+            n.run(1500).unwrap();
             let r = n.report();
             (
                 r.stats.packets_delivered,
@@ -643,5 +822,140 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn send_rejects_out_of_range_node_and_vnet() {
+        let mut n = net();
+        let err = n.send(msg(0, 200, MsgClass::Control)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::NodeOutOfRange {
+                node: NodeId(200),
+                nodes: 64
+            }
+        ));
+        let mut m = msg(0, 1, MsgClass::Control);
+        m.vnet = VnetId(9);
+        let err = n.send(m).unwrap_err();
+        assert!(matches!(err, SimError::VnetOutOfRange { vnets: 3, .. }));
+        // Nothing was enqueued; the network stays clean.
+        assert_eq!(n.in_flight(), 0);
+        n.run(100).unwrap();
+    }
+
+    /// A wedged gate: every router permanently off, ignoring all wakeups.
+    /// Models a faulty sleep controller for watchdog tests.
+    struct AlwaysOff {
+        counters: crate::power::PgCounters,
+    }
+
+    impl PowerManager for AlwaysOff {
+        fn kind(&self) -> punchsim_types::SchemeKind {
+            punchsim_types::SchemeKind::ConvPg
+        }
+        fn state(&self, _r: NodeId) -> PowerState {
+            PowerState::Off
+        }
+        fn tick(&mut self, _cycle: Cycle, _events: &[PmEvent], _idle: IdleInfo<'_>) {}
+        fn counters(&self) -> &crate::power::PgCounters {
+            &self.counters
+        }
+        fn reset_counters(&mut self) {
+            self.counters.reset();
+        }
+        // Deliberately does NOT implement force_wake: escalation has no
+        // effect, so only the stall watchdog can surface the wedge.
+    }
+
+    #[test]
+    fn watchdog_reports_stall_against_wedged_router() {
+        let cfg = NocConfig {
+            watchdog: punchsim_types::WatchdogConfig {
+                stall_threshold: 50,
+                invariant_checks: true,
+                escalate_after: 8,
+            },
+            ..NocConfig::default()
+        };
+        let pm = Box::new(AlwaysOff {
+            counters: crate::power::PgCounters::new(cfg.mesh.nodes()),
+        });
+        let mut n = Network::new(&cfg, pm).unwrap();
+        n.send(msg(0, 9, MsgClass::Control)).unwrap();
+        let mut stall = None;
+        for _ in 0..200 {
+            match n.tick() {
+                Ok(()) => {}
+                Err(SimError::Stall(r)) => {
+                    stall = Some(*r);
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let r = stall.expect("watchdog must fire within 200 cycles");
+        assert!(r.stalled_for >= 50);
+        assert_eq!(r.in_flight_packets, 1);
+        // Every router is off; the blocked packet names its local router R0.
+        assert_eq!(r.off_routers.len(), 64);
+        let oldest = r.oldest_blocked.expect("one packet is in flight");
+        assert_eq!(oldest.blocked_on, Some(NodeId(0)));
+        assert!(oldest.age >= 50);
+    }
+
+    #[test]
+    fn stall_report_rearms_per_threshold_window() {
+        let cfg = NocConfig {
+            watchdog: punchsim_types::WatchdogConfig {
+                stall_threshold: 30,
+                invariant_checks: true,
+                escalate_after: 0,
+            },
+            ..NocConfig::default()
+        };
+        let pm = Box::new(AlwaysOff {
+            counters: crate::power::PgCounters::new(cfg.mesh.nodes()),
+        });
+        let mut n = Network::new(&cfg, pm).unwrap();
+        n.send(msg(0, 1, MsgClass::Control)).unwrap();
+        let mut stalls = 0;
+        for _ in 0..200 {
+            if matches!(n.tick(), Err(SimError::Stall(_))) {
+                stalls += 1;
+            }
+        }
+        // ~200 cycles / 30-cycle threshold: a handful of reports, not 170.
+        assert!((2..=7).contains(&stalls), "got {stalls} stall reports");
+    }
+
+    #[test]
+    fn idle_network_never_stalls() {
+        let cfg = NocConfig {
+            watchdog: punchsim_types::WatchdogConfig {
+                stall_threshold: 5,
+                invariant_checks: true,
+                escalate_after: 0,
+            },
+            ..NocConfig::default()
+        };
+        let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+        let mut n = Network::new(&cfg, pm).unwrap();
+        // No traffic at all: an empty network is idle, not stalled.
+        n.run(500).unwrap();
+    }
+
+    #[test]
+    fn new_rejects_invalid_config() {
+        let cfg = NocConfig {
+            link_latency: 0,
+            ..NocConfig::default()
+        };
+        let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+        let err = Network::new(&cfg, pm).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Config(punchsim_types::ConfigError::ZeroLinkLatency)
+        ));
     }
 }

@@ -94,7 +94,7 @@ pub struct IdleInfo<'a> {
 }
 
 /// Aggregate power-gating activity counters for a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PgCounters {
     /// Per-router cycles spent fully off.
     pub off_cycles: Vec<u64>,
@@ -109,6 +109,16 @@ pub struct PgCounters {
     pub punch_hops: u64,
     /// Total cycles a conventional WU wire was asserted.
     pub wu_assertions: u64,
+    /// WU assertions that found the target already mid-wakeup — the level
+    /// signal retrying while the gate transient completes.
+    pub wu_retries: u64,
+    /// Force-wake escalations: the watchdog timed out a WU that a (stuck)
+    /// router kept ignoring and overrode its sleep gate.
+    pub escalations: u64,
+    /// Faults injected into the power-gating machinery (0 without a fault
+    /// injector): dropped/corrupted/delayed sideband events and stuck-off
+    /// epochs.
+    pub faults_injected: u64,
 }
 
 impl PgCounters {
@@ -121,6 +131,9 @@ impl PgCounters {
             wake_events: vec![0; n],
             punch_hops: 0,
             wu_assertions: 0,
+            wu_retries: 0,
+            escalations: 0,
+            faults_injected: 0,
         }
     }
 
@@ -151,6 +164,9 @@ impl PgCounters {
         }
         self.punch_hops = 0;
         self.wu_assertions = 0;
+        self.wu_retries = 0;
+        self.escalations = 0;
+        self.faults_injected = 0;
     }
 }
 
@@ -188,6 +204,19 @@ pub trait PowerManager {
     /// `cycle`, move wakeup timers, propagate punch signals, and take sleep
     /// decisions using `idle`.
     fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>);
+
+    /// Escalated wakeup: the network watchdog timed out the level-signaled
+    /// WU handshake on router `r` and overrides its sleep gate — the
+    /// hardware's last-resort force-wake path. Implementations must clear
+    /// any fault condition keeping `r` off and start (or continue) its
+    /// wakeup; schemes without gating ignore it.
+    fn force_wake(&mut self, _r: NodeId, _cycle: Cycle) {}
+
+    /// Punch signals currently in flight or queued in the sideband fabric
+    /// (0 for schemes without one). Used by stall diagnostics.
+    fn pending_punches(&self) -> usize {
+        0
+    }
 
     /// Activity counters accumulated so far.
     fn counters(&self) -> &PgCounters;

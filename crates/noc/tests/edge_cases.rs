@@ -20,16 +20,16 @@ fn net_with_mesh(mesh: Mesh) -> Network {
         mesh,
         ..NocConfig::default()
     };
-    Network::new(&cfg, Box::new(AlwaysOn::new(mesh.nodes())))
+    Network::new(&cfg, Box::new(AlwaysOn::new(mesh.nodes()))).expect("valid config")
 }
 
 #[test]
 fn one_dimensional_mesh_works() {
     let mut n = net_with_mesh(Mesh::new(8, 1));
-    n.send(msg(0, 7, 0, MsgClass::Data));
-    n.send(msg(7, 0, 1, MsgClass::Control));
+    n.send(msg(0, 7, 0, MsgClass::Data)).unwrap();
+    n.send(msg(7, 0, 1, MsgClass::Control)).unwrap();
     for _ in 0..200 {
-        n.tick();
+        n.tick().unwrap();
     }
     assert_eq!(n.in_flight(), 0);
     assert_eq!(n.take_delivered(NodeId(7)).len(), 1);
@@ -39,9 +39,9 @@ fn one_dimensional_mesh_works() {
 #[test]
 fn single_column_mesh_works() {
     let mut n = net_with_mesh(Mesh::new(1, 6));
-    n.send(msg(0, 5, 2, MsgClass::Data));
+    n.send(msg(0, 5, 2, MsgClass::Data)).unwrap();
     for _ in 0..200 {
-        n.tick();
+        n.tick().unwrap();
     }
     assert_eq!(n.take_delivered(NodeId(5)).len(), 1);
 }
@@ -50,10 +50,10 @@ fn single_column_mesh_works() {
 fn rectangular_mesh_works() {
     let mut n = net_with_mesh(Mesh::new(8, 2));
     for s in 0..16u16 {
-        n.send(msg(s, 15 - s, 0, MsgClass::Control));
+        n.send(msg(s, 15 - s, 0, MsgClass::Control)).unwrap();
     }
     for _ in 0..500 {
-        n.tick();
+        n.tick().unwrap();
     }
     assert_eq!(n.in_flight(), 0);
 }
@@ -67,14 +67,14 @@ fn contending_flows_share_a_link_fairly() {
     let mut sent = 0;
     for round in 0..300 {
         if round % 2 == 0 && sent < 200 {
-            n.send(msg(0, 2, 0, MsgClass::Data));
-            n.send(msg(8, 2, 0, MsgClass::Data));
+            n.send(msg(0, 2, 0, MsgClass::Data)).unwrap();
+            n.send(msg(8, 2, 0, MsgClass::Data)).unwrap();
             sent += 2;
         }
-        n.tick();
+        n.tick().unwrap();
     }
     for _ in 0..3000 {
-        n.tick();
+        n.tick().unwrap();
         if n.in_flight() == 0 {
             break;
         }
@@ -101,14 +101,14 @@ fn vnets_are_isolated_under_congestion() {
     for round in 0..400u64 {
         for s in 0..16u16 {
             if s != 5 {
-                n.send(msg(s, 5, 0, MsgClass::Data));
+                n.send(msg(s, 5, 0, MsgClass::Data)).unwrap();
             }
         }
         if round % 40 == 0 {
-            n.send(msg(0, 15, 2, MsgClass::Control));
+            n.send(msg(0, 15, 2, MsgClass::Control)).unwrap();
             ctrl_sent += 1;
         }
-        n.tick();
+        n.tick().unwrap();
         ctrl_got += n
             .take_delivered(NodeId(15))
             .iter()
@@ -128,10 +128,11 @@ fn trace_records_every_delivery() {
     let mut n = net_with_mesh(Mesh::new(4, 4));
     n.enable_trace(100);
     for i in 0..20u16 {
-        n.send(msg(i % 16, (i * 3 + 1) % 16, 0, MsgClass::Control));
+        n.send(msg(i % 16, (i * 3 + 1) % 16, 0, MsgClass::Control))
+            .unwrap();
     }
     for _ in 0..500 {
-        n.tick();
+        n.tick().unwrap();
     }
     assert_eq!(n.in_flight(), 0);
     let trace = n.take_trace().expect("tracing enabled");
@@ -154,10 +155,11 @@ fn trace_capacity_drops_excess() {
     let mut n = net_with_mesh(Mesh::new(4, 4));
     n.enable_trace(5);
     for i in 0..12u16 {
-        n.send(msg(i % 16, (i + 1) % 16, 0, MsgClass::Control));
+        n.send(msg(i % 16, (i + 1) % 16, 0, MsgClass::Control))
+            .unwrap();
     }
     for _ in 0..500 {
-        n.tick();
+        n.tick().unwrap();
     }
     let trace = n.trace().expect("enabled");
     assert_eq!(trace.records().len(), 5);

@@ -14,7 +14,7 @@
 //! let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
 //! cfg.noc.mesh = Mesh::new(4, 4);
 //! let mut sim = SyntheticSim::new(cfg, TrafficPattern::Transpose, 0.03);
-//! let report = sim.run_experiment(1_000, 4_000);
+//! let report = sim.run_experiment(1_000, 4_000).unwrap();
 //! assert!(report.stats.packets_delivered > 0);
 //! ```
 

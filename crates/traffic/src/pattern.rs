@@ -1,9 +1,6 @@
 //! Synthetic traffic patterns (§6.4 of the paper and the usual suspects).
 
-use rand::rngs::StdRng;
-use rand::RngExt;
-
-use punchsim_types::{Coord, Mesh, NodeId};
+use punchsim_types::{Coord, Mesh, NodeId, SimRng};
 
 /// A synthetic destination-selection pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +50,7 @@ impl TrafficPattern {
     /// Deterministic patterns ignore `rng`. Index-bit patterns assume the
     /// node count is a power of two (true for the evaluated 4x4/8x8/16x16
     /// meshes); for other sizes they fall back to a modulo mapping.
-    pub fn destination(self, mesh: Mesh, src: NodeId, rng: &mut StdRng) -> NodeId {
+    pub fn destination(self, mesh: Mesh, src: NodeId, rng: &mut SimRng) -> NodeId {
         let n = mesh.nodes() as u16;
         let bits = n.trailing_zeros();
         match self {
@@ -99,10 +96,9 @@ impl std::fmt::Display for TrafficPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
     }
 
     #[test]

@@ -1,11 +1,8 @@
 //! Open-loop synthetic-traffic simulation harness.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 use punchsim_core::build_power_manager;
 use punchsim_noc::{Message, MsgClass, Network, NetworkReport};
-use punchsim_types::{Cycle, NodeId, SimConfig, VnetId};
+use punchsim_types::{Cycle, NodeId, SimConfig, SimError, SimRng, VnetId};
 
 use crate::pattern::TrafficPattern;
 
@@ -60,7 +57,7 @@ impl InjectionConfig {
 /// let mut cfg = SimConfig::with_scheme(SchemeKind::ConvOptPg);
 /// cfg.noc.mesh = Mesh::new(4, 4);
 /// let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.05);
-/// sim.run(3_000);
+/// sim.run(3_000).unwrap();
 /// assert!(sim.report().stats.packets_delivered > 0);
 /// ```
 #[derive(Debug)]
@@ -68,7 +65,7 @@ pub struct SyntheticSim {
     net: Network,
     pattern: TrafficPattern,
     inj: InjectionConfig,
-    rng: StdRng,
+    rng: SimRng,
     /// Per-node next scheduled arrival and whether slack-2 fires for it.
     next_arrival: Vec<(Cycle, bool)>,
     /// Per-packet Bernoulli probability per node per cycle.
@@ -90,12 +87,12 @@ impl SyntheticSim {
     /// Panics if the configuration is invalid or the rate is negative.
     pub fn with_injection(cfg: SimConfig, pattern: TrafficPattern, inj: InjectionConfig) -> Self {
         assert!(inj.rate_flits >= 0.0, "negative injection rate");
-        let pm = build_power_manager(&cfg);
-        let net = Network::new(&cfg.noc, pm);
+        let pm = build_power_manager(&cfg).expect("invalid SimConfig");
+        let net = Network::new(&cfg.noc, pm).expect("config validated above");
         let avg =
             inj.avg_packet_flits(cfg.noc.ctrl_packet_flits, cfg.noc.data_packet_flits);
         let p_packet = (inj.rate_flits / avg).min(1.0);
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = SimRng::seed_from_u64(cfg.seed);
         let n = cfg.noc.mesh.nodes();
         let mut sim = SyntheticSim {
             net,
@@ -110,7 +107,7 @@ impl SyntheticSim {
             sim.next_arrival[i] = sim.draw_arrival(0);
         }
         // Re-seed deterministically after initialization order.
-        sim.rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+        sim.rng = SimRng::seed_from_u64(cfg.seed.wrapping_add(1));
         sim
     }
 
@@ -136,20 +133,25 @@ impl SyntheticSim {
         // preserve the overall mean.
         const FACTOR: f64 = 8.0;
         let b = self.inj.burstiness.clamp(0.0, 0.99);
-        let mean = if self.rng.random_range(0.0..1.0f64) < b {
+        let mean = if self.rng.random_f64() < b {
             mean_gap / FACTOR
         } else {
             mean_gap * (1.0 - b / FACTOR) / (1.0 - b)
         };
-        let u: f64 = self.rng.random_range(0.0..1.0f64);
+        let u: f64 = self.rng.random_f64();
         let gap = (-(1.0 - u).ln() * mean).ceil().max(1.0) as Cycle;
-        let slack2 = self.rng.random_range(0.0..1.0f64) < self.inj.slack2_fraction;
+        let slack2 = self.rng.random_f64() < self.inj.slack2_fraction;
         (from + gap, slack2)
     }
 
     /// Advances one cycle: fire slack-2 forewarnings, inject due packets,
     /// tick the network, and drain deliveries.
-    pub fn tick(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates watchdog errors ([`SimError::Stall`],
+    /// [`SimError::Invariant`]) from [`Network::tick`].
+    pub fn tick(&mut self) -> Result<(), SimError> {
         let now = self.net.cycle();
         let mesh = self.net.mesh();
         for idx in 0..self.next_arrival.len() {
@@ -162,42 +164,75 @@ impl SyntheticSim {
             }
             if at == now {
                 let dst = self.pattern.destination(mesh, node, &mut self.rng);
-                let class = if self.rng.random_range(0.0..1.0f64) < self.inj.data_fraction {
+                let class = if self.rng.random_f64() < self.inj.data_fraction {
                     MsgClass::Data
                 } else {
                     MsgClass::Control
                 };
                 let vnet = VnetId(self.rng.random_range(0..3u8));
-                self.net.send(Message {
-                    src: node,
-                    dst,
-                    vnet,
-                    class,
-                    payload: 0,
-                    gen_cycle: now,
-                });
+                self.net
+                    .send(Message {
+                        src: node,
+                        dst,
+                        vnet,
+                        class,
+                        payload: 0,
+                        gen_cycle: now,
+                    })
+                    .expect("pattern destinations are always in-mesh");
                 self.next_arrival[idx] = self.draw_arrival(now);
             }
         }
-        self.net.tick();
+        self.net.tick()?;
         for idx in 0..self.next_arrival.len() {
             self.delivered_sink += self.net.take_delivered(NodeId(idx as u16)).len() as u64;
         }
+        Ok(())
     }
 
     /// Runs `cycles` cycles.
-    pub fn run(&mut self, cycles: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`SyntheticSim::tick`].
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
         for _ in 0..cycles {
-            self.tick();
+            self.tick()?;
         }
+        Ok(())
+    }
+
+    /// Stops injecting and ticks until every in-flight packet has drained,
+    /// up to `max_cycles`. Returns the number of cycles it took.
+    ///
+    /// # Errors
+    ///
+    /// Propagates watchdog errors; returns the [`SimError::Stall`] report
+    /// directly if the network cannot drain (which is exactly the condition
+    /// the watchdog exists to catch).
+    pub fn drain(&mut self, max_cycles: u64) -> Result<u64, SimError> {
+        // Cancel scheduled arrivals so only in-flight traffic remains.
+        for a in &mut self.next_arrival {
+            *a = (Cycle::MAX, false);
+        }
+        let mut used = 0;
+        while self.net.in_flight() > 0 && used < max_cycles {
+            self.tick()?;
+            used += 1;
+        }
+        Ok(used)
     }
 
     /// Runs a warm-up window, resets statistics, then a measured window.
-    pub fn run_experiment(&mut self, warmup: u64, measure: u64) -> NetworkReport {
-        self.run(warmup);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`SyntheticSim::tick`].
+    pub fn run_experiment(&mut self, warmup: u64, measure: u64) -> Result<NetworkReport, SimError> {
+        self.run(warmup)?;
         self.net.reset_stats();
-        self.run(measure);
-        self.report()
+        self.run(measure)?;
+        Ok(self.report())
     }
 
     /// Statistics of the measured window.
@@ -224,7 +259,7 @@ mod tests {
             TrafficPattern::UniformRandom,
             0.05,
         );
-        let r = sim.run_experiment(2_000, 8_000);
+        let r = sim.run_experiment(2_000, 8_000).unwrap();
         assert!(r.stats.packets_delivered > 1_000);
         // Zero-load-ish latency in an 8x8 at 0.05 flits/node/cycle:
         // NI 3 + ~5.3 hops x 4 + ejection, plus mild queueing.
@@ -240,13 +275,13 @@ mod tests {
             TrafficPattern::UniformRandom,
             0.02,
         );
-        let rn = no.run_experiment(2_000, 8_000);
+        let rn = no.run_experiment(2_000, 8_000).unwrap();
         let mut conv = SyntheticSim::new(
             cfg(SchemeKind::ConvOptPg, Mesh::new(8, 8)),
             TrafficPattern::UniformRandom,
             0.02,
         );
-        let rc = conv.run_experiment(2_000, 8_000);
+        let rc = conv.run_experiment(2_000, 8_000).unwrap();
         assert!(rc.off_fraction() > 0.3, "off fraction {}", rc.off_fraction());
         assert!(
             rc.stats.latency.mean() > rn.stats.latency.mean() * 1.2,
@@ -267,7 +302,7 @@ mod tests {
                 TrafficPattern::UniformRandom,
                 0.02,
             );
-            s.run_experiment(2_000, 8_000)
+            s.run_experiment(2_000, 8_000).unwrap()
         };
         let no = run(SchemeKind::NoPg);
         let conv = run(SchemeKind::ConvOptPg);
@@ -300,7 +335,7 @@ mod tests {
                 TrafficPattern::Transpose,
                 0.05,
             );
-            let r = s.run_experiment(500, 2_000);
+            let r = s.run_experiment(500, 2_000).unwrap();
             (r.stats.packets_delivered, r.stats.latency.mean(), r.pg.punch_hops)
         };
         assert_eq!(run(), run());
@@ -316,7 +351,7 @@ mod tests {
                 TrafficPattern::UniformRandom,
                 inj,
             );
-            let r = s.run_experiment(2_000, 20_000);
+            let r = s.run_experiment(2_000, 20_000).unwrap();
             r.offered_load
         };
         let smooth = run(0.0);
@@ -334,7 +369,7 @@ mod tests {
                 TrafficPattern::UniformRandom,
                 inj,
             );
-            let r = s.run_experiment(2_000, 15_000);
+            let r = s.run_experiment(2_000, 15_000).unwrap();
             r.stats.latency.variance()
         };
         assert!(run(0.7) > run(0.0), "bursts must add queueing variance");
@@ -347,7 +382,7 @@ mod tests {
             TrafficPattern::UniformRandom,
             0.0,
         );
-        s.run(1_000);
+        s.run(1_000).unwrap();
         assert_eq!(s.report().stats.packets_injected, 0);
     }
 }

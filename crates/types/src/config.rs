@@ -1,6 +1,10 @@
-//! Simulation configuration, mirroring Table 2 of the paper.
+//! Simulation configuration, mirroring Table 2 of the paper, plus the
+//! fault-injection and watchdog sections that make the paper's safety-net
+//! argument (§4.1–4.2: punches are pure optimization) executable.
 
+use crate::error::ConfigError;
 use crate::geometry::Mesh;
+use crate::{Cycle, NodeId};
 
 /// Which power-gating scheme drives the routers (§5 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,6 +83,9 @@ pub struct NocConfig {
     pub data_packet_flits: u8,
     /// Flits in a control packet.
     pub ctrl_packet_flits: u8,
+    /// Progress-watchdog parameters (invariant checks, stall detection and
+    /// wakeup escalation).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for NocConfig {
@@ -96,6 +103,7 @@ impl Default for NocConfig {
             ni_latency: 3,
             data_packet_flits: 5,
             ctrl_packet_flits: 1,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -120,22 +128,141 @@ impl NocConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.vnets == 0 {
-            return Err("at least one virtual network is required".into());
+            return Err(ConfigError::NoVnets);
         }
         if self.data_vcs_per_vnet == 0 && self.ctrl_vcs_per_vnet == 0 {
-            return Err("each vnet needs at least one VC".into());
+            return Err(ConfigError::NoVcs);
         }
         if !(3..=4).contains(&self.router_stages) {
-            return Err("router_stages must be 3 or 4".into());
+            return Err(ConfigError::BadRouterStages(self.router_stages));
         }
         if self.link_latency == 0 {
-            return Err("link_latency must be at least 1 cycle".into());
+            return Err(ConfigError::ZeroLinkLatency);
         }
         if self.data_packet_flits == 0 || self.ctrl_packet_flits == 0 {
-            return Err("packets must have at least one flit".into());
+            return Err(ConfigError::EmptyPacket);
+        }
+        Ok(())
+    }
+}
+
+/// Progress-watchdog and recovery-escalation parameters.
+///
+/// The watchdog turns the paper's safety-net argument into a continuously
+/// checked property: per-cycle invariant checks catch lost flits or flits
+/// routed into a powered-off router, the stall detector converts silent
+/// livelock into a structured [`crate::StallReport`], and the escalation
+/// path force-wakes a router that keeps ignoring the level-signaled WU
+/// handshake (modeling the hardware's timeout-then-force-wake retry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Declare a stall after this many consecutive cycles without forward
+    /// progress while packets are in flight. `0` disables stall detection.
+    pub stall_threshold: Cycle,
+    /// Run the per-cycle invariant checks (flit conservation, no flit into
+    /// an off router). Cheap (a few integer compares per cycle).
+    pub invariant_checks: bool,
+    /// Force-wake a router after its WU has been continuously asserted and
+    /// ignored for this many cycles. `0` disables escalation.
+    pub escalate_after: Cycle,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            // Generous: orders of magnitude above any legitimate wakeup
+            // chain (an 16x16 mesh worst case is ~30 hops x ~12 cycles).
+            stall_threshold: 10_000,
+            invariant_checks: true,
+            // A healthy WU completes in `wakeup_latency` (~8) cycles; a WU
+            // ignored for 64 cycles means the gate is stuck.
+            escalate_after: 64,
+        }
+    }
+}
+
+/// One scheduled stuck-off epoch: a hardware fault where a router's sleep
+/// gate ignores wakeup requests for a window of cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckEpoch {
+    /// The faulty router.
+    pub router: NodeId,
+    /// The epoch arms at the first cycle `>= start` at which the router is
+    /// powered off (a powered-on router cannot be stuck off).
+    pub start: Cycle,
+    /// Cycles the router ignores wakeups once armed, unless the escalation
+    /// path force-wakes it first.
+    pub duration: Cycle,
+}
+
+/// Fault-injection parameters for the power-gating machinery (sideband
+/// wires, wakeup gates), applied by `punchsim-faults`.
+///
+/// Probabilities are expressed in parts per million so the configuration
+/// stays `Eq`/hashable and the determinism contract ("same config + seed ⇒
+/// bit-identical run") never depends on floating-point parsing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultConfig {
+    /// Seed for the fault injector's own RNG stream (independent of the
+    /// traffic seed, so fault placement is stable across traffic changes).
+    pub seed: u64,
+    /// Probability (ppm) that a punch-carrying sideband event is dropped.
+    pub drop_punch_ppm: u32,
+    /// Probability (ppm) that a punch codeword is corrupted in transit and
+    /// decodes to a *different valid* target set — modeled by rewriting the
+    /// punch's destination to another in-mesh router, which wakes the wrong
+    /// routers (every single-destination set is a valid codebook entry).
+    pub corrupt_punch_ppm: u32,
+    /// Probability (ppm) that one cycle's conventional WU assertion is lost.
+    /// The WU is a level signal re-asserted every stalled cycle, so p < 1
+    /// only delays wakeups; p = 1 wedges the handshake and exercises the
+    /// watchdog escalation path.
+    pub drop_wu_ppm: u32,
+    /// Maximum extra sideband delivery latency in cycles: each surviving
+    /// event is delayed by a uniform `0..=max_wakeup_jitter` cycles.
+    pub max_wakeup_jitter: u32,
+    /// Scheduled stuck-off router epochs.
+    pub stuck_epochs: Vec<StuckEpoch>,
+}
+
+impl FaultConfig {
+    /// Converts a probability in `0.0..=1.0` to parts per million.
+    pub fn ppm(prob: f64) -> u32 {
+        (prob.clamp(0.0, 1.0) * 1_000_000.0).round() as u32
+    }
+
+    /// `true` when any fault mechanism is active, i.e. the injector needs
+    /// to wrap the power manager at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_punch_ppm > 0
+            || self.corrupt_punch_ppm > 0
+            || self.drop_wu_ppm > 0
+            || self.max_wakeup_jitter > 0
+            || !self.stuck_epochs.is_empty()
+    }
+
+    /// Validates probabilities and epoch targets against `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self, mesh: Mesh) -> Result<(), ConfigError> {
+        for (field, ppm) in [
+            ("drop_punch_ppm", self.drop_punch_ppm),
+            ("corrupt_punch_ppm", self.corrupt_punch_ppm),
+            ("drop_wu_ppm", self.drop_wu_ppm),
+        ] {
+            if ppm > 1_000_000 {
+                return Err(ConfigError::BadProbability { field, ppm });
+            }
+        }
+        for e in &self.stuck_epochs {
+            if !mesh.contains(e.router) {
+                return Err(ConfigError::BadStuckRouter(e.router));
+            }
         }
         Ok(())
     }
@@ -178,13 +305,13 @@ impl PowerConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(1..=4).contains(&self.punch_hops) {
-            return Err("punch_hops must be in 1..=4 (paper evaluates 2-4)".into());
+            return Err(ConfigError::BadPunchHops(self.punch_hops));
         }
         if self.wakeup_latency == 0 {
-            return Err("wakeup_latency must be non-zero".into());
+            return Err(ConfigError::ZeroWakeupLatency);
         }
         Ok(())
     }
@@ -199,6 +326,8 @@ pub struct SimConfig {
     pub power: PowerConfig,
     /// Which power-gating scheme to run.
     pub scheme: SchemeKind,
+    /// Fault injection into the power-gating machinery (default: none).
+    pub faults: FaultConfig,
     /// RNG seed for all stochastic components; a given seed reproduces a
     /// run bit-for-bit.
     pub seed: u64,
@@ -210,6 +339,7 @@ impl Default for SimConfig {
             noc: NocConfig::default(),
             power: PowerConfig::default(),
             scheme: SchemeKind::NoPg,
+            faults: FaultConfig::default(),
             seed: 0xC0FFEE,
         }
     }
@@ -228,10 +358,11 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.noc.validate()?;
-        self.power.validate()
+        self.power.validate()?;
+        self.faults.validate(self.noc.mesh)
     }
 }
 
@@ -273,6 +404,63 @@ mod tests {
             ..PowerConfig::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let c = NocConfig {
+            vnets: 0,
+            ..NocConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::NoVnets));
+        let p = PowerConfig {
+            wakeup_latency: 0,
+            ..PowerConfig::default()
+        };
+        assert_eq!(p.validate(), Err(ConfigError::ZeroWakeupLatency));
+    }
+
+    #[test]
+    fn fault_config_defaults_inactive_and_validates() {
+        let f = FaultConfig::default();
+        assert!(!f.is_active());
+        f.validate(Mesh::new(4, 4)).unwrap();
+        let bad = FaultConfig {
+            drop_punch_ppm: 2_000_000,
+            ..FaultConfig::default()
+        };
+        assert!(matches!(
+            bad.validate(Mesh::new(4, 4)),
+            Err(ConfigError::BadProbability { .. })
+        ));
+        let bad_router = FaultConfig {
+            stuck_epochs: vec![StuckEpoch {
+                router: NodeId(99),
+                start: 0,
+                duration: 10,
+            }],
+            ..FaultConfig::default()
+        };
+        assert_eq!(
+            bad_router.validate(Mesh::new(4, 4)),
+            Err(ConfigError::BadStuckRouter(NodeId(99)))
+        );
+        assert!(bad_router.is_active());
+    }
+
+    #[test]
+    fn ppm_conversion_clamps() {
+        assert_eq!(FaultConfig::ppm(0.5), 500_000);
+        assert_eq!(FaultConfig::ppm(1.5), 1_000_000);
+        assert_eq!(FaultConfig::ppm(-0.1), 0);
+    }
+
+    #[test]
+    fn watchdog_defaults_are_enabled() {
+        let w = WatchdogConfig::default();
+        assert!(w.stall_threshold > 0);
+        assert!(w.invariant_checks);
+        assert!(w.escalate_after > 0);
     }
 
     #[test]

@@ -19,12 +19,18 @@
 
 pub mod config;
 pub mod direction;
+pub mod error;
 pub mod geometry;
+pub mod rng;
 pub mod routing;
 
-pub use config::{NocConfig, PowerConfig, SchemeKind, SimConfig};
+pub use config::{
+    FaultConfig, NocConfig, PowerConfig, SchemeKind, SimConfig, StuckEpoch, WatchdogConfig,
+};
 pub use direction::{Direction, Port, PortMap};
+pub use error::{BlockedPacket, ConfigError, InvariantViolation, SimError, StallReport};
 pub use geometry::{Coord, Mesh};
+pub use rng::SimRng;
 
 /// A simulation timestamp, in router clock cycles.
 pub type Cycle = u64;

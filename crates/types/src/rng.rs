@@ -1,0 +1,213 @@
+//! A small, fast, seedable pseudo-random number generator.
+//!
+//! The simulator's determinism guarantee — identical configuration and seed
+//! reproduce a run bit-for-bit — requires an RNG whose stream is fixed
+//! forever, independent of any external crate's implementation choices. This
+//! module implements xoshiro256++ (Blackman & Vigna) seeded through
+//! SplitMix64, the standard pairing: SplitMix64 expands a 64-bit seed into
+//! well-mixed state even for adjacent seeds like 0, 1, 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use punchsim_types::rng::SimRng;
+//!
+//! let mut rng = SimRng::seed_from_u64(42);
+//! let a = rng.random_range(0..64u16);
+//! assert!(a < 64);
+//! let f = rng.random_range(0.0..1.0f64);
+//! assert!((0.0..1.0).contains(&f));
+//! // Same seed, same stream.
+//! let mut again = SimRng::seed_from_u64(42);
+//! assert_eq!(again.random_range(0..64u16), a);
+//! ```
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SimRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample from `range` (half-open, `start..end`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn random_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `ppm / 1_000_000` (exact integer arithmetic;
+    /// no floating point enters the decision).
+    #[inline]
+    pub fn random_bool_ppm(&mut self, ppm: u32) -> bool {
+        if ppm == 0 {
+            return false;
+        }
+        if ppm >= 1_000_000 {
+            return true;
+        }
+        self.random_range(0..1_000_000u32) < ppm
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    #[inline]
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Widening-multiply trick (Lemire): map 64 random bits into
+        // `0..bound` with negligible bias and no division on the fast path.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// Types [`SimRng::random_range`] can sample uniformly.
+pub trait SampleRange: Copy + PartialOrd {
+    /// Draws a uniform sample from `range`.
+    fn sample(rng: &mut SimRng, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            #[inline]
+            fn sample(rng: &mut SimRng, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as u64) - (range.start as u64);
+                range.start + rng.bounded_u64(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange for f64 {
+    #[inline]
+    fn sample(rng: &mut SimRng, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        range.start + rng.random_f64() * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_stream_is_stable() {
+        // Pin the stream so accidental algorithm changes are caught: these
+        // values are part of the determinism contract.
+        let mut r = SimRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![5987356902031041503, 7051070477665621255, 6633766593972829180]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SimRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.random_range(3..17u16);
+            assert!((3..17).contains(&v));
+            let f = r.random_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+            let u = r.random_range(0..1u64);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = SimRng::seed_from_u64(2);
+        let mut counts = [0u32; 16];
+        for _ in 0..16_000 {
+            counts[r.random_range(0..16usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn ppm_extremes_are_exact() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!r.random_bool_ppm(0));
+            assert!(r.random_bool_ppm(1_000_000));
+        }
+        // Around half for 500_000 ppm.
+        let hits = (0..10_000).filter(|_| r.random_bool_ppm(500_000)).count();
+        assert!((4_000..6_000).contains(&hits), "{hits}");
+    }
+}

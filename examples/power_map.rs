@@ -14,7 +14,7 @@ fn main() {
     cfg.noc.mesh = Mesh::new(8, 8);
     // All traffic converges on R27 (the paper's Figure 4 focus router).
     let mut sim = SyntheticSim::new(cfg, TrafficPattern::Hotspot(NodeId(27)), 0.004);
-    let report = sim.run_experiment(3_000, 20_000);
+    let report = sim.run_experiment(3_000, 20_000).unwrap();
 
     println!(
         "router off-time under a hotspot at R27 (PowerPunch-PG, {} cycles)\n",

@@ -22,7 +22,7 @@ fn main() {
         // An 8x8 mesh (Table 2 of the paper) under light uniform traffic.
         let cfg = SimConfig::with_scheme(scheme);
         let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
-        let report = sim.run_experiment(5_000, 20_000);
+        let report = sim.run_experiment(5_000, 20_000).unwrap();
         table.row([
             scheme.label().to_string(),
             format!("{:.1}", report.avg_packet_latency()),

@@ -39,7 +39,7 @@ fn main() {
         for scheme in schemes {
             let cfg = SimConfig::with_scheme(scheme);
             let mut sim = SyntheticSim::new(cfg, pattern, rate);
-            let r = sim.run_experiment(4_000, 12_000);
+            let r = sim.run_experiment(4_000, 12_000).unwrap();
             row.push(format!("{:.1}", r.avg_packet_latency()));
             watts.push(format!("{:.2}", pm.static_power_watts(&r)));
         }

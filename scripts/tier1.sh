@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 gate: exactly what CI and the roadmap require, runnable offline.
+# The workspace has no external dependencies, so no network is needed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: cargo build --release =="
+cargo build --release --workspace
+
+echo "== tier 1: cargo test -q =="
+cargo test -q --workspace
+
+# Clippy is advisory locally (the toolchain component may be absent) but
+# enforced in CI with -D warnings.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== clippy (deny warnings) =="
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== clippy not installed; skipping =="
+fi
+
+echo "tier 1 OK"

@@ -10,6 +10,8 @@
 //! * [`noc`] — the cycle-accurate router/network substrate
 //! * [`core`] — the paper's contribution: power-gating controllers and the
 //!   Power Punch punch-signal fabric and codebook (Table 1)
+//! * [`faults`] — deterministic fault injection for the power-gating
+//!   machinery (punch drops/corruption, stuck-off routers)
 //! * [`power`] — DSENT-like router energy model and accounting
 //! * [`traffic`] — synthetic traffic patterns and injection processes
 //! * [`cmp`] — MESI-directory CMP substrate standing in for gem5+PARSEC
@@ -27,13 +29,14 @@
 //!     TrafficPattern::UniformRandom,
 //!     0.02, // flits/node/cycle
 //! );
-//! sim.run(5_000);
+//! sim.run(5_000).unwrap();
 //! let report = sim.report();
 //! assert!(report.stats.packets_delivered > 0);
 //! ```
 
 pub use punchsim_cmp as cmp;
 pub use punchsim_core as core;
+pub use punchsim_faults as faults;
 pub use punchsim_noc as noc;
 pub use punchsim_power as power;
 pub use punchsim_stats as stats;
@@ -44,11 +47,13 @@ pub use punchsim_types as types;
 pub mod prelude {
     pub use punchsim_cmp::{Benchmark, CmpConfig, CmpReport, CmpSim};
     pub use punchsim_core::build_power_manager;
+    pub use punchsim_faults::{FaultInjector, FaultStats};
     pub use punchsim_noc::{Network, NetworkReport, PowerManager};
     pub use punchsim_power::{EnergyBreakdown, PowerModel};
     pub use punchsim_traffic::{SyntheticSim, TrafficPattern};
     pub use punchsim_types::{
-        Cycle, Direction, Mesh, NodeId, NocConfig, PacketId, Port, PowerConfig, SchemeKind,
-        SimConfig, VnetId,
+        ConfigError, Cycle, Direction, FaultConfig, Mesh, NodeId, NocConfig, PacketId, Port,
+        PowerConfig, SchemeKind, SimConfig, SimError, SimRng, StallReport, StuckEpoch, VnetId,
+        WatchdogConfig,
     };
 }

@@ -1,122 +1,166 @@
 //! Failure injection: Power Punch's punch signals are an *optimization*;
 //! the conventional WU handshake (Figure 2) remains as the correctness
-//! safety net. These tests wrap the real power manager in a fault injector
-//! that drops or delays events and assert that no packet is ever lost and
-//! the network always drains — only performance may degrade.
-
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+//! safety net, and the watchdog's escalation path backstops even a wedged
+//! handshake. These tests configure the library [`FaultInjector`] (via
+//! `SimConfig::faults`) to drop, corrupt and delay power-gating sideband
+//! events — or wedge a router outright — and assert that no packet is ever
+//! lost and the network always drains; only performance may degrade.
 
 use punchsim::core::build_power_manager;
-use punchsim::noc::{
-    IdleInfo, Message, MsgClass, Network, PgCounters, PmEvent, PowerManager, PowerState,
+use punchsim::noc::{Message, MsgClass, Network, PgCounters};
+use punchsim::types::{
+    FaultConfig, Mesh, NodeId, SchemeKind, SimConfig, SimRng, StuckEpoch, VnetId,
 };
-use punchsim::types::{Cycle, Mesh, NodeId, SchemeKind, SimConfig};
 
-/// Drops a fraction of non-essential events (everything except the
-/// `BlockedNeed` safety net) before handing them to the inner scheme.
-struct FaultyManager {
-    inner: Box<dyn PowerManager>,
-    rng: StdRng,
-    drop_prob: f64,
-}
-
-impl FaultyManager {
-    fn new(inner: Box<dyn PowerManager>, drop_prob: f64, seed: u64) -> Self {
-        FaultyManager {
-            inner,
-            rng: StdRng::seed_from_u64(seed),
-            drop_prob,
-        }
-    }
-}
-
-impl PowerManager for FaultyManager {
-    fn kind(&self) -> SchemeKind {
-        self.inner.kind()
-    }
-
-    fn state(&self, r: NodeId) -> PowerState {
-        self.inner.state(r)
-    }
-
-    fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>) {
-        let kept: Vec<PmEvent> = events
-            .iter()
-            .copied()
-            .filter(|ev| {
-                // Never drop the correctness-critical handshake.
-                matches!(ev, PmEvent::BlockedNeed { .. })
-                    || self.rng.random_range(0.0..1.0) >= self.drop_prob
-            })
-            .collect();
-        self.inner.tick(cycle, &kept, idle);
-    }
-
-    fn counters(&self) -> &PgCounters {
-        self.inner.counters()
-    }
-
-    fn reset_counters(&mut self) {
-        self.inner.reset_counters();
-    }
-}
-
-fn run_with_drops(drop_prob: f64) -> (usize, f64) {
+/// Builds a faulted PowerPunch-PG config on `mesh` and runs a light random
+/// workload through the real network + fault-injector stack, then drains.
+/// Returns (sent, delivered, wakeup-wait mean, final PG counters).
+fn run_faulted(mesh: Mesh, faults: FaultConfig) -> (usize, usize, f64, PgCounters) {
     let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-    cfg.noc.mesh = Mesh::new(4, 4);
-    let inner = build_power_manager(&cfg);
-    let pm = Box::new(FaultyManager::new(inner, drop_prob, 99));
-    let mut net = Network::new(&cfg.noc, pm);
-    let mut rng = StdRng::seed_from_u64(7);
+    cfg.noc.mesh = mesh;
+    cfg.faults = faults;
+    let pm = build_power_manager(&cfg).expect("valid config");
+    let mut net = Network::new(&cfg.noc, pm).expect("valid config");
+    let n = mesh.nodes() as u16;
+    let mut rng = SimRng::seed_from_u64(7);
     let mut sent = 0usize;
     for round in 0..600u64 {
         if round % 10 == 0 {
-            let src = NodeId(rng.random_range(0..16u16));
-            let dst = NodeId(rng.random_range(0..16u16));
+            let src = NodeId(rng.random_range(0..n));
+            let dst = NodeId(rng.random_range(0..n));
             net.send(Message {
                 src,
                 dst,
-                vnet: punchsim::types::VnetId(0),
+                vnet: VnetId(0),
                 class: MsgClass::Control,
                 payload: 0,
                 gen_cycle: 0,
-            });
+            })
+            .expect("in-mesh send");
             sent += 1;
         }
-        net.tick();
+        net.tick().expect("watchdog must stay quiet under punch faults");
     }
     let mut guard = 0;
     while net.in_flight() > 0 {
-        net.tick();
+        net.tick().expect("watchdog must stay quiet while draining");
         guard += 1;
         assert!(guard < 100_000, "network failed to drain");
     }
-    let delivered: usize = (0..16u16)
-        .map(|n| net.take_delivered(NodeId(n)).len())
-        .sum();
-    (delivered.min(sent), net.report().stats.wakeup_wait.mean())
+    let delivered: usize = (0..n).map(|i| net.take_delivered(NodeId(i)).len()).sum();
+    let report = net.report();
+    (
+        sent,
+        delivered,
+        report.stats.wakeup_wait.mean(),
+        report.pg.clone(),
+    )
 }
 
+fn drop_faults(prob: f64) -> FaultConfig {
+    FaultConfig {
+        seed: 99,
+        drop_punch_ppm: FaultConfig::ppm(prob),
+        ..FaultConfig::default()
+    }
+}
+
+/// Acceptance: drop probability 1.0 *and* corruption on an 8x8
+/// PowerPunchFull mesh — every packet still delivers and the watchdog
+/// never files a stall report.
 #[test]
 fn losing_every_punch_event_degrades_but_never_deadlocks() {
-    let (delivered, wait_all_dropped) = run_with_drops(1.0);
-    assert_eq!(delivered, 60, "all packets delivered without any punches");
-    let (delivered, wait_healthy) = run_with_drops(0.0);
-    assert_eq!(delivered, 60);
+    let mesh = Mesh::new(8, 8);
+    let chaos = FaultConfig {
+        seed: 99,
+        drop_punch_ppm: FaultConfig::ppm(1.0),
+        corrupt_punch_ppm: FaultConfig::ppm(0.5),
+        max_wakeup_jitter: 3,
+        ..FaultConfig::default()
+    };
+    let (sent, delivered, wait_chaos, pg) = run_faulted(mesh, chaos);
+    assert_eq!(delivered, sent, "all packets delivered without any punches");
+    assert!(pg.faults_injected > 0, "the injector actually fired");
+
+    let (sent, delivered, wait_healthy, _) = run_faulted(mesh, FaultConfig::default());
+    assert_eq!(delivered, sent);
     // Dropping punches turns the scheme into blocked-wakeup gating: the
     // waiting time rises, demonstrating the punches were doing real work.
     assert!(
-        wait_all_dropped > wait_healthy,
-        "dropped-punch wait {wait_all_dropped} vs healthy {wait_healthy}"
+        wait_chaos > wait_healthy,
+        "dropped-punch wait {wait_chaos} vs healthy {wait_healthy}"
     );
 }
 
 #[test]
 fn partial_event_loss_is_between_the_extremes() {
-    let (_, w0) = run_with_drops(0.0);
-    let (d, w50) = run_with_drops(0.5);
-    let (_, w100) = run_with_drops(1.0);
-    assert_eq!(d, 60);
+    let mesh = Mesh::new(4, 4);
+    let (_, _, w0, _) = run_faulted(mesh, FaultConfig::default());
+    let (sent, d, w50, _) = run_faulted(mesh, drop_faults(0.5));
+    let (_, _, w100, _) = run_faulted(mesh, drop_faults(1.0));
+    assert_eq!(d, sent);
     assert!(w0 <= w50 + 1e-9 && w50 <= w100 + 1e-9, "{w0} {w50} {w100}");
+}
+
+/// Corrupted codewords decode to *different valid* target sets: the wrong
+/// routers wake up (wasting energy), but delivery is untouched because the
+/// blocked flit's own WU handshake still reaches the right router.
+#[test]
+fn corrupted_punches_waste_energy_but_lose_nothing() {
+    let faults = FaultConfig {
+        seed: 5,
+        corrupt_punch_ppm: FaultConfig::ppm(1.0),
+        ..FaultConfig::default()
+    };
+    let (sent, delivered, _, pg) = run_faulted(Mesh::new(4, 4), faults);
+    assert_eq!(delivered, sent);
+    assert!(pg.faults_injected > 0, "corruptions were injected");
+}
+
+/// Acceptance: a stuck-off router epoch wedges the WU handshake entirely;
+/// the watchdog's escalation path force-wakes the router, the escalation
+/// counters tick, and every packet still delivers.
+#[test]
+fn stuck_off_router_is_escalated_and_all_packets_deliver() {
+    let faults = FaultConfig {
+        seed: 3,
+        stuck_epochs: vec![StuckEpoch {
+            router: NodeId(5),
+            start: 50,
+            duration: 5_000,
+        }],
+        ..FaultConfig::default()
+    };
+    let (sent, delivered, _, pg) = run_faulted(Mesh::new(4, 4), faults);
+    assert_eq!(delivered, sent, "escalation recovered every packet");
+    assert!(
+        pg.escalations > 0,
+        "the watchdog force-woke the stuck router (escalations = {})",
+        pg.escalations
+    );
+    assert!(pg.faults_injected > 0, "the stuck epoch swallowed WUs");
+}
+
+/// Acceptance: the injector is deterministic — the same seed and config
+/// produce bit-identical statistics run over run.
+#[test]
+fn identical_seeds_give_bit_identical_stats() {
+    let faults = FaultConfig {
+        seed: 1234,
+        drop_punch_ppm: FaultConfig::ppm(0.35),
+        corrupt_punch_ppm: FaultConfig::ppm(0.2),
+        max_wakeup_jitter: 4,
+        stuck_epochs: vec![StuckEpoch {
+            router: NodeId(9),
+            start: 100,
+            duration: 400,
+        }],
+        ..FaultConfig::default()
+    };
+    let (sent_a, del_a, wait_a, pg_a) = run_faulted(Mesh::new(4, 4), faults.clone());
+    let (sent_b, del_b, wait_b, pg_b) = run_faulted(Mesh::new(4, 4), faults);
+    assert_eq!(sent_a, sent_b);
+    assert_eq!(del_a, del_b);
+    assert_eq!(wait_a.to_bits(), wait_b.to_bits(), "latency mean diverged");
+    assert_eq!(pg_a, pg_b, "power-gating counters diverged");
 }

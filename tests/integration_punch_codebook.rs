@@ -4,14 +4,12 @@
 //! contention-free at the claimed wire widths.
 
 use punchsim::core::{Codebook, PunchFabric};
-use punchsim::types::{Mesh, NodeId};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use punchsim::types::{Mesh, NodeId, SimRng};
 
 fn stress_fabric(mesh: Mesh, hops: u16, rounds: usize, seed: u64) {
     let cb = Codebook::enumerate(mesh, hops);
     let mut fabric = PunchFabric::new(mesh, hops);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let n = mesh.nodes() as u16;
     for _ in 0..rounds {
         // A burst of random wakeups (several per cycle, like a busy NoC).

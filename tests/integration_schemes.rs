@@ -9,7 +9,7 @@ fn report(scheme: SchemeKind, rate: f64) -> NetworkReport {
     let mut cfg = SimConfig::with_scheme(scheme);
     cfg.noc.mesh = Mesh::new(8, 8);
     let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, rate);
-    sim.run_experiment(3_000, 12_000)
+    sim.run_experiment(3_000, 12_000).unwrap()
 }
 
 #[test]
@@ -81,7 +81,7 @@ fn saturation_throughput_unaffected_by_power_punch() {
         let mut cfg = SimConfig::with_scheme(scheme);
         cfg.noc.mesh = Mesh::new(4, 4);
         let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.6);
-        sim.run_experiment(3_000, 8_000).throughput()
+        sim.run_experiment(3_000, 8_000).unwrap().throughput()
     };
     let t_no = run(SchemeKind::NoPg);
     let t_pp = run(SchemeKind::PowerPunchFull);
@@ -101,7 +101,7 @@ fn slack2_fraction_controls_full_scheme_advantage() {
         let mut inj = InjectionConfig::at_rate(0.004);
         inj.slack2_fraction = slack_frac;
         let mut sim = SyntheticSim::with_injection(cfg, TrafficPattern::UniformRandom, inj);
-        sim.run_experiment(3_000, 10_000)
+        sim.run_experiment(3_000, 10_000).unwrap()
     };
     let full = run(SchemeKind::PowerPunchFull, 1.0);
     let signal = run(SchemeKind::PowerPunchSignal, 1.0);
@@ -116,7 +116,7 @@ fn four_stage_router_still_orders_schemes() {
         cfg.noc.router_stages = 4;
         cfg.power.wakeup_latency = 10;
         let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
-        sim.run_experiment(2_000, 8_000)
+        sim.run_experiment(2_000, 8_000).unwrap()
     };
     let no = run(SchemeKind::NoPg);
     let conv = run(SchemeKind::ConvOptPg);
@@ -140,7 +140,7 @@ fn all_patterns_deliver_under_power_punch() {
         let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
         cfg.noc.mesh = Mesh::new(8, 8);
         let mut sim = SyntheticSim::new(cfg, pattern, 0.01);
-        let r = sim.run_experiment(1_000, 4_000);
+        let r = sim.run_experiment(1_000, 4_000).unwrap();
         assert!(
             r.stats.packets_delivered > 100,
             "{pattern} delivered too few"

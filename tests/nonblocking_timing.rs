@@ -14,10 +14,10 @@ fn run_isolated_packets(scheme: SchemeKind, wakeup: u32, use_slack2: bool) -> (u
     let mut cfg = SimConfig::with_scheme(scheme);
     cfg.noc.mesh = Mesh::new(8, 8);
     cfg.power.wakeup_latency = wakeup;
-    let pm = build_power_manager(&cfg);
-    let mut net = Network::new(&cfg.noc, pm);
+    let pm = build_power_manager(&cfg).unwrap();
+    let mut net = Network::new(&cfg.noc, pm).unwrap();
     // Let every router fall asleep.
-    net.run(50);
+    net.run(50).unwrap();
     let flows: &[(u16, u16)] = &[
         (0, 7),   // 7 hops straight east
         (56, 7),  // corner to corner
@@ -31,7 +31,7 @@ fn run_isolated_packets(scheme: SchemeKind, wakeup: u32, use_slack2: bool) -> (u
             // Slack 2: the node knows a packet is coming 6 cycles before
             // the message reaches the NI (L2/directory access start).
             net.notify_future_injection(NodeId(src));
-            net.run(6);
+            net.run(6).unwrap();
         }
         net.send(Message {
             src: NodeId(src),
@@ -40,9 +40,10 @@ fn run_isolated_packets(scheme: SchemeKind, wakeup: u32, use_slack2: bool) -> (u
             class: MsgClass::Control,
             payload: 0,
             gen_cycle: net.cycle(),
-        });
+        })
+        .unwrap();
         // Plenty of time to drain and for all routers to re-sleep.
-        net.run(250);
+        net.run(250).unwrap();
         assert_eq!(net.in_flight(), 0, "packet must drain");
     }
     let r = net.report();
@@ -107,11 +108,11 @@ fn four_stage_router_hides_up_to_twelve_cycles_in_steady_state() {
         cfg.noc.mesh = Mesh::new(8, 8);
         cfg.noc.router_stages = 4;
         cfg.power.wakeup_latency = wakeup;
-        let pm = build_power_manager(&cfg);
-        let mut net = Network::new(&cfg.noc, pm);
-        net.run(50);
+        let pm = build_power_manager(&cfg).unwrap();
+        let mut net = Network::new(&cfg.noc, pm).unwrap();
+        net.run(50).unwrap();
         net.notify_future_injection(NodeId(0));
-        net.run(6);
+        net.run(6).unwrap();
         net.send(Message {
             src: NodeId(0),
             dst: NodeId(7),
@@ -119,8 +120,9 @@ fn four_stage_router_hides_up_to_twelve_cycles_in_steady_state() {
             class: MsgClass::Control,
             payload: 0,
             gen_cycle: net.cycle(),
-        });
-        net.run(400);
+        })
+        .unwrap();
+        net.run(400).unwrap();
         assert_eq!(net.in_flight(), 0);
         net.report().stats.wakeup_wait.sum() as u64
     };

@@ -1,36 +1,42 @@
-//! Property-based tests (proptest) on the core invariants of the system.
+//! Property-style tests on the core invariants of the system.
+//!
+//! These used to run under `proptest`; they are now driven by the in-repo
+//! deterministic [`SimRng`] so the workspace has no external dependencies
+//! and every "random" case is exactly reproducible. Each test sweeps a
+//! seeded batch of generated cases and asserts the invariant on every one.
 
-use proptest::prelude::*;
-
-use punchsim::core::{Codebook, PunchFabric, PunchSet};
+use punchsim::core::{build_power_manager, Codebook, PunchFabric, PunchSet};
 use punchsim::noc::{AlwaysOn, Message, MsgClass, Network};
-use punchsim::types::{routing, Direction, Mesh, NocConfig, NodeId, VnetId};
+use punchsim::types::{
+    routing, Direction, Mesh, NocConfig, NodeId, SchemeKind, SimConfig, SimRng, VnetId,
+};
 
-fn mesh_strategy() -> impl Strategy<Value = Mesh> {
-    (2u16..=8, 2u16..=8).prop_map(|(w, h)| Mesh::new(w, h))
+fn random_mesh(rng: &mut SimRng) -> Mesh {
+    Mesh::new(rng.random_range(2..9u16), rng.random_range(2..9u16))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// XY routes are minimal and never take an illegal Y->X turn.
-    #[test]
-    fn xy_routes_minimal_and_legal(mesh in mesh_strategy(), a in 0u16..64, b in 0u16..64) {
-        let a = NodeId(a % mesh.nodes() as u16);
-        let b = NodeId(b % mesh.nodes() as u16);
+/// XY routes are minimal and never take an illegal Y->X turn.
+#[test]
+fn xy_routes_minimal_and_legal() {
+    let mut rng = SimRng::seed_from_u64(0x10);
+    for _ in 0..64 {
+        let mesh = random_mesh(&mut rng);
+        let n = mesh.nodes() as u16;
+        let a = NodeId(rng.random_range(0..n));
+        let b = NodeId(rng.random_range(0..n));
         let path: Vec<NodeId> = routing::xy_path(mesh, a, b).collect();
-        prop_assert_eq!(path.len(), mesh.distance(a, b) as usize);
+        assert_eq!(path.len(), mesh.distance(a, b) as usize);
         // Reconstruct travel directions and check turn legality.
         let mut prev = a;
         let mut prev_dir: Option<Direction> = None;
         for hop in path {
             let dir = routing::xy_direction(mesh, prev, hop).unwrap();
-            prop_assert_eq!(mesh.neighbor(prev, dir), Some(hop));
+            assert_eq!(mesh.neighbor(prev, dir), Some(hop));
             if let Some(pd) = prev_dir {
                 if pd != dir {
-                    prop_assert!(
+                    assert!(
                         routing::xy_turn_legal(pd, dir),
-                        "illegal turn {} -> {}", pd, dir
+                        "illegal turn {pd} -> {dir}"
                     );
                 }
             }
@@ -38,54 +44,60 @@ proptest! {
             prev = hop;
         }
     }
+}
 
-    /// The punch target is exactly `min(H, dist)` hops ahead and on-path.
-    #[test]
-    fn punch_target_min_rule(mesh in mesh_strategy(), a in 0u16..64, b in 0u16..64, h in 1u16..=4) {
-        let a = NodeId(a % mesh.nodes() as u16);
-        let b = NodeId(b % mesh.nodes() as u16);
+/// The punch target is exactly `min(H, dist)` hops ahead and on-path.
+#[test]
+fn punch_target_min_rule() {
+    let mut rng = SimRng::seed_from_u64(0x11);
+    for _ in 0..64 {
+        let mesh = random_mesh(&mut rng);
+        let n = mesh.nodes() as u16;
+        let a = NodeId(rng.random_range(0..n));
+        let b = NodeId(rng.random_range(0..n));
+        let h = rng.random_range(1..5u16);
         let t = routing::xy_router_ahead(mesh, a, b, h);
-        prop_assert_eq!(mesh.distance(a, t), h.min(mesh.distance(a, b)));
-        prop_assert!(routing::xy_on_path(mesh, a, b, t));
+        assert_eq!(mesh.distance(a, t), h.min(mesh.distance(a, b)));
+        assert!(routing::xy_on_path(mesh, a, b, t));
     }
+}
 
-    /// Normalization is insertion-order independent and keeps no implied
-    /// targets.
-    #[test]
-    fn punch_set_normalization_order_free(
-        targets in prop::collection::vec(0u16..64, 1..5),
-        sender in 0u16..64,
-        perm_seed in 0u64..1000,
-    ) {
-        let mesh = Mesh::new(8, 8);
-        let sender = NodeId(sender);
-        let ts: Vec<NodeId> = targets
-            .iter()
-            .map(|&t| NodeId(t))
+/// Normalization is insertion-order independent and keeps no implied
+/// targets.
+#[test]
+fn punch_set_normalization_order_free() {
+    let mesh = Mesh::new(8, 8);
+    let mut rng = SimRng::seed_from_u64(0x12);
+    for _ in 0..64 {
+        let sender = NodeId(rng.random_range(0..64u16));
+        let len = rng.random_range(1..5usize);
+        let ts: Vec<NodeId> = (0..len)
+            .map(|_| NodeId(rng.random_range(0..64u16)))
             .filter(|&t| t != sender)
             .collect();
-        prop_assume!(!ts.is_empty());
+        if ts.is_empty() {
+            continue;
+        }
         let mut fwd = PunchSet::new();
         for &t in &ts {
             fwd.insert_normalized(mesh, sender, t);
         }
         // A pseudo-random permutation must give the same canonical set.
         let mut shuffled = ts.clone();
-        let mut s = perm_seed;
         for i in (1..shuffled.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            shuffled.swap(i, (s % (i as u64 + 1)) as usize);
+            let j = rng.random_range(0..(i + 1));
+            shuffled.swap(i, j);
         }
         let mut rev = PunchSet::new();
         for &t in &shuffled {
             rev.insert_normalized(mesh, sender, t);
         }
-        prop_assert_eq!(fwd.canonical(), rev.canonical());
+        assert_eq!(fwd.canonical(), rev.canonical());
         // No target is on the path to another (no implied targets).
         for &x in fwd.targets() {
             for &y in fwd.targets() {
                 if x != y {
-                    prop_assert!(!routing::xy_on_path(mesh, sender, y, x));
+                    assert!(!routing::xy_on_path(mesh, sender, y, x));
                 }
             }
         }
@@ -94,16 +106,23 @@ proptest! {
         for &t in &ts {
             again.insert_normalized(mesh, sender, t);
         }
-        prop_assert_eq!(again.canonical(), fwd.canonical());
+        assert_eq!(again.canonical(), fwd.canonical());
     }
+}
 
-    /// A punch notifies exactly the routers on the path to its target,
-    /// in hop order, one per cycle.
-    #[test]
-    fn punch_fabric_notifies_exact_path(src in 0u16..64, dst in 0u16..64, h in 1u16..=4) {
-        let mesh = Mesh::new(8, 8);
-        let (src, dst) = (NodeId(src), NodeId(dst));
-        prop_assume!(src != dst);
+/// A punch notifies exactly the routers on the path to its target,
+/// in hop order, one per cycle.
+#[test]
+fn punch_fabric_notifies_exact_path() {
+    let mesh = Mesh::new(8, 8);
+    let mut rng = SimRng::seed_from_u64(0x13);
+    for _ in 0..64 {
+        let src = NodeId(rng.random_range(0..64u16));
+        let dst = NodeId(rng.random_range(0..64u16));
+        if src == dst {
+            continue;
+        }
+        let h = rng.random_range(1..5u16);
         let mut fabric = PunchFabric::new(mesh, h);
         fabric.generate(src, dst);
         let target = routing::xy_router_ahead(mesh, src, dst, h);
@@ -114,104 +133,112 @@ proptest! {
         for _ in 0..(h as usize + 2) {
             fabric.tick(|r| seen.push(r));
         }
-        prop_assert_eq!(seen, expect);
-        prop_assert!(fabric.is_idle());
+        assert_eq!(seen, expect);
+        assert!(fabric.is_idle());
     }
+}
 
-    /// Every punch signal in flight is encodable; encode/decode roundtrips.
-    #[test]
-    fn codebook_roundtrip_random_links(r in 0u16..64, d in 0usize..4) {
-        let mesh = Mesh::new(8, 8);
-        let cb = Codebook::enumerate(mesh, 3);
-        let dir = Direction::ALL[d];
-        if let Some(link) = cb.link(NodeId(r), dir) {
-            for (i, s) in link.sets().iter().enumerate() {
-                prop_assert_eq!(link.encode(s), Some((i + 1) as u16));
-                let decoded = link.decode((i + 1) as u16);
-                prop_assert_eq!(decoded.as_ref(), Some(s));
+/// Every punch signal in flight is encodable; encode/decode roundtrips.
+#[test]
+fn codebook_roundtrip_all_links() {
+    let mesh = Mesh::new(8, 8);
+    let cb = Codebook::enumerate(mesh, 3);
+    for r in 0..64u16 {
+        for dir in Direction::ALL {
+            if let Some(link) = cb.link(NodeId(r), dir) {
+                for (i, s) in link.sets().iter().enumerate() {
+                    assert_eq!(link.encode(s), Some((i + 1) as u16));
+                    let decoded = link.decode((i + 1) as u16);
+                    assert_eq!(decoded.as_ref(), Some(s));
+                }
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Conservation: every injected packet is delivered exactly once, to the
-    /// right node, under random traffic (always-on network).
-    #[test]
-    fn network_delivers_everything_exactly_once(
-        sends in prop::collection::vec((0u16..16, 0u16..16, 0u8..3, prop::bool::ANY), 1..120),
-    ) {
+/// Conservation: every injected packet is delivered exactly once, to the
+/// right node, under random traffic (always-on network).
+#[test]
+fn network_delivers_everything_exactly_once() {
+    let mut rng = SimRng::seed_from_u64(0x14);
+    for _case in 0..12 {
         let cfg = NocConfig {
             mesh: Mesh::new(4, 4),
             ..NocConfig::default()
         };
-        let mut net = Network::new(&cfg, Box::new(AlwaysOn::new(16)));
+        let mut net = Network::new(&cfg, Box::new(AlwaysOn::new(16))).unwrap();
         let mut expected = [0usize; 16];
-        for (i, &(src, dst, vnet, data)) in sends.iter().enumerate() {
+        let sends = rng.random_range(1..120usize);
+        for i in 0..sends {
+            let dst = rng.random_range(0..16u16);
             net.send(Message {
-                src: NodeId(src),
+                src: NodeId(rng.random_range(0..16u16)),
                 dst: NodeId(dst),
-                vnet: VnetId(vnet),
-                class: if data { MsgClass::Data } else { MsgClass::Control },
+                vnet: VnetId(rng.random_range(0..3u8)),
+                class: if rng.random_bool_ppm(500_000) {
+                    MsgClass::Data
+                } else {
+                    MsgClass::Control
+                },
                 payload: i as u64,
                 gen_cycle: 0,
-            });
+            })
+            .unwrap();
             expected[dst as usize] += 1;
-            net.tick();
+            net.tick().unwrap();
         }
         let mut guard = 0;
         while net.in_flight() > 0 {
-            net.tick();
+            net.tick().unwrap();
             guard += 1;
-            prop_assert!(guard < 50_000, "drain stalled");
+            assert!(guard < 50_000, "drain stalled");
         }
         for n in 0..16u16 {
             let got = net.take_delivered(NodeId(n));
-            prop_assert_eq!(got.len(), expected[n as usize], "node {}", n);
+            assert_eq!(got.len(), expected[n as usize], "node {n}");
             for m in got {
-                prop_assert_eq!(m.dst, NodeId(n));
+                assert_eq!(m.dst, NodeId(n));
             }
         }
     }
+}
 
-    /// The same conservation holds under Power Punch gating (no packet is
-    /// lost to a power transition).
-    #[test]
-    fn gated_network_loses_nothing(
-        sends in prop::collection::vec((0u16..16, 0u16..16), 1..60),
-        gap in 1u64..40,
-    ) {
-        use punchsim::core::build_power_manager;
-        use punchsim::types::{SchemeKind, SimConfig};
+/// The same conservation holds under Power Punch gating (no packet is
+/// lost to a power transition), with the watchdog live the whole time.
+#[test]
+fn gated_network_loses_nothing() {
+    let mut rng = SimRng::seed_from_u64(0x15);
+    for _case in 0..12 {
         let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
         cfg.noc.mesh = Mesh::new(4, 4);
-        let pm = build_power_manager(&cfg);
-        let mut net = Network::new(&cfg.noc, pm);
+        let pm = build_power_manager(&cfg).unwrap();
+        let mut net = Network::new(&cfg.noc, pm).unwrap();
+        let gap = rng.random_range(1..40u64);
+        let sends = rng.random_range(1..60usize);
         let mut total = 0usize;
-        for &(src, dst) in &sends {
+        for _ in 0..sends {
             net.send(Message {
-                src: NodeId(src),
-                dst: NodeId(dst),
+                src: NodeId(rng.random_range(0..16u16)),
+                dst: NodeId(rng.random_range(0..16u16)),
                 vnet: VnetId(0),
                 class: MsgClass::Control,
                 payload: 0,
                 gen_cycle: 0,
-            });
+            })
+            .unwrap();
             total += 1;
             // Gaps let routers power off between packets.
-            net.run(gap);
+            net.run(gap).unwrap();
         }
         let mut guard = 0;
         while net.in_flight() > 0 {
-            net.tick();
+            net.tick().unwrap();
             guard += 1;
-            prop_assert!(guard < 100_000, "drain stalled under gating");
+            assert!(guard < 100_000, "drain stalled under gating");
         }
         let delivered: usize = (0..16u16)
             .map(|n| net.take_delivered(NodeId(n)).len())
             .sum();
-        prop_assert_eq!(delivered, total);
+        assert_eq!(delivered, total);
     }
 }
