@@ -4,40 +4,19 @@
 //! target in `benches/`; `cargo bench` prints each one as a text table with
 //! the paper's reported numbers alongside for shape comparison (see
 //! EXPERIMENTS.md). The 8-benchmark x 4-scheme full-system campaign behind
-//! Figures 7-11 is expensive, so its results are cached on disk and shared
-//! by those five targets.
+//! Figures 7-11 is expensive, so it runs through `punchsim::campaign`: one
+//! worker per core and a content-hashed result store in the target
+//! directory shared by all five figure targets (and by
+//! `punchsim-cli campaign`).
 //!
-//! Set `PP_FAST=1` to run shortened simulations (smoke mode).
+//! Set `PP_FAST=1` to run shortened simulations (smoke mode); the switch is
+//! defined once, in [`punchsim::campaign::fast_mode`].
 
-use std::fmt::Write as _;
-use std::path::PathBuf;
-
-use punchsim::cmp::{Benchmark, CmpConfig, CmpSim};
-use punchsim::power::PowerModel;
+use punchsim::campaign::{self, Runner, Store, Workload};
+use punchsim::cmp::Benchmark;
 use punchsim::types::SchemeKind;
 
-/// `true` when `PP_FAST=1`: run shortened simulations.
-pub fn fast_mode() -> bool {
-    std::env::var("PP_FAST").is_ok_and(|v| v == "1")
-}
-
-/// Instructions per core for full-system runs (shortened in fast mode).
-pub fn instr_per_core() -> u64 {
-    if fast_mode() {
-        20_000
-    } else {
-        80_000
-    }
-}
-
-/// Measured cycles for synthetic-traffic runs.
-pub fn synth_cycles() -> u64 {
-    if fast_mode() {
-        6_000
-    } else {
-        20_000
-    }
-}
+pub use punchsim::campaign::{fast_mode, instr_per_core, synth_cycles};
 
 /// One full-system run's distilled metrics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,123 +43,48 @@ pub struct RunMetrics {
     pub baseline_static_pj: f64,
 }
 
-impl RunMetrics {
-    fn to_line(self) -> String {
-        let mut s = String::new();
-        let _ = write!(
-            s,
-            "{} {} {} {} {} {} {} {} {} {}",
-            self.benchmark.name(),
-            scheme_tag(self.scheme),
-            self.exec_cycles,
-            self.latency,
-            self.encounters,
-            self.wait,
-            self.dynamic_pj,
-            self.static_pj,
-            self.overhead_pj,
-            self.baseline_static_pj,
-        );
-        s
-    }
-
-    fn from_line(line: &str) -> Option<RunMetrics> {
-        let mut it = line.split_whitespace();
-        let bench = it.next()?;
-        let benchmark = Benchmark::ALL.into_iter().find(|b| b.name() == bench)?;
-        let scheme = scheme_from_tag(it.next()?)?;
-        Some(RunMetrics {
-            benchmark,
-            scheme,
-            exec_cycles: it.next()?.parse().ok()?,
-            latency: it.next()?.parse().ok()?,
-            encounters: it.next()?.parse().ok()?,
-            wait: it.next()?.parse().ok()?,
-            dynamic_pj: it.next()?.parse().ok()?,
-            static_pj: it.next()?.parse().ok()?,
-            overhead_pj: it.next()?.parse().ok()?,
-            baseline_static_pj: it.next()?.parse().ok()?,
-        })
-    }
-}
-
-fn scheme_tag(s: SchemeKind) -> &'static str {
-    match s {
-        SchemeKind::NoPg => "nopg",
-        SchemeKind::ConvPg => "conv",
-        SchemeKind::ConvOptPg => "convopt",
-        SchemeKind::PowerPunchSignal => "pps",
-        SchemeKind::PowerPunchFull => "ppf",
-    }
-}
-
-fn scheme_from_tag(t: &str) -> Option<SchemeKind> {
-    Some(match t {
-        "nopg" => SchemeKind::NoPg,
-        "conv" => SchemeKind::ConvPg,
-        "convopt" => SchemeKind::ConvOptPg,
-        "pps" => SchemeKind::PowerPunchSignal,
-        "ppf" => SchemeKind::PowerPunchFull,
-        _ => return None,
-    })
-}
-
-fn cache_path() -> PathBuf {
-    // Benches run with the package as CWD; anchor the cache in the
-    // workspace target directory (or the temp dir as a fallback) so every
-    // figure target shares it.
-    let dir = std::env::var("CARGO_TARGET_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| std::env::temp_dir());
-    let _ = std::fs::create_dir_all(&dir);
-    dir.join(format!(
-        "punchsim-parsec-campaign-v1-{}.txt",
-        instr_per_core()
-    ))
-}
-
-/// Runs (or loads from the on-disk cache) the full PARSEC campaign:
-/// every benchmark under every evaluated scheme. This is the data behind
-/// Figures 7, 8, 9, 10 and 11.
+/// Runs (or loads from the campaign result store) the full PARSEC
+/// campaign: every benchmark under every evaluated scheme, in parallel.
+/// This is the data behind Figures 7, 8, 9, 10 and 11.
 pub fn parsec_campaign() -> Vec<RunMetrics> {
-    let path = cache_path();
-    if let Ok(text) = std::fs::read_to_string(&path) {
-        let runs: Vec<RunMetrics> = text.lines().filter_map(RunMetrics::from_line).collect();
-        if runs.len() == Benchmark::ALL.len() * SchemeKind::EVALUATED.len() {
-            eprintln!("(loaded cached campaign from {})", path.display());
-            return runs;
+    let specs = campaign::parsec_suite(campaign::DEFAULT_SEED);
+    let runner = Runner {
+        threads: 0,
+        store: Some(Store::in_target()),
+    };
+    let outcomes = runner.run_with(&specs, &|_, outcome| {
+        if let Some(rec) = outcome.record() {
+            if !rec.cached {
+                eprintln!("ran {}", rec.spec.id());
+            }
         }
-    }
-    let pm = PowerModel::default_45nm();
-    let mut runs = Vec::new();
-    for bench in Benchmark::ALL {
-        for scheme in SchemeKind::EVALUATED {
-            eprintln!("running {bench} under {scheme}...");
-            let mut cfg = CmpConfig::new(bench, scheme);
-            cfg.instr_per_core = instr_per_core();
-            cfg.warmup_instr = instr_per_core() / 10;
-            let r = CmpSim::new(cfg).run();
-            assert!(r.completed, "{bench}/{scheme} did not complete");
-            let b = pm.breakdown(&r.net);
-            runs.push(RunMetrics {
-                benchmark: bench,
-                scheme,
-                exec_cycles: r.exec_cycles,
-                latency: r.net.avg_packet_latency(),
-                encounters: r.net.avg_pg_encounters(),
-                wait: r.net.avg_wakeup_wait(),
-                dynamic_pj: b.dynamic_pj,
-                static_pj: b.static_pj,
-                overhead_pj: b.overhead_pj,
-                baseline_static_pj: pm.baseline_static_pj(&r.net),
-            });
-        }
-    }
-    let text: String = runs.iter().map(|r| r.to_line() + "\n").collect();
-    if let Err(e) = std::fs::write(&path, text) {
-        eprintln!("warning: could not cache campaign at {}: {e}", path.display());
-    }
-    runs
+    });
+    specs
+        .into_iter()
+        .zip(outcomes)
+        .map(|(spec, outcome)| {
+            let rec = outcome
+                .record()
+                .unwrap_or_else(|| panic!("{}", outcome.error().expect("failed run")));
+            let m = &rec.metrics;
+            assert!(m.completed, "{} did not complete", spec.id());
+            let Workload::Parsec { benchmark, .. } = spec.workload else {
+                unreachable!("parsec_suite yields only Parsec workloads")
+            };
+            RunMetrics {
+                benchmark,
+                scheme: spec.scheme,
+                exec_cycles: m.exec_cycles,
+                latency: m.latency,
+                encounters: m.encounters,
+                wait: m.wait,
+                dynamic_pj: m.dynamic_pj,
+                static_pj: m.static_pj,
+                overhead_pj: m.overhead_pj,
+                baseline_static_pj: m.baseline_static_pj,
+            }
+        })
+        .collect()
 }
 
 /// The metrics of `bench` under `scheme` from a campaign slice.
@@ -209,34 +113,31 @@ pub fn average<F: Fn(RunMetrics) -> f64>(
 mod tests {
     use super::*;
 
-    #[test]
-    fn metrics_line_roundtrip() {
-        let m = RunMetrics {
-            benchmark: Benchmark::Canneal,
-            scheme: SchemeKind::PowerPunchFull,
-            exec_cycles: 12345,
-            latency: 35.25,
-            encounters: 0.5,
-            wait: 1.25,
-            dynamic_pj: 1e9,
-            static_pj: 2e9,
-            overhead_pj: 3e7,
-            baseline_static_pj: 4e9,
-        };
-        let back = RunMetrics::from_line(&m.to_line()).unwrap();
-        assert_eq!(back, m);
+    fn metrics(benchmark: Benchmark, scheme: SchemeKind, latency: f64) -> RunMetrics {
+        RunMetrics {
+            benchmark,
+            scheme,
+            exec_cycles: 1000,
+            latency,
+            encounters: 0.0,
+            wait: 0.0,
+            dynamic_pj: 0.0,
+            static_pj: 0.0,
+            overhead_pj: 0.0,
+            baseline_static_pj: 0.0,
+        }
     }
 
     #[test]
-    fn scheme_tags_roundtrip() {
-        for s in [
-            SchemeKind::NoPg,
-            SchemeKind::ConvPg,
-            SchemeKind::ConvOptPg,
-            SchemeKind::PowerPunchSignal,
-            SchemeKind::PowerPunchFull,
-        ] {
-            assert_eq!(scheme_from_tag(scheme_tag(s)), Some(s));
-        }
+    fn pick_and_average_select_by_pair_and_scheme() {
+        let runs = vec![
+            metrics(Benchmark::Canneal, SchemeKind::NoPg, 20.0),
+            metrics(Benchmark::Canneal, SchemeKind::PowerPunchFull, 30.0),
+            metrics(Benchmark::Dedup, SchemeKind::PowerPunchFull, 50.0),
+        ];
+        let hit = pick(&runs, Benchmark::Canneal, SchemeKind::PowerPunchFull);
+        assert_eq!(hit.latency, 30.0);
+        let avg = average(&runs, SchemeKind::PowerPunchFull, |r| r.latency);
+        assert_eq!(avg, 40.0);
     }
 }

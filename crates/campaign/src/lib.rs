@@ -1,0 +1,170 @@
+//! # punchsim-campaign
+//!
+//! The parallel campaign layer: describe a set of simulation runs as
+//! declarative [`RunSpec`]s (scheme × workload × config × seed), execute
+//! them on a scoped worker pool with per-run panic isolation and an
+//! incremental content-hashed result [`Store`], and emit schema-versioned
+//! `BENCH_<name>.json` artifacts that `cargo bench` targets, the CLI and
+//! CI's perf-regression gate all consume.
+//!
+//! The paper's evaluation (Figures 7–13, Table 1) is an 8-benchmark ×
+//! 4-scheme full-system campaign plus synthetic sweeps. Every run is
+//! independent, so the campaign is embarrassingly parallel; the runner
+//! keeps result *ordering* deterministic regardless of worker count, which
+//! keeps the artifacts byte-identical between `--threads 1` and
+//! `--threads N` (pinned by `tests/determinism.rs`).
+//!
+//! Everything here is dependency-free by construction: JSON emission and
+//! parsing, the FNV-1a/SplitMix64 content hash, and the thread pool are
+//! hand-rolled on `std`, like `SimRng` before them.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use punchsim_campaign::{Runner, synthetic_suite};
+//!
+//! let specs = synthetic_suite(0xC0FFEE);
+//! let runner = Runner { threads: 2, store: None };
+//! # let specs = &specs[..2];
+//! let outcomes = runner.run(&specs);
+//! assert!(outcomes.iter().all(|o| o.record().is_some()));
+//! ```
+
+pub mod compare;
+pub mod hash;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod store;
+
+pub use compare::{compare, Comparison, Deviation, Tolerances};
+pub use json::{Json, JsonError};
+pub use report::{CampaignReport, TIMING_SCHEMA_VERSION};
+pub use runner::{Outcome, RunError, RunErrorKind, RunRecord, Runner};
+pub use spec::{Metrics, RunSpec, Workload, SCHEMA_VERSION};
+pub use store::Store;
+
+use punchsim_cmp::Benchmark;
+use punchsim_traffic::TrafficPattern;
+use punchsim_types::{Mesh, SchemeKind};
+
+/// The default seed, matching `SimConfig::default().seed` so campaign
+/// results line up with ad-hoc CLI runs of the same configuration.
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+/// **The** definition of smoke mode, for the whole workspace: `PP_FAST=1`
+/// selects shortened simulations; leaving the variable unset (or set to
+/// `0` or the empty string) selects full-length runs. No other value is
+/// recognized. Benches, the campaign suites and CI all resolve the switch
+/// through this function — if you are documenting `PP_FAST`, link here.
+pub fn fast_mode() -> bool {
+    matches!(std::env::var("PP_FAST"), Ok(v) if v == "1")
+}
+
+/// Instructions per core for full-system runs (shortened by
+/// [`fast_mode`]).
+pub fn instr_per_core() -> u64 {
+    if fast_mode() {
+        20_000
+    } else {
+        80_000
+    }
+}
+
+/// Measured cycles for synthetic-traffic runs (shortened by
+/// [`fast_mode`]).
+pub fn synth_cycles() -> u64 {
+    if fast_mode() {
+        6_000
+    } else {
+        20_000
+    }
+}
+
+/// The Figures 7–11 campaign: every PARSEC preset under every evaluated
+/// scheme, sized by [`fast_mode`].
+pub fn parsec_suite(seed: u64) -> Vec<RunSpec> {
+    let instr = instr_per_core();
+    let mut specs = Vec::new();
+    for benchmark in Benchmark::ALL {
+        for scheme in SchemeKind::EVALUATED {
+            specs.push(RunSpec {
+                scheme,
+                seed,
+                workload: Workload::Parsec {
+                    benchmark,
+                    instr_per_core: instr,
+                    warmup_instr: instr / 10,
+                },
+            });
+        }
+    }
+    specs
+}
+
+/// The synthetic sweep: every parameter-free pattern under every evaluated
+/// scheme on the default 8x8 mesh at the CLI's default load, sized by
+/// [`fast_mode`].
+pub fn synthetic_suite(seed: u64) -> Vec<RunSpec> {
+    let measure = synth_cycles();
+    let mut specs = Vec::new();
+    for pattern in TrafficPattern::SYNTHETIC {
+        for scheme in SchemeKind::EVALUATED {
+            specs.push(RunSpec {
+                scheme,
+                seed,
+                workload: Workload::Synthetic {
+                    pattern,
+                    mesh: Mesh::new(8, 8),
+                    rate: 0.005,
+                    warmup_cycles: measure / 4,
+                    measure_cycles: measure,
+                },
+            });
+        }
+    }
+    specs
+}
+
+/// The CI smoke suite: the PARSEC campaign followed by the synthetic
+/// sweep. `bench/baseline.json` is this suite under `PP_FAST=1`.
+pub fn ci_suite(seed: u64) -> Vec<RunSpec> {
+    let mut specs = parsec_suite(seed);
+    specs.extend(synthetic_suite(seed));
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_shapes() {
+        let seed = 9;
+        let parsec = parsec_suite(seed);
+        assert_eq!(
+            parsec.len(),
+            Benchmark::ALL.len() * SchemeKind::EVALUATED.len()
+        );
+        let synth = synthetic_suite(seed);
+        assert_eq!(
+            synth.len(),
+            TrafficPattern::SYNTHETIC.len() * SchemeKind::EVALUATED.len()
+        );
+        let ci = ci_suite(seed);
+        assert_eq!(ci.len(), parsec.len() + synth.len());
+        // Ids are unique within a suite (artifact keys).
+        let mut ids: Vec<String> = ci.iter().map(RunSpec::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), ci.len());
+    }
+
+    #[test]
+    fn suite_hashes_depend_on_seed() {
+        let a: Vec<u64> = ci_suite(1).iter().map(RunSpec::content_hash).collect();
+        let b: Vec<u64> = ci_suite(2).iter().map(RunSpec::content_hash).collect();
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+    }
+}

@@ -1,0 +1,313 @@
+//! The parallel campaign executor.
+//!
+//! Independent simulation configs are embarrassingly parallel, so the
+//! runner fans a spec list out over `std::thread::scope` workers pulling
+//! from a shared atomic cursor (work-stealing in the "next idle worker
+//! takes the next spec" sense — long runs never leave a core idle while
+//! short ones finish). Three guarantees, each covered by a test:
+//!
+//! * **Deterministic ordering** — outcomes land at their spec's index, so
+//!   artifacts are byte-identical whether the campaign ran on 1 thread or N.
+//! * **Panic isolation** — a panicking run (e.g. a wedged protocol
+//!   assertion) becomes a typed [`RunError`] entry; the other workers keep
+//!   draining the queue and the campaign completes.
+//! * **Incremental re-runs** — with a [`Store`] attached, specs whose
+//!   content hash already has a result short-circuit to a cache hit.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::spec::{Metrics, RunSpec};
+use crate::store::Store;
+
+/// A completed run: its deterministic metrics plus how it was obtained
+/// (cache or simulation) and how long it took — the latter two feed the
+/// timing sidecar, never the deterministic artifact.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The spec that ran.
+    pub spec: RunSpec,
+    /// Deterministic results.
+    pub metrics: Metrics,
+    /// `true` when served from the result store without simulating.
+    pub cached: bool,
+    /// Wall-clock nanoseconds this worker spent on the run.
+    pub wall_nanos: u64,
+}
+
+impl RunRecord {
+    /// Simulated cycles per wall-clock second (the simulator-throughput
+    /// metric; meaningless for cache hits, which report `None`).
+    pub fn cycles_per_sec(&self) -> Option<f64> {
+        if self.cached || self.wall_nanos == 0 {
+            return None;
+        }
+        Some(self.metrics.total_cycles as f64 * 1e9 / self.wall_nanos as f64)
+    }
+}
+
+/// Why a run produced no metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunErrorKind {
+    /// The run panicked; the payload message is preserved.
+    Panic(String),
+    /// The simulation returned a typed error (watchdog stall, invariant
+    /// violation, bad config), rendered to its display form.
+    Sim(String),
+}
+
+/// A failed run. One poisoned spec yields one of these; the rest of the
+/// campaign still completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// The failing spec's id.
+    pub id: String,
+    /// What happened.
+    pub kind: RunErrorKind,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            RunErrorKind::Panic(m) => write!(f, "{}: panicked: {m}", self.id),
+            RunErrorKind::Sim(m) => write!(f, "{}: {m}", self.id),
+        }
+    }
+}
+
+/// The result slot for one spec.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The run completed.
+    Done(RunRecord),
+    /// The run failed.
+    Failed(RunError),
+}
+
+impl Outcome {
+    /// The record, if the run completed.
+    pub fn record(&self) -> Option<&RunRecord> {
+        match self {
+            Outcome::Done(r) => Some(r),
+            Outcome::Failed(_) => None,
+        }
+    }
+
+    /// The error, if the run failed.
+    pub fn error(&self) -> Option<&RunError> {
+        match self {
+            Outcome::Done(_) => None,
+            Outcome::Failed(e) => Some(e),
+        }
+    }
+}
+
+/// Executes spec lists on a scoped worker pool.
+#[derive(Debug, Default)]
+pub struct Runner {
+    /// Worker count; `0` means [`Runner::default_threads`].
+    pub threads: usize,
+    /// Result store for incremental re-runs; `None` always simulates.
+    pub store: Option<Store>,
+}
+
+impl Runner {
+    /// One worker per available core (the whole campaign is CPU-bound).
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// The worker count this runner will actually use for `n` specs.
+    pub fn effective_threads(&self, n: usize) -> usize {
+        let t = if self.threads == 0 {
+            Runner::default_threads()
+        } else {
+            self.threads
+        };
+        t.min(n).max(1)
+    }
+
+    /// Runs every spec and returns outcomes **in spec order**, regardless
+    /// of which worker finished first.
+    pub fn run(&self, specs: &[RunSpec]) -> Vec<Outcome> {
+        self.run_with(specs, &|_, _| {})
+    }
+
+    /// Like [`Runner::run`], additionally invoking `on_done(index,
+    /// outcome)` from the worker thread as each run finishes (progress
+    /// reporting; completion order, not spec order).
+    pub fn run_with(
+        &self,
+        specs: &[RunSpec],
+        on_done: &(dyn Fn(usize, &Outcome) + Sync),
+    ) -> Vec<Outcome> {
+        let threads = self.effective_threads(specs.len());
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Outcome>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let outcome = execute_one(spec, self.store.as_ref());
+                    on_done(i, &outcome);
+                    *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled by the scope")
+            })
+            .collect()
+    }
+}
+
+/// Runs one spec: store lookup, then an isolated simulation on a miss.
+fn execute_one(spec: &RunSpec, store: Option<&Store>) -> Outcome {
+    let started = Instant::now();
+    if let Some(store) = store {
+        if let Some(metrics) = store.load(spec) {
+            return Outcome::Done(RunRecord {
+                spec: spec.clone(),
+                metrics,
+                cached: true,
+                wall_nanos: started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+    // The spec and its config are rebuilt from scratch inside `execute`;
+    // nothing mutable crosses the unwind boundary, so the suppression of
+    // the UnwindSafe bound is sound.
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| spec.execute()));
+    let wall_nanos = started.elapsed().as_nanos() as u64;
+    match result {
+        Ok(Ok(metrics)) => {
+            if let Some(store) = store {
+                if let Err(e) = store.save(spec, &metrics) {
+                    eprintln!("warning: could not store {}: {e}", spec.id());
+                }
+            }
+            Outcome::Done(RunRecord {
+                spec: spec.clone(),
+                metrics,
+                cached: false,
+                wall_nanos,
+            })
+        }
+        Ok(Err(sim)) => Outcome::Failed(RunError {
+            id: spec.id(),
+            kind: RunErrorKind::Sim(sim.to_string()),
+        }),
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Outcome::Failed(RunError {
+                id: spec.id(),
+                kind: RunErrorKind::Panic(message),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punchsim_traffic::TrafficPattern;
+    use punchsim_types::{Mesh, SchemeKind};
+
+    use crate::spec::Workload;
+
+    fn small_spec(seed: u64, rate: f64) -> RunSpec {
+        RunSpec {
+            scheme: SchemeKind::ConvOptPg,
+            seed,
+            workload: Workload::Synthetic {
+                pattern: TrafficPattern::UniformRandom,
+                mesh: Mesh::new(4, 4),
+                rate,
+                warmup_cycles: 50,
+                measure_cycles: 200,
+            },
+        }
+    }
+
+    #[test]
+    fn outcomes_keep_spec_order() {
+        let specs: Vec<RunSpec> = (0..6).map(|s| small_spec(s, 0.02)).collect();
+        let runner = Runner {
+            threads: 3,
+            store: None,
+        };
+        let outcomes = runner.run(&specs);
+        assert_eq!(outcomes.len(), specs.len());
+        for (spec, outcome) in specs.iter().zip(&outcomes) {
+            let rec = outcome.record().expect("healthy specs all complete");
+            assert_eq!(rec.spec.id(), spec.id());
+            assert!(!rec.cached);
+        }
+    }
+
+    #[test]
+    fn panicking_spec_is_isolated() {
+        // A negative rate trips the harness assertion — the classic
+        // poisoned spec. Its neighbours must still complete.
+        let specs = vec![
+            small_spec(0, 0.02),
+            small_spec(1, -1.0),
+            small_spec(2, 0.02),
+        ];
+        let runner = Runner {
+            threads: 2,
+            store: None,
+        };
+        let outcomes = runner.run(&specs);
+        assert!(outcomes[0].record().is_some());
+        assert!(outcomes[2].record().is_some());
+        let err = outcomes[1].error().expect("poisoned spec must fail");
+        assert_eq!(err.id, specs[1].id());
+        match &err.kind {
+            RunErrorKind::Panic(m) => assert!(m.contains("negative"), "{m}"),
+            other => panic!("expected a panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_short_circuits_second_run() {
+        let dir =
+            std::env::temp_dir().join(format!("punchsim-runner-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let specs: Vec<RunSpec> = (0..3).map(|s| small_spec(s, 0.02)).collect();
+        let runner = Runner {
+            threads: 2,
+            store: Some(Store::new(&dir)),
+        };
+        let first = runner.run(&specs);
+        assert!(first.iter().all(|o| !o.record().unwrap().cached));
+        let second = runner.run(&specs);
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.record().unwrap(), b.record().unwrap());
+            assert!(b.cached, "second pass must hit the store");
+            assert_eq!(a.metrics, b.metrics);
+        }
+        // A new spec alongside cached ones simulates only itself.
+        let mut extended = specs.clone();
+        extended.push(small_spec(99, 0.02));
+        let third = runner.run(&extended);
+        assert!(third[..3].iter().all(|o| o.record().unwrap().cached));
+        assert!(!third[3].record().unwrap().cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,407 @@
+//! Declarative run descriptions and their execution.
+//!
+//! A campaign is a list of [`RunSpec`]s — scheme × workload × configuration
+//! × seed. A spec is pure data: it can be hashed ([`RunSpec::content_hash`])
+//! for the incremental result store, rendered into a stable id for
+//! artifacts, and executed ([`RunSpec::execute`]) into [`Metrics`].
+
+use punchsim_cmp::{Benchmark, CmpConfig, CmpSim};
+use punchsim_power::PowerModel;
+use punchsim_traffic::{SyntheticSim, TrafficPattern};
+use punchsim_types::{Mesh, SchemeKind, SimConfig, SimError};
+
+use crate::hash::Fnv64;
+use crate::json::Json;
+
+/// Schema tag stamped into every artifact and mixed into every content
+/// hash. Bump it whenever the meaning of a metric changes: old store
+/// entries and baselines then stop matching instead of silently lying.
+pub const SCHEMA_VERSION: &str = "punchsim-campaign/v1";
+
+/// What a single run simulates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// A full-system PARSEC-preset run on the MESI CMP substrate
+    /// (the Figures 7–11 campaign).
+    Parsec {
+        /// Workload preset.
+        benchmark: Benchmark,
+        /// Instructions each core retires after warm-up.
+        instr_per_core: u64,
+        /// Warm-up instructions per core.
+        warmup_instr: u64,
+    },
+    /// An open-loop synthetic-traffic run (the Figure 12 sweeps).
+    Synthetic {
+        /// Destination pattern.
+        pattern: TrafficPattern,
+        /// Mesh dimensions.
+        mesh: Mesh,
+        /// Offered load in flits/node/cycle.
+        rate: f64,
+        /// Warm-up cycles before statistics reset.
+        warmup_cycles: u64,
+        /// Measured cycles.
+        measure_cycles: u64,
+    },
+}
+
+/// One run: a workload under a scheme with a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Power-gating scheme.
+    pub scheme: SchemeKind,
+    /// RNG seed threaded into [`SimConfig::seed`].
+    pub seed: u64,
+    /// What to simulate.
+    pub workload: Workload,
+}
+
+impl RunSpec {
+    /// Stable human-readable id, unique within a campaign:
+    /// `parsec/canneal/ppf/s12648430` or
+    /// `synth/uniform/8x8/r0.005/ppf/s12648430`.
+    pub fn id(&self) -> String {
+        match &self.workload {
+            Workload::Parsec { benchmark, .. } => {
+                format!(
+                    "parsec/{}/{}/s{}",
+                    benchmark.name(),
+                    self.scheme.tag(),
+                    self.seed
+                )
+            }
+            Workload::Synthetic {
+                pattern,
+                mesh,
+                rate,
+                ..
+            } => format!(
+                "synth/{}/{}x{}/r{}/{}/s{}",
+                pattern.tag(),
+                mesh.width(),
+                mesh.height(),
+                rate,
+                self.scheme.tag(),
+                self.seed
+            ),
+        }
+    }
+
+    /// Digest of everything that determines this run's results (schema
+    /// version included). Two specs with equal hashes produce identical
+    /// metrics; the store relies on this for cache hits.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str(SCHEMA_VERSION);
+        h.write_str(self.scheme.tag());
+        h.write_u64(self.seed);
+        match &self.workload {
+            Workload::Parsec {
+                benchmark,
+                instr_per_core,
+                warmup_instr,
+            } => {
+                h.write_str("parsec");
+                h.write_str(benchmark.name());
+                h.write_u64(*instr_per_core);
+                h.write_u64(*warmup_instr);
+            }
+            Workload::Synthetic {
+                pattern,
+                mesh,
+                rate,
+                warmup_cycles,
+                measure_cycles,
+            } => {
+                h.write_str("synth");
+                h.write_str(pattern.tag());
+                h.write_u64(mesh.width() as u64);
+                h.write_u64(mesh.height() as u64);
+                h.write_f64(*rate);
+                h.write_u64(*warmup_cycles);
+                h.write_u64(*measure_cycles);
+            }
+        }
+        h.finish()
+    }
+
+    /// The workload parameters as a JSON object (part of the artifact, so a
+    /// baseline documents exactly what it measured).
+    pub fn workload_json(&self) -> Json {
+        let mut o = Json::obj();
+        match &self.workload {
+            Workload::Parsec {
+                benchmark,
+                instr_per_core,
+                warmup_instr,
+            } => {
+                o.push("kind", Json::Str("parsec".to_string()));
+                o.push("benchmark", Json::Str(benchmark.name().to_string()));
+                o.push("instr_per_core", Json::Int(*instr_per_core as i64));
+                o.push("warmup_instr", Json::Int(*warmup_instr as i64));
+            }
+            Workload::Synthetic {
+                pattern,
+                mesh,
+                rate,
+                warmup_cycles,
+                measure_cycles,
+            } => {
+                o.push("kind", Json::Str("synth".to_string()));
+                o.push("pattern", Json::Str(pattern.tag().to_string()));
+                o.push(
+                    "mesh",
+                    Json::Str(format!("{}x{}", mesh.width(), mesh.height())),
+                );
+                o.push("rate", Json::Float(*rate));
+                o.push("warmup_cycles", Json::Int(*warmup_cycles as i64));
+                o.push("measure_cycles", Json::Int(*measure_cycles as i64));
+            }
+        }
+        o
+    }
+
+    /// Runs the simulation and distils [`Metrics`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates watchdog errors from the synthetic harness
+    /// ([`SimError::Stall`], [`SimError::Invariant`]). Full-system runs
+    /// surface protocol wedges as panics, which the campaign runner
+    /// isolates per run.
+    pub fn execute(&self) -> Result<Metrics, SimError> {
+        let pm = PowerModel::default_45nm();
+        match &self.workload {
+            Workload::Parsec {
+                benchmark,
+                instr_per_core,
+                warmup_instr,
+            } => {
+                let mut cfg = CmpConfig::new(*benchmark, self.scheme);
+                cfg.sim.seed = self.seed;
+                cfg.instr_per_core = *instr_per_core;
+                cfg.warmup_instr = *warmup_instr;
+                let r = CmpSim::new(cfg).run();
+                let b = pm.breakdown(&r.net);
+                Ok(Metrics {
+                    delivered: r.net.stats.packets_delivered,
+                    injected: r.net.stats.packets_injected,
+                    exec_cycles: r.exec_cycles,
+                    total_cycles: r.total_cycles,
+                    latency: r.net.avg_packet_latency(),
+                    encounters: r.net.avg_pg_encounters(),
+                    wait: r.net.avg_wakeup_wait(),
+                    escalations: r.net.pg.escalations,
+                    off_fraction: r.net.off_fraction(),
+                    dynamic_pj: b.dynamic_pj,
+                    static_pj: b.static_pj,
+                    overhead_pj: b.overhead_pj,
+                    baseline_static_pj: pm.baseline_static_pj(&r.net),
+                    completed: r.completed,
+                })
+            }
+            Workload::Synthetic {
+                pattern,
+                mesh,
+                rate,
+                warmup_cycles,
+                measure_cycles,
+            } => {
+                let mut cfg = SimConfig::with_scheme(self.scheme);
+                cfg.noc.mesh = *mesh;
+                cfg.seed = self.seed;
+                let mut sim = SyntheticSim::new(cfg, *pattern, *rate);
+                let r = sim.run_experiment(*warmup_cycles, *measure_cycles)?;
+                let b = pm.breakdown(&r);
+                Ok(Metrics {
+                    delivered: r.stats.packets_delivered,
+                    injected: r.stats.packets_injected,
+                    exec_cycles: r.cycles,
+                    total_cycles: warmup_cycles + measure_cycles,
+                    latency: r.avg_packet_latency(),
+                    encounters: r.avg_pg_encounters(),
+                    wait: r.avg_wakeup_wait(),
+                    escalations: r.pg.escalations,
+                    off_fraction: r.off_fraction(),
+                    dynamic_pj: b.dynamic_pj,
+                    static_pj: b.static_pj,
+                    overhead_pj: b.overhead_pj,
+                    baseline_static_pj: pm.baseline_static_pj(&r),
+                    completed: true,
+                })
+            }
+        }
+    }
+}
+
+/// The deterministic, machine-readable result of one run. Everything here
+/// depends only on the spec (never on wall-clock or thread count), which is
+/// what makes campaign artifacts byte-identical across `--threads` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Packets delivered in the measured window.
+    pub delivered: u64,
+    /// Packets injected in the measured window.
+    pub injected: u64,
+    /// Measured-window cycles (full-system: execution cycles).
+    pub exec_cycles: u64,
+    /// All simulated cycles including warm-up (the wall-clock throughput
+    /// denominator).
+    pub total_cycles: u64,
+    /// Mean packet latency, cycles.
+    pub latency: f64,
+    /// Mean powered-off routers encountered per packet (Fig 9).
+    pub encounters: f64,
+    /// Mean wakeup-wait cycles per packet (Fig 10).
+    pub wait: f64,
+    /// Watchdog force-wake escalations (0 in a healthy run).
+    pub escalations: u64,
+    /// Fraction of router-cycles spent powered off.
+    pub off_fraction: f64,
+    /// Dynamic router energy, pJ (Fig 11).
+    pub dynamic_pj: f64,
+    /// Static router energy, pJ (Fig 11).
+    pub static_pj: f64,
+    /// Power-gating overhead energy, pJ (Fig 11).
+    pub overhead_pj: f64,
+    /// No-PG static energy over the same window, pJ.
+    pub baseline_static_pj: f64,
+    /// Whether the run finished within its cycle cap.
+    pub completed: bool,
+}
+
+impl Metrics {
+    /// The JSON object stored in artifacts and the result store. Key order
+    /// is part of the byte-identical-artifact contract.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.push("delivered", Json::Int(self.delivered as i64));
+        o.push("injected", Json::Int(self.injected as i64));
+        o.push("exec_cycles", Json::Int(self.exec_cycles as i64));
+        o.push("total_cycles", Json::Int(self.total_cycles as i64));
+        o.push("latency", Json::Float(self.latency));
+        o.push("encounters", Json::Float(self.encounters));
+        o.push("wait", Json::Float(self.wait));
+        o.push("escalations", Json::Int(self.escalations as i64));
+        o.push("off_fraction", Json::Float(self.off_fraction));
+        o.push("dynamic_pj", Json::Float(self.dynamic_pj));
+        o.push("static_pj", Json::Float(self.static_pj));
+        o.push("overhead_pj", Json::Float(self.overhead_pj));
+        o.push("baseline_static_pj", Json::Float(self.baseline_static_pj));
+        o.push("completed", Json::Bool(self.completed));
+        o
+    }
+
+    /// Parses a [`Metrics::to_json`] object back.
+    pub fn from_json(v: &Json) -> Option<Metrics> {
+        Some(Metrics {
+            delivered: v.get("delivered")?.as_u64()?,
+            injected: v.get("injected")?.as_u64()?,
+            exec_cycles: v.get("exec_cycles")?.as_u64()?,
+            total_cycles: v.get("total_cycles")?.as_u64()?,
+            latency: v.get("latency")?.as_f64()?,
+            encounters: v.get("encounters")?.as_f64()?,
+            wait: v.get("wait")?.as_f64()?,
+            escalations: v.get("escalations")?.as_u64()?,
+            off_fraction: v.get("off_fraction")?.as_f64()?,
+            dynamic_pj: v.get("dynamic_pj")?.as_f64()?,
+            static_pj: v.get("static_pj")?.as_f64()?,
+            overhead_pj: v.get("overhead_pj")?.as_f64()?,
+            baseline_static_pj: v.get("baseline_static_pj")?.as_f64()?,
+            completed: v.get("completed")?.as_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth_spec() -> RunSpec {
+        RunSpec {
+            scheme: SchemeKind::PowerPunchFull,
+            seed: 7,
+            workload: Workload::Synthetic {
+                pattern: TrafficPattern::Transpose,
+                mesh: Mesh::new(4, 4),
+                rate: 0.05,
+                warmup_cycles: 100,
+                measure_cycles: 400,
+            },
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_and_distinct() {
+        let s = synth_spec();
+        assert_eq!(s.id(), "synth/transpose/4x4/r0.05/ppf/s7");
+        let p = RunSpec {
+            scheme: SchemeKind::NoPg,
+            seed: 0xC0FFEE,
+            workload: Workload::Parsec {
+                benchmark: Benchmark::Canneal,
+                instr_per_core: 20_000,
+                warmup_instr: 2_000,
+            },
+        };
+        assert_eq!(p.id(), "parsec/canneal/nopg/s12648430");
+        assert_ne!(s.content_hash(), p.content_hash());
+    }
+
+    #[test]
+    fn hash_is_sensitive_to_every_field() {
+        let base = synth_spec();
+        let mut seed = base.clone();
+        seed.seed += 1;
+        let mut scheme = base.clone();
+        scheme.scheme = SchemeKind::NoPg;
+        let mut rate = base.clone();
+        if let Workload::Synthetic { rate: r, .. } = &mut rate.workload {
+            *r += 1e-9;
+        }
+        let mut cycles = base.clone();
+        if let Workload::Synthetic { measure_cycles, .. } = &mut cycles.workload {
+            *measure_cycles += 1;
+        }
+        for other in [seed, scheme, rate, cycles] {
+            assert_ne!(base.content_hash(), other.content_hash(), "{}", other.id());
+        }
+    }
+
+    #[test]
+    fn metrics_json_roundtrip() {
+        let m = Metrics {
+            delivered: 123,
+            injected: 130,
+            exec_cycles: 5_000,
+            total_cycles: 5_500,
+            latency: 36.25,
+            encounters: 0.5,
+            wait: 1.75,
+            escalations: 2,
+            off_fraction: 0.625,
+            dynamic_pj: 1e9,
+            static_pj: 2e9,
+            overhead_pj: 3e7,
+            baseline_static_pj: 4e9,
+            completed: true,
+        };
+        let text = m.to_json().render();
+        let back = Metrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn execute_synthetic_produces_consistent_metrics() {
+        let m = synth_spec().execute().unwrap();
+        assert!(m.completed);
+        assert!(m.delivered > 0);
+        assert!(m.delivered <= m.injected);
+        assert_eq!(m.exec_cycles, 400);
+        assert_eq!(m.total_cycles, 500);
+        assert!(m.latency > 0.0);
+        // Same spec, same metrics: the content-hash contract.
+        assert_eq!(synth_spec().execute().unwrap(), m);
+    }
+}

@@ -188,7 +188,10 @@ mod tests {
             c.insert(a * 64, 0);
         }
         assert!(c.len() <= 512);
-        let resident = (0..600u64).map(|a| a * 64).find(|&a| c.contains(a)).unwrap();
+        let resident = (0..600u64)
+            .map(|a| a * 64)
+            .find(|&a| c.contains(a))
+            .unwrap();
         assert!(c.remove(resident).is_some());
         assert!(!c.contains(resident));
         assert!(c.remove(resident).is_none());

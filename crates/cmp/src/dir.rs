@@ -183,8 +183,7 @@ impl DirBank {
                         self.fetch(addr, req, is_write, out);
                     }
                 } else {
-                    let invs: Vec<NodeId> =
-                        sharers.iter().copied().filter(|&s| s != req).collect();
+                    let invs: Vec<NodeId> = sharers.iter().copied().filter(|&s| s != req).collect();
                     if invs.is_empty() {
                         self.grant_or_fetch(addr, req, is_write, out);
                     } else {
@@ -414,7 +413,10 @@ impl DirBank {
     fn install_l2(&mut self, addr: BlockAddr, dirty: bool, out: &mut Out) {
         if let Some(victim) = self.l2.insert(addr, dirty) {
             if victim.state {
-                out.push((self.mem_for(victim.addr), ProtoMsg::new(Op::MemWrite, victim.addr)));
+                out.push((
+                    self.mem_for(victim.addr),
+                    ProtoMsg::new(Op::MemWrite, victim.addr),
+                ));
             }
         }
     }
@@ -629,7 +631,7 @@ mod tests {
         // A tiny L2 (1 set x 1 way) forces an eviction of dirty data.
         let mut d = DirBank::new(NodeId(9), 1, 1, vec![MEM]);
         const B: BlockAddr = 0x4000; // different L2 set hash irrelevant: 1 set
-        // Block A becomes dirty in L2 via a PutM.
+                                     // Block A becomes dirty in L2 via a PutM.
         d.handle(n(1), ProtoMsg::new(Op::GetM, A), &mut Out::new());
         d.handle(MEM, ProtoMsg::new(Op::MemData, A), &mut Out::new());
         d.handle(n(1), ProtoMsg::new(Op::PutM, A), &mut Out::new());
@@ -655,7 +657,7 @@ mod tests {
         d.handle(n(1), ProtoMsg::new(Op::GetS, A), &mut Out::new()); // E again
         d.handle(n(2), ProtoMsg::new(Op::GetS, A), &mut Out::new()); // Fwd -> 1
         d.handle(n(1), ProtoMsg::new(Op::OwnerData, A), &mut Out::new()); // Shared{2,1}
-        // Core 1 upgrades: only core 2 needs an Inv.
+                                                                          // Core 1 upgrades: only core 2 needs an Inv.
         let mut out = Out::new();
         d.handle(n(1), ProtoMsg::new(Op::GetM, A), &mut out);
         let invs: Vec<_> = out.iter().filter(|(_, m)| m.op == Op::Inv).collect();

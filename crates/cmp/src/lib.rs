@@ -40,4 +40,4 @@ pub use dir::{DirBank, DirState};
 pub use mem::MemCtrl;
 pub use protocol::{BlockAddr, Op, ProtoMsg};
 pub use sim::{CmpConfig, CmpReport, CmpSim};
-pub use tile::{L1, L1State};
+pub use tile::{L1State, L1};

@@ -106,12 +106,9 @@ impl Op {
     /// Whether the message carries a cache line (multi-flit data packet).
     pub fn class(self) -> MsgClass {
         match self {
-            Op::PutM
-            | Op::MemData
-            | Op::Data
-            | Op::DataExcl
-            | Op::OwnerData
-            | Op::MemWrite => MsgClass::Data,
+            Op::PutM | Op::MemData | Op::Data | Op::DataExcl | Op::OwnerData | Op::MemWrite => {
+                MsgClass::Data
+            }
             _ => MsgClass::Control,
         }
     }

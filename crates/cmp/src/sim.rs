@@ -3,7 +3,6 @@
 
 use std::collections::VecDeque;
 
-
 use punchsim_core::build_power_manager;
 use punchsim_noc::{Message, Network, NetworkReport};
 use punchsim_types::{Coord, Cycle, NodeId, SchemeKind, SimConfig, SimRng};
@@ -69,6 +68,9 @@ pub struct CmpReport {
     pub scheme: SchemeKind,
     /// Cycles from end of warm-up until the last core retired its quota.
     pub exec_cycles: u64,
+    /// Every simulated cycle, warm-up included — the denominator campaign
+    /// runners use for wall-clock throughput (cycles/sec).
+    pub total_cycles: u64,
     /// Total instructions retired (all cores, including warm-up).
     pub instructions: u64,
     /// L1 miss rate over all references.
@@ -181,8 +183,15 @@ impl CmpSim {
         self.flush_sends(now);
         self.mem_tick(now);
         self.core_tick(now);
-        self.net.tick().expect("CMP watchdog: the MESI protocol wedged");
-        if !self.warmed && self.cores.iter().all(|c| c.retired >= self.cfg.warmup_instr) {
+        self.net
+            .tick()
+            .expect("CMP watchdog: the MESI protocol wedged");
+        if !self.warmed
+            && self
+                .cores
+                .iter()
+                .all(|c| c.retired >= self.cfg.warmup_instr)
+        {
             self.warmed = true;
             self.net.reset_stats();
             self.measure_start = self.net.cycle();
@@ -190,9 +199,25 @@ impl CmpSim {
     }
 
     /// Runs to completion (or the cycle cap) and reports.
-    pub fn run(mut self) -> CmpReport {
+    pub fn run(self) -> CmpReport {
+        self.run_hooked(u64::MAX, &mut |_| {})
+    }
+
+    /// Runs like [`CmpSim::run`], invoking `hook` with the network after
+    /// every `every` simulated cycles — the full-system twin of
+    /// [`Network::run_hooked`], used by campaign runners for progress and
+    /// throughput sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_hooked(mut self, every: u64, hook: &mut dyn FnMut(&Network)) -> CmpReport {
+        assert!(every > 0, "hook period must be positive");
         while !self.done() && self.net.cycle() < self.cfg.max_cycles {
             self.tick();
+            if self.net.cycle() % every == 0 {
+                hook(&self.net);
+            }
         }
         let completed = self.done();
         let exec_cycles = self.net.cycle() - self.measure_start;
@@ -206,6 +231,7 @@ impl CmpSim {
             benchmark: self.cfg.benchmark,
             scheme: self.cfg.sim.scheme,
             exec_cycles,
+            total_cycles: self.net.cycle(),
             instructions: self.cores.iter().map(|c| c.retired).sum(),
             l1_miss_rate: if refs == 0 {
                 0.0
@@ -255,12 +281,8 @@ impl CmpSim {
                     Op::Inv | Op::FwdGetS | Op::FwdGetM | Op::Data | Op::DataExcl | Op::WbAck => {
                         let mut out = Vec::new();
                         let total = nodes;
-                        let resumed = self.l1s[idx].handle(
-                            src,
-                            pm,
-                            |a| home_node(a, total),
-                            &mut out,
-                        );
+                        let resumed =
+                            self.l1s[idx].handle(src, pm, |a| home_node(a, total), &mut out);
                         if resumed {
                             self.blocked[idx] = false;
                         }
@@ -452,7 +474,11 @@ mod tests {
         let r = CmpSim::new(small_cfg(SchemeKind::NoPg)).run();
         assert!(r.completed, "protocol must make forward progress");
         assert_eq!(r.instructions, 16 * 6_000);
-        assert!(r.l1_miss_rate > 0.0 && r.l1_miss_rate < 0.2, "miss rate {}", r.l1_miss_rate);
+        assert!(
+            r.l1_miss_rate > 0.0 && r.l1_miss_rate < 0.2,
+            "miss rate {}",
+            r.l1_miss_rate
+        );
         assert!(r.net.stats.packets_delivered > 0);
     }
 
@@ -505,10 +531,7 @@ mod tests {
     #[test]
     fn corner_nodes_are_corners() {
         let c = corner_nodes(8, 8);
-        assert_eq!(
-            c,
-            vec![NodeId(0), NodeId(7), NodeId(56), NodeId(63)]
-        );
+        assert_eq!(c, vec![NodeId(0), NodeId(7), NodeId(56), NodeId(63)]);
     }
 
     #[test]

@@ -356,7 +356,12 @@ mod tests {
         let mut c = l1();
         let mut out = Out::new();
         c.access(0x40, false, HOME, &mut out);
-        c.handle(HOME, ProtoMsg::new(Op::Data, 0x40), home_of, &mut Out::new());
+        c.handle(
+            HOME,
+            ProtoMsg::new(Op::Data, 0x40),
+            home_of,
+            &mut Out::new(),
+        );
         c.access(0x40, true, HOME, &mut Out::new());
         // Another core won the race: we get invalidated while upgrading.
         out.clear();
@@ -365,7 +370,12 @@ mod tests {
         assert_eq!(out, vec![(HOME, ProtoMsg::new(Op::InvAck, 0x40))]);
         assert!(!c.holds(0x40));
         // The DataExcl still arrives and refills in M.
-        let resumed = c.handle(HOME, ProtoMsg::new(Op::DataExcl, 0x40), home_of, &mut Out::new());
+        let resumed = c.handle(
+            HOME,
+            ProtoMsg::new(Op::DataExcl, 0x40),
+            home_of,
+            &mut Out::new(),
+        );
         assert!(resumed);
         assert_eq!(c.state_of(0x40), Some(L1State::M));
     }
@@ -376,7 +386,12 @@ mod tests {
         let mut out = Out::new();
         for (i, addr) in [0x40u64, 0x80].iter().enumerate() {
             c.access(*addr, true, HOME, &mut out);
-            c.handle(HOME, ProtoMsg::new(Op::DataExcl, *addr), home_of, &mut Out::new());
+            c.handle(
+                HOME,
+                ProtoMsg::new(Op::DataExcl, *addr),
+                home_of,
+                &mut Out::new(),
+            );
             let _ = i;
         }
         out.clear();
@@ -390,7 +405,12 @@ mod tests {
         assert_eq!(out, vec![(HOME, ProtoMsg::new(Op::OwnerData, 0x40))]);
         assert_eq!(c.stats.wb_forwards, 1);
         // WbAck clears the buffer; a later forward is nacked.
-        c.handle(HOME, ProtoMsg::new(Op::WbAck, 0x40), home_of, &mut Out::new());
+        c.handle(
+            HOME,
+            ProtoMsg::new(Op::WbAck, 0x40),
+            home_of,
+            &mut Out::new(),
+        );
         out.clear();
         c.handle(HOME, ProtoMsg::new(Op::FwdGetS, 0x40), home_of, &mut out);
         assert_eq!(out, vec![(HOME, ProtoMsg::new(Op::FwdNack, 0x40))]);
@@ -400,7 +420,12 @@ mod tests {
     fn fwd_gets_downgrades_owner() {
         let mut c = l1();
         c.access(0x40, true, HOME, &mut Out::new());
-        c.handle(HOME, ProtoMsg::new(Op::DataExcl, 0x40), home_of, &mut Out::new());
+        c.handle(
+            HOME,
+            ProtoMsg::new(Op::DataExcl, 0x40),
+            home_of,
+            &mut Out::new(),
+        );
         let mut out = Out::new();
         c.handle(HOME, ProtoMsg::new(Op::FwdGetS, 0x40), home_of, &mut out);
         assert_eq!(out, vec![(HOME, ProtoMsg::new(Op::OwnerData, 0x40))]);
@@ -421,7 +446,12 @@ mod tests {
         let mut out = Out::new();
         c.access(0x40, true, HOME, &mut out); // pending GetM
         out.clear();
-        let resumed = c.handle(HOME, ProtoMsg::with_aux(Op::FwdGetM, 0x40, NodeId(2)), home_of, &mut out);
+        let resumed = c.handle(
+            HOME,
+            ProtoMsg::with_aux(Op::FwdGetM, 0x40, NodeId(2)),
+            home_of,
+            &mut out,
+        );
         assert!(!resumed);
         assert!(out.is_empty(), "forward must wait for the grant: {out:?}");
         // The grant lands: install M, then serve the deferred forward
@@ -437,11 +467,20 @@ mod tests {
         let mut c = l1();
         c.access(0x40, false, HOME, &mut Out::new()); // pending GetS
         let mut out = Out::new();
-        c.handle(HOME, ProtoMsg::with_aux(Op::FwdGetS, 0x40, NodeId(2)), home_of, &mut out);
+        c.handle(
+            HOME,
+            ProtoMsg::with_aux(Op::FwdGetS, 0x40, NodeId(2)),
+            home_of,
+            &mut out,
+        );
         assert!(out.is_empty());
         c.handle(HOME, ProtoMsg::new(Op::DataExcl, 0x40), home_of, &mut out);
         assert_eq!(out, vec![(HOME, ProtoMsg::new(Op::OwnerData, 0x40))]);
-        assert_eq!(c.state_of(0x40), Some(L1State::S), "downgraded by the forward");
+        assert_eq!(
+            c.state_of(0x40),
+            Some(L1State::S),
+            "downgraded by the forward"
+        );
     }
 
     #[test]
@@ -456,7 +495,12 @@ mod tests {
         assert_eq!(out, vec![(HOME, ProtoMsg::new(Op::InvAck, 0x40))]);
         // The stale Data arrives: the load completes, but the line is NOT
         // installed (it was already invalidated).
-        let resumed = c.handle(HOME, ProtoMsg::new(Op::Data, 0x40), home_of, &mut Out::new());
+        let resumed = c.handle(
+            HOME,
+            ProtoMsg::new(Op::Data, 0x40),
+            home_of,
+            &mut Out::new(),
+        );
         assert!(resumed, "the core's load still completes");
         assert!(!c.holds(0x40), "stale shared copy must not be kept");
     }
@@ -469,7 +513,12 @@ mod tests {
         let mut c = l1();
         c.access(0x40, true, HOME, &mut Out::new()); // pending GetM
         c.handle(HOME, ProtoMsg::new(Op::Inv, 0x40), home_of, &mut Out::new());
-        let resumed = c.handle(HOME, ProtoMsg::new(Op::DataExcl, 0x40), home_of, &mut Out::new());
+        let resumed = c.handle(
+            HOME,
+            ProtoMsg::new(Op::DataExcl, 0x40),
+            home_of,
+            &mut Out::new(),
+        );
         assert!(resumed);
         assert_eq!(c.state_of(0x40), Some(L1State::M));
     }

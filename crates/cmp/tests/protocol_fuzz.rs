@@ -5,10 +5,9 @@
 //! nothing else). Every interleaving must terminate with a coherent
 //! system and every request answered.
 
-
 use punchsim_cmp::dir::DirBank;
 use punchsim_cmp::protocol::{BlockAddr, Op, ProtoMsg};
-use punchsim_cmp::tile::{Access, L1, L1State};
+use punchsim_cmp::tile::{Access, L1State, L1};
 use punchsim_types::{NodeId, SimRng};
 
 const HOME: NodeId = NodeId(100);
@@ -70,7 +69,10 @@ impl Harness {
             }
         }
         if std::env::var("FUZZ_TRACE").is_ok() && msg.addr == 0xf {
-            eprintln!("[{}] post {}->{} {:?} (deliver @{at})", self.now, src, dst, msg.op);
+            eprintln!(
+                "[{}] post {}->{} {:?} (deliver @{at})",
+                self.now, src, dst, msg.op
+            );
         }
         self.wire.push(InFlight { at, src, dst, msg });
     }
@@ -128,8 +130,7 @@ impl Harness {
             } else {
                 let idx = f.dst.index();
                 let mut out = Vec::new();
-                let resumed =
-                    self.l1s[idx].handle(f.src, f.msg, |_| HOME, &mut out);
+                let resumed = self.l1s[idx].handle(f.src, f.msg, |_| HOME, &mut out);
                 for (dst, m) in out {
                     self.post(f.dst, dst, m);
                 }
@@ -179,9 +180,7 @@ impl Harness {
             }
         }
         for (addr, hs) in holders {
-            let excl = hs
-                .iter()
-                .any(|(_, s)| matches!(s, L1State::M | L1State::E));
+            let excl = hs.iter().any(|(_, s)| matches!(s, L1State::M | L1State::E));
             assert!(
                 !(excl && hs.len() > 1),
                 "block {addr:#x} incoherent: {hs:?}"

@@ -52,10 +52,7 @@ impl LinkCodebook {
             return Some(0);
         }
         let c = set.canonical();
-        self.sets
-            .binary_search(&c)
-            .ok()
-            .map(|i| (i + 1) as u16)
+        self.sets.binary_search(&c).ok().map(|i| (i + 1) as u16)
     }
 
     /// The target set for a codeword, or `None` if out of range.
@@ -271,10 +268,7 @@ mod tests {
             &[29, 36][..],
         ] {
             let s = set(ids);
-            assert!(
-                link.encode(&s).is_some(),
-                "set {s} must be in the codebook"
-            );
+            assert!(link.encode(&s).is_some(), "set {s} must be in the codebook");
         }
         // Merging 27->21 with 26->29 yields plain {21} (entry 3): both are
         // encodable and 29 is implied.

@@ -60,9 +60,7 @@ pub fn build_power_manager(cfg: &SimConfig) -> Result<Box<dyn PowerManager>, Sim
         SchemeKind::PowerPunchSignal => {
             Box::new(PowerPunchManager::new(mesh, &cfg.power, hop, false))
         }
-        SchemeKind::PowerPunchFull => {
-            Box::new(PowerPunchManager::new(mesh, &cfg.power, hop, true))
-        }
+        SchemeKind::PowerPunchFull => Box::new(PowerPunchManager::new(mesh, &cfg.power, hop, true)),
     };
     if cfg.faults.is_active() {
         Ok(Box::new(FaultInjector::new(base, &cfg.faults, mesh)))

@@ -222,8 +222,7 @@ impl PowerManager for PowerPunchManager {
         });
         self.gate.counters_mut().punch_hops = self.fabric.hops_sent;
         let fw = &self.forewarn_until;
-        self.gate
-            .advance_idle(idle.idle, |i| cycle >= fw[i]);
+        self.gate.advance_idle(idle.idle, |i| cycle >= fw[i]);
     }
 
     fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
@@ -273,14 +272,13 @@ mod tests {
         m.tick(
             10,
             &[PmEvent::BlockedNeed { router: NodeId(5) }],
-            IdleInfo { idle: &all_idle(16) },
+            IdleInfo {
+                idle: &all_idle(16),
+            },
         );
         assert!(matches!(m.state(NodeId(5)), PowerState::WakingUp { .. }));
         // Twakeup = 8, requested during 10: on at 18.
-        assert_eq!(
-            m.state(NodeId(5)),
-            PowerState::WakingUp { ready_at: 18 }
-        );
+        assert_eq!(m.state(NodeId(5)), PowerState::WakingUp { ready_at: 18 });
     }
 
     #[test]
@@ -296,7 +294,9 @@ mod tests {
                 router: NodeId(27),
                 dst: NodeId(31),
             }],
-            IdleInfo { idle: &all_idle(64) },
+            IdleInfo {
+                idle: &all_idle(64),
+            },
         );
         assert!(matches!(m.state(NodeId(28)), PowerState::WakingUp { .. }));
         // But not the router 2 hops ahead: conventional WU is single-hop.
@@ -318,17 +318,37 @@ mod tests {
                 router: NodeId(26),
                 dst: NodeId(31),
             }],
-            IdleInfo { idle: &all_idle(64) },
+            IdleInfo {
+                idle: &all_idle(64),
+            },
         );
         // Fabric delivers one hop per cycle: 26 notified at tick 10 (local
         // generation), 27 at 11, 28 at 12, 29 at 13.
         assert!(matches!(m.state(NodeId(26)), PowerState::WakingUp { .. }));
         assert_eq!(m.state(NodeId(27)), PowerState::Off);
-        m.tick(11, &[], IdleInfo { idle: &all_idle(64) });
+        m.tick(
+            11,
+            &[],
+            IdleInfo {
+                idle: &all_idle(64),
+            },
+        );
         assert!(matches!(m.state(NodeId(27)), PowerState::WakingUp { .. }));
-        m.tick(12, &[], IdleInfo { idle: &all_idle(64) });
+        m.tick(
+            12,
+            &[],
+            IdleInfo {
+                idle: &all_idle(64),
+            },
+        );
         assert!(matches!(m.state(NodeId(28)), PowerState::WakingUp { .. }));
-        m.tick(13, &[], IdleInfo { idle: &all_idle(64) });
+        m.tick(
+            13,
+            &[],
+            IdleInfo {
+                idle: &all_idle(64),
+            },
+        );
         assert_eq!(
             m.state(NodeId(29)),
             PowerState::WakingUp { ready_at: 13 + 8 }
@@ -349,7 +369,9 @@ mod tests {
                 router: NodeId(26),
                 dst: NodeId(31),
             }],
-            IdleInfo { idle: &all_idle(64) },
+            IdleInfo {
+                idle: &all_idle(64),
+            },
         );
         // R27 was notified at tick 1; with window 3*4=12 it must not
         // sleep before cycle 13 even though it is idle past the timeout.
@@ -369,7 +391,9 @@ mod tests {
         m.tick(
             10,
             &[PmEvent::FutureInjection { node: NodeId(24) }],
-            IdleInfo { idle: &all_idle(64) },
+            IdleInfo {
+                idle: &all_idle(64),
+            },
         );
         assert!(matches!(m.state(NodeId(24)), PowerState::WakingUp { .. }));
         // Signal-only scheme ignores slack 2.
@@ -378,7 +402,9 @@ mod tests {
         s.tick(
             10,
             &[PmEvent::FutureInjection { node: NodeId(24) }],
-            IdleInfo { idle: &all_idle(64) },
+            IdleInfo {
+                idle: &all_idle(64),
+            },
         );
         assert_eq!(s.state(NodeId(24)), PowerState::Off);
     }

@@ -182,8 +182,7 @@ impl PunchFabric {
                     if t == here {
                         continue; // final target reached; consumed
                     }
-                    let dir = routing::xy_direction(self.mesh, here, t)
-                        .expect("t != here");
+                    let dir = routing::xy_direction(self.mesh, here, t).expect("t != here");
                     outgoing[dir.index()].insert_normalized(self.mesh, here, t);
                 }
             }
@@ -374,7 +373,7 @@ mod tests {
         // targets share the eastward wire.
         f.generate(NodeId(27), NodeId(23)); // target 3 hops east: R30
         f.generate(NodeId(27), NodeId(21)); // target R21 (2 east, 1 north)
-        // One local generation per output per cycle: the second waits.
+                                            // One local generation per output per cycle: the second waits.
         let mut rounds: Vec<Vec<NodeId>> = Vec::new();
         for _ in 0..8 {
             let mut v = Vec::new();

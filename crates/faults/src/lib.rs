@@ -208,8 +208,7 @@ impl FaultInjector {
             PmEvent::HeadArrival { dst, .. }
             | PmEvent::NiMessageKnown { dst, .. }
             | PmEvent::NiReadyToInject { dst, .. } => {
-                if self.cfg.drop_punch_ppm > 0
-                    && self.rng.random_bool_ppm(self.cfg.drop_punch_ppm)
+                if self.cfg.drop_punch_ppm > 0 && self.rng.random_bool_ppm(self.cfg.drop_punch_ppm)
                 {
                     self.stats.punches_dropped += 1;
                     return;
@@ -225,8 +224,7 @@ impl FaultInjector {
             // Slack-2 forewarnings carry no destination but ride the same
             // sideband, so they share the punch drop probability.
             PmEvent::FutureInjection { .. } => {
-                if self.cfg.drop_punch_ppm > 0
-                    && self.rng.random_bool_ppm(self.cfg.drop_punch_ppm)
+                if self.cfg.drop_punch_ppm > 0 && self.rng.random_bool_ppm(self.cfg.drop_punch_ppm)
                 {
                     self.stats.punches_dropped += 1;
                     return;
@@ -397,7 +395,13 @@ mod tests {
         let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
         let evs = [head(0, 5), PmEvent::BlockedNeed { router: NodeId(3) }];
         for c in 0..10 {
-            f.tick(c, &evs, IdleInfo { idle: &idle_none(16) });
+            f.tick(
+                c,
+                &evs,
+                IdleInfo {
+                    idle: &idle_none(16),
+                },
+            );
         }
         assert_eq!(f.stats().total(), 0);
         assert_eq!(f.counters().faults_injected, 0);
@@ -415,7 +419,9 @@ mod tests {
             f.tick(
                 c,
                 &[head(0, 5), PmEvent::BlockedNeed { router: NodeId(3) }],
-                IdleInfo { idle: &idle_none(16) },
+                IdleInfo {
+                    idle: &idle_none(16),
+                },
             );
         }
         assert_eq!(f.stats().punches_dropped, 20);
@@ -434,7 +440,13 @@ mod tests {
         };
         let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh);
         for c in 0..50 {
-            f.tick(c, &[head(0, 5)], IdleInfo { idle: &idle_none(16) });
+            f.tick(
+                c,
+                &[head(0, 5)],
+                IdleInfo {
+                    idle: &idle_none(16),
+                },
+            );
         }
         assert_eq!(f.stats().punches_corrupted, 50);
         for _ in 0..100 {
@@ -454,11 +466,23 @@ mod tests {
         };
         let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
         for c in 0..40 {
-            f.tick(c, &[head(1, 9)], IdleInfo { idle: &idle_none(16) });
+            f.tick(
+                c,
+                &[head(1, 9)],
+                IdleInfo {
+                    idle: &idle_none(16),
+                },
+            );
         }
         // Drain the queue.
         for c in 40..50 {
-            f.tick(c, &[], IdleInfo { idle: &idle_none(16) });
+            f.tick(
+                c,
+                &[],
+                IdleInfo {
+                    idle: &idle_none(16),
+                },
+            );
         }
         assert!(f.stats().events_delayed > 0, "jitter should trigger");
         assert_eq!(f.pending_punches(), 0, "queue fully drained");

@@ -321,6 +321,38 @@ impl Network {
         Ok(())
     }
 
+    /// Runs `n` cycles like [`Network::run`], invoking `hook` after every
+    /// `every` cycles (and once more after the final cycle, if it did not
+    /// land on a multiple). Campaign runners use this for per-run progress
+    /// and wall-clock throughput sampling without instrumenting `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Network::tick`]; the hook does not
+    /// run for the failing window.
+    pub fn run_hooked(
+        &mut self,
+        n: u64,
+        every: u64,
+        hook: &mut dyn FnMut(&Network),
+    ) -> Result<(), SimError> {
+        assert!(every > 0, "hook period must be positive");
+        for i in 1..=n {
+            self.tick()?;
+            if i % every == 0 {
+                hook(self);
+            }
+        }
+        if n % every != 0 {
+            hook(self);
+        }
+        Ok(())
+    }
+
     /// Ends the warm-up window: zeroes all statistics and counters; packets
     /// currently in flight are excluded from delivered-packet statistics.
     pub fn reset_stats(&mut self) {
@@ -473,11 +505,10 @@ impl Network {
                         let mut flit = dep.flit;
                         // Look-ahead routing: compute the output port this
                         // flit will request at `next`.
-                        flit.route_port =
-                            match routing::xy_direction(self.mesh, next, flit.dst) {
-                                Some(nd) => Port::Link(nd),
-                                None => Port::Local,
-                            };
+                        flit.route_port = match routing::xy_direction(self.mesh, next, flit.dst) {
+                            Some(nd) => Port::Link(nd),
+                            None => Port::Local,
+                        };
                         self.stats.link_traversals += 1;
                         self.flit_in[next.index()][Port::Link(d.opposite())]
                             .push_at(flit, now + 2 + link);
@@ -506,9 +537,7 @@ impl Network {
                     if meta.measured {
                         self.stats.packets_delivered += 1;
                         self.stats.flits_delivered += meta.len_flits as u64;
-                        self.stats
-                            .latency
-                            .record((now - meta.ni_enqueue) as f64);
+                        self.stats.latency.record((now - meta.ni_enqueue) as f64);
                         self.stats
                             .net_latency
                             .record(now.saturating_sub(meta.inject) as f64);
@@ -562,9 +591,7 @@ impl Network {
             .map(|idx| {
                 self.routers[idx].datapath_empty()
                     && !self.nis[idx].mid_packet()
-                    && Port::ALL
-                        .iter()
-                        .all(|&p| self.flit_in[idx][p].is_empty())
+                    && Port::ALL.iter().all(|&p| self.flit_in[idx][p].is_empty())
             })
             .collect();
         self.pm.tick(now, &self.events, IdleInfo { idle: &idle });
@@ -793,6 +820,19 @@ mod tests {
     }
 
     #[test]
+    fn run_hooked_fires_per_window_and_at_end() {
+        let mut n = net();
+        let mut cycles_seen = Vec::new();
+        n.run_hooked(25, 10, &mut |net| cycles_seen.push(net.cycle()))
+            .unwrap();
+        assert_eq!(cycles_seen, vec![10, 20, 25]);
+        let mut exact = Vec::new();
+        n.run_hooked(20, 10, &mut |net| exact.push(net.cycle()))
+            .unwrap();
+        assert_eq!(exact, vec![35, 45]);
+    }
+
+    #[test]
     fn reset_stats_excludes_warmup() {
         let mut n = net();
         n.send(msg(0, 7, MsgClass::Control)).unwrap();
@@ -810,7 +850,8 @@ mod tests {
         let run = || {
             let mut n = net();
             for i in 0..50u16 {
-                n.send(msg(i % 64, (i * 7 + 3) % 64, MsgClass::Data)).unwrap();
+                n.send(msg(i % 64, (i * 7 + 3) % 64, MsgClass::Data))
+                    .unwrap();
                 n.tick().unwrap();
             }
             n.run(1500).unwrap();

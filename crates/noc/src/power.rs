@@ -268,7 +268,11 @@ mod tests {
     fn always_on_stays_on() {
         let mut m = AlwaysOn::new(4);
         assert!(m.is_on(NodeId(0)));
-        m.tick(1, &[PmEvent::BlockedNeed { router: NodeId(1) }], IdleInfo { idle: &[true; 4] });
+        m.tick(
+            1,
+            &[PmEvent::BlockedNeed { router: NodeId(1) }],
+            IdleInfo { idle: &[true; 4] },
+        );
         assert!(m.is_on(NodeId(1)));
         assert_eq!(m.counters().total_off_cycles(), 0);
         assert_eq!(m.kind(), SchemeKind::NoPg);

@@ -319,7 +319,9 @@ impl Router {
             for off in 0..5 {
                 let ip_idx = (start + off) % 5;
                 let in_port = Port::ALL[ip_idx];
-                let Some(c) = per_input[in_port] else { continue };
+                let Some(c) = per_input[in_port] else {
+                    continue;
+                };
                 if c.out_port != out_port {
                     continue;
                 }

@@ -72,9 +72,7 @@ impl VcLayout {
         let base = vnet.index() * self.per_vnet();
         match class {
             MsgClass::Data => base..base + self.data_per_vnet as usize,
-            MsgClass::Control => {
-                base + self.data_per_vnet as usize..base + self.per_vnet()
-            }
+            MsgClass::Control => base + self.data_per_vnet as usize..base + self.per_vnet(),
         }
     }
 }
@@ -200,7 +198,11 @@ mod tests {
         for seq in 0..3 {
             vc.push(Flit {
                 packet: PacketId(1),
-                kind: if seq == 0 { FlitKind::Head } else { FlitKind::Body },
+                kind: if seq == 0 {
+                    FlitKind::Head
+                } else {
+                    FlitKind::Body
+                },
                 vnet: VnetId(0),
                 class: MsgClass::Data,
                 dst: NodeId(5),

@@ -141,10 +141,7 @@ fn trace_records_every_delivery() {
     for r in trace.records() {
         assert!(r.delivered > r.enqueued);
         assert!(r.latency() >= 8, "minimum local latency");
-        assert_eq!(
-            r.hops as u32,
-            Mesh::new(4, 4).distance(r.src, r.dst) as u32
-        );
+        assert_eq!(r.hops as u32, Mesh::new(4, 4).distance(r.src, r.dst) as u32);
     }
     let csv = trace.to_csv();
     assert_eq!(csv.lines().count(), 21);

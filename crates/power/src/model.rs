@@ -103,8 +103,7 @@ impl PowerModel {
             + r.stats.link_traversals as f64 * self.link_pj
             + r.ni_flits as f64 * self.ni_pj;
         let total_router_cycles = r.cycles as f64 * r.routers as f64;
-        let gated_cycles =
-            (r.pg.total_off_cycles() + r.pg.total_waking_cycles()) as f64;
+        let gated_cycles = (r.pg.total_off_cycles() + r.pg.total_waking_cycles()) as f64;
         let powered_cycles = (total_router_cycles - gated_cycles).max(0.0);
         let static_pj = powered_cycles * self.router_static_pj_per_cycle
             + gated_cycles * self.router_static_pj_per_cycle * self.gated_residual;

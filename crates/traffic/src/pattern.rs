@@ -31,6 +31,42 @@ impl TrafficPattern {
         TrafficPattern::Transpose,
     ];
 
+    /// Every parameter-free pattern (everything but `Hotspot`), the set a
+    /// synthetic campaign sweeps.
+    pub const SYNTHETIC: [TrafficPattern; 7] = [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitComplement,
+        TrafficPattern::BitReverse,
+        TrafficPattern::Shuffle,
+        TrafficPattern::Tornado,
+        TrafficPattern::Neighbor,
+    ];
+
+    /// Stable machine-readable tag: CLI flag values, campaign spec ids and
+    /// `BENCH_*.json` artifacts all use these. Never rename a tag — cached
+    /// campaign results and checked-in baselines key on them.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TrafficPattern::UniformRandom => "uniform",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitComplement => "bitcomp",
+            TrafficPattern::BitReverse => "bitrev",
+            TrafficPattern::Shuffle => "shuffle",
+            TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Neighbor => "neighbor",
+            TrafficPattern::Hotspot(_) => "hotspot",
+        }
+    }
+
+    /// Parses a [`TrafficPattern::tag`] back into a pattern (`Hotspot` is
+    /// not parseable: its node parameter is not part of the tag).
+    pub fn from_tag(tag: &str) -> Option<TrafficPattern> {
+        TrafficPattern::SYNTHETIC
+            .into_iter()
+            .find(|p| p.tag() == tag)
+    }
+
     /// Short label for figure output.
     pub fn label(self) -> &'static str {
         match self {
@@ -166,5 +202,14 @@ mod tests {
             seen[d.index()] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for p in TrafficPattern::SYNTHETIC {
+            assert_eq!(TrafficPattern::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(TrafficPattern::from_tag("hotspot"), None);
+        assert_eq!(TrafficPattern::from_tag("nope"), None);
     }
 }

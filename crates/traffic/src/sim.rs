@@ -89,8 +89,7 @@ impl SyntheticSim {
         assert!(inj.rate_flits >= 0.0, "negative injection rate");
         let pm = build_power_manager(&cfg).expect("invalid SimConfig");
         let net = Network::new(&cfg.noc, pm).expect("config validated above");
-        let avg =
-            inj.avg_packet_flits(cfg.noc.ctrl_packet_flits, cfg.noc.data_packet_flits);
+        let avg = inj.avg_packet_flits(cfg.noc.ctrl_packet_flits, cfg.noc.data_packet_flits);
         let p_packet = (inj.rate_flits / avg).min(1.0);
         let rng = SimRng::seed_from_u64(cfg.seed);
         let n = cfg.noc.mesh.nodes();
@@ -282,7 +281,11 @@ mod tests {
             0.02,
         );
         let rc = conv.run_experiment(2_000, 8_000).unwrap();
-        assert!(rc.off_fraction() > 0.3, "off fraction {}", rc.off_fraction());
+        assert!(
+            rc.off_fraction() > 0.3,
+            "off fraction {}",
+            rc.off_fraction()
+        );
         assert!(
             rc.stats.latency.mean() > rn.stats.latency.mean() * 1.2,
             "ConvOpt {} vs No-PG {}",
@@ -297,11 +300,7 @@ mod tests {
     fn power_punch_hides_most_blocking() {
         let mesh = Mesh::new(8, 8);
         let run = |scheme| {
-            let mut s = SyntheticSim::new(
-                cfg(scheme, mesh),
-                TrafficPattern::UniformRandom,
-                0.02,
-            );
+            let mut s = SyntheticSim::new(cfg(scheme, mesh), TrafficPattern::UniformRandom, 0.02);
             s.run_experiment(2_000, 8_000).unwrap()
         };
         let no = run(SchemeKind::NoPg);
@@ -316,7 +315,10 @@ mod tests {
             ppf.stats.latency.mean(),
         );
         assert!(l_conv > l_pps, "conv {l_conv} vs pp-signal {l_pps}");
-        assert!(l_pps >= l_ppf - 1e-9, "pp-signal {l_pps} vs pp-full {l_ppf}");
+        assert!(
+            l_pps >= l_ppf - 1e-9,
+            "pp-signal {l_pps} vs pp-full {l_ppf}"
+        );
         assert!(l_ppf < l_no * 1.25, "pp-full {l_ppf} vs no-pg {l_no}");
         // Blocked-router counts (Figure 9 ordering).
         assert!(conv.stats.pg_encounters.mean() > pps.stats.pg_encounters.mean());
@@ -336,7 +338,11 @@ mod tests {
                 0.05,
             );
             let r = s.run_experiment(500, 2_000).unwrap();
-            (r.stats.packets_delivered, r.stats.latency.mean(), r.pg.punch_hops)
+            (
+                r.stats.packets_delivered,
+                r.stats.latency.mean(),
+                r.pg.punch_hops,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -45,6 +45,31 @@ impl SchemeKind {
             SchemeKind::PowerPunchFull => "PowerPunch-PG",
         }
     }
+
+    /// Stable machine-readable tag: CLI flag values, campaign spec ids and
+    /// `BENCH_*.json` artifacts all use these. Never rename a tag — cached
+    /// campaign results and checked-in baselines key on them.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SchemeKind::NoPg => "nopg",
+            SchemeKind::ConvPg => "conv",
+            SchemeKind::ConvOptPg => "convopt",
+            SchemeKind::PowerPunchSignal => "pps",
+            SchemeKind::PowerPunchFull => "ppf",
+        }
+    }
+
+    /// Parses a [`SchemeKind::tag`] back into a scheme.
+    pub fn from_tag(tag: &str) -> Option<SchemeKind> {
+        Some(match tag {
+            "nopg" => SchemeKind::NoPg,
+            "conv" => SchemeKind::ConvPg,
+            "convopt" => SchemeKind::ConvOptPg,
+            "pps" => SchemeKind::PowerPunchSignal,
+            "ppf" => SchemeKind::PowerPunchFull,
+            _ => return None,
+        })
+    }
 }
 
 impl std::fmt::Display for SchemeKind {
@@ -468,5 +493,19 @@ mod tests {
         assert_eq!(SchemeKind::ConvOptPg.label(), "ConvOpt-PG");
         assert_eq!(SchemeKind::PowerPunchFull.to_string(), "PowerPunch-PG");
         assert_eq!(SchemeKind::EVALUATED.len(), 4);
+    }
+
+    #[test]
+    fn scheme_tags_roundtrip() {
+        for s in [
+            SchemeKind::NoPg,
+            SchemeKind::ConvPg,
+            SchemeKind::ConvOptPg,
+            SchemeKind::PowerPunchSignal,
+            SchemeKind::PowerPunchFull,
+        ] {
+            assert_eq!(SchemeKind::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(SchemeKind::from_tag("warp9"), None);
     }
 }

@@ -56,7 +56,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroLinkLatency => write!(f, "link_latency must be at least 1 cycle"),
             ConfigError::EmptyPacket => write!(f, "packets must have at least one flit"),
             ConfigError::BadPunchHops(h) => {
-                write!(f, "punch_hops must be in 1..=4 (paper evaluates 2-4), got {h}")
+                write!(
+                    f,
+                    "punch_hops must be in 1..=4 (paper evaluates 2-4), got {h}"
+                )
             }
             ConfigError::ZeroWakeupLatency => write!(f, "wakeup_latency must be non-zero"),
             ConfigError::BadProbability { field, ppm } => {

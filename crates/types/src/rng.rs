@@ -55,10 +55,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -170,7 +167,11 @@ mod tests {
         let first: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
         assert_eq!(
             first,
-            vec![5987356902031041503, 7051070477665621255, 6633766593972829180]
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180
+            ]
         );
     }
 

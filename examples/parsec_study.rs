@@ -41,7 +41,10 @@ fn main() {
         table.row([
             scheme.label().to_string(),
             report.exec_cycles.to_string(),
-            format!("{:+.2}%", (report.exec_cycles as f64 / base_exec - 1.0) * 100.0),
+            format!(
+                "{:+.2}%",
+                (report.exec_cycles as f64 / base_exec - 1.0) * 100.0
+            ),
             format!("{:.1}", report.net.avg_packet_latency()),
             format!("{:.2}", report.net.avg_pg_encounters()),
             format!("{:.2}", report.net.avg_wakeup_wait()),

@@ -25,11 +25,7 @@ fn main() {
     let mut t = Table::new(["#", "set of targeted routers", "codeword"]);
     for (i, set) in link.sets().iter().enumerate() {
         let code = link.encode(set).expect("enumerated set encodes");
-        t.row([
-            (i + 1).to_string(),
-            set.to_string(),
-            format!("{code:05b}"),
-        ]);
+        t.row([(i + 1).to_string(), set.to_string(), format!("{code:05b}")]);
     }
     println!("{t}");
     println!(

@@ -24,7 +24,9 @@ fn main() {
             let mut cfg = SimConfig::with_scheme(scheme);
             cfg.noc.mesh = Mesh::new(w, h);
             let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, rate);
-            sim.run_experiment(4_000, 12_000).unwrap().avg_packet_latency()
+            sim.run_experiment(4_000, 12_000)
+                .unwrap()
+                .avg_packet_latency()
         };
         let no = run(SchemeKind::NoPg);
         let conv = run(SchemeKind::ConvOptPg);

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Perf-regression gate: compare a freshly produced campaign artifact against
+# the checked-in baseline. Exits non-zero when any tier-1 metric (delivered
+# packets, mean latency, watchdog escalations) drifts past tolerance, when a
+# baseline run disappeared, or when any run failed.
+#
+# Usage: scripts/bench_compare.sh [BASELINE.json] [CURRENT.json]
+# Defaults match the CI bench-smoke job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-bench/baseline.json}"
+CURRENT="${2:-bench-out/BENCH_ci.json}"
+
+for f in "$BASELINE" "$CURRENT"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_compare: missing artifact $f" >&2
+        exit 1
+    fi
+done
+
+# The comparison itself (tolerances, schema checks) lives in Rust —
+# punchsim::campaign::compare — so the gate needs no jq or python.
+exec cargo run --release -q --bin punchsim-cli -- compare "$BASELINE" "$CURRENT"

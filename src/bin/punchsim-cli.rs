@@ -2,11 +2,15 @@
 //! Rust.
 //!
 //! ```text
-//! punchsim-cli sweep   [--pattern P] [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
-//! punchsim-cli parsec  [--benchmark B] [--scheme S] [--instr N]
+//! punchsim-cli sweep    [--pattern P] [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
+//! punchsim-cli parsec   [--benchmark B] [--scheme S] [--instr N]
 //! punchsim-cli table1
-//! punchsim-cli schemes [--mesh WxH] [--rate R]
-//! punchsim-cli faults  [--scheme S] [--mesh WxH] [--rate R] [--corrupt P] [--fault-seed N]
+//! punchsim-cli schemes  [--mesh WxH] [--rate R]
+//! punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--corrupt P] [--fault-seed N]
+//! punchsim-cli campaign [--suite parsec|synth|ci] [--threads N] [--out DIR]
+//!                       [--name NAME] [--seed N] [--no-cache]
+//! punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
+//!                       [--tol-delivered R] [--tol-escalations N]
 //! ```
 //!
 //! Schemes: `nopg`, `conv`, `convopt`, `pps` (PowerPunch-Signal),
@@ -19,8 +23,12 @@
 //! net" argument, checked end to end. `--faults`, `--corrupt` and
 //! `--fault-seed` also apply to `sweep`/`schemes` runs.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
+use punchsim::campaign::{self, compare, Json, Tolerances};
 use punchsim::prelude::*;
 use punchsim::stats::Table;
 
@@ -30,6 +38,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `campaign` and `compare` take boolean flags and positional arguments,
+    // which the flag/value `Opts` grammar cannot express — they parse their
+    // own argument lists.
+    match cmd.as_str() {
+        "campaign" => return campaign_cmd(&args[1..]),
+        "compare" => return compare_cmd(&args[1..]),
+        _ => {}
+    }
     let opts = match Opts::parse(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
@@ -58,17 +74,30 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  punchsim-cli sweep   [--pattern P] [--scheme S] [--mesh WxH] [--cycles N]
-  punchsim-cli parsec  [--benchmark B] [--scheme S] [--instr N]
+  punchsim-cli sweep    [--pattern P] [--scheme S] [--mesh WxH] [--cycles N]
+  punchsim-cli parsec   [--benchmark B] [--scheme S] [--instr N]
   punchsim-cli table1
-  punchsim-cli schemes [--mesh WxH] [--rate R] [--cycles N]
-  punchsim-cli faults  [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
-                       [--corrupt P] [--fault-seed N]
+  punchsim-cli schemes  [--mesh WxH] [--rate R] [--cycles N]
+  punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
+                        [--corrupt P] [--fault-seed N]
+  punchsim-cli campaign [--suite parsec|synth|ci] [--threads N] [--out DIR]
+                        [--name NAME] [--seed N] [--no-cache]
+  punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
+                        [--tol-delivered R] [--tol-escalations N]
 
 fault flags (any synthetic command):
   --faults P       drop each punch-carrying sideband event with probability P
   --corrupt P      corrupt punch codewords with probability P (wrong targets)
   --fault-seed N   seed of the fault injector's RNG stream (default 0xFA17)
+
+campaign flags:
+  --suite S        spec list: parsec, synth or ci (both; default)
+  --threads N      worker threads; 0 = one per core (default)
+  --out DIR        artifact directory (default bench-out)
+  --name NAME      artifact name: BENCH_<NAME>.json (default: the suite)
+  --seed N         campaign seed (default 0xC0FFEE)
+  --no-cache       ignore the result store; simulate every spec
+  PP_FAST=1 in the environment shortens every run (CI smoke mode)
 
 schemes: nopg conv convopt pps ppf
 patterns: uniform transpose bitcomp bitrev shuffle tornado neighbor
@@ -108,26 +137,12 @@ impl Opts {
                 .ok_or_else(|| format!("missing value for {flag}"))?;
             match flag.as_str() {
                 "--pattern" => {
-                    o.pattern = match val.as_str() {
-                        "uniform" => TrafficPattern::UniformRandom,
-                        "transpose" => TrafficPattern::Transpose,
-                        "bitcomp" => TrafficPattern::BitComplement,
-                        "bitrev" => TrafficPattern::BitReverse,
-                        "shuffle" => TrafficPattern::Shuffle,
-                        "tornado" => TrafficPattern::Tornado,
-                        "neighbor" => TrafficPattern::Neighbor,
-                        p => return Err(format!("unknown pattern {p}")),
-                    }
+                    o.pattern = TrafficPattern::from_tag(val)
+                        .ok_or_else(|| format!("unknown pattern {val}"))?;
                 }
                 "--scheme" => {
-                    o.scheme = match val.as_str() {
-                        "nopg" => SchemeKind::NoPg,
-                        "conv" => SchemeKind::ConvPg,
-                        "convopt" => SchemeKind::ConvOptPg,
-                        "pps" => SchemeKind::PowerPunchSignal,
-                        "ppf" => SchemeKind::PowerPunchFull,
-                        s => return Err(format!("unknown scheme {s}")),
-                    }
+                    o.scheme =
+                        SchemeKind::from_tag(val).ok_or_else(|| format!("unknown scheme {val}"))?;
                 }
                 "--mesh" => {
                     let (w, h) = val
@@ -144,7 +159,9 @@ impl Opts {
                     o.cycles = val.parse().map_err(|_| "bad cycle count".to_string())?;
                 }
                 "--instr" => {
-                    o.instr = val.parse().map_err(|_| "bad instruction count".to_string())?;
+                    o.instr = val
+                        .parse()
+                        .map_err(|_| "bad instruction count".to_string())?;
                 }
                 "--benchmark" => {
                     o.benchmark = Benchmark::ALL
@@ -316,7 +333,10 @@ fn parsec(opts: &Opts) -> Result<(), SimError> {
     println!("L1 miss rate:     {:.3}%", r.l1_miss_rate * 100.0);
     println!("packet latency:   {:.1} cycles", r.net.avg_packet_latency());
     println!("blocked/packet:   {:.2}", r.net.avg_pg_encounters());
-    println!("offered load:     {:.4} flits/node/cycle", r.net.offered_load);
+    println!(
+        "offered load:     {:.4} flits/node/cycle",
+        r.net.offered_load
+    );
     println!("router off:       {:.1}%", r.net.off_fraction() * 100.0);
     Ok(())
 }
@@ -335,8 +355,247 @@ fn table1() -> Result<(), SimError> {
         ]);
     }
     println!("{t}");
-    println!("{} sets, {} bits (paper: 22 sets, 5 bits)", link.set_count(), link.width_bits());
+    println!(
+        "{} sets, {} bits (paper: 22 sets, 5 bits)",
+        link.set_count(),
+        link.width_bits()
+    );
     Ok(())
+}
+
+struct CampaignOpts {
+    suite: String,
+    threads: usize,
+    out: PathBuf,
+    name: Option<String>,
+    seed: u64,
+    no_cache: bool,
+}
+
+impl CampaignOpts {
+    fn parse(args: &[String]) -> Result<CampaignOpts, String> {
+        let mut o = CampaignOpts {
+            suite: "ci".to_string(),
+            threads: 0,
+            out: PathBuf::from("bench-out"),
+            name: None,
+            seed: campaign::DEFAULT_SEED,
+            no_cache: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            // --no-cache is the one boolean flag; everything else is a pair.
+            if flag == "--no-cache" {
+                o.no_cache = true;
+                continue;
+            }
+            let val = it
+                .next()
+                .ok_or_else(|| format!("missing value for {flag}"))?;
+            match flag.as_str() {
+                "--suite" => {
+                    if !["parsec", "synth", "ci"].contains(&val.as_str()) {
+                        return Err(format!("unknown suite {val}"));
+                    }
+                    o.suite = val.clone();
+                }
+                "--threads" => {
+                    o.threads = val.parse().map_err(|_| "bad thread count".to_string())?;
+                }
+                "--out" => o.out = PathBuf::from(val),
+                "--name" => o.name = Some(val.clone()),
+                "--seed" => {
+                    o.seed = val.parse().map_err(|_| "bad seed".to_string())?;
+                }
+                f => return Err(format!("unknown flag {f}")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn specs(&self) -> Vec<RunSpec> {
+        match self.suite.as_str() {
+            "parsec" => campaign::parsec_suite(self.seed),
+            "synth" => campaign::synthetic_suite(self.seed),
+            _ => campaign::ci_suite(self.seed),
+        }
+    }
+}
+
+fn campaign_cmd(args: &[String]) -> ExitCode {
+    let opts = match CampaignOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = opts.specs();
+    let name = opts.name.clone().unwrap_or_else(|| opts.suite.clone());
+    let runner = Runner {
+        threads: opts.threads,
+        store: if opts.no_cache {
+            None
+        } else {
+            Some(Store::in_target())
+        },
+    };
+    let threads = runner.effective_threads(specs.len());
+    eprintln!(
+        "campaign {name}: {} runs on {threads} thread(s){}",
+        specs.len(),
+        if campaign::fast_mode() {
+            " [PP_FAST=1]"
+        } else {
+            ""
+        }
+    );
+    let total = specs.len();
+    let done = AtomicUsize::new(0);
+    let started = Instant::now();
+    let outcomes = runner.run_with(&specs, &|_, outcome| {
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        match outcome {
+            Outcome::Done(rec) => {
+                let how = match rec.cycles_per_sec() {
+                    Some(cps) => format!("{:.0} cycles/sec", cps),
+                    None => "cached".to_string(),
+                };
+                eprintln!("[{n}/{total}] {} ({how})", rec.spec.id());
+            }
+            Outcome::Failed(err) => eprintln!("[{n}/{total}] FAILED {err}"),
+        }
+    });
+    let report = CampaignReport {
+        name,
+        threads,
+        outcomes,
+        wall_nanos: started.elapsed().as_nanos() as u64,
+    };
+    let (main_path, timing_path) = match report.write_artifacts(&opts.out) {
+        Ok(paths) => paths,
+        Err(e) => {
+            eprintln!(
+                "error: cannot write artifacts to {}: {e}",
+                opts.out.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let cached = report
+        .outcomes
+        .iter()
+        .filter_map(Outcome::record)
+        .filter(|r| r.cached)
+        .count();
+    println!(
+        "{} runs ({cached} cached), {} failure(s), {:.1}s wall clock",
+        total,
+        report.failures(),
+        report.wall_nanos as f64 / 1e9
+    );
+    println!("wrote {}", main_path.display());
+    println!("wrote {}", timing_path.display());
+    if report.failures() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+struct CompareOpts {
+    baseline: PathBuf,
+    current: PathBuf,
+    tol: Tolerances,
+}
+
+impl CompareOpts {
+    fn parse(args: &[String]) -> Result<CompareOpts, String> {
+        let mut paths = Vec::new();
+        let mut tol = Tolerances::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let val = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for --{flag}"))?;
+                let v: f64 = val.parse().map_err(|_| format!("bad value for --{flag}"))?;
+                match flag {
+                    "tol-latency" => tol.latency_rel = v,
+                    "tol-delivered" => tol.delivered_rel = v,
+                    "tol-escalations" => tol.escalations_abs = v,
+                    f => return Err(format!("unknown flag --{f}")),
+                }
+            } else {
+                paths.push(PathBuf::from(arg));
+            }
+        }
+        let [baseline, current] = <[PathBuf; 2]>::try_from(paths)
+            .map_err(|_| "compare needs exactly BASELINE and CURRENT paths".to_string())?;
+        Ok(CompareOpts {
+            baseline,
+            current,
+            tol,
+        })
+    }
+}
+
+fn load_artifact(path: &std::path::Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn compare_cmd(args: &[String]) -> ExitCode {
+    let opts = match CompareOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = load_artifact(&opts.baseline).and_then(|base| {
+        let cur = load_artifact(&opts.current)?;
+        compare::compare(&base, &cur, &opts.tol)
+    });
+    let cmp = match result {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for id in &cmp.run_errors {
+        println!("FAILED RUN {id}");
+    }
+    for id in &cmp.missing {
+        println!("MISSING    {id}");
+    }
+    for d in &cmp.deviations {
+        println!("DRIFT      {d}");
+    }
+    for id in &cmp.extra {
+        println!("note: ungated new run {id}");
+    }
+    if cmp.passed() {
+        println!(
+            "perf gate passed: {} run(s) within tolerance (latency ±{:.0}%, \
+             delivered ±{:.0}%, escalations ±{})",
+            cmp.checked,
+            opts.tol.latency_rel * 100.0,
+            opts.tol.delivered_rel * 100.0,
+            opts.tol.escalations_abs
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "perf gate FAILED: {} deviation(s), {} missing run(s), {} failed run(s)",
+            cmp.deviations.len(),
+            cmp.missing.len(),
+            cmp.run_errors.len()
+        );
+        ExitCode::FAILURE
+    }
 }
 
 #[cfg(test)]
@@ -361,9 +620,20 @@ mod tests {
     #[test]
     fn flags_parse() {
         let o = parse(&[
-            "--scheme", "convopt", "--mesh", "4x4", "--rate", "0.01",
-            "--pattern", "transpose", "--benchmark", "canneal",
-            "--cycles", "500", "--instr", "1000",
+            "--scheme",
+            "convopt",
+            "--mesh",
+            "4x4",
+            "--rate",
+            "0.01",
+            "--pattern",
+            "transpose",
+            "--benchmark",
+            "canneal",
+            "--cycles",
+            "500",
+            "--instr",
+            "1000",
         ])
         .unwrap();
         assert_eq!(o.scheme, SchemeKind::ConvOptPg);
@@ -377,10 +647,7 @@ mod tests {
 
     #[test]
     fn fault_flags_parse_into_config() {
-        let o = parse(&[
-            "--faults", "0.5", "--corrupt", "0.25", "--fault-seed", "42",
-        ])
-        .unwrap();
+        let o = parse(&["--faults", "0.5", "--corrupt", "0.25", "--fault-seed", "42"]).unwrap();
         assert_eq!(o.fault_drop, 0.5);
         assert_eq!(o.fault_corrupt, 0.25);
         assert_eq!(o.fault_seed, 42);
@@ -402,5 +669,76 @@ mod tests {
         assert!(parse(&["--faults", "1.5"]).is_err());
         assert!(parse(&["--corrupt", "-0.1"]).is_err());
         assert!(parse(&["--fault-seed", "xyz"]).is_err());
+    }
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn campaign_defaults_and_flags_parse() {
+        let o = CampaignOpts::parse(&[]).unwrap();
+        assert_eq!(o.suite, "ci");
+        assert_eq!(o.threads, 0);
+        assert_eq!(o.out, PathBuf::from("bench-out"));
+        assert_eq!(o.seed, campaign::DEFAULT_SEED);
+        assert!(!o.no_cache);
+        assert!(!o.specs().is_empty());
+
+        let o = CampaignOpts::parse(&strs(&[
+            "--suite",
+            "synth",
+            "--threads",
+            "3",
+            "--out",
+            "tmp",
+            "--name",
+            "pr",
+            "--seed",
+            "7",
+            "--no-cache",
+        ]))
+        .unwrap();
+        assert_eq!(o.suite, "synth");
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.out, PathBuf::from("tmp"));
+        assert_eq!(o.name.as_deref(), Some("pr"));
+        assert_eq!(o.seed, 7);
+        assert!(o.no_cache);
+        assert_eq!(o.specs().len(), campaign::synthetic_suite(7).len());
+    }
+
+    #[test]
+    fn campaign_bad_inputs_are_rejected() {
+        assert!(CampaignOpts::parse(&strs(&["--suite", "quantum"])).is_err());
+        assert!(CampaignOpts::parse(&strs(&["--threads", "many"])).is_err());
+        assert!(CampaignOpts::parse(&strs(&["--name"])).is_err());
+        assert!(CampaignOpts::parse(&strs(&["--cache", "1"])).is_err());
+    }
+
+    #[test]
+    fn compare_opts_parse() {
+        let o = CompareOpts::parse(&strs(&["a.json", "b.json"])).unwrap();
+        assert_eq!(o.baseline, PathBuf::from("a.json"));
+        assert_eq!(o.current, PathBuf::from("b.json"));
+        assert_eq!(o.tol, Tolerances::default());
+
+        let o = CompareOpts::parse(&strs(&[
+            "--tol-latency",
+            "0.1",
+            "a.json",
+            "--tol-escalations",
+            "5",
+            "b.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.tol.latency_rel, 0.1);
+        assert_eq!(o.tol.escalations_abs, 5.0);
+        assert_eq!(o.tol.delivered_rel, Tolerances::default().delivered_rel);
+
+        assert!(CompareOpts::parse(&strs(&["only-one.json"])).is_err());
+        assert!(CompareOpts::parse(&strs(&["a", "b", "c"])).is_err());
+        assert!(CompareOpts::parse(&strs(&["a", "b", "--tol-latency", "x"])).is_err());
+        assert!(CompareOpts::parse(&strs(&["a", "b", "--tol-jitter", "1"])).is_err());
     }
 }

@@ -15,6 +15,8 @@
 //! * [`power`] — DSENT-like router energy model and accounting
 //! * [`traffic`] — synthetic traffic patterns and injection processes
 //! * [`cmp`] — MESI-directory CMP substrate standing in for gem5+PARSEC
+//! * [`campaign`] — parallel campaign runner, content-hashed result store
+//!   and machine-readable `BENCH_*.json` artifacts (the CI perf gate)
 //! * [`stats`] — counters, histograms and table rendering
 //!
 //! # Quickstart
@@ -34,6 +36,7 @@
 //! assert!(report.stats.packets_delivered > 0);
 //! ```
 
+pub use punchsim_campaign as campaign;
 pub use punchsim_cmp as cmp;
 pub use punchsim_core as core;
 pub use punchsim_faults as faults;
@@ -45,6 +48,9 @@ pub use punchsim_types as types;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use punchsim_campaign::{
+        CampaignReport, Metrics, Outcome, RunRecord, RunSpec, Runner, Store, Workload,
+    };
     pub use punchsim_cmp::{Benchmark, CmpConfig, CmpReport, CmpSim};
     pub use punchsim_core::build_power_manager;
     pub use punchsim_faults::{FaultInjector, FaultStats};
@@ -52,7 +58,7 @@ pub mod prelude {
     pub use punchsim_power::{EnergyBreakdown, PowerModel};
     pub use punchsim_traffic::{SyntheticSim, TrafficPattern};
     pub use punchsim_types::{
-        ConfigError, Cycle, Direction, FaultConfig, Mesh, NodeId, NocConfig, PacketId, Port,
+        ConfigError, Cycle, Direction, FaultConfig, Mesh, NocConfig, NodeId, PacketId, Port,
         PowerConfig, SchemeKind, SimConfig, SimError, SimRng, StallReport, StuckEpoch, VnetId,
         WatchdogConfig,
     };

@@ -39,7 +39,8 @@ fn run_faulted(mesh: Mesh, faults: FaultConfig) -> (usize, usize, f64, PgCounter
             .expect("in-mesh send");
             sent += 1;
         }
-        net.tick().expect("watchdog must stay quiet under punch faults");
+        net.tick()
+            .expect("watchdog must stay quiet under punch faults");
     }
     let mut guard = 0;
     while net.in_flight() > 0 {

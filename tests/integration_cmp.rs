@@ -59,7 +59,10 @@ fn every_benchmark_completes_under_power_punch() {
     for b in Benchmark::ALL {
         let r = CmpSim::new(small(b, SchemeKind::PowerPunchFull)).run();
         assert!(r.completed, "{b} did not complete");
-        assert!(r.net.stats.packets_delivered > 0, "{b} generated no traffic");
+        assert!(
+            r.net.stats.packets_delivered > 0,
+            "{b} generated no traffic"
+        );
     }
 }
 
@@ -79,7 +82,11 @@ fn protocol_vnet_separation_is_respected() {
 fn deterministic_full_system() {
     let run = || {
         let r = CmpSim::new(small(Benchmark::Ferret, SchemeKind::PowerPunchSignal)).run();
-        (r.exec_cycles, r.net.stats.packets_delivered, r.l1_miss_rate.to_bits())
+        (
+            r.exec_cycles,
+            r.net.stats.packets_delivered,
+            r.l1_miss_rate.to_bits(),
+        )
     };
     assert_eq!(run(), run());
 }

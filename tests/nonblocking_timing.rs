@@ -47,10 +47,7 @@ fn run_isolated_packets(scheme: SchemeKind, wakeup: u32, use_slack2: bool) -> (u
         assert_eq!(net.in_flight(), 0, "packet must drain");
     }
     let r = net.report();
-    (
-        r.stats.wakeup_wait.sum() as u64,
-        r.stats.packets_delivered,
-    )
+    (r.stats.wakeup_wait.sum() as u64, r.stats.packets_delivered)
 }
 
 #[test]
@@ -76,8 +73,7 @@ fn wakeup_beyond_the_punch_slack_is_partially_exposed() {
 fn signal_only_scheme_exposes_the_source_router() {
     // Without NI slack the local router's wakeup is on the critical path
     // (§3: "not enough routing hop slack at injection nodes").
-    let (wait, delivered) =
-        run_isolated_packets(SchemeKind::PowerPunchSignal, 8, false);
+    let (wait, delivered) = run_isolated_packets(SchemeKind::PowerPunchSignal, 8, false);
     assert_eq!(delivered, 6);
     assert!(
         wait > 0,
@@ -130,6 +126,9 @@ fn four_stage_router_hides_up_to_twelve_cycles_in_steady_state() {
     let w12 = run(12);
     let w18 = run(18);
     assert!(w10 <= 1, "only the first hop may leak at Twakeup=10: {w10}");
-    assert!(w12 <= 3, "steady-state hops stay covered at Twakeup=12: {w12}");
+    assert!(
+        w12 <= 3,
+        "steady-state hops stay covered at Twakeup=12: {w12}"
+    );
     assert!(w18 > w12, "beyond 3xTrouter the blocking returns: {w18}");
 }
