@@ -51,6 +51,7 @@ pub fn parsec_campaign() -> Vec<RunMetrics> {
     let runner = Runner {
         threads: 0,
         store: Some(Store::in_target()),
+        ..Default::default()
     };
     let outcomes = runner.run_with(&specs, &|_, outcome| {
         if let Some(rec) = outcome.record() {

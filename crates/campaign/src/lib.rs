@@ -24,7 +24,7 @@
 //! use punchsim_campaign::{Runner, synthetic_suite};
 //!
 //! let specs = synthetic_suite(0xC0FFEE);
-//! let runner = Runner { threads: 2, store: None };
+//! let runner = Runner { threads: 2, ..Runner::default() };
 //! # let specs = &specs[..2];
 //! let outcomes = runner.run(&specs);
 //! assert!(outcomes.iter().all(|o| o.record().is_some()));
@@ -32,17 +32,20 @@
 
 pub mod compare;
 pub mod hash;
-pub mod json;
 pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod store;
 
+/// The shared JSON value now lives in `punchsim-obs`; re-exported here so
+/// existing `punchsim_campaign::json::Json` paths keep working.
+pub use punchsim_obs::json;
+
 pub use compare::{compare, Comparison, Deviation, Tolerances};
 pub use json::{Json, JsonError};
 pub use report::{CampaignReport, TIMING_SCHEMA_VERSION};
 pub use runner::{Outcome, RunError, RunErrorKind, RunRecord, Runner};
-pub use spec::{Metrics, RunSpec, Workload, SCHEMA_VERSION};
+pub use spec::{Metrics, ObserveOpts, Observed, RunSpec, Workload, SCHEMA_VERSION};
 pub use store::Store;
 
 use punchsim_cmp::Benchmark;

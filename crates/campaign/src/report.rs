@@ -105,6 +105,12 @@ impl CampaignReport {
             if let Some(cps) = rec.cycles_per_sec() {
                 r.push("cycles_per_sec", Json::Float(cps));
             }
+            if !rec.series.is_empty() {
+                r.push(
+                    "series",
+                    Json::Arr(rec.series.iter().map(|row| row.to_json()).collect()),
+                );
+            }
             runs.push(r);
         }
         doc.push("runs", Json::Arr(runs));
@@ -166,6 +172,7 @@ mod tests {
         let runner = Runner {
             threads: 1,
             store: None,
+            ..Default::default()
         };
         CampaignReport {
             name: "tiny".to_string(),
@@ -200,6 +207,44 @@ mod tests {
         // One successful 250-cycle run.
         assert_eq!(t.get("simulated_cycles").unwrap().as_u64(), Some(250));
         assert!(t.get("cycles_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        // No sampling requested: no series key in the sidecar.
+        let runs = t.get("runs").unwrap().as_arr().unwrap();
+        assert!(runs[0].get("series").is_none());
+    }
+
+    #[test]
+    fn timing_sidecar_carries_series_when_sampled() {
+        let specs = vec![RunSpec {
+            scheme: SchemeKind::ConvOptPg,
+            seed: 3,
+            workload: Workload::Synthetic {
+                pattern: TrafficPattern::Neighbor,
+                mesh: Mesh::new(4, 4),
+                rate: 0.02,
+                warmup_cycles: 50,
+                measure_cycles: 200,
+            },
+        }];
+        let runner = Runner {
+            threads: 1,
+            sample_every: 100,
+            ..Default::default()
+        };
+        let report = CampaignReport {
+            name: "sampled".to_string(),
+            threads: 1,
+            outcomes: runner.run(&specs),
+            wall_nanos: 1,
+        };
+        let t = report.timing_json();
+        let runs = t.get("runs").unwrap().as_arr().unwrap();
+        let series = runs[0].get("series").unwrap().as_arr().unwrap();
+        assert_eq!(series.len(), 2);
+        assert!(series[0].get("off_fraction").unwrap().as_f64().is_some());
+        // The deterministic artifact is oblivious to sampling.
+        assert!(!report.to_json().render().contains("\"series\""));
+        // And the sidecar still re-parses.
+        Json::parse(&t.render()).unwrap();
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::spec::{Metrics, RunSpec};
+use punchsim_obs::{IntervalRow, Stamped};
+
+use crate::spec::{Metrics, ObserveOpts, RunSpec};
 use crate::store::Store;
 
 /// A completed run: its deterministic metrics plus how it was obtained
@@ -35,6 +37,12 @@ pub struct RunRecord {
     pub cached: bool,
     /// Wall-clock nanoseconds this worker spent on the run.
     pub wall_nanos: u64,
+    /// Per-interval time series (empty unless the runner sampled; feeds
+    /// the timing sidecar, never the deterministic artifact).
+    pub series: Vec<IntervalRow>,
+    /// Flight-recorder tail (empty unless the runner traced; feeds
+    /// per-run trace dumps, never the deterministic artifact).
+    pub events: Vec<Stamped>,
 }
 
 impl RunRecord {
@@ -111,6 +119,14 @@ pub struct Runner {
     pub threads: usize,
     /// Result store for incremental re-runs; `None` always simulates.
     pub store: Option<Store>,
+    /// Per-interval sampling period in cycles; `0` disables the series.
+    /// Sampling forces simulation (the store holds metrics, not series),
+    /// but results are still saved, so a later unsampled campaign hits the
+    /// cache — and the metrics themselves are unchanged by sampling.
+    pub sample_every: u64,
+    /// Per-run flight-recorder capacity in events; `0` disables tracing.
+    /// Like sampling, tracing forces simulation without changing metrics.
+    pub trace_cap: usize,
 }
 
 impl Runner {
@@ -153,7 +169,11 @@ impl Runner {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
-                    let outcome = execute_one(spec, self.store.as_ref());
+                    let opts = ObserveOpts {
+                        sample_every: self.sample_every,
+                        trace_cap: self.trace_cap,
+                    };
+                    let outcome = execute_one(spec, self.store.as_ref(), opts);
                     on_done(i, &outcome);
                     *slots[i].lock().expect("result slot poisoned") = Some(outcome);
                 });
@@ -171,35 +191,44 @@ impl Runner {
 }
 
 /// Runs one spec: store lookup, then an isolated simulation on a miss.
-fn execute_one(spec: &RunSpec, store: Option<&Store>) -> Outcome {
+/// Requested observation (sampling or tracing) can only come from a live
+/// simulation, so it bypasses the store lookup (results are still saved
+/// for later unobserved campaigns).
+fn execute_one(spec: &RunSpec, store: Option<&Store>, opts: ObserveOpts) -> Outcome {
     let started = Instant::now();
-    if let Some(store) = store {
-        if let Some(metrics) = store.load(spec) {
-            return Outcome::Done(RunRecord {
-                spec: spec.clone(),
-                metrics,
-                cached: true,
-                wall_nanos: started.elapsed().as_nanos() as u64,
-            });
+    if opts.is_none() {
+        if let Some(store) = store {
+            if let Some(metrics) = store.load(spec) {
+                return Outcome::Done(RunRecord {
+                    spec: spec.clone(),
+                    metrics,
+                    cached: true,
+                    wall_nanos: started.elapsed().as_nanos() as u64,
+                    series: Vec::new(),
+                    events: Vec::new(),
+                });
+            }
         }
     }
     // The spec and its config are rebuilt from scratch inside `execute`;
     // nothing mutable crosses the unwind boundary, so the suppression of
     // the UnwindSafe bound is sound.
-    let result = std::panic::catch_unwind(AssertUnwindSafe(|| spec.execute()));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| spec.execute_observed(opts)));
     let wall_nanos = started.elapsed().as_nanos() as u64;
     match result {
-        Ok(Ok(metrics)) => {
+        Ok(Ok(observed)) => {
             if let Some(store) = store {
-                if let Err(e) = store.save(spec, &metrics) {
+                if let Err(e) = store.save(spec, &observed.metrics) {
                     eprintln!("warning: could not store {}: {e}", spec.id());
                 }
             }
             Outcome::Done(RunRecord {
                 spec: spec.clone(),
-                metrics,
+                metrics: observed.metrics,
                 cached: false,
                 wall_nanos,
+                series: observed.series,
+                events: observed.events,
             })
         }
         Ok(Err(sim)) => Outcome::Failed(RunError {
@@ -250,6 +279,7 @@ mod tests {
         let runner = Runner {
             threads: 3,
             store: None,
+            ..Default::default()
         };
         let outcomes = runner.run(&specs);
         assert_eq!(outcomes.len(), specs.len());
@@ -272,6 +302,7 @@ mod tests {
         let runner = Runner {
             threads: 2,
             store: None,
+            ..Default::default()
         };
         let outcomes = runner.run(&specs);
         assert!(outcomes[0].record().is_some());
@@ -293,6 +324,7 @@ mod tests {
         let runner = Runner {
             threads: 2,
             store: Some(Store::new(&dir)),
+            ..Default::default()
         };
         let first = runner.run(&specs);
         assert!(first.iter().all(|o| !o.record().unwrap().cached));
@@ -308,6 +340,42 @@ mod tests {
         let third = runner.run(&extended);
         assert!(third[..3].iter().all(|o| o.record().unwrap().cached));
         assert!(!third[3].record().unwrap().cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampling_yields_series_and_bypasses_cache_without_metric_drift() {
+        let dir = std::env::temp_dir().join(format!(
+            "punchsim-runner-sample-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let specs = vec![small_spec(5, 0.02)];
+        let plain = Runner {
+            threads: 1,
+            store: Some(Store::new(&dir)),
+            ..Default::default()
+        }
+        .run(&specs);
+        let p = plain[0].record().unwrap();
+        assert!(p.series.is_empty());
+        // Sampling must simulate (the store has no series) yet reproduce
+        // the stored metrics exactly.
+        let sampled = Runner {
+            threads: 1,
+            store: Some(Store::new(&dir)),
+            sample_every: 50,
+            trace_cap: 512,
+        }
+        .run(&specs);
+        let s = sampled[0].record().unwrap();
+        assert!(!s.cached, "observation cannot be served from the store");
+        assert_eq!(s.metrics, p.metrics);
+        // 200 measured cycles at a 50-cycle period close four intervals.
+        assert_eq!(s.series.len(), 4);
+        // The flight recorder captured the run's event tail.
+        assert!(!s.events.is_empty());
+        assert!(s.events.len() <= 512);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

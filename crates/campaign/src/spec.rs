@@ -6,6 +6,7 @@
 //! artifacts, and executed ([`RunSpec::execute`]) into [`Metrics`].
 
 use punchsim_cmp::{Benchmark, CmpConfig, CmpSim};
+use punchsim_obs::{IntervalRow, RingSink, Sampler, Stamped};
 use punchsim_power::PowerModel;
 use punchsim_traffic::{SyntheticSim, TrafficPattern};
 use punchsim_types::{Mesh, SchemeKind, SimConfig, SimError};
@@ -171,6 +172,23 @@ impl RunSpec {
     /// surface protocol wedges as panics, which the campaign runner
     /// isolates per run.
     pub fn execute(&self) -> Result<Metrics, SimError> {
+        Ok(self.execute_observed(ObserveOpts::NONE)?.metrics)
+    }
+
+    /// Like [`RunSpec::execute`], additionally collecting a per-interval
+    /// time series and/or a flight-recorder event tail, per `opts`.
+    ///
+    /// The simulation performs exactly the same ticks as [`RunSpec::execute`]
+    /// — the sampler is host-driven (read-only snapshots between ticks) and
+    /// the sink never feeds back into the protocol — so `metrics` is
+    /// identical whether or not observation is attached. That invariant is
+    /// what lets the runner keep serving the deterministic artifact from the
+    /// result store while regenerating series on demand.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RunSpec::execute`].
+    pub fn execute_observed(&self, opts: ObserveOpts) -> Result<Observed, SimError> {
         let pm = PowerModel::default_45nm();
         match &self.workload {
             Workload::Parsec {
@@ -182,9 +200,22 @@ impl RunSpec {
                 cfg.sim.seed = self.seed;
                 cfg.instr_per_core = *instr_per_core;
                 cfg.warmup_instr = *warmup_instr;
-                let r = CmpSim::new(cfg).run();
+                let routers = cfg.sim.noc.mesh.nodes();
+                let mut sim = CmpSim::new(cfg);
+                if opts.trace_cap > 0 {
+                    sim.network_mut()
+                        .set_sink(Box::new(RingSink::new(opts.trace_cap)));
+                }
+                let mut sampler = Sampler::new(routers);
+                let every = if opts.sample_every > 0 {
+                    sampler.observe(sim.network().obs_sample());
+                    opts.sample_every
+                } else {
+                    u64::MAX
+                };
+                let r = sim.run_hooked(every, &mut |net| sampler.observe(net.obs_sample()));
                 let b = pm.breakdown(&r.net);
-                Ok(Metrics {
+                let metrics = Metrics {
                     delivered: r.net.stats.packets_delivered,
                     injected: r.net.stats.packets_injected,
                     exec_cycles: r.exec_cycles,
@@ -199,6 +230,11 @@ impl RunSpec {
                     overhead_pj: b.overhead_pj,
                     baseline_static_pj: pm.baseline_static_pj(&r.net),
                     completed: r.completed,
+                };
+                Ok(Observed {
+                    metrics,
+                    series: sampler.into_rows(),
+                    events: take_events(sim.network_mut()),
                 })
             }
             Workload::Synthetic {
@@ -211,10 +247,32 @@ impl RunSpec {
                 let mut cfg = SimConfig::with_scheme(self.scheme);
                 cfg.noc.mesh = *mesh;
                 cfg.seed = self.seed;
+                let routers = mesh.nodes();
                 let mut sim = SyntheticSim::new(cfg, *pattern, *rate);
-                let r = sim.run_experiment(*warmup_cycles, *measure_cycles)?;
+                if opts.trace_cap > 0 {
+                    sim.network_mut()
+                        .set_sink(Box::new(RingSink::new(opts.trace_cap)));
+                }
+                // The same tick sequence as `run_experiment`, opened up so
+                // the measured window can be sampled at interval boundaries.
+                sim.run(*warmup_cycles)?;
+                sim.network_mut().reset_stats();
+                let mut sampler = Sampler::new(routers);
+                if opts.sample_every == 0 {
+                    sim.run(*measure_cycles)?;
+                } else {
+                    sampler.observe(sim.network().obs_sample());
+                    let mut remaining = *measure_cycles;
+                    while remaining > 0 {
+                        let chunk = opts.sample_every.min(remaining);
+                        sim.run(chunk)?;
+                        sampler.observe(sim.network().obs_sample());
+                        remaining -= chunk;
+                    }
+                }
+                let r = sim.report();
                 let b = pm.breakdown(&r);
-                Ok(Metrics {
+                let metrics = Metrics {
                     delivered: r.stats.packets_delivered,
                     injected: r.stats.packets_injected,
                     exec_cycles: r.cycles,
@@ -229,10 +287,58 @@ impl RunSpec {
                     overhead_pj: b.overhead_pj,
                     baseline_static_pj: pm.baseline_static_pj(&r),
                     completed: true,
+                };
+                Ok(Observed {
+                    metrics,
+                    series: sampler.into_rows(),
+                    events: take_events(sim.network_mut()),
                 })
             }
         }
     }
+}
+
+/// Detaches a run's sink (if one was attached) and returns its retained
+/// events.
+fn take_events(net: &mut punchsim_noc::Network) -> Vec<Stamped> {
+    net.take_sink().map(|s| s.snapshot()).unwrap_or_default()
+}
+
+/// What [`RunSpec::execute_observed`] should collect beyond [`Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveOpts {
+    /// Sampling interval in cycles for the per-interval time series;
+    /// `0` disables sampling.
+    pub sample_every: u64,
+    /// Flight-recorder capacity in events; `0` leaves tracing off.
+    pub trace_cap: usize,
+}
+
+impl ObserveOpts {
+    /// No observation: [`RunSpec::execute_observed`] behaves exactly like
+    /// [`RunSpec::execute`].
+    pub const NONE: ObserveOpts = ObserveOpts {
+        sample_every: 0,
+        trace_cap: 0,
+    };
+
+    /// `true` when neither the sampler nor the flight recorder is requested.
+    pub fn is_none(&self) -> bool {
+        self.sample_every == 0 && self.trace_cap == 0
+    }
+}
+
+/// An observed run: deterministic metrics plus whatever observation was
+/// requested. `series` and `events` feed the nondeterministic timing
+/// sidecar and trace artifacts — never the `BENCH_<name>.json` contract.
+#[derive(Debug, Clone)]
+pub struct Observed {
+    /// The same metrics [`RunSpec::execute`] would produce.
+    pub metrics: Metrics,
+    /// Closed sampling intervals (empty when `sample_every` was 0).
+    pub series: Vec<IntervalRow>,
+    /// Flight-recorder tail (empty when `trace_cap` was 0).
+    pub events: Vec<Stamped>,
 }
 
 /// The deterministic, machine-readable result of one run. Everything here
@@ -403,5 +509,38 @@ mod tests {
         assert!(m.latency > 0.0);
         // Same spec, same metrics: the content-hash contract.
         assert_eq!(synth_spec().execute().unwrap(), m);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_execute_and_yields_series() {
+        let spec = synth_spec();
+        let plain = spec.execute().unwrap();
+        let obs = spec
+            .execute_observed(ObserveOpts {
+                sample_every: 100,
+                trace_cap: 4_096,
+            })
+            .unwrap();
+        // The core invariant: attaching observation changes nothing.
+        assert_eq!(obs.metrics, plain);
+        // 400 measured cycles at a 100-cycle interval: four closed rows
+        // spanning exactly the measured window (warmup ends at cycle 100).
+        assert_eq!(obs.series.len(), 4);
+        assert_eq!(obs.series[0].start, 100);
+        assert_eq!(obs.series[3].end, 500);
+        let delivered: u64 = obs.series.iter().map(|r| r.delivered).sum();
+        assert_eq!(delivered, plain.delivered);
+        // The flight recorder saw the punch machinery at work.
+        assert!(!obs.events.is_empty());
+        let kinds: Vec<&str> = obs.events.iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"punch-emit"), "{kinds:?}");
+    }
+
+    #[test]
+    fn observe_opts_none_collects_nothing() {
+        assert!(ObserveOpts::NONE.is_none());
+        let obs = synth_spec().execute_observed(ObserveOpts::NONE).unwrap();
+        assert!(obs.series.is_empty());
+        assert!(obs.events.is_empty());
     }
 }

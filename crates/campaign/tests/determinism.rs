@@ -35,7 +35,11 @@ fn specs() -> Vec<RunSpec> {
 
 fn artifact_bytes(threads: usize, store: Option<Store>) -> String {
     let specs = specs();
-    let runner = Runner { threads, store };
+    let runner = Runner {
+        threads,
+        store,
+        ..Default::default()
+    };
     let report = CampaignReport {
         name: "determinism".to_string(),
         threads,
@@ -82,6 +86,7 @@ fn spec_order_is_preserved_in_the_artifact() {
     let runner = Runner {
         threads: 4,
         store: None,
+        ..Default::default()
     };
     let outcomes = runner.run(&specs);
     let ids: Vec<String> = outcomes

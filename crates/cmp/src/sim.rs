@@ -127,7 +127,12 @@ impl CmpSim {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: CmpConfig) -> Self {
         let pm = build_power_manager(&cfg.sim).expect("invalid SimConfig");
-        let net = Network::new(&cfg.sim.noc, pm).expect("config validated above");
+        let mut net = Network::new(&cfg.sim.noc, pm).expect("config validated above");
+        if cfg.sim.trace.enabled {
+            net.set_sink(Box::new(punchsim_noc::obs::RingSink::new(
+                cfg.sim.trace.ring_capacity,
+            )));
+        }
         let mesh = cfg.sim.noc.mesh;
         let n = mesh.nodes();
         let mem_nodes = corner_nodes(mesh.width(), mesh.height());
@@ -172,6 +177,12 @@ impl CmpSim {
         &self.net
     }
 
+    /// The network under test, mutably — e.g. to attach or detach an
+    /// observability sink around a run.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
     fn home_of(&self, addr: BlockAddr) -> NodeId {
         home_node(addr, self.cfg.sim.noc.mesh.nodes())
     }
@@ -199,19 +210,20 @@ impl CmpSim {
     }
 
     /// Runs to completion (or the cycle cap) and reports.
-    pub fn run(self) -> CmpReport {
+    pub fn run(mut self) -> CmpReport {
         self.run_hooked(u64::MAX, &mut |_| {})
     }
 
     /// Runs like [`CmpSim::run`], invoking `hook` with the network after
     /// every `every` simulated cycles — the full-system twin of
     /// [`Network::run_hooked`], used by campaign runners for progress and
-    /// throughput sampling.
+    /// interval sampling. Takes `&mut self` so callers can retrieve the
+    /// event sink (or other network state) after the run finishes.
     ///
     /// # Panics
     ///
     /// Panics if `every` is zero.
-    pub fn run_hooked(mut self, every: u64, hook: &mut dyn FnMut(&Network)) -> CmpReport {
+    pub fn run_hooked(&mut self, every: u64, hook: &mut dyn FnMut(&Network)) -> CmpReport {
         assert!(every > 0, "hook period must be positive");
         while !self.done() && self.net.cycle() < self.cfg.max_cycles {
             self.tick();
@@ -518,6 +530,23 @@ mod tests {
         );
         assert!(conv.net.off_fraction() > 0.2);
         assert!(pp.net.off_fraction() > 0.2);
+    }
+
+    #[test]
+    fn trace_config_records_full_system_events() {
+        let mut cfg = small_cfg(SchemeKind::PowerPunchFull);
+        cfg.sim.trace = punchsim_types::TraceConfig::enabled();
+        cfg.instr_per_core = 1_000;
+        cfg.warmup_instr = 0;
+        let mut sim = CmpSim::new(cfg);
+        let r = sim.run_hooked(u64::MAX, &mut |_| {});
+        assert!(r.completed);
+        let sink = sim.network_mut().take_sink().expect("sink attached");
+        let kinds: Vec<&str> = sink.snapshot().iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"inject"), "{kinds:?}");
+        assert!(kinds.contains(&"slack1"), "{kinds:?}");
+        assert!(kinds.contains(&"punch-emit"), "{kinds:?}");
+        assert!(kinds.contains(&"power"), "{kinds:?}");
     }
 
     #[test]

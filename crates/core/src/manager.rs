@@ -6,6 +6,7 @@
 //! * [`PowerPunchManager`] — the paper's contribution: multi-hop punch
 //!   signals (§4.1) and, optionally, injection-node slack (§4.2).
 
+use punchsim_noc::obs::{Event, Stamped};
 use punchsim_noc::{IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
 use punchsim_types::{routing, Cycle, Mesh, NodeId, PowerConfig, SchemeKind};
 
@@ -112,6 +113,10 @@ pub struct PowerPunchManager {
     /// which replaces blind timeout filtering with exact forewarning.
     forewarn_until: Vec<Cycle>,
     forewarn_window: Cycle,
+    /// Punch emissions/deliveries buffered for the network's event sink;
+    /// `None` while tracing is disabled (the common case — recording then
+    /// costs one branch per punch).
+    trace: Option<Vec<Stamped>>,
 }
 
 impl PowerPunchManager {
@@ -147,6 +152,7 @@ impl PowerPunchManager {
             slack1,
             slack2,
             forewarn_until: vec![0; mesh.nodes()],
+            trace: None,
             // A punch notification means a packet arrives within at most
             // H hops of packet flight time; afterwards the regular idle
             // timeout takes over (the punch gives *exact* short-horizon
@@ -164,6 +170,22 @@ impl PowerPunchManager {
         self.gate.request_wake(node, cycle);
         self.forewarn_until[node.index()] =
             self.forewarn_until[node.index()].max(cycle + self.forewarn_window);
+    }
+
+    /// Generates a punch and, when tracing, records the emission with its
+    /// resolved target (`min(H, dist)` hops ahead).
+    fn punch(&mut self, cycle: Cycle, router: NodeId, dst: NodeId) {
+        let target = self.fabric.generate(router, dst);
+        if let (Some(target), Some(buf)) = (target, self.trace.as_mut()) {
+            buf.push(Stamped {
+                cycle,
+                event: Event::PunchEmit {
+                    router,
+                    dst,
+                    target,
+                },
+            });
+        }
     }
 }
 
@@ -183,7 +205,7 @@ impl PowerManager for PowerPunchManager {
                 // Multi-hop punch: generated the moment a head flit is
                 // buffered (look-ahead information is available then).
                 PmEvent::HeadArrival { router, dst } => {
-                    self.fabric.generate(router, dst);
+                    self.punch(cycle, router, dst);
                 }
                 // Safety net: the conventional handshake still exists (a
                 // punch that could not fully cover the wakeup leaves a
@@ -195,13 +217,13 @@ impl PowerManager for PowerPunchManager {
                 // Slack 1 (PowerPunch-PG): destination known at NI entry.
                 PmEvent::NiMessageKnown { node, dst } if self.slack1 => {
                     self.notify_local(node, cycle);
-                    self.fabric.generate(node, dst);
+                    self.punch(cycle, node, dst);
                 }
                 // Without slack 1, punches launch when the packet is ready
                 // to inject (PowerPunch-Signal).
                 PmEvent::NiReadyToInject { node, dst } if !self.slack1 => {
                     self.notify_local(node, cycle);
-                    self.fabric.generate(node, dst);
+                    self.punch(cycle, node, dst);
                 }
                 // Slack 2 (PowerPunch-PG): a packet will be generated, so
                 // wake the local router even before the destination exists.
@@ -216,9 +238,16 @@ impl PowerManager for PowerPunchManager {
         let gate = &mut self.gate;
         let forewarn_until = &mut self.forewarn_until;
         let window = self.forewarn_window;
+        let trace = &mut self.trace;
         self.fabric.tick(|r| {
             gate.request_wake(r, cycle);
             forewarn_until[r.index()] = forewarn_until[r.index()].max(cycle + window);
+            if let Some(buf) = trace.as_mut() {
+                buf.push(Stamped {
+                    cycle,
+                    event: Event::PunchDeliver { router: r },
+                });
+            }
         });
         self.gate.counters_mut().punch_hops = self.fabric.hops_sent;
         let fw = &self.forewarn_until;
@@ -240,6 +269,14 @@ impl PowerManager for PowerPunchManager {
     fn reset_counters(&mut self) {
         self.gate.reset_counters();
         self.fabric.hops_sent = 0;
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.trace = enabled.then(Vec::new);
+    }
+
+    fn drain_trace(&mut self) -> Vec<Stamped> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 }
 
@@ -407,6 +444,68 @@ mod tests {
             },
         );
         assert_eq!(s.state(NodeId(24)), PowerState::Off);
+    }
+
+    #[test]
+    fn tracing_buffers_punch_emissions_and_deliveries() {
+        let mesh = Mesh::new(8, 8);
+        let mut m = PowerPunchManager::new(mesh, &power(), 4, false);
+        m.set_tracing(true);
+        m.tick(
+            10,
+            &[PmEvent::HeadArrival {
+                router: NodeId(26),
+                dst: NodeId(31),
+            }],
+            IdleInfo {
+                idle: &all_idle(64),
+            },
+        );
+        let first = m.drain_trace();
+        // The emission names the resolved 3-hop target R29; the fabric's
+        // same-cycle local sweep notifies R26.
+        assert!(first.iter().any(|s| s.event
+            == Event::PunchEmit {
+                router: NodeId(26),
+                dst: NodeId(31),
+                target: NodeId(29),
+            }));
+        assert!(first
+            .iter()
+            .any(|s| s.event == Event::PunchDeliver { router: NodeId(26) } && s.cycle == 10));
+        // Subsequent ticks sweep the punch one hop per cycle.
+        let mut delivered = Vec::new();
+        for c in 11..=13 {
+            m.tick(
+                c,
+                &[],
+                IdleInfo {
+                    idle: &all_idle(64),
+                },
+            );
+            delivered.extend(m.drain_trace());
+        }
+        for r in [27, 28, 29] {
+            assert!(
+                delivered
+                    .iter()
+                    .any(|s| s.event == Event::PunchDeliver { router: NodeId(r) }),
+                "R{r} missing from {delivered:?}"
+            );
+        }
+        // Disabling tracing stops buffering.
+        m.set_tracing(false);
+        m.tick(
+            14,
+            &[PmEvent::HeadArrival {
+                router: NodeId(0),
+                dst: NodeId(7),
+            }],
+            IdleInfo {
+                idle: &all_idle(64),
+            },
+        );
+        assert!(m.drain_trace().is_empty());
     }
 
     #[test]

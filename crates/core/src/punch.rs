@@ -147,18 +147,21 @@ impl PunchFabric {
         self.hops
     }
 
-    /// Queues a wakeup generated at `router` for a packet destined to `dst`.
+    /// Queues a wakeup generated at `router` for a packet destined to `dst`,
+    /// returning the punched target for observability.
     ///
     /// The target is the router `min(H, dist)` hops ahead on the XY path
-    /// (§4.1 step 1). Nothing is queued when `router == dst`.
-    pub fn generate(&mut self, router: NodeId, dst: NodeId) {
+    /// (§4.1 step 1). Nothing is queued when `router == dst` (returns
+    /// `None`).
+    pub fn generate(&mut self, router: NodeId, dst: NodeId) -> Option<NodeId> {
         if router == dst {
-            return;
+            return None;
         }
         let target = routing::xy_router_ahead(self.mesh, router, dst, self.hops);
         let dir = routing::xy_direction(self.mesh, router, target)
             .expect("target != router by construction");
         self.gen_queues[router.index()][dir.index()].push(target);
+        Some(target)
     }
 
     /// Advances the fabric one cycle. Calls `notify(router)` for every

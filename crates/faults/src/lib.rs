@@ -26,6 +26,7 @@
 //! schedule is bit-reproducible across runs and stable under traffic
 //! changes.
 
+use punchsim_noc::obs::{Event, FaultKind, Stamped};
 use punchsim_noc::{IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
 use punchsim_types::{Cycle, FaultConfig, Mesh, NodeId, SchemeKind, SimRng, StuckEpoch};
 
@@ -97,6 +98,9 @@ pub struct FaultInjector {
     /// Inner counters plus `faults_injected`, refreshed every tick so
     /// `counters()` can hand out a reference.
     counters_cache: PgCounters,
+    /// Injected-fault events buffered for the network's sink; `None` while
+    /// tracing is disabled.
+    trace: Option<Vec<Stamped>>,
 }
 
 impl FaultInjector {
@@ -122,6 +126,7 @@ impl FaultInjector {
             stuck: vec![false; mesh.nodes()],
             stats: FaultStats::default(),
             counters_cache,
+            trace: None,
         }
     }
 
@@ -140,6 +145,7 @@ impl FaultInjector {
     /// expires armed epochs whose window ended.
     fn advance_epochs(&mut self, cycle: Cycle) {
         let mut changed = false;
+        let mut armed_now = Vec::new();
         for (e, st) in &mut self.epochs {
             match *st {
                 EpochState::Pending => {
@@ -148,6 +154,7 @@ impl FaultInjector {
                             until: cycle.saturating_add(e.duration),
                         };
                         self.stats.stuck_epochs_started += 1;
+                        armed_now.push(e.router);
                         changed = true;
                     }
                 }
@@ -168,6 +175,19 @@ impl FaultInjector {
                     self.stuck[e.router.index()] = true;
                 }
             }
+        }
+        for r in armed_now {
+            self.record_fault(cycle, FaultKind::StuckEpoch, r);
+        }
+    }
+
+    /// Buffers an injected-fault event while tracing is enabled.
+    fn record_fault(&mut self, cycle: Cycle, kind: FaultKind, router: NodeId) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(Stamped {
+                cycle,
+                event: Event::Fault { kind, router },
+            });
         }
     }
 
@@ -190,6 +210,13 @@ impl FaultInjector {
     /// Applies drop/corrupt/jitter to one event; pushes the survivor into
     /// `filtered` (or `delayed`).
     fn perturb(&mut self, cycle: Cycle, ev: PmEvent) {
+        // Where the perturbed signal originated, for fault-event tracing.
+        let origin = match ev {
+            PmEvent::HeadArrival { router, .. } | PmEvent::BlockedNeed { router } => router,
+            PmEvent::NiMessageKnown { node, .. }
+            | PmEvent::FutureInjection { node }
+            | PmEvent::NiReadyToInject { node, .. } => node,
+        };
         let mut ev = ev;
         match &mut ev {
             // The conventional WU handshake: a level signal.
@@ -197,10 +224,12 @@ impl FaultInjector {
                 if self.stuck[router.index()] {
                     // The stuck gate ignores the assertion outright.
                     self.stats.wu_dropped += 1;
+                    self.record_fault(cycle, FaultKind::WuDropped, origin);
                     return;
                 }
                 if self.cfg.drop_wu_ppm > 0 && self.rng.random_bool_ppm(self.cfg.drop_wu_ppm) {
                     self.stats.wu_dropped += 1;
+                    self.record_fault(cycle, FaultKind::WuDropped, origin);
                     return;
                 }
             }
@@ -211,6 +240,7 @@ impl FaultInjector {
                 if self.cfg.drop_punch_ppm > 0 && self.rng.random_bool_ppm(self.cfg.drop_punch_ppm)
                 {
                     self.stats.punches_dropped += 1;
+                    self.record_fault(cycle, FaultKind::PunchDropped, origin);
                     return;
                 }
                 if self.cfg.corrupt_punch_ppm > 0
@@ -219,6 +249,7 @@ impl FaultInjector {
                     let d = *dst;
                     *dst = self.corrupt_dst(d);
                     self.stats.punches_corrupted += 1;
+                    self.record_fault(cycle, FaultKind::PunchCorrupted, origin);
                 }
             }
             // Slack-2 forewarnings carry no destination but ride the same
@@ -227,6 +258,7 @@ impl FaultInjector {
                 if self.cfg.drop_punch_ppm > 0 && self.rng.random_bool_ppm(self.cfg.drop_punch_ppm)
                 {
                     self.stats.punches_dropped += 1;
+                    self.record_fault(cycle, FaultKind::PunchDropped, origin);
                     return;
                 }
             }
@@ -324,6 +356,20 @@ impl PowerManager for FaultInjector {
         self.inner.reset_counters();
         self.stats = FaultStats::default();
         self.refresh_counters();
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.trace = enabled.then(Vec::new);
+        self.inner.set_tracing(enabled);
+    }
+
+    /// Interleaves this injector's fault events with the wrapped scheme's
+    /// own trace, ordered by cycle.
+    fn drain_trace(&mut self) -> Vec<Stamped> {
+        let mut out = self.trace.as_mut().map(std::mem::take).unwrap_or_default();
+        out.extend(self.inner.drain_trace());
+        out.sort_by_key(|s| s.cycle);
+        out
     }
 }
 
@@ -552,6 +598,47 @@ mod tests {
             "an on router cannot be stuck off"
         );
         assert_eq!(f.state(NodeId(2)), PowerState::On);
+    }
+
+    #[test]
+    fn tracing_surfaces_injected_faults_as_events() {
+        let mesh = Mesh::new(4, 4);
+        let mut inner = Recorder::new(16);
+        inner.off[3] = true;
+        let cfg = FaultConfig {
+            drop_punch_ppm: 1_000_000,
+            stuck_epochs: vec![StuckEpoch {
+                router: NodeId(3),
+                start: 0,
+                duration: 100,
+            }],
+            ..FaultConfig::default()
+        };
+        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh);
+        f.set_tracing(true);
+        let idle = idle_none(16);
+        f.tick(
+            0,
+            &[head(0, 5), PmEvent::BlockedNeed { router: NodeId(3) }],
+            IdleInfo { idle: &idle },
+        );
+        let events = f.drain_trace();
+        let kinds: Vec<FaultKind> = events
+            .iter()
+            .filter_map(|s| match s.event {
+                Event::Fault { kind, .. } => Some(kind),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&FaultKind::StuckEpoch), "{events:?}");
+        assert!(kinds.contains(&FaultKind::PunchDropped), "{events:?}");
+        assert!(kinds.contains(&FaultKind::WuDropped), "{events:?}");
+        // Drained once: the buffer is empty until the next perturbation.
+        assert!(f.drain_trace().is_empty());
+        // Disabled tracing buffers nothing.
+        f.set_tracing(false);
+        f.tick(1, &[head(0, 5)], IdleInfo { idle: &idle });
+        assert!(f.drain_trace().is_empty());
     }
 
     #[test]

@@ -33,6 +33,8 @@
 //! assert_eq!(net.take_delivered(NodeId(63)).len(), 1);
 //! ```
 
+pub use punchsim_obs as obs;
+
 pub mod flit;
 pub mod link;
 pub mod network;

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use punchsim_obs::{self as obs, Event, EventSink, PowerTag};
 use punchsim_types::{
     routing, BlockedPacket, Cycle, InvariantViolation, Mesh, NocConfig, NodeId, PacketId, Port,
     PortMap, SimError, StallReport, WatchdogConfig,
@@ -79,6 +80,13 @@ pub struct Network {
     injected_flits: u64,
     measure_start: Cycle,
     trace: Option<TraceLog>,
+    /// Structured event sink (`None` = tracing disabled: the only cost on
+    /// hot paths is this branch).
+    sink: Option<Box<dyn EventSink>>,
+    /// Last observed power tag per router, for transition detection.
+    power_shadow: Vec<PowerTag>,
+    /// Cycle each currently-off router went off at (BET epoch tracking).
+    off_since: Vec<Cycle>,
     // --- watchdog state (lifetime of the network, never reset) ---
     /// Flits accepted by `send` since construction.
     conserv_injected: u64,
@@ -152,6 +160,9 @@ impl Network {
             injected_flits: 0,
             measure_start: 0,
             trace: None,
+            sink: None,
+            power_shadow: Vec::new(),
+            off_since: Vec::new(),
             conserv_injected: 0,
             conserv_delivered: 0,
             conserv_in_flight: 0,
@@ -186,6 +197,55 @@ impl Network {
     /// Takes the trace, disabling further recording.
     pub fn take_trace(&mut self) -> Option<TraceLog> {
         self.trace.take()
+    }
+
+    /// Attaches a structured event sink: from the next tick on, power-state
+    /// transitions, punch/wakeup activity, NI slack events and packet
+    /// inject/deliver milestones are recorded into it. Replaces any
+    /// previously attached sink. Tracing does not alter simulation
+    /// behaviour; with no sink attached the only overhead is one branch
+    /// per emission site.
+    pub fn set_sink(&mut self, sink: Box<dyn EventSink>) {
+        let n = self.mesh.nodes();
+        // Prime the shadow from the current states so the first diff only
+        // reports genuine transitions.
+        self.power_shadow = (0..n)
+            .map(|i| self.pm.state(NodeId(i as u16)).tag())
+            .collect();
+        self.off_since = vec![self.cycle; n];
+        self.pm.set_tracing(true);
+        self.sink = Some(sink);
+    }
+
+    /// The attached event sink, if any.
+    pub fn sink(&self) -> Option<&dyn EventSink> {
+        self.sink.as_deref()
+    }
+
+    /// Detaches and returns the event sink, disabling structured tracing.
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        if self.sink.is_some() {
+            self.pm.set_tracing(false);
+        }
+        self.sink.take()
+    }
+
+    /// Cumulative observability counters at the current cycle, for
+    /// host-driven interval sampling (feed consecutive snapshots to
+    /// [`punchsim_obs::Sampler::observe`]). Read-only: sampling cannot
+    /// perturb the simulation.
+    pub fn obs_sample(&self) -> obs::Sample {
+        let pg = self.pm.counters();
+        obs::Sample {
+            cycle: self.cycle,
+            delivered: self.stats.packets_delivered,
+            latency_sum: self.stats.latency.sum(),
+            latency_count: self.stats.latency.count(),
+            off_cycles: pg.total_off_cycles(),
+            punch_hops: pg.punch_hops,
+            escalations: pg.escalations,
+            wu_assertions: pg.wu_assertions,
+        }
     }
 
     /// Current simulation cycle.
@@ -263,6 +323,16 @@ impl Network {
             node: msg.src,
             dst: msg.dst,
         });
+        if let Some(s) = self.sink.as_mut() {
+            s.record(
+                self.cycle,
+                &Event::Inject {
+                    packet: id.0,
+                    src: msg.src,
+                    dst: msg.dst,
+                },
+            );
+        }
         self.packets
             .insert(id.0, PacketMeta::new(msg, len, self.cycle, true));
         self.stats.packets_injected += 1;
@@ -528,6 +598,17 @@ impl Network {
                         .packets
                         .remove(&done.0)
                         .expect("completed packet has meta");
+                    if let Some(s) = self.sink.as_mut() {
+                        s.record(
+                            now,
+                            &Event::Deliver {
+                                packet: done.0,
+                                src: meta.message.src,
+                                dst: meta.message.dst,
+                                latency: now.saturating_sub(meta.ni_enqueue),
+                            },
+                        );
+                    }
                     self.conserv_delivered += meta.len_flits as u64;
                     self.conserv_in_flight =
                         self.conserv_in_flight.saturating_sub(meta.len_flits as u64);
@@ -594,8 +675,67 @@ impl Network {
                     && Port::ALL.iter().all(|&p| self.flit_in[idx][p].is_empty())
             })
             .collect();
+        if let Some(sink) = self.sink.as_mut() {
+            // Mirror this cycle's PM events into the structured trace before
+            // the manager consumes them. `HeadArrival` is skipped: it fires
+            // for every hop of every packet and carries no power-gating
+            // decision by itself (punch emission is traced by the manager).
+            for ev in &self.events {
+                let obs_ev = match *ev {
+                    PmEvent::HeadArrival { .. } => continue,
+                    PmEvent::BlockedNeed { router } => Event::WuAssert { router },
+                    PmEvent::NiMessageKnown { node, dst } => Event::Slack1 { node, dst },
+                    PmEvent::FutureInjection { node } => Event::Slack2 { node },
+                    PmEvent::NiReadyToInject { node, dst } => Event::NiReady { node, dst },
+                };
+                sink.record(now, &obs_ev);
+            }
+        }
         self.pm.tick(now, &self.events, IdleInfo { idle: &idle });
         self.events.clear();
+        if self.sink.is_some() {
+            self.record_power_transitions(now);
+        }
+    }
+
+    /// Diffs every router's power tag against the shadow copy, recording
+    /// [`Event::Power`] transitions and [`Event::BetEpoch`] ends, then pulls
+    /// the manager's own buffered trace (punch emissions, faults). Only
+    /// called while a sink is attached.
+    fn record_power_transitions(&mut self, now: Cycle) {
+        let sink = self.sink.as_mut().expect("caller checked");
+        for idx in 0..self.power_shadow.len() {
+            let tag = self.pm.state(NodeId(idx as u16)).tag();
+            let prev = self.power_shadow[idx];
+            if tag == prev {
+                continue;
+            }
+            let router = NodeId(idx as u16);
+            sink.record(
+                now,
+                &Event::Power {
+                    router,
+                    from: prev,
+                    to: tag,
+                },
+            );
+            if prev == PowerTag::Off {
+                sink.record(
+                    now,
+                    &Event::BetEpoch {
+                        router,
+                        off_cycles: now.saturating_sub(self.off_since[idx]),
+                    },
+                );
+            }
+            if tag == PowerTag::Off {
+                self.off_since[idx] = now;
+            }
+            self.power_shadow[idx] = tag;
+        }
+        for st in self.pm.drain_trace() {
+            sink.record(st.cycle, &st.event);
+        }
     }
 
     /// Tracks per-router `BlockedNeed` streaks and force-wakes any router
@@ -620,6 +760,14 @@ impl Network {
             self.blocked_streak[idx] += 1;
             if after > 0 && self.blocked_streak[idx] >= after {
                 self.pm.force_wake(NodeId(idx as u16), now);
+                if let Some(s) = self.sink.as_mut() {
+                    s.record(
+                        now,
+                        &Event::ForceWake {
+                            router: NodeId(idx as u16),
+                        },
+                    );
+                }
                 self.blocked_streak[idx] = 0;
             }
         }
@@ -651,6 +799,15 @@ impl Network {
         if threshold == 0 || stalled_for < threshold {
             return Ok(());
         }
+        if let Some(s) = self.sink.as_mut() {
+            s.record(
+                now,
+                &Event::Stall {
+                    stalled_for,
+                    in_flight: self.packets.len() as u64,
+                },
+            );
+        }
         let report = self.stall_report(now, stalled_for);
         // Re-arm so a caller that deliberately keeps ticking gets one
         // report per threshold window rather than one per cycle.
@@ -678,6 +835,18 @@ impl Network {
                 age: now.saturating_sub(meta.ni_enqueue),
                 blocked_on: meta.blocked_on,
             });
+        // Dump the flight-recorder tail: the cycle-by-cycle story of what
+        // the network tried (and failed) to do leading up to the stall.
+        const MAX_STALL_EVENTS: usize = 32;
+        let last_events = self
+            .sink
+            .as_ref()
+            .map(|s| {
+                let all = s.snapshot();
+                let skip = all.len().saturating_sub(MAX_STALL_EVENTS);
+                all[skip..].iter().map(|st| st.to_string()).collect()
+            })
+            .unwrap_or_default();
         StallReport {
             cycle: now,
             stalled_for,
@@ -686,6 +855,7 @@ impl Network {
             waking_routers,
             oldest_blocked,
             pending_punches: self.pm.pending_punches(),
+            last_events,
         }
     }
 }
@@ -984,6 +1154,87 @@ mod tests {
         let mut n = Network::new(&cfg, pm).unwrap();
         // No traffic at all: an empty network is idle, not stalled.
         n.run(500).unwrap();
+    }
+
+    #[test]
+    fn sink_records_packet_and_slack_events() {
+        let mut n = net();
+        n.set_sink(Box::new(punchsim_obs::VecSink::new()));
+        n.send(msg(0, 3, MsgClass::Control)).unwrap();
+        n.run(40).unwrap();
+        let sink = n.take_sink().expect("sink was attached");
+        let events = sink.snapshot();
+        let kinds: Vec<&str> = events.iter().map(|s| s.event.kind()).collect();
+        assert!(kinds.contains(&"inject"), "{kinds:?}");
+        assert!(kinds.contains(&"slack1"), "{kinds:?}");
+        assert!(kinds.contains(&"ni-ready"), "{kinds:?}");
+        assert!(kinds.contains(&"deliver"), "{kinds:?}");
+        // Stamps are monotone non-decreasing within the recording order.
+        assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        // The deliver event carries the same latency the stats measured.
+        let lat = events
+            .iter()
+            .find_map(|s| match s.event {
+                Event::Deliver { latency, .. } => Some(latency),
+                _ => None,
+            })
+            .expect("deliver recorded");
+        assert_eq!(lat, 20);
+        // Detaching turns recording back off.
+        assert!(n.sink().is_none());
+    }
+
+    #[test]
+    fn tracing_does_not_alter_simulation_results() {
+        let run = |traced: bool| {
+            let mut n = net();
+            if traced {
+                n.set_sink(Box::new(punchsim_obs::RingSink::new(512)));
+            }
+            for i in 0..50u16 {
+                n.send(msg(i % 64, (i * 7 + 3) % 64, MsgClass::Data))
+                    .unwrap();
+                n.tick().unwrap();
+            }
+            n.run(1500).unwrap();
+            let r = n.report();
+            (r.stats.packets_delivered, r.stats.latency.mean())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stall_report_carries_flight_recorder_tail() {
+        let cfg = NocConfig {
+            watchdog: punchsim_types::WatchdogConfig {
+                stall_threshold: 50,
+                invariant_checks: true,
+                escalate_after: 8,
+            },
+            ..NocConfig::default()
+        };
+        let pm = Box::new(AlwaysOff {
+            counters: crate::power::PgCounters::new(cfg.mesh.nodes()),
+        });
+        let mut n = Network::new(&cfg, pm).unwrap();
+        n.set_sink(Box::new(punchsim_obs::RingSink::new(64)));
+        n.send(msg(0, 9, MsgClass::Control)).unwrap();
+        let report = loop {
+            match n.tick() {
+                Ok(()) => {}
+                Err(SimError::Stall(r)) => break *r,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert!(!report.last_events.is_empty());
+        assert!(report.last_events.len() <= 32);
+        // The tail shows the ignored WU handshake toward the wedged local
+        // router — the whole point of the flight recorder.
+        assert!(
+            report.last_events.iter().any(|e| e.contains("WU asserted")),
+            "{:?}",
+            report.last_events
+        );
     }
 
     #[test]

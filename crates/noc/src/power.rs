@@ -7,6 +7,7 @@
 //! Punch) live in `punchsim-core`; this crate only provides the trait and
 //! the trivial [`AlwaysOn`] baseline so the substrate is testable on its own.
 
+use punchsim_obs::{PowerTag, Stamped};
 use punchsim_types::{Cycle, NodeId, SchemeKind};
 
 /// Power state of one router.
@@ -28,6 +29,17 @@ impl PowerState {
     #[inline]
     pub fn is_on(self) -> bool {
         matches!(self, PowerState::On)
+    }
+
+    /// The observability label of this state (drops the `ready_at` cycle;
+    /// the transition event's own timestamp carries the timing).
+    #[inline]
+    pub fn tag(self) -> PowerTag {
+        match self {
+            PowerState::On => PowerTag::On,
+            PowerState::Off => PowerTag::Off,
+            PowerState::WakingUp { .. } => PowerTag::Waking,
+        }
     }
 }
 
@@ -223,6 +235,20 @@ pub trait PowerManager {
 
     /// Resets activity counters (end of warm-up). Power states are kept.
     fn reset_counters(&mut self);
+
+    /// Enables or disables scheme-internal event tracing. While enabled,
+    /// the manager buffers cycle-stamped events (punch emissions, fault
+    /// injections, ...) for the network to collect with
+    /// [`PowerManager::drain_trace`] after each tick. Managers with nothing
+    /// scheme-specific to report keep the default no-op.
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Takes the events buffered since the last drain (empty unless
+    /// [`PowerManager::set_tracing`] enabled tracing). Wrapper managers
+    /// must interleave their own events with the wrapped manager's.
+    fn drain_trace(&mut self) -> Vec<Stamped> {
+        Vec::new()
+    }
 }
 
 /// The `No-PG` baseline: every router is always on.
@@ -293,5 +319,20 @@ mod tests {
         assert!(PowerState::On.is_on());
         assert!(!PowerState::Off.is_on());
         assert!(!PowerState::WakingUp { ready_at: 3 }.is_on());
+    }
+
+    #[test]
+    fn states_map_to_observability_tags() {
+        assert_eq!(PowerState::On.tag(), PowerTag::On);
+        assert_eq!(PowerState::Off.tag(), PowerTag::Off);
+        assert_eq!(PowerState::WakingUp { ready_at: 9 }.tag(), PowerTag::Waking);
+    }
+
+    #[test]
+    fn tracing_hooks_default_to_no_op() {
+        let mut m = AlwaysOn::new(4);
+        m.set_tracing(true);
+        m.tick(1, &[], IdleInfo { idle: &[true; 4] });
+        assert!(m.drain_trace().is_empty());
     }
 }

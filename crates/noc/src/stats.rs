@@ -59,8 +59,13 @@ pub struct NetworkReport {
 }
 
 impl NetworkReport {
-    /// Mean end-to-end packet latency in cycles.
+    /// Mean end-to-end packet latency in cycles; 0.0 when no packet was
+    /// delivered in the measured window (matching the other `avg_*` and
+    /// ratio helpers, which all define "empty run" as 0.0, never NaN).
     pub fn avg_packet_latency(&self) -> f64 {
+        if self.stats.latency.count() == 0 {
+            return 0.0;
+        }
         self.stats.latency.mean()
     }
 
@@ -73,13 +78,21 @@ impl NetworkReport {
         self.pg.total_off_cycles() as f64 / (self.cycles as f64 * self.routers as f64)
     }
 
-    /// Mean number of powered-off routers encountered per packet (Fig. 9).
+    /// Mean number of powered-off routers encountered per packet (Fig. 9);
+    /// 0.0 on an empty run.
     pub fn avg_pg_encounters(&self) -> f64 {
+        if self.stats.pg_encounters.count() == 0 {
+            return 0.0;
+        }
         self.stats.pg_encounters.mean()
     }
 
-    /// Mean cycles per packet waiting for wakeups (Fig. 10).
+    /// Mean cycles per packet waiting for wakeups (Fig. 10); 0.0 on an
+    /// empty run.
     pub fn avg_wakeup_wait(&self) -> f64 {
+        if self.stats.wakeup_wait.count() == 0 {
+            return 0.0;
+        }
         self.stats.wakeup_wait.mean()
     }
 
@@ -116,5 +129,32 @@ mod tests {
         assert_eq!(r.avg_packet_latency(), 15.0);
         assert_eq!(r.off_fraction(), 1.0);
         assert!((r.throughput() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_averages_are_zero_not_nan() {
+        // Regression: every avg_*/ratio helper must agree that an empty
+        // measured window reads 0.0 (finite), so downstream JSON reports
+        // never see NaN.
+        let r = NetworkReport {
+            scheme: SchemeKind::NoPg,
+            routers: 0,
+            cycles: 0,
+            stats: NetStats::default(),
+            activity: RouterActivity::default(),
+            pg: PgCounters::new(0),
+            ni_flits: 0,
+            offered_load: 0.0,
+        };
+        for v in [
+            r.avg_packet_latency(),
+            r.off_fraction(),
+            r.avg_pg_encounters(),
+            r.avg_wakeup_wait(),
+            r.throughput(),
+        ] {
+            assert_eq!(v, 0.0);
+            assert!(v.is_finite());
+        }
     }
 }

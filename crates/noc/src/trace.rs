@@ -83,14 +83,27 @@ impl PacketRecord {
 }
 
 /// A bounded in-memory trace of delivered packets.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceLog {
     records: Vec<PacketRecord>,
     capacity: usize,
     dropped: u64,
 }
 
+impl Default for TraceLog {
+    /// A trace with the default capacity of [`TraceLog::DEFAULT_CAPACITY`]
+    /// records. (A derived `Default` would have capacity 0 and silently
+    /// drop every record.)
+    fn default() -> Self {
+        TraceLog::new(TraceLog::DEFAULT_CAPACITY)
+    }
+}
+
 impl TraceLog {
+    /// Capacity used by [`TraceLog::default`]: enough for any single-run
+    /// analysis while bounding memory to a few MiB.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
     /// Creates a trace holding at most `capacity` records (older packets
     /// beyond the cap are counted in [`TraceLog::dropped`], not stored).
     pub fn new(capacity: usize) -> Self {
@@ -164,6 +177,16 @@ mod tests {
             row.split(',').count(),
             PacketRecord::csv_header().split(',').count()
         );
+    }
+
+    #[test]
+    fn default_actually_records() {
+        // Regression: the derived Default had capacity 0, so every record
+        // was silently dropped.
+        let mut log = TraceLog::default();
+        log.push(rec(0));
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.dropped(), 0);
     }
 
     #[test]

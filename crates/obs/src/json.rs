@@ -1,9 +1,11 @@
 //! A minimal, dependency-free JSON value: deterministic emission and a
 //! strict parser.
 //!
-//! The workspace is deliberately free of external crates, so the campaign
-//! artifacts (`BENCH_*.json`, the result store, the CI baseline) are written
-//! and read by this module. Two properties matter more than generality:
+//! The workspace is deliberately free of external crates, so every JSON
+//! artifact — campaign `BENCH_*.json` files, the result store, the CI
+//! baseline, and the observability layer's JSONL / Chrome-trace exports —
+//! is written and read by this module. Two properties matter more than
+//! generality:
 //!
 //! * **Deterministic emission** — object keys keep insertion order, floats
 //!   use Rust's shortest round-trip formatting, indentation is fixed. The
@@ -112,6 +114,44 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders on a single line with no insignificant whitespace — the form
+    /// used for JSONL event streams, where one value must occupy one line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Int(_) | Json::Float(_) | Json::Str(_) => {
+                self.write(out, 0)
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -479,6 +519,18 @@ mod tests {
         let text = Json::Float(20000.0).render();
         assert_eq!(text, "20000.0\n");
         assert_eq!(Json::parse(&text).unwrap(), Json::Float(20000.0));
+    }
+
+    #[test]
+    fn compact_rendering_roundtrips_on_one_line() {
+        let mut v = Json::obj();
+        v.push("kind", Json::Str("power".to_string()));
+        v.push("router", Json::Int(5));
+        v.push("args", Json::Arr(vec![Json::Int(1), Json::Float(2.5)]));
+        let line = v.render_compact();
+        assert!(!line.contains('\n'), "{line:?}");
+        assert_eq!(line, "{\"kind\":\"power\",\"router\":5,\"args\":[1,2.5]}");
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

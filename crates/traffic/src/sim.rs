@@ -88,7 +88,12 @@ impl SyntheticSim {
     pub fn with_injection(cfg: SimConfig, pattern: TrafficPattern, inj: InjectionConfig) -> Self {
         assert!(inj.rate_flits >= 0.0, "negative injection rate");
         let pm = build_power_manager(&cfg).expect("invalid SimConfig");
-        let net = Network::new(&cfg.noc, pm).expect("config validated above");
+        let mut net = Network::new(&cfg.noc, pm).expect("config validated above");
+        if cfg.trace.enabled {
+            net.set_sink(Box::new(punchsim_noc::obs::RingSink::new(
+                cfg.trace.ring_capacity,
+            )));
+        }
         let avg = inj.avg_packet_flits(cfg.noc.ctrl_packet_flits, cfg.noc.data_packet_flits);
         let p_packet = (inj.rate_flits / avg).min(1.0);
         let rng = SimRng::seed_from_u64(cfg.seed);
@@ -113,6 +118,12 @@ impl SyntheticSim {
     /// The network under test (immutable inspection).
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The network under test, mutably — e.g. to attach or detach an
+    /// observability sink mid-experiment.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
     }
 
     /// Draws the next arrival at or after `from`: geometric inter-arrival
@@ -379,6 +390,22 @@ mod tests {
             r.stats.latency.variance()
         };
         assert!(run(0.7) > run(0.0), "bursts must add queueing variance");
+    }
+
+    #[test]
+    fn trace_config_attaches_flight_recorder() {
+        let mut c = cfg(SchemeKind::PowerPunchFull, Mesh::new(4, 4));
+        c.trace = punchsim_types::TraceConfig::enabled();
+        let mut s = SyntheticSim::new(c, TrafficPattern::UniformRandom, 0.05);
+        s.run(2_000).unwrap();
+        let sink = s.network().sink().expect("trace.enabled attaches a sink");
+        assert!(sink.recorded() > 0);
+        let kinds: Vec<&str> = sink.snapshot().iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"inject"), "{kinds:?}");
+        assert!(kinds.contains(&"punch-emit"), "{kinds:?}");
+        // Detachable through network_mut for export.
+        assert!(s.network_mut().take_sink().is_some());
+        assert!(s.network().sink().is_none());
     }
 
     #[test]

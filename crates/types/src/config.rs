@@ -342,6 +342,54 @@ impl PowerConfig {
     }
 }
 
+/// Event-tracing parameters: whether the simulation hosts attach a
+/// flight-recorder sink to the network, and how much it retains.
+///
+/// Tracing is observation only — enabling it never changes simulated
+/// behavior or results, which CI asserts by byte-comparing campaign
+/// artifacts produced with tracing off and on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Attach a ring-buffer event sink to the network.
+    pub enabled: bool,
+    /// Events the flight recorder retains (most recent first out); the
+    /// watchdog dumps its tail into stall reports.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            // Enough to hold several wakeup chains (~tens of events each)
+            // around an escalation without measurable memory cost.
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// An enabled configuration with the default ring capacity.
+    pub fn enabled() -> Self {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.enabled && self.ring_capacity == 0 {
+            return Err(ConfigError::ZeroTraceCapacity);
+        }
+        Ok(())
+    }
+}
+
 /// Top-level simulation configuration: network, power-gating and scheme.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
@@ -353,6 +401,8 @@ pub struct SimConfig {
     pub scheme: SchemeKind,
     /// Fault injection into the power-gating machinery (default: none).
     pub faults: FaultConfig,
+    /// Event tracing (default: disabled, zero overhead).
+    pub trace: TraceConfig,
     /// RNG seed for all stochastic components; a given seed reproduces a
     /// run bit-for-bit.
     pub seed: u64,
@@ -365,6 +415,7 @@ impl Default for SimConfig {
             power: PowerConfig::default(),
             scheme: SchemeKind::NoPg,
             faults: FaultConfig::default(),
+            trace: TraceConfig::default(),
             seed: 0xC0FFEE,
         }
     }
@@ -387,7 +438,8 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.noc.validate()?;
         self.power.validate()?;
-        self.faults.validate(self.noc.mesh)
+        self.faults.validate(self.noc.mesh)?;
+        self.trace.validate()
     }
 }
 
@@ -471,6 +523,34 @@ mod tests {
             Err(ConfigError::BadStuckRouter(NodeId(99)))
         );
         assert!(bad_router.is_active());
+    }
+
+    #[test]
+    fn trace_config_defaults_off_and_validates() {
+        let t = TraceConfig::default();
+        assert!(!t.enabled);
+        assert!(t.ring_capacity > 0);
+        t.validate().unwrap();
+        assert!(TraceConfig::enabled().enabled);
+        let bad = TraceConfig {
+            enabled: true,
+            ring_capacity: 0,
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroTraceCapacity));
+        // A zero capacity is fine while tracing is off.
+        let off = TraceConfig {
+            enabled: false,
+            ring_capacity: 0,
+        };
+        off.validate().unwrap();
+        let cfg = SimConfig {
+            trace: TraceConfig {
+                enabled: true,
+                ring_capacity: 0,
+            },
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub enum ConfigError {
     },
     /// A stuck-off epoch referenced a router outside the mesh.
     BadStuckRouter(NodeId),
+    /// Tracing was enabled with a zero-capacity flight recorder.
+    ZeroTraceCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -67,6 +69,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadStuckRouter(r) => {
                 write!(f, "stuck-off epoch names router {r} outside the mesh")
+            }
+            ConfigError::ZeroTraceCapacity => {
+                write!(f, "tracing is enabled but ring_capacity is 0")
             }
         }
     }
@@ -150,6 +155,11 @@ pub struct StallReport {
     pub oldest_blocked: Option<BlockedPacket>,
     /// Punch signals still in flight or queued in the sideband fabric.
     pub pending_punches: usize,
+    /// The tail of the flight recorder at detection time (pre-rendered,
+    /// oldest first; empty when tracing was disabled). This is the
+    /// cycle-by-cycle story of what the network did — and failed to do —
+    /// in the window leading up to the stall.
+    pub last_events: Vec<String>,
 }
 
 impl std::fmt::Display for StallReport {
@@ -170,6 +180,12 @@ impl std::fmt::Display for StallReport {
             match b.blocked_on {
                 Some(r) => write!(f, ", blocked on {r})")?,
                 None => write!(f, ")")?,
+            }
+        }
+        if !self.last_events.is_empty() {
+            write!(f, "; last {} events:", self.last_events.len())?;
+            for e in &self.last_events {
+                write!(f, "\n  {e}")?;
             }
         }
         Ok(())
@@ -262,10 +278,31 @@ mod tests {
                 blocked_on: Some(NodeId(5)),
             }),
             pending_punches: 0,
+            last_events: vec![],
         };
         let s = SimError::Stall(Box::new(r)).to_string();
         assert!(s.contains("P7"), "{s}");
         assert!(s.contains("R5"), "{s}");
+    }
+
+    #[test]
+    fn stall_report_display_appends_flight_recorder_tail() {
+        let r = StallReport {
+            cycle: 500,
+            stalled_for: 200,
+            in_flight_packets: 1,
+            off_routers: vec![],
+            waking_routers: vec![],
+            oldest_blocked: None,
+            pending_punches: 0,
+            last_events: vec![
+                "[498] WU asserted toward R5".to_string(),
+                "[499] fault wu-dropped at R5".to_string(),
+            ],
+        };
+        let s = r.to_string();
+        assert!(s.contains("last 2 events"), "{s}");
+        assert!(s.contains("wu-dropped"), "{s}");
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod rng;
 pub mod routing;
 
 pub use config::{
-    FaultConfig, NocConfig, PowerConfig, SchemeKind, SimConfig, StuckEpoch, WatchdogConfig,
+    FaultConfig, NocConfig, PowerConfig, SchemeKind, SimConfig, StuckEpoch, TraceConfig,
+    WatchdogConfig,
 };
 pub use direction::{Direction, Port, PortMap};
 pub use error::{BlockedPacket, ConfigError, InvariantViolation, SimError, StallReport};

@@ -7,8 +7,12 @@
 //! punchsim-cli table1
 //! punchsim-cli schemes  [--mesh WxH] [--rate R]
 //! punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--corrupt P] [--fault-seed N]
+//!                       [--trace-out PATH] [--trace-cap N]
+//! punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
+//!                       [--trace-out PATH] [--format chrome|jsonl|csv] [--trace-cap N]
 //! punchsim-cli campaign [--suite parsec|synth|ci] [--threads N] [--out DIR]
-//!                       [--name NAME] [--seed N] [--no-cache]
+//!                       [--name NAME] [--seed N] [--no-cache] [--sample N]
+//!                       [--trace-out DIR] [--trace-cap N]
 //! punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
 //!                       [--tol-delivered R] [--tol-escalations N]
 //! ```
@@ -22,6 +26,11 @@
 //! paper's "punches are an optimization, the WU handshake is the safety
 //! net" argument, checked end to end. `--faults`, `--corrupt` and
 //! `--fault-seed` also apply to `sweep`/`schemes` runs.
+//!
+//! The `trace` command records one run's cycle-stamped event stream and
+//! writes a trace artifact: Chrome trace-event JSON (open in Perfetto or
+//! `chrome://tracing` — one power-state track per router plus punch flow
+//! arrows), JSONL, or CSV.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,8 +38,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use punchsim::campaign::{self, compare, Json, Tolerances};
+use punchsim::obs::{self, EventSink, RingSink, Stamped, VecSink};
 use punchsim::prelude::*;
 use punchsim::stats::Table;
+
+/// Default flight-recorder capacity for `faults`/`campaign` dumps when
+/// `--trace-cap` is not given.
+const DEFAULT_DUMP_CAP: usize = 4_096;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,11 +68,12 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "sweep" => sweep(&opts),
-        "parsec" => parsec(&opts),
-        "table1" => table1(),
-        "schemes" => schemes(&opts),
+        "sweep" => sweep(&opts).map_err(sim_err),
+        "parsec" => parsec(&opts).map_err(sim_err),
+        "table1" => table1().map_err(sim_err),
+        "schemes" => schemes(&opts).map_err(sim_err),
         "faults" => faults(&opts),
+        "trace" => trace(&opts),
         other => {
             eprintln!("unknown command {other:?}\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -67,10 +82,14 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("simulation error: {e}");
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn sim_err(e: SimError) -> String {
+    format!("simulation error: {e}")
 }
 
 const USAGE: &str = "usage:
@@ -79,9 +98,14 @@ const USAGE: &str = "usage:
   punchsim-cli table1
   punchsim-cli schemes  [--mesh WxH] [--rate R] [--cycles N]
   punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
-                        [--corrupt P] [--fault-seed N]
+                        [--corrupt P] [--fault-seed N] [--trace-out PATH]
+                        [--trace-cap N]
+  punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
+                        [--pattern P] [--trace-out PATH] [--trace-cap N]
+                        [--format chrome|jsonl|csv]
   punchsim-cli campaign [--suite parsec|synth|ci] [--threads N] [--out DIR]
-                        [--name NAME] [--seed N] [--no-cache]
+                        [--name NAME] [--seed N] [--no-cache] [--sample N]
+                        [--trace-out DIR] [--trace-cap N]
   punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
                         [--tol-delivered R] [--tol-escalations N]
 
@@ -90,6 +114,14 @@ fault flags (any synthetic command):
   --corrupt P      corrupt punch codewords with probability P (wrong targets)
   --fault-seed N   seed of the fault injector's RNG stream (default 0xFA17)
 
+trace flags:
+  --trace-out PATH trace artifact path (trace: default punchsim-trace.<ext>;
+                   faults: per-drop flight-recorder dumps PATH-dP.jsonl)
+  --trace-cap N    flight-recorder capacity in events (trace: 0 = unbounded;
+                   faults/campaign default 4096)
+  --format F       trace artifact format: chrome (Perfetto; default),
+                   jsonl, or csv
+
 campaign flags:
   --suite S        spec list: parsec, synth or ci (both; default)
   --threads N      worker threads; 0 = one per core (default)
@@ -97,6 +129,9 @@ campaign flags:
   --name NAME      artifact name: BENCH_<NAME>.json (default: the suite)
   --seed N         campaign seed (default 0xC0FFEE)
   --no-cache       ignore the result store; simulate every spec
+  --sample N       sample per-interval series every N cycles into the
+                   .timing.json sidecar (forces simulation)
+  --trace-out DIR  write per-run flight-recorder dumps (JSONL) into DIR
   PP_FAST=1 in the environment shortens every run (CI smoke mode)
 
 schemes: nopg conv convopt pps ppf
@@ -114,6 +149,35 @@ struct Opts {
     fault_drop: f64,
     fault_corrupt: f64,
     fault_seed: u64,
+    trace_out: Option<PathBuf>,
+    trace_cap: usize,
+    format: TraceFormat,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Jsonl,
+    Csv,
+}
+
+impl TraceFormat {
+    fn from_tag(tag: &str) -> Option<TraceFormat> {
+        match tag {
+            "chrome" => Some(TraceFormat::Chrome),
+            "jsonl" => Some(TraceFormat::Jsonl),
+            "csv" => Some(TraceFormat::Csv),
+            _ => None,
+        }
+    }
+
+    fn default_path(self) -> &'static str {
+        match self {
+            TraceFormat::Chrome => "punchsim-trace.json",
+            TraceFormat::Jsonl => "punchsim-trace.jsonl",
+            TraceFormat::Csv => "punchsim-trace.csv",
+        }
+    }
 }
 
 impl Opts {
@@ -129,6 +193,9 @@ impl Opts {
             fault_drop: 0.0,
             fault_corrupt: 0.0,
             fault_seed: 0xFA17,
+            trace_out: None,
+            trace_cap: 0,
+            format: TraceFormat::Chrome,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -178,6 +245,14 @@ impl Opts {
                 "--fault-seed" => {
                     o.fault_seed = val.parse().map_err(|_| "bad fault seed".to_string())?;
                 }
+                "--trace-out" => o.trace_out = Some(PathBuf::from(val)),
+                "--trace-cap" => {
+                    o.trace_cap = val.parse().map_err(|_| "bad trace capacity".to_string())?;
+                }
+                "--format" => {
+                    o.format = TraceFormat::from_tag(val)
+                        .ok_or_else(|| format!("unknown trace format {val}"))?;
+                }
                 f => return Err(format!("unknown flag {f}")),
             }
         }
@@ -204,20 +279,34 @@ fn parse_prob(val: &str) -> Result<f64, String> {
 }
 
 fn run_synth(opts: &Opts, scheme: SchemeKind, rate: f64) -> Result<NetworkReport, SimError> {
-    run_synth_faulted(opts, scheme, rate, opts.fault_drop)
+    Ok(run_synth_observed(opts, scheme, rate, opts.fault_drop, 0)?.0)
 }
 
-fn run_synth_faulted(
+/// Runs one synthetic experiment, optionally with a flight recorder of
+/// `trace_cap` events attached; returns the report and the recorded tail
+/// (empty when `trace_cap` is 0).
+fn run_synth_observed(
     opts: &Opts,
     scheme: SchemeKind,
     rate: f64,
     drop: f64,
-) -> Result<NetworkReport, SimError> {
+    trace_cap: usize,
+) -> Result<(NetworkReport, Vec<Stamped>), SimError> {
     let mut cfg = SimConfig::with_scheme(scheme);
     cfg.noc.mesh = opts.mesh;
     cfg.faults = opts.fault_config(drop);
     let mut sim = SyntheticSim::new(cfg, opts.pattern, rate);
-    sim.run_experiment(opts.cycles / 4, opts.cycles)
+    if trace_cap > 0 {
+        sim.network_mut()
+            .set_sink(Box::new(RingSink::new(trace_cap)));
+    }
+    let r = sim.run_experiment(opts.cycles / 4, opts.cycles)?;
+    let events = sim
+        .network_mut()
+        .take_sink()
+        .map(|s| s.snapshot())
+        .unwrap_or_default();
+    Ok((r, events))
 }
 
 fn sweep(opts: &Opts) -> Result<(), SimError> {
@@ -279,8 +368,9 @@ fn schemes(opts: &Opts) -> Result<(), SimError> {
 
 /// Sweeps punch-drop probability 0..=1 under the selected scheme: delivery
 /// stays at 100% of injected packets (the WU safety net) while latency
-/// degrades toward conventional gating.
-fn faults(opts: &Opts) -> Result<(), SimError> {
+/// degrades toward conventional gating. With `--trace-out`, each sweep
+/// point additionally dumps its flight recorder as JSONL for postmortems.
+fn faults(opts: &Opts) -> Result<(), String> {
     println!(
         "fault sweep: {} at {} flits/node/cycle on {}x{} under {} \
          (corrupt {:.2}, seed {:#x})",
@@ -292,6 +382,11 @@ fn faults(opts: &Opts) -> Result<(), SimError> {
         opts.fault_corrupt,
         opts.fault_seed,
     );
+    let cap = match &opts.trace_out {
+        Some(_) if opts.trace_cap > 0 => opts.trace_cap,
+        Some(_) => DEFAULT_DUMP_CAP,
+        None => 0,
+    };
     let mut t = Table::new([
         "drop p",
         "delivered",
@@ -301,8 +396,10 @@ fn faults(opts: &Opts) -> Result<(), SimError> {
         "escalations",
         "off %",
     ]);
+    let mut dumps = Vec::new();
     for drop in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let r = run_synth_faulted(opts, opts.scheme, opts.rate, drop)?;
+        let (r, events) =
+            run_synth_observed(opts, opts.scheme, opts.rate, drop, cap).map_err(sim_err)?;
         t.row([
             format!("{drop:.2}"),
             format!("{}", r.stats.packets_delivered),
@@ -312,10 +409,73 @@ fn faults(opts: &Opts) -> Result<(), SimError> {
             format!("{}", r.pg.escalations),
             format!("{:.1}", r.off_fraction() * 100.0),
         ]);
+        if let Some(base) = &opts.trace_out {
+            let path = faults_dump_path(base, drop);
+            std::fs::write(&path, obs::to_jsonl(&events))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            dumps.push((path, events.len()));
+        }
     }
     println!("{t}");
+    for (path, n) in dumps {
+        println!("wrote {} ({n} events)", path.display());
+    }
     println!("every run completed without a stall report: punches are an");
     println!("optimization; the WU handshake keeps the delivery guarantee.");
+    Ok(())
+}
+
+/// Per-drop dump path: `dump.jsonl` + 0.25 → `dump-d0.25.jsonl`.
+fn faults_dump_path(base: &std::path::Path, drop: f64) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("faults-trace");
+    base.with_file_name(format!("{stem}-d{drop:.2}.jsonl"))
+}
+
+/// Records one run's full event stream and writes a trace artifact.
+fn trace(opts: &Opts) -> Result<(), String> {
+    let mut cfg = SimConfig::with_scheme(opts.scheme);
+    cfg.noc.mesh = opts.mesh;
+    cfg.faults = opts.fault_config(opts.fault_drop);
+    let mut sim = SyntheticSim::new(cfg, opts.pattern, opts.rate);
+    let sink: Box<dyn EventSink> = if opts.trace_cap > 0 {
+        Box::new(RingSink::new(opts.trace_cap))
+    } else {
+        Box::new(VecSink::new())
+    };
+    sim.network_mut().set_sink(sink);
+    sim.run_experiment(opts.cycles / 4, opts.cycles)
+        .map_err(sim_err)?;
+    let events = sim
+        .network_mut()
+        .take_sink()
+        .expect("sink attached above")
+        .snapshot();
+    let text = match opts.format {
+        TraceFormat::Chrome => obs::chrome_trace(&events),
+        TraceFormat::Jsonl => obs::to_jsonl(&events),
+        TraceFormat::Csv => obs::to_csv(&events),
+    };
+    let path = opts
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(opts.format.default_path()));
+    std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "traced {} events: {} under {} on {}x{} at {} flits/node/cycle",
+        events.len(),
+        opts.pattern,
+        opts.scheme,
+        opts.mesh.width(),
+        opts.mesh.height(),
+        opts.rate,
+    );
+    println!("wrote {}", path.display());
+    if opts.format == TraceFormat::Chrome {
+        println!("open it in https://ui.perfetto.dev or chrome://tracing");
+    }
     Ok(())
 }
 
@@ -370,6 +530,9 @@ struct CampaignOpts {
     name: Option<String>,
     seed: u64,
     no_cache: bool,
+    sample: u64,
+    trace_out: Option<PathBuf>,
+    trace_cap: usize,
 }
 
 impl CampaignOpts {
@@ -381,6 +544,9 @@ impl CampaignOpts {
             name: None,
             seed: campaign::DEFAULT_SEED,
             no_cache: false,
+            sample: 0,
+            trace_out: None,
+            trace_cap: 0,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -407,10 +573,26 @@ impl CampaignOpts {
                 "--seed" => {
                     o.seed = val.parse().map_err(|_| "bad seed".to_string())?;
                 }
+                "--sample" => {
+                    o.sample = val.parse().map_err(|_| "bad sample period".to_string())?;
+                }
+                "--trace-out" => o.trace_out = Some(PathBuf::from(val)),
+                "--trace-cap" => {
+                    o.trace_cap = val.parse().map_err(|_| "bad trace capacity".to_string())?;
+                }
                 f => return Err(format!("unknown flag {f}")),
             }
         }
         Ok(o)
+    }
+
+    /// Effective flight-recorder capacity: 0 unless `--trace-out` is given.
+    fn effective_trace_cap(&self) -> usize {
+        match &self.trace_out {
+            Some(_) if self.trace_cap > 0 => self.trace_cap,
+            Some(_) => DEFAULT_DUMP_CAP,
+            None => 0,
+        }
     }
 
     fn specs(&self) -> Vec<RunSpec> {
@@ -439,6 +621,8 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
         } else {
             Some(Store::in_target())
         },
+        sample_every: opts.sample,
+        trace_cap: opts.effective_trace_cap(),
     };
     let threads = runner.effective_threads(specs.len());
     eprintln!(
@@ -482,6 +666,12 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(dir) = &opts.trace_out {
+        if let Err(e) = write_campaign_dumps(dir, &report) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let cached = report
         .outcomes
         .iter()
@@ -501,6 +691,25 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Writes one JSONL flight-recorder dump per traced run into `dir`,
+/// named after the run id (`/` → `_`).
+fn write_campaign_dumps(dir: &std::path::Path, report: &CampaignReport) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut written = 0usize;
+    for rec in report.outcomes.iter().filter_map(Outcome::record) {
+        if rec.events.is_empty() {
+            continue;
+        }
+        let name = format!("{}.trace.jsonl", rec.spec.id().replace('/', "_"));
+        let path = dir.join(name);
+        std::fs::write(&path, obs::to_jsonl(&rec.events))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        written += 1;
+    }
+    println!("wrote {written} trace dump(s) into {}", dir.display());
+    Ok(())
 }
 
 struct CompareOpts {
@@ -659,6 +868,36 @@ mod tests {
     }
 
     #[test]
+    fn trace_flags_parse() {
+        let o = parse(&[
+            "--trace-out",
+            "t.jsonl",
+            "--trace-cap",
+            "128",
+            "--format",
+            "jsonl",
+        ])
+        .unwrap();
+        assert_eq!(o.trace_out, Some(PathBuf::from("t.jsonl")));
+        assert_eq!(o.trace_cap, 128);
+        assert_eq!(o.format, TraceFormat::Jsonl);
+        // Defaults: Chrome trace, unbounded capture, conventional name.
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.trace_out, None);
+        assert_eq!(d.trace_cap, 0);
+        assert_eq!(d.format, TraceFormat::Chrome);
+        assert_eq!(d.format.default_path(), "punchsim-trace.json");
+    }
+
+    #[test]
+    fn faults_dump_paths_encode_drop_rate() {
+        let p = faults_dump_path(std::path::Path::new("out/dump.jsonl"), 0.25);
+        assert_eq!(p, PathBuf::from("out/dump-d0.25.jsonl"));
+        let p = faults_dump_path(std::path::Path::new("dump"), 1.0);
+        assert_eq!(p, PathBuf::from("dump-d1.00.jsonl"));
+    }
+
+    #[test]
     fn bad_inputs_are_rejected() {
         assert!(parse(&["--scheme", "warp9"]).is_err());
         assert!(parse(&["--mesh", "8by8"]).is_err());
@@ -669,6 +908,8 @@ mod tests {
         assert!(parse(&["--faults", "1.5"]).is_err());
         assert!(parse(&["--corrupt", "-0.1"]).is_err());
         assert!(parse(&["--fault-seed", "xyz"]).is_err());
+        assert!(parse(&["--format", "xml"]).is_err());
+        assert!(parse(&["--trace-cap", "lots"]).is_err());
     }
 
     fn strs(args: &[&str]) -> Vec<String> {
@@ -706,6 +947,26 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert!(o.no_cache);
         assert_eq!(o.specs().len(), campaign::synthetic_suite(7).len());
+    }
+
+    #[test]
+    fn campaign_observation_flags_parse() {
+        let o = CampaignOpts::parse(&[]).unwrap();
+        assert_eq!(o.sample, 0);
+        assert_eq!(o.effective_trace_cap(), 0);
+
+        let o = CampaignOpts::parse(&strs(&["--sample", "500", "--trace-out", "dumps"])).unwrap();
+        assert_eq!(o.sample, 500);
+        assert_eq!(o.trace_out, Some(PathBuf::from("dumps")));
+        // --trace-out alone gets the default capacity...
+        assert_eq!(o.effective_trace_cap(), DEFAULT_DUMP_CAP);
+        // ...and --trace-cap overrides it.
+        let o = CampaignOpts::parse(&strs(&["--trace-out", "dumps", "--trace-cap", "64"])).unwrap();
+        assert_eq!(o.effective_trace_cap(), 64);
+        // --trace-cap without --trace-out keeps tracing off.
+        let o = CampaignOpts::parse(&strs(&["--trace-cap", "64"])).unwrap();
+        assert_eq!(o.effective_trace_cap(), 0);
+        assert!(CampaignOpts::parse(&strs(&["--sample", "often"])).is_err());
     }
 
     #[test]

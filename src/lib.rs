@@ -10,6 +10,9 @@
 //! * [`noc`] — the cycle-accurate router/network substrate
 //! * [`core`] — the paper's contribution: power-gating controllers and the
 //!   Power Punch punch-signal fabric and codebook (Table 1)
+//! * [`obs`] — cycle-resolved observability: structured event tracing,
+//!   flight recording, per-interval sampling, and JSONL/CSV/Chrome-trace
+//!   exporters (load the latter in Perfetto)
 //! * [`faults`] — deterministic fault injection for the power-gating
 //!   machinery (punch drops/corruption, stuck-off routers)
 //! * [`power`] — DSENT-like router energy model and accounting
@@ -41,6 +44,7 @@ pub use punchsim_cmp as cmp;
 pub use punchsim_core as core;
 pub use punchsim_faults as faults;
 pub use punchsim_noc as noc;
+pub use punchsim_obs as obs;
 pub use punchsim_power as power;
 pub use punchsim_stats as stats;
 pub use punchsim_traffic as traffic;
@@ -49,12 +53,14 @@ pub use punchsim_types as types;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use punchsim_campaign::{
-        CampaignReport, Metrics, Outcome, RunRecord, RunSpec, Runner, Store, Workload,
+        CampaignReport, Metrics, ObserveOpts, Observed, Outcome, RunRecord, RunSpec, Runner, Store,
+        Workload,
     };
     pub use punchsim_cmp::{Benchmark, CmpConfig, CmpReport, CmpSim};
     pub use punchsim_core::build_power_manager;
     pub use punchsim_faults::{FaultInjector, FaultStats};
     pub use punchsim_noc::{Network, NetworkReport, PowerManager};
+    pub use punchsim_obs::{Event, EventSink, RingSink, Sampler, Stamped, VecSink};
     pub use punchsim_power::{EnergyBreakdown, PowerModel};
     pub use punchsim_traffic::{SyntheticSim, TrafficPattern};
     pub use punchsim_types::{
