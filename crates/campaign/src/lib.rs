@@ -138,6 +138,44 @@ pub fn ci_suite(seed: u64) -> Vec<RunSpec> {
     specs
 }
 
+/// Measured cycles for the fast-path gate suite (shortened by
+/// [`fast_mode`]). Much longer than [`synth_cycles`]: cycles are cheap
+/// when most of them are skipped, and the window must dwarf per-run
+/// setup so the cycles/sec ratio measures the tick kernel, not overhead.
+pub fn fastpath_cycles() -> u64 {
+    if fast_mode() {
+        2_000_000
+    } else {
+        10_000_000
+    }
+}
+
+/// The fast-path speedup gate suite: every evaluated scheme driving the
+/// default 8x8 mesh at a *very* low load, where the network spends most
+/// cycles quiescent. This is the regime the quiescence fast-forward
+/// kernel exists for — sparse coherence traffic over a mostly-gated
+/// fabric — and the suite CI uses to enforce its ≥1.5x speedup over
+/// `--naive-tick` (the at-load `ci` suite is dominated by the
+/// full-system model, which ticks the network every cycle by design, so
+/// global skip cannot engage there).
+pub fn fastpath_suite(seed: u64) -> Vec<RunSpec> {
+    let measure = fastpath_cycles();
+    SchemeKind::EVALUATED
+        .into_iter()
+        .map(|scheme| RunSpec {
+            scheme,
+            seed,
+            workload: Workload::Synthetic {
+                pattern: TrafficPattern::UniformRandom,
+                mesh: Mesh::new(8, 8),
+                rate: 0.00005,
+                warmup_cycles: measure / 8,
+                measure_cycles: measure,
+            },
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +195,14 @@ mod tests {
         );
         let ci = ci_suite(seed);
         assert_eq!(ci.len(), parsec.len() + synth.len());
+        let fastpath = fastpath_suite(seed);
+        assert_eq!(fastpath.len(), SchemeKind::EVALUATED.len());
+        for s in &fastpath {
+            let Workload::Synthetic { rate, .. } = s.workload else {
+                panic!("fastpath suite must be synthetic");
+            };
+            assert!(rate < 0.001, "fastpath runs must be idle-dominated");
+        }
         // Ids are unique within a suite (artifact keys).
         let mut ids: Vec<String> = ci.iter().map(RunSpec::id).collect();
         ids.sort();

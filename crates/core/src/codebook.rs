@@ -10,7 +10,7 @@
 //! of an 8x8 mesh for 3-hop punches, encodable in 5 bits — falls out of
 //! this enumeration, as do the 2-bit Y links.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use punchsim_types::{routing, Direction, Mesh, NodeId};
 
@@ -25,9 +25,31 @@ pub struct LinkCodebook {
     /// Direction the link points.
     pub dir: Direction,
     sets: Vec<PunchSet>,
+    /// Precomputed encoder: canonical set → codeword. Built once at
+    /// enumeration time so the per-cycle encode is a hash probe, not a
+    /// binary search over the set list (the hardware analogue: the encoder
+    /// ROM is synthesized with the codebook, not searched at runtime).
+    codes: HashMap<PunchSet, u16>,
 }
 
 impl LinkCodebook {
+    /// Builds a link codebook from its canonical set list, deriving the
+    /// encode lookup table. Codewords are `index + 1` in canonical order
+    /// (0 stays the idle wire), exactly as the search-based encoder
+    /// assigned them.
+    fn new(from: NodeId, dir: Direction, sets: Vec<PunchSet>) -> Self {
+        let codes = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (*s, (i + 1) as u16))
+            .collect();
+        LinkCodebook {
+            from,
+            dir,
+            sets,
+            codes,
+        }
+    }
     /// Number of distinct non-empty signals.
     pub fn set_count(&self) -> usize {
         self.sets.len()
@@ -46,13 +68,12 @@ impl LinkCodebook {
 
     /// The codeword assigned to `set` (0 is the idle wire), or `None` if the
     /// set is not expressible on this link — which the fabric's generation
-    /// arbitration guarantees never happens.
+    /// arbitration guarantees never happens. O(1) via the lookup table.
     pub fn encode(&self, set: &PunchSet) -> Option<u16> {
         if set.is_empty() {
             return Some(0);
         }
-        let c = set.canonical();
-        self.sets.binary_search(&c).ok().map(|i| (i + 1) as u16)
+        self.codes.get(&set.canonical()).copied()
     }
 
     /// The target set for a codeword, or `None` if out of range.
@@ -176,11 +197,11 @@ impl Codebook {
                     if mesh.neighbor(r, dir).is_none() {
                         continue;
                     }
-                    row[dir.index()] = Some(LinkCodebook {
-                        from: r,
+                    row[dir.index()] = Some(LinkCodebook::new(
+                        r,
                         dir,
-                        sets: sets[r.index()][dir.index()].iter().copied().collect(),
-                    });
+                        sets[r.index()][dir.index()].iter().copied().collect(),
+                    ));
                 }
                 row
             })
@@ -345,6 +366,25 @@ mod tests {
         assert_eq!(link.decode(0).unwrap(), PunchSet::new());
         assert_eq!(link.encode(&PunchSet::new()).unwrap(), 0);
         assert!(link.decode(999).is_none());
+    }
+
+    #[test]
+    fn encode_lut_matches_canonical_order_on_every_link() {
+        // The lookup-table encoder must assign exactly the codes the old
+        // binary-search encoder did: index + 1 in canonical set order.
+        let cb = Codebook::enumerate(Mesh::new(8, 8), 3);
+        for l in cb.iter() {
+            for (i, s) in l.sets().iter().enumerate() {
+                assert_eq!(l.encode(s), Some((i + 1) as u16), "{s} on {}", l.from);
+                assert_eq!(l.sets.binary_search(s).ok(), Some(i), "canonical order");
+            }
+            // Unknown sets still encode to None.
+            let mut alien = PunchSet::new();
+            alien.insert_normalized(cb.mesh(), NodeId(0), NodeId(1));
+            if !l.sets().contains(&alien.canonical()) {
+                assert_eq!(l.encode(&alien), None);
+            }
+        }
     }
 
     #[test]

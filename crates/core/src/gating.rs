@@ -137,6 +137,94 @@ impl GateArray {
         }
     }
 
+    /// Earliest cycle `>= now` at which any gate changes state under quiet
+    /// all-idle ticks: a waking router's promotion tick, or an on router's
+    /// sleep tick (its idle timeout, deferred past the scheme's
+    /// `sleep_floor(i)` — the first cycle at which `may_sleep(i)` would hold).
+    /// `None` when every gate is already off, i.e. the array is a fixed
+    /// point apart from its off-cycle accounting.
+    pub fn next_event_at(
+        &self,
+        now: Cycle,
+        mut sleep_floor: impl FnMut(usize) -> Cycle,
+    ) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        for (i, g) in self.gates.iter().enumerate() {
+            let at = match *g {
+                Gate::Off => continue,
+                Gate::Waking { ready_at } => now.max(ready_at.saturating_sub(1)),
+                Gate::On { idle_cycles } => {
+                    let timeout_at = now
+                        + self
+                            .idle_timeout
+                            .saturating_sub(idle_cycles.saturating_add(1))
+                            as Cycle;
+                    timeout_at.max(sleep_floor(i))
+                }
+            };
+            horizon = Some(horizon.map_or(at, |h| h.min(at)));
+        }
+        horizon
+    }
+
+    /// Closed-form replay of the quiet span `[from, to)`: for every cycle
+    /// `c` in the span, behaves exactly like
+    /// `begin_cycle(c); advance_idle(&all_true, |i| c >= sleep_floor(i))`
+    /// but in O(routers) total instead of O(routers × span). `sleep_floor`
+    /// is the scheme's sleep veto expressed as a cycle: router `i` may not
+    /// sleep before cycle `sleep_floor(i)` (0 for unconditional sleeping).
+    ///
+    /// The per-cycle equivalence is pinned by `quiet_advance_matches_loop`
+    /// below and, end to end, by `tests/differential.rs`.
+    pub fn advance_quiet(
+        &mut self,
+        from: Cycle,
+        to: Cycle,
+        mut sleep_floor: impl FnMut(usize) -> Cycle,
+    ) {
+        if to <= from {
+            return;
+        }
+        let span = to - from;
+        for (i, g) in self.gates.iter_mut().enumerate() {
+            // Resolve a waking gate first: it accrues waking cycles up to and
+            // including its promotion tick, then evolves as On from there.
+            let (on_from, ic0) = match *g {
+                Gate::Off => {
+                    self.counters.off_cycles[i] += span;
+                    continue;
+                }
+                Gate::Waking { ready_at } => {
+                    let promo = from.max(ready_at.saturating_sub(1));
+                    if promo >= to {
+                        self.counters.waking_cycles[i] += span;
+                        continue;
+                    }
+                    self.counters.waking_cycles[i] += promo - from + 1;
+                    (promo, 0u32)
+                }
+                Gate::On { idle_cycles } => (from, idle_cycles),
+            };
+            // During tick `c >= on_from` the idle counter reads
+            // `ic0 + (c - on_from) + 1`, so the timeout filter first passes
+            // at `timeout_at`; the sleep lands at the later of that and the
+            // scheme's floor.
+            let timeout_at =
+                on_from + self.idle_timeout.saturating_sub(ic0.saturating_add(1)) as Cycle;
+            let sleep_at = timeout_at.max(sleep_floor(i));
+            if sleep_at < to {
+                self.counters.sleep_events[i] += 1;
+                self.counters.off_cycles[i] += (to - 1) - sleep_at;
+                *g = Gate::Off;
+            } else {
+                let add = (to - on_from).min(u32::MAX as Cycle) as u32;
+                *g = Gate::On {
+                    idle_cycles: ic0.saturating_add(add),
+                };
+            }
+        }
+    }
+
     /// Advances idle timers using the network's per-router idleness and
     /// powers off routers that pass the timeout filter and the
     /// scheme-specific `may_sleep` predicate. Call once per tick, after
@@ -251,5 +339,88 @@ mod tests {
         }
         // Slept after tick(0) (1 idle cycle >= timeout 1): off during 1..=9.
         assert_eq!(g.counters().total_off_cycles(), 9);
+    }
+
+    /// Replays the quiet span per-cycle and via the closed form and demands
+    /// bit-identical gates *and* counters, over randomized initial states,
+    /// sleep floors and span lengths. This is the unit-level half of the
+    /// fast-forward equivalence argument (the end-to-end half lives in
+    /// `tests/differential.rs`).
+    #[test]
+    fn quiet_advance_matches_loop() {
+        use punchsim_types::SimRng;
+        let mut rng = SimRng::seed_from_u64(0x9A7E5);
+        for trial in 0..200 {
+            let n = 1 + (rng.next_u64() % 6) as usize;
+            let latency = 1 + (rng.next_u64() % 12) as u32;
+            let timeout = (rng.next_u64() % 6) as u32;
+            let from: Cycle = rng.next_u64() % 50;
+            let span: Cycle = rng.next_u64() % 40;
+            let mut slow = GateArray::new(n, latency, timeout);
+            // Randomize initial gate states through the public API.
+            for i in 0..n {
+                match rng.next_u64() % 3 {
+                    0 => {} // stays On { idle_cycles: 0 }
+                    1 => {
+                        // Drive it Off: enough all-idle ticks starting well
+                        // before `from`.
+                        for c in 0..(timeout as Cycle + 1) {
+                            slow.begin_cycle(c);
+                            let idle: Vec<bool> = (0..n).map(|j| j == i).collect();
+                            slow.advance_idle(&idle, |j| j == i);
+                        }
+                    }
+                    _ => {
+                        for c in 0..(timeout as Cycle + 1) {
+                            slow.begin_cycle(c);
+                            let idle: Vec<bool> = (0..n).map(|j| j == i).collect();
+                            slow.advance_idle(&idle, |j| j == i);
+                        }
+                        slow.request_wake(
+                            NodeId(i as u16),
+                            from.saturating_sub(rng.next_u64() % 4),
+                        );
+                    }
+                }
+            }
+            let floors: Vec<Cycle> = (0..n).map(|_| rng.next_u64() % 80).collect();
+            let mut fast = slow.clone();
+            let all_idle = vec![true; n];
+            for c in from..from + span {
+                slow.begin_cycle(c);
+                slow.advance_idle(&all_idle, |i| c >= floors[i]);
+            }
+            fast.advance_quiet(from, from + span, |i| floors[i]);
+            assert_eq!(slow.gates, fast.gates, "trial {trial} gates diverged");
+            assert_eq!(
+                slow.counters(),
+                fast.counters(),
+                "trial {trial} counters diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn next_event_at_predicts_first_transition() {
+        // One on router, timeout 4, floor 10: the timeout passes at tick 3
+        // but the floor defers the sleep to tick 10.
+        let g = GateArray::new(1, 8, 4);
+        assert_eq!(g.next_event_at(0, |_| 10), Some(10));
+        assert_eq!(g.next_event_at(0, |_| 0), Some(3));
+        // A waking router promotes at ready_at - 1.
+        let mut g = GateArray::new(1, 8, 1);
+        for c in 0..2 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true], |_| true);
+        }
+        g.request_wake(NodeId(0), 10);
+        assert_eq!(g.next_event_at(10, |_| 0), Some(17));
+        // An off router is a fixed point.
+        let mut g = GateArray::new(1, 8, 1);
+        for c in 0..2 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true], |_| true);
+        }
+        assert_eq!(g.next_event_at(5, |_| 0), None);
     }
 }

@@ -93,6 +93,22 @@ impl PowerManager for ConvPgManager {
     fn reset_counters(&mut self) {
         self.gate.reset_counters();
     }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        // Conventional gating sleeps unconditionally once the timeout
+        // passes: the horizon is purely the gate array's.
+        self.gate.next_event_at(now, |_| 0)
+    }
+
+    fn tick_quiet(&mut self, from: Cycle, to: Cycle, idle: IdleInfo<'_>) {
+        if idle.idle.iter().all(|&b| b) {
+            self.gate.advance_quiet(from, to, |_| 0);
+        } else {
+            for c in from..to {
+                self.tick(c, &[], idle);
+            }
+        }
+    }
 }
 
 /// The Power Punch scheme (§4): punch signals race ahead of packets through
@@ -277,6 +293,30 @@ impl PowerManager for PowerPunchManager {
 
     fn drain_trace(&mut self) -> Vec<Stamped> {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if !self.fabric.is_idle() {
+            // Punches sweep one hop per cycle: deliveries (wakeups and
+            // forewarn extensions) can land every cycle until drained.
+            return Some(now);
+        }
+        let fw = &self.forewarn_until;
+        self.gate.next_event_at(now, |i| fw[i])
+    }
+
+    fn tick_quiet(&mut self, from: Cycle, to: Cycle, idle: IdleInfo<'_>) {
+        if self.fabric.is_idle() && idle.idle.iter().all(|&b| b) {
+            // An idle fabric makes the per-cycle tick collapse to
+            // begin_cycle + advance_idle with the forewarning floor, which
+            // the gate array replays in closed form.
+            let fw = &self.forewarn_until;
+            self.gate.advance_quiet(from, to, |i| fw[i]);
+        } else {
+            for c in from..to {
+                self.tick(c, &[], idle);
+            }
+        }
     }
 }
 
@@ -506,6 +546,81 @@ mod tests {
             },
         );
         assert!(m.drain_trace().is_empty());
+    }
+
+    /// Drives two identically-prepared managers through the same quiet span
+    /// — one per-cycle, one via `tick_quiet` — and demands identical power
+    /// states and counters. The forewarning floor, wakeup promotions and
+    /// sleep timeouts must all survive the closed form.
+    #[test]
+    fn tick_quiet_matches_per_cycle_loop() {
+        let mesh = Mesh::new(8, 8);
+        let idle = all_idle(64);
+        let prologue = |m: &mut dyn PowerManager| {
+            // Punch from R26 (sweeps 26..=29 over ticks 10..=13), a blocked
+            // wakeup on R5, then let the fabric drain.
+            sleep_all(m, 64, 0, 10);
+            m.tick(
+                10,
+                &[
+                    PmEvent::HeadArrival {
+                        router: NodeId(26),
+                        dst: NodeId(31),
+                    },
+                    PmEvent::BlockedNeed { router: NodeId(5) },
+                ],
+                IdleInfo { idle: &idle },
+            );
+            for c in 11..=16 {
+                m.tick(c, &[], IdleInfo { idle: &idle });
+            }
+        };
+        let make: [fn(Mesh) -> Box<dyn PowerManager>; 3] = [
+            |m| Box::new(PowerPunchManager::new(m, &PowerConfig::default(), 4, true)),
+            |m| Box::new(ConvPgManager::new(m, &PowerConfig::default(), true)),
+            |m| Box::new(ConvPgManager::new(m, &PowerConfig::default(), false)),
+        ];
+        for mk in make {
+            let mut slow = mk(mesh);
+            let mut fast = mk(mesh);
+            prologue(slow.as_mut());
+            prologue(fast.as_mut());
+            assert_eq!(fast.next_event_at(17), slow.next_event_at(17));
+            for c in 17..80 {
+                slow.tick(c, &[], IdleInfo { idle: &idle });
+            }
+            fast.tick_quiet(17, 80, IdleInfo { idle: &idle });
+            for r in 0..64 {
+                assert_eq!(
+                    slow.state(NodeId(r)),
+                    fast.state(NodeId(r)),
+                    "router {r} diverged under {:?}",
+                    slow.kind()
+                );
+            }
+            assert_eq!(slow.counters(), fast.counters(), "{:?}", slow.kind());
+        }
+    }
+
+    /// While punches are still sweeping, the horizon must be immediate (no
+    /// skipping over in-flight sideband activity).
+    #[test]
+    fn busy_fabric_pins_horizon_to_now() {
+        let mesh = Mesh::new(8, 8);
+        let mut m = PowerPunchManager::new(mesh, &power(), 4, false);
+        sleep_all(&mut m, 64, 0, 10);
+        m.tick(
+            10,
+            &[PmEvent::HeadArrival {
+                router: NodeId(26),
+                dst: NodeId(31),
+            }],
+            IdleInfo {
+                idle: &all_idle(64),
+            },
+        );
+        assert!(m.pending_punches() > 0);
+        assert_eq!(m.next_event_at(11), Some(11));
     }
 
     #[test]

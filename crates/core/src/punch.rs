@@ -123,8 +123,17 @@ pub struct PunchFabric {
     hops: u16,
     /// Sets that will arrive at router `r` from direction `d` next cycle.
     arriving: Vec<[PunchSet; 4]>,
+    /// Double buffer for `arriving`, reused across ticks so the steady-state
+    /// tick allocates nothing. Always all-empty between ticks.
+    scratch: Vec<[PunchSet; 4]>,
     /// Pending locally generated targets per router and output direction.
     gen_queues: Vec<[Vec<NodeId>; 4]>,
+    /// Exact count of non-empty `arriving` sets, maintained incrementally so
+    /// an idle fabric's tick is an O(1) early return and `is_idle`/`pending`
+    /// never rescan the mesh.
+    wires_live: usize,
+    /// Exact count of queued local generations (same purpose).
+    gens_queued: usize,
     /// Total non-idle signal link traversals (wire energy metric).
     pub hops_sent: u64,
 }
@@ -137,7 +146,10 @@ impl PunchFabric {
             mesh,
             hops,
             arriving: vec![[PunchSet::new(); 4]; n],
+            scratch: vec![[PunchSet::new(); 4]; n],
             gen_queues: vec![Default::default(); n],
+            wires_live: 0,
+            gens_queued: 0,
             hops_sent: 0,
         }
     }
@@ -161,6 +173,7 @@ impl PunchFabric {
         let dir = routing::xy_direction(self.mesh, router, target)
             .expect("target != router by construction");
         self.gen_queues[router.index()][dir.index()].push(target);
+        self.gens_queued += 1;
         Some(target)
     }
 
@@ -168,8 +181,11 @@ impl PunchFabric {
     /// router that receives a punch arrival (targeted *or* en route — both
     /// must stay awake or wake up).
     pub fn tick(&mut self, mut notify: impl FnMut(NodeId)) {
+        if self.wires_live == 0 && self.gens_queued == 0 {
+            return; // idle fabric: nothing can arrive, nothing to relay
+        }
         let n = self.mesh.nodes();
-        let mut next: Vec<[PunchSet; 4]> = vec![[PunchSet::new(); 4]; n];
+        let mut live = 0usize;
         for idx in 0..n {
             let here = NodeId(idx as u16);
             // Collect arrivals; any non-empty arrival notifies this router.
@@ -211,10 +227,18 @@ impl PunchFabric {
                     continue;
                 };
                 self.hops_sent += 1;
-                next[nb.index()][dir.opposite().index()] = set;
+                live += 1;
+                self.scratch[nb.index()][dir.opposite().index()] = set;
             }
         }
-        self.arriving = next;
+        // `arriving` is all-empty after the take() sweep above, so the two
+        // buffers swap roles with no clearing pass.
+        std::mem::swap(&mut self.arriving, &mut self.scratch);
+        self.wires_live = live;
+        debug_assert!(self
+            .scratch
+            .iter()
+            .all(|a| a.iter().all(PunchSet::is_empty)));
     }
 
     /// Pops the next queued local generation for output `d` of router `idx`,
@@ -224,6 +248,7 @@ impl PunchFabric {
         if q.is_empty() {
             None
         } else {
+            self.gens_queued -= 1;
             Some(q.remove(0))
         }
     }
@@ -253,28 +278,30 @@ impl PunchFabric {
 
     /// Number of punch signals in flight on wires plus locally queued
     /// generations — the sideband backlog reported in stall diagnostics.
+    /// O(1): both counts are maintained incrementally.
     pub fn pending(&self) -> usize {
-        let in_flight = self
-            .arriving
-            .iter()
-            .flat_map(|a| a.iter())
-            .filter(|s| !s.is_empty())
-            .count();
-        let queued: usize = self
-            .gen_queues
-            .iter()
-            .flat_map(|g| g.iter())
-            .map(Vec::len)
-            .sum();
-        in_flight + queued
+        debug_assert_eq!(
+            self.wires_live,
+            self.arriving
+                .iter()
+                .flat_map(|a| a.iter())
+                .filter(|s| !s.is_empty())
+                .count()
+        );
+        debug_assert_eq!(
+            self.gens_queued,
+            self.gen_queues
+                .iter()
+                .flat_map(|g| g.iter())
+                .map(Vec::len)
+                .sum::<usize>()
+        );
+        self.wires_live + self.gens_queued
     }
 
-    /// `true` when no signals are in flight and no generations queued.
+    /// `true` when no signals are in flight and no generations queued. O(1).
     pub fn is_idle(&self) -> bool {
-        self.arriving
-            .iter()
-            .all(|a| a.iter().all(PunchSet::is_empty))
-            && self.gen_queues.iter().all(|g| g.iter().all(Vec::is_empty))
+        self.pending() == 0
     }
 }
 

@@ -348,6 +348,49 @@ impl PowerManager for FaultInjector {
         self.inner.pending_punches() + self.delayed.len()
     }
 
+    /// Earliest cycle at which this injector (or the wrapped scheme) could
+    /// act: a jittered event coming due, a stuck epoch arming or expiring,
+    /// or the inner manager's own horizon.
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon = self.inner.next_event_at(now);
+        let mut merge = |c: Cycle| {
+            let c = c.max(now);
+            horizon = Some(horizon.map_or(c, |h| h.min(c)));
+        };
+        for &(at, _) in &self.delayed {
+            merge(at);
+        }
+        for (e, st) in &self.epochs {
+            match st {
+                // Arming also depends on the inner gate being Off, which
+                // can change any cycle once the start has passed.
+                EpochState::Pending => merge(e.start),
+                EpochState::Armed { until } => merge(*until),
+                EpochState::Done => {}
+            }
+        }
+        horizon
+    }
+
+    /// Bulk-advances over a quiescent window. Safe to delegate to the
+    /// wrapped manager only when the injector itself has no pending work:
+    /// no jittered events in flight and every stuck epoch finished (a
+    /// `Pending` epoch could arm and an `Armed` one expires on a schedule,
+    /// both of which `advance_epochs` must observe per cycle).
+    fn tick_quiet(&mut self, from: Cycle, to: Cycle, idle: IdleInfo<'_>) {
+        let dormant = self.delayed.is_empty()
+            && self.epochs.iter().all(|(_, st)| *st == EpochState::Done)
+            && idle.idle.iter().all(|&b| b);
+        if dormant {
+            self.inner.tick_quiet(from, to, idle);
+            self.refresh_counters();
+        } else {
+            for c in from..to {
+                self.tick(c, &[], idle);
+            }
+        }
+    }
+
     fn counters(&self) -> &PgCounters {
         &self.counters_cache
     }
@@ -639,6 +682,116 @@ mod tests {
         f.set_tracing(false);
         f.tick(1, &[head(0, 5)], IdleInfo { idle: &idle });
         assert!(f.drain_trace().is_empty());
+    }
+
+    /// Inner double for horizon tests: always Off, no events of its own.
+    struct Dormant {
+        counters: PgCounters,
+    }
+
+    impl PowerManager for Dormant {
+        fn kind(&self) -> SchemeKind {
+            SchemeKind::ConvPg
+        }
+        fn state(&self, _r: NodeId) -> PowerState {
+            PowerState::Off
+        }
+        fn tick(&mut self, _cycle: Cycle, _events: &[PmEvent], _idle: IdleInfo<'_>) {}
+        fn force_wake(&mut self, _r: NodeId, _cycle: Cycle) {}
+        fn counters(&self) -> &PgCounters {
+            &self.counters
+        }
+        fn reset_counters(&mut self) {
+            self.counters.reset();
+        }
+        fn next_event_at(&self, _now: Cycle) -> Option<Cycle> {
+            None
+        }
+        fn tick_quiet(&mut self, _from: Cycle, _to: Cycle, _idle: IdleInfo<'_>) {}
+    }
+
+    #[test]
+    fn next_event_at_tracks_epochs_and_delayed_events() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig {
+            stuck_epochs: vec![StuckEpoch {
+                router: NodeId(3),
+                start: 50,
+                duration: 100,
+            }],
+            ..FaultConfig::default()
+        };
+        let inner = Dormant {
+            counters: PgCounters::new(16),
+        };
+        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh);
+        // Pending epoch: the horizon is its start cycle (clamped to now).
+        assert_eq!(f.next_event_at(10), Some(50));
+        assert_eq!(f.next_event_at(60), Some(60));
+        // A jittered event in flight bounds the horizon too.
+        f.delayed.push((30, head(0, 5)));
+        assert_eq!(f.next_event_at(10), Some(30));
+        assert_eq!(f.next_event_at(40), Some(40), "overdue events fire now");
+        f.delayed.clear();
+        // Arm the epoch (the Dormant inner is Off) and check expiry.
+        let idle = idle_none(16);
+        f.tick(50, &[], IdleInfo { idle: &idle });
+        assert_eq!(f.stats().stuck_epochs_started, 1);
+        assert_eq!(f.next_event_at(60), Some(150));
+        // Once every epoch is done the injector adds no horizon.
+        for c in 150..152 {
+            f.tick(c, &[], IdleInfo { idle: &idle });
+        }
+        assert_eq!(f.next_event_at(200), None);
+    }
+
+    #[test]
+    fn tick_quiet_matches_per_cycle_loop_with_pending_work() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig {
+            max_wakeup_jitter: 4,
+            stuck_epochs: vec![StuckEpoch {
+                router: NodeId(3),
+                start: 10,
+                duration: 25,
+            }],
+            seed: 42,
+            ..FaultConfig::default()
+        };
+        let build = || {
+            let inner = Dormant {
+                counters: PgCounters::new(16),
+            };
+            let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh);
+            let idle = idle_none(16);
+            // Prologue: populate the jitter queue and arm the epoch.
+            for c in 0..12 {
+                f.tick(c, &[head(1, 9)], IdleInfo { idle: &idle });
+            }
+            f
+        };
+        let all_idle = vec![true; 16];
+        let mut slow = build();
+        for c in 12..80 {
+            slow.tick(c, &[], IdleInfo { idle: &all_idle });
+        }
+        let mut fast = build();
+        fast.tick_quiet(12, 80, IdleInfo { idle: &all_idle });
+        assert_eq!(slow.stats(), fast.stats());
+        assert_eq!(slow.pending_punches(), fast.pending_punches());
+        assert_eq!(slow.counters(), fast.counters());
+        assert_eq!(slow.next_event_at(80), fast.next_event_at(80));
+    }
+
+    #[test]
+    fn dormant_tick_quiet_delegates_to_inner() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig::default();
+        let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh);
+        let all_idle = vec![true; 16];
+        f.tick_quiet(0, 10_000, IdleInfo { idle: &all_idle });
+        assert_eq!(f.stats().total(), 0);
+        assert_eq!(f.next_event_at(10_000), None);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod trace;
 pub mod vc;
 
 pub use flit::{Flit, FlitKind, Message, MsgClass, PacketMeta};
-pub use network::Network;
+pub use network::{Network, TickMode};
 pub use power::{AlwaysOn, IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
 pub use router::{Router, RouterActivity};
 pub use stats::{NetStats, NetworkReport};

@@ -26,6 +26,38 @@ use crate::stats::{NetStats, NetworkReport};
 use crate::trace::{PacketRecord, TraceLog};
 use crate::vc::VcLayout;
 
+/// How [`Network::run`] / [`Network::run_hooked`] advance the clock.
+///
+/// Both modes are observationally identical — pinned by the differential
+/// oracle in `tests/differential.rs` and by the CI no-drift gate running the
+/// benchmark campaign in both modes and comparing artifacts byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TickMode {
+    /// Quiescence fast-forward enabled (the default): when nothing can
+    /// change network state before new host input, `run` advances the clock
+    /// to the end of the requested span (or the next hook boundary) in one
+    /// bulk [`PowerManager::tick_quiet`] call instead of O(routers) work
+    /// per cycle.
+    #[default]
+    Fast,
+    /// The reference kernel: strictly one [`Network::tick`] per cycle.
+    /// Selected by `PP_NAIVE_TICK=1` at construction, or
+    /// [`Network::set_tick_mode`].
+    Naive,
+}
+
+impl TickMode {
+    /// Resolves the mode from the `PP_NAIVE_TICK` environment variable:
+    /// `1` selects [`TickMode::Naive`], anything else (or unset) selects
+    /// [`TickMode::Fast`].
+    pub fn from_env() -> Self {
+        match std::env::var("PP_NAIVE_TICK") {
+            Ok(v) if v == "1" => TickMode::Naive,
+            _ => TickMode::Fast,
+        }
+    }
+}
+
 /// A cycle-accurate mesh network under a pluggable power-gating scheme.
 ///
 /// Endpoints interact through [`Network::send`] (hand a [`Message`] to a
@@ -87,6 +119,9 @@ pub struct Network {
     power_shadow: Vec<PowerTag>,
     /// Cycle each currently-off router went off at (BET epoch tracking).
     off_since: Vec<Cycle>,
+    /// Credits currently inside credit pipes (all kinds), so the per-cycle
+    /// credit sweep can skip entirely when none are in flight.
+    credits_in_flight: u64,
     // --- watchdog state (lifetime of the network, never reset) ---
     /// Flits accepted by `send` since construction.
     conserv_injected: u64,
@@ -102,6 +137,16 @@ pub struct Network {
     blocked_streak: Vec<Cycle>,
     /// First invariant violation observed (latched; tick keeps failing).
     violation: Option<InvariantViolation>,
+    /// Clock-advance strategy for `run`/`run_hooked`.
+    tick_mode: TickMode,
+    /// Reusable per-tick idleness scratch (steady-state tick allocates
+    /// nothing).
+    idle_scratch: Vec<bool>,
+    /// Reusable per-tick scratch for the escalation streak scan.
+    seen_scratch: Vec<bool>,
+    /// `true` while any `blocked_streak` entry is non-zero, so the common
+    /// no-blocked-wakeups cycle skips the escalation scan entirely.
+    any_streak: bool,
 }
 
 impl std::fmt::Debug for Network {
@@ -163,6 +208,7 @@ impl Network {
             sink: None,
             power_shadow: Vec::new(),
             off_since: Vec::new(),
+            credits_in_flight: 0,
             conserv_injected: 0,
             conserv_delivered: 0,
             conserv_in_flight: 0,
@@ -170,7 +216,22 @@ impl Network {
             moved: false,
             blocked_streak: vec![0; n],
             violation: None,
+            tick_mode: TickMode::from_env(),
+            idle_scratch: Vec::with_capacity(n),
+            seen_scratch: Vec::with_capacity(n),
+            any_streak: false,
         })
+    }
+
+    /// Selects how `run`/`run_hooked` advance the clock (overrides the
+    /// `PP_NAIVE_TICK` environment resolution done at construction).
+    pub fn set_tick_mode(&mut self, mode: TickMode) {
+        self.tick_mode = mode;
+    }
+
+    /// The active clock-advance strategy.
+    pub fn tick_mode(&self) -> TickMode {
+        self.tick_mode
     }
 
     /// Replaces the watchdog configuration (thresholds, invariant checks).
@@ -379,14 +440,86 @@ impl Network {
         self.watchdog_check(now)
     }
 
+    /// `true` when nothing can change network state before new host input:
+    /// no packets anywhere between NI enqueue and tail ejection (which
+    /// implies every router datapath and NI queue is empty), no buffered
+    /// power-manager events, no punch signals sweeping the sideband fabric,
+    /// and no latched invariant violation. Credits still in flight are
+    /// allowed: a late pop delivers them unchanged and nothing reads the
+    /// upstream counters they restore until the next flit exists.
+    ///
+    /// All four checks are O(1).
+    pub fn quiescent(&self) -> bool {
+        self.packets.is_empty()
+            && self.events.is_empty()
+            && self.violation.is_none()
+            && self.pm.pending_punches() == 0
+    }
+
+    /// The network's event horizon: the earliest cycle at which observable
+    /// state can change without new host input. `Some(cycle())` while
+    /// non-quiescent; the power manager's own horizon while quiescent;
+    /// `None` when nothing will ever change (e.g. every router off).
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        if !self.quiescent() {
+            return Some(self.cycle);
+        }
+        self.pm.next_event_at(self.cycle)
+    }
+
+    /// Advances the clock over the quiescent span `[cycle, cycle + span)`
+    /// in one bulk power-manager update. Caller must have checked
+    /// [`Network::quiescent`] and that no event sink is attached (per-cycle
+    /// transition recording needs the per-cycle path).
+    fn fast_forward(&mut self, span: u64) {
+        debug_assert!(self.quiescent() && self.sink.is_none());
+        debug_assert!(self
+            .routers
+            .iter()
+            .all(crate::router::Router::datapath_empty));
+        let from = self.cycle;
+        let to = from + span;
+        self.idle_scratch.clear();
+        self.idle_scratch.resize(self.routers.len(), true);
+        self.pm.tick_quiet(
+            from,
+            to,
+            IdleInfo {
+                idle: &self.idle_scratch,
+            },
+        );
+        self.cycle = to;
+        // The per-cycle path refreshes `last_progress` every cycle while no
+        // packets are in flight; mirror its final value so stall detection
+        // sees no phantom gap across the jump.
+        self.last_progress = to - 1;
+    }
+
+    /// `true` when `run`/`run_hooked` may skip ahead right now.
+    fn may_fast_forward(&self) -> bool {
+        self.tick_mode == TickMode::Fast && self.sink.is_none() && self.quiescent()
+    }
+
     /// Runs `n` cycles, stopping at the first error.
+    ///
+    /// In [`TickMode::Fast`] (the default), quiescent stretches are skipped
+    /// in O(1): once [`Network::quiescent`] holds, the rest of the span is
+    /// handed to [`PowerManager::tick_quiet`] in one call. With a
+    /// [`TickMode::Naive`] network, or while an event sink is attached
+    /// (per-cycle transition recording), every cycle ticks individually.
     ///
     /// # Errors
     ///
     /// Propagates the first error from [`Network::tick`].
     pub fn run(&mut self, n: u64) -> Result<(), SimError> {
-        for _ in 0..n {
+        let mut left = n;
+        while left > 0 {
+            if self.may_fast_forward() {
+                self.fast_forward(left);
+                return Ok(());
+            }
             self.tick()?;
+            left -= 1;
         }
         Ok(())
     }
@@ -395,6 +528,10 @@ impl Network {
     /// `every` cycles (and once more after the final cycle, if it did not
     /// land on a multiple). Campaign runners use this for per-run progress
     /// and wall-clock throughput sampling without instrumenting `tick`.
+    ///
+    /// Fast-forward jumps are capped at hook boundaries, so the hook fires
+    /// at exactly the same cycles as in [`TickMode::Naive`] — samplers see
+    /// identical interval timestamps either way.
     ///
     /// # Panics
     ///
@@ -411,8 +548,17 @@ impl Network {
         hook: &mut dyn FnMut(&Network),
     ) -> Result<(), SimError> {
         assert!(every > 0, "hook period must be positive");
-        for i in 1..=n {
-            self.tick()?;
+        let mut i = 0;
+        while i < n {
+            if self.may_fast_forward() {
+                // Skip to the next hook boundary (or the end of the span).
+                let span = (every - i % every).min(n - i);
+                self.fast_forward(span);
+                i += span;
+            } else {
+                self.tick()?;
+                i += 1;
+            }
             if i % every == 0 {
                 hook(self);
             }
@@ -465,6 +611,9 @@ impl Network {
     }
 
     fn deliver_flits(&mut self, now: Cycle) {
+        if self.packets.is_empty() {
+            return; // flits only exist while their packet is in flight
+        }
         let check = self.cfg.watchdog.invariant_checks;
         for idx in 0..self.routers.len() {
             for port in Port::ALL {
@@ -499,21 +648,38 @@ impl Network {
     }
 
     fn deliver_credits(&mut self, now: Cycle) {
+        if self.credits_in_flight == 0 {
+            return;
+        }
         for idx in 0..self.routers.len() {
             for port in Port::ALL {
                 while let Some(vc) = self.credit_in[idx][port].pop_ready(now) {
+                    self.credits_in_flight -= 1;
                     self.routers[idx].credit(port, vc);
                 }
             }
             while let Some(vc) = self.ni_credit_in[idx].pop_ready(now) {
+                self.credits_in_flight -= 1;
                 self.nis[idx].credit(vc);
             }
         }
     }
 
     fn allocate_routers(&mut self, now: Cycle) {
+        if self.packets.is_empty() {
+            return; // nothing buffered, queued or injectable anywhere
+        }
         let link = self.cfg.link_latency as Cycle;
         for idx in 0..self.routers.len() {
+            // Allocation is a pure no-op on a router with no buffered flits
+            // (rotating priorities and activity counters move only on
+            // grants, and an empty-but-routed VC is skipped by both
+            // phases), so the scan can skip it — at low load this turns
+            // the per-tick cost from O(routers) router allocations into
+            // O(occupied routers).
+            if self.routers[idx].datapath_empty() {
+                continue;
+            }
             let here = NodeId(idx as u16);
             // A flit granted SA at `now` is latched downstream at
             // `now + 2 + link`; the downstream router only needs to be on
@@ -550,6 +716,7 @@ impl Network {
             for dep in outcome.departures {
                 self.moved = true;
                 // Credit back to the upstream of the input the flit vacated.
+                self.credits_in_flight += 1;
                 match dep.in_port {
                     Port::Local => {
                         self.ni_credit_in[idx].push_at(dep.in_vc, now + 1 + link);
@@ -589,6 +756,9 @@ impl Network {
     }
 
     fn deliver_ejections(&mut self, now: Cycle) {
+        if self.packets.is_empty() {
+            return; // ejection pipes only carry flits of in-flight packets
+        }
         for idx in 0..self.nis.len() {
             while let Some(flit) = self.eject_in[idx].pop_ready(now) {
                 self.ni_flits += 1;
@@ -633,6 +803,9 @@ impl Network {
     }
 
     fn inject_from_nis(&mut self, now: Cycle) {
+        if self.packets.is_empty() {
+            return; // every queued or mid-flight NI packet is in the map
+        }
         let link = self.cfg.link_latency as Cycle;
         for idx in 0..self.nis.len() {
             let node = NodeId(idx as u16);
@@ -668,13 +841,20 @@ impl Network {
     }
 
     fn power_tick(&mut self, now: Cycle) {
-        let idle: Vec<bool> = (0..self.routers.len())
-            .map(|idx| {
-                self.routers[idx].datapath_empty()
-                    && !self.nis[idx].mid_packet()
-                    && Port::ALL.iter().all(|&p| self.flit_in[idx][p].is_empty())
-            })
-            .collect();
+        self.idle_scratch.clear();
+        if self.packets.is_empty() {
+            // No packet in flight means no flit, NI work or inbound wire
+            // anywhere: idleness is uniformly true without the scan.
+            self.idle_scratch.resize(self.routers.len(), true);
+        } else {
+            for idx in 0..self.routers.len() {
+                self.idle_scratch.push(
+                    self.routers[idx].datapath_empty()
+                        && !self.nis[idx].mid_packet()
+                        && Port::ALL.iter().all(|&p| self.flit_in[idx][p].is_empty()),
+                );
+            }
+        }
         if let Some(sink) = self.sink.as_mut() {
             // Mirror this cycle's PM events into the structured trace before
             // the manager consumes them. `HeadArrival` is skipped: it fires
@@ -691,7 +871,13 @@ impl Network {
                 sink.record(now, &obs_ev);
             }
         }
-        self.pm.tick(now, &self.events, IdleInfo { idle: &idle });
+        self.pm.tick(
+            now,
+            &self.events,
+            IdleInfo {
+                idle: &self.idle_scratch,
+            },
+        );
         self.events.clear();
         if self.sink.is_some() {
             self.record_power_transitions(now);
@@ -743,17 +929,24 @@ impl Network {
     /// [`WatchdogConfig::escalate_after`] consecutive cycles. Runs before
     /// `power_tick` so the streak scan sees this cycle's events.
     fn watchdog_escalate(&mut self, now: Cycle) {
+        // Common cycle: no blocked wakeups now and none outstanding — the
+        // whole streak scan is a no-op.
+        if self.events.is_empty() && !self.any_streak {
+            return;
+        }
         let after = self.cfg.watchdog.escalate_after;
         let n = self.blocked_streak.len();
         // A bitset would be overkill: meshes are <= a few hundred routers.
-        let mut seen = vec![false; n];
+        self.seen_scratch.clear();
+        self.seen_scratch.resize(n, false);
         for ev in &self.events {
             if let PmEvent::BlockedNeed { router } = ev {
-                seen[router.index()] = true;
+                self.seen_scratch[router.index()] = true;
             }
         }
-        for (idx, seen) in seen.into_iter().enumerate() {
-            if !seen {
+        let mut any = false;
+        for idx in 0..n {
+            if !self.seen_scratch[idx] {
                 self.blocked_streak[idx] = 0;
                 continue;
             }
@@ -770,7 +963,9 @@ impl Network {
                 }
                 self.blocked_streak[idx] = 0;
             }
+            any |= self.blocked_streak[idx] > 0;
         }
+        self.any_streak = any;
     }
 
     /// End-of-tick invariant and progress checks.
@@ -1235,6 +1430,64 @@ mod tests {
             "{:?}",
             report.last_events
         );
+    }
+
+    /// Bursty traffic separated by long quiescent gaps: the fast-forward
+    /// kernel must reproduce the naive per-cycle run exactly — same final
+    /// cycle, same delivered counts, same latencies, same outbox.
+    #[test]
+    fn fast_forward_matches_naive_run() {
+        let run = |mode: TickMode| {
+            let mut n = net();
+            n.set_tick_mode(mode);
+            let mut delivered = 0usize;
+            for burst in 0..3u16 {
+                for i in 0..8u16 {
+                    n.send(msg((burst * 11 + i) % 64, (i * 7 + 3) % 64, MsgClass::Data))
+                        .unwrap();
+                }
+                n.run(1_000).unwrap();
+                for d in 0..64u16 {
+                    delivered += n.take_delivered(NodeId(d)).len();
+                }
+            }
+            let r = n.report();
+            (
+                n.cycle(),
+                delivered,
+                r.stats.packets_delivered,
+                r.stats.latency.mean().to_bits(),
+                r.stats.hops.mean().to_bits(),
+                r.ni_flits,
+            )
+        };
+        assert_eq!(run(TickMode::Fast), run(TickMode::Naive));
+    }
+
+    #[test]
+    fn quiescence_and_horizon_are_reported() {
+        let mut n = net();
+        assert!(n.quiescent());
+        // AlwaysOn never changes state: the horizon is empty.
+        assert_eq!(n.next_event_at(), None);
+        n.send(msg(0, 3, MsgClass::Control)).unwrap();
+        assert!(!n.quiescent(), "in-flight packet blocks quiescence");
+        assert_eq!(n.next_event_at(), Some(n.cycle()));
+        n.run(40).unwrap();
+        assert!(n.quiescent(), "drained network is quiescent again");
+    }
+
+    #[test]
+    fn fast_forward_advances_clock_in_one_jump() {
+        let mut n = net();
+        assert_eq!(n.tick_mode(), TickMode::Fast);
+        n.run(1_000_000).unwrap();
+        assert_eq!(n.cycle(), 1_000_000);
+        // The jump must leave stall detection armed exactly like the
+        // per-cycle path: traffic injected afterwards still delivers.
+        n.send(msg(0, 9, MsgClass::Control)).unwrap();
+        n.run(60).unwrap();
+        assert_eq!(n.take_delivered(NodeId(9)).len(), 1);
     }
 
     #[test]

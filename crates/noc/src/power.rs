@@ -249,6 +249,33 @@ pub trait PowerManager {
     fn drain_trace(&mut self) -> Vec<Stamped> {
         Vec::new()
     }
+
+    /// Event horizon: the earliest cycle `>= now` at which this manager can
+    /// change any externally observable state (a power state, a counter, a
+    /// queued punch/fault effect) *assuming it receives no further events
+    /// and every router stays idle*. `None` means "never": the manager is a
+    /// fixed point under quiet ticks and the host may skip any distance.
+    ///
+    /// The default is maximally conservative — `Some(now)`, i.e. "I may act
+    /// this very cycle" — which forbids skipping and keeps hand-rolled test
+    /// managers correct without changes. Overrides must honor the contract
+    /// pinned by the differential suite: for any span `[now, h)` below the
+    /// horizon, `tick_quiet(now, h, idle_all_true)` must leave the manager
+    /// in exactly the state that `h - now` individual quiet ticks would.
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
+
+    /// Advances the manager over the quiet span `[from, to)`: every cycle in
+    /// the span is ticked with no events and the given (all-idle) snapshot.
+    /// The default is the literal per-cycle loop, which is always correct;
+    /// overrides exist purely so schemes can replace the loop with a
+    /// closed-form bulk update, and must be observationally identical.
+    fn tick_quiet(&mut self, from: Cycle, to: Cycle, idle: IdleInfo<'_>) {
+        for c in from..to {
+            self.tick(c, &[], idle);
+        }
+    }
 }
 
 /// The `No-PG` baseline: every router is always on.
@@ -284,6 +311,13 @@ impl PowerManager for AlwaysOn {
     fn reset_counters(&mut self) {
         self.counters.reset();
     }
+
+    /// Every router is always on: quiet ticks never change anything.
+    fn next_event_at(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    fn tick_quiet(&mut self, _from: Cycle, _to: Cycle, _idle: IdleInfo<'_>) {}
 }
 
 #[cfg(test)]
@@ -334,5 +368,48 @@ mod tests {
         m.set_tracing(true);
         m.tick(1, &[], IdleInfo { idle: &[true; 4] });
         assert!(m.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn always_on_has_no_event_horizon() {
+        let mut m = AlwaysOn::new(4);
+        assert_eq!(m.next_event_at(17), None);
+        m.tick_quiet(0, 1_000_000, IdleInfo { idle: &[true; 4] });
+        assert!(m.is_on(NodeId(3)));
+        assert_eq!(m.counters().total_off_cycles(), 0);
+    }
+
+    /// A manager that only implements the required methods must still be
+    /// correct under the defaulted quiet-tick protocol: the default horizon
+    /// `Some(now)` forbids skipping, and the default `tick_quiet` is the
+    /// literal per-cycle loop.
+    #[test]
+    fn default_horizon_is_conservative() {
+        struct Minimal {
+            c: PgCounters,
+            ticks: u64,
+        }
+        impl PowerManager for Minimal {
+            fn kind(&self) -> SchemeKind {
+                SchemeKind::NoPg
+            }
+            fn state(&self, _r: NodeId) -> PowerState {
+                PowerState::On
+            }
+            fn tick(&mut self, _cycle: Cycle, _events: &[PmEvent], _idle: IdleInfo<'_>) {
+                self.ticks += 1;
+            }
+            fn counters(&self) -> &PgCounters {
+                &self.c
+            }
+            fn reset_counters(&mut self) {}
+        }
+        let mut m = Minimal {
+            c: PgCounters::new(1),
+            ticks: 0,
+        };
+        assert_eq!(m.next_event_at(42), Some(42));
+        m.tick_quiet(10, 15, IdleInfo { idle: &[true] });
+        assert_eq!(m.ticks, 5, "default tick_quiet is the per-cycle loop");
     }
 }

@@ -98,6 +98,10 @@ pub struct Router {
     va_rr: PortMap<usize>,
     sa_in_rr: PortMap<usize>,
     sa_out_rr: PortMap<usize>,
+    /// Total flits across all input VCs, kept in sync by `latch` and the
+    /// SA-grant pop so `datapath_empty` is O(1). The per-tick allocation
+    /// early-out and the power manager's idle scan both sit on it.
+    buffered: u32,
     /// Activity counters for the power model.
     pub activity: RouterActivity,
 }
@@ -131,6 +135,7 @@ impl Router {
             va_rr: PortMap::default(),
             sa_in_rr: PortMap::default(),
             sa_out_rr: PortMap::default(),
+            buffered: 0,
             activity: RouterActivity::default(),
         }
     }
@@ -144,6 +149,7 @@ impl Router {
     pub fn latch(&mut self, port: Port, mut flit: Flit, cycle: Cycle) {
         flit.latched_at = cycle;
         self.activity.buffer_writes += 1;
+        self.buffered += 1;
         let vc = flit.vc;
         self.inputs[port][vc].push(flit);
     }
@@ -159,10 +165,16 @@ impl Router {
 
     /// `true` when every input VC is empty (no flit anywhere in the
     /// datapath) — one of the conditions for power-gating the router.
+    /// O(1): the network checks it for every router every busy cycle.
     pub fn datapath_empty(&self) -> bool {
-        self.inputs
-            .iter()
-            .all(|(_, vcs)| vcs.iter().all(Vc::is_empty))
+        debug_assert_eq!(
+            self.buffered == 0,
+            self.inputs
+                .iter()
+                .all(|(_, vcs)| vcs.iter().all(Vc::is_empty)),
+            "buffered-flit counter out of sync with the input VCs"
+        );
+        self.buffered == 0
     }
 
     /// Total buffered flits (debug/occupancy metric).
@@ -341,6 +353,7 @@ impl Router {
             };
             let vc = &mut self.inputs[c.in_port][c.in_vc];
             let mut flit = vc.pop().expect("winner has a front flit");
+            self.buffered -= 1;
             if flit.kind.is_tail() {
                 vc.route = VcRoute::Unrouted;
                 self.out_vc_busy[c.out_port][out_vc] = false;

@@ -1,7 +1,7 @@
 //! Open-loop synthetic-traffic simulation harness.
 
 use punchsim_core::build_power_manager;
-use punchsim_noc::{Message, MsgClass, Network, NetworkReport};
+use punchsim_noc::{Message, MsgClass, Network, NetworkReport, TickMode};
 use punchsim_types::{Cycle, NodeId, SimConfig, SimError, SimRng, VnetId};
 
 use crate::pattern::TrafficPattern;
@@ -200,14 +200,62 @@ impl SyntheticSim {
         Ok(())
     }
 
-    /// Runs `cycles` cycles.
+    /// Cycles until the host itself next has work to do: the earliest
+    /// scheduled arrival or slack-2 forewarning across all nodes. `None`
+    /// when skipping is not allowed (naive tick mode, or traffic still in
+    /// flight) or the next host action is due this very cycle.
+    ///
+    /// Skipping the per-node scan is exact: between host events no
+    /// arrival fires, no forewarning fires, and no RNG draw happens (the
+    /// stream only advances when an arrival is consumed), so the skipped
+    /// iterations are pure no-ops over `next_arrival`.
+    fn host_skip_gap(&self) -> Option<u64> {
+        if self.net.tick_mode() != TickMode::Fast || self.net.in_flight() != 0 {
+            return None;
+        }
+        let now = self.net.cycle();
+        let mut next = Cycle::MAX;
+        for &(at, slack2) in &self.next_arrival {
+            if at == Cycle::MAX {
+                continue;
+            }
+            let mut c = at;
+            if slack2 {
+                // The forewarning fires exactly when `now + slack2 == at`;
+                // a fire cycle already in the past never fires at all.
+                let fire = at.saturating_sub(self.inj.slack2_cycles);
+                if fire >= now {
+                    c = c.min(fire);
+                }
+            }
+            next = next.min(c);
+        }
+        if next == Cycle::MAX {
+            // No arrival will ever fire again: any span is skippable.
+            return Some(u64::MAX);
+        }
+        next.checked_sub(now).filter(|&gap| gap > 0)
+    }
+
+    /// Runs `cycles` cycles. In [`TickMode::Fast`] the harness skips its
+    /// per-node arrival scan across host-idle gaps (handing the whole gap
+    /// to [`Network::run`], which may fast-forward internally); observable
+    /// behavior is identical to per-cycle ticking.
     ///
     /// # Errors
     ///
     /// Propagates the first error from [`SyntheticSim::tick`].
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
-        for _ in 0..cycles {
+        let mut left = cycles;
+        while left > 0 {
+            if let Some(gap) = self.host_skip_gap() {
+                let span = gap.min(left);
+                self.net.run(span)?;
+                left -= span;
+                continue;
+            }
             self.tick()?;
+            left -= 1;
         }
         Ok(())
     }
@@ -417,5 +465,47 @@ mod tests {
         );
         s.run(1_000).unwrap();
         assert_eq!(s.report().stats.packets_injected, 0);
+    }
+
+    #[test]
+    fn host_skip_matches_naive_ticking_exactly() {
+        // Low rate on PowerPunchFull: long idle gaps (so both the host
+        // skip and the network fast-forward actually engage) interleaved
+        // with slack-2 forewarnings and real traffic.
+        let run = |mode: TickMode| {
+            let mut s = SyntheticSim::new(
+                cfg(SchemeKind::PowerPunchFull, Mesh::new(4, 4)),
+                TrafficPattern::UniformRandom,
+                0.002,
+            );
+            s.network_mut().set_tick_mode(mode);
+            let r = s.run_experiment(3_000, 12_000).unwrap();
+            (
+                s.network().cycle(),
+                r.stats.packets_injected,
+                r.stats.packets_delivered,
+                r.stats.latency.mean().to_bits(),
+                r.stats.wakeup_wait.mean().to_bits(),
+                r.pg.clone(),
+                s.delivered_sink,
+            )
+        };
+        assert_eq!(run(TickMode::Fast), run(TickMode::Naive));
+    }
+
+    #[test]
+    fn zero_rate_fast_mode_skips_to_the_end() {
+        let mut s = SyntheticSim::new(
+            cfg(SchemeKind::ConvOptPg, Mesh::new(8, 8)),
+            TrafficPattern::UniformRandom,
+            0.0,
+        );
+        s.network_mut().set_tick_mode(TickMode::Fast);
+        s.run(5_000_000).unwrap();
+        let r = s.report();
+        assert_eq!(s.network().cycle(), 5_000_000);
+        assert_eq!(r.stats.packets_injected, 0);
+        // Every router slept once past the idle timeout and stayed off.
+        assert!(r.off_fraction() > 0.99, "off {}", r.off_fraction());
     }
 }

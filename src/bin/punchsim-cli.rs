@@ -10,9 +10,9 @@
 //!                       [--trace-out PATH] [--trace-cap N]
 //! punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
 //!                       [--trace-out PATH] [--format chrome|jsonl|csv] [--trace-cap N]
-//! punchsim-cli campaign [--suite parsec|synth|ci] [--threads N] [--out DIR]
-//!                       [--name NAME] [--seed N] [--no-cache] [--sample N]
-//!                       [--trace-out DIR] [--trace-cap N]
+//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath] [--threads N] [--out DIR]
+//!                       [--name NAME] [--seed N] [--no-cache] [--naive-tick]
+//!                       [--sample N] [--trace-out DIR] [--trace-cap N]
 //! punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
 //!                       [--tol-delivered R] [--tol-escalations N]
 //! ```
@@ -103,9 +103,9 @@ const USAGE: &str = "usage:
   punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--pattern P] [--trace-out PATH] [--trace-cap N]
                         [--format chrome|jsonl|csv]
-  punchsim-cli campaign [--suite parsec|synth|ci] [--threads N] [--out DIR]
-                        [--name NAME] [--seed N] [--no-cache] [--sample N]
-                        [--trace-out DIR] [--trace-cap N]
+  punchsim-cli campaign [--suite parsec|synth|ci|fastpath] [--threads N] [--out DIR]
+                        [--name NAME] [--seed N] [--no-cache] [--naive-tick]
+                        [--sample N] [--trace-out DIR] [--trace-cap N]
   punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
                         [--tol-delivered R] [--tol-escalations N]
 
@@ -123,12 +123,15 @@ trace flags:
                    jsonl, or csv
 
 campaign flags:
-  --suite S        spec list: parsec, synth or ci (both; default)
+  --suite S        spec list: parsec, synth, ci (both; default) or
+                   fastpath (idle-dominated speedup-gate runs)
   --threads N      worker threads; 0 = one per core (default)
   --out DIR        artifact directory (default bench-out)
   --name NAME      artifact name: BENCH_<NAME>.json (default: the suite)
   --seed N         campaign seed (default 0xC0FFEE)
   --no-cache       ignore the result store; simulate every spec
+  --naive-tick     disable quiescence fast-forwarding (cycle-by-cycle
+                   reference mode; same as PP_NAIVE_TICK=1)
   --sample N       sample per-interval series every N cycles into the
                    .timing.json sidecar (forces simulation)
   --trace-out DIR  write per-run flight-recorder dumps (JSONL) into DIR
@@ -530,6 +533,7 @@ struct CampaignOpts {
     name: Option<String>,
     seed: u64,
     no_cache: bool,
+    naive_tick: bool,
     sample: u64,
     trace_out: Option<PathBuf>,
     trace_cap: usize,
@@ -544,15 +548,20 @@ impl CampaignOpts {
             name: None,
             seed: campaign::DEFAULT_SEED,
             no_cache: false,
+            naive_tick: false,
             sample: 0,
             trace_out: None,
             trace_cap: 0,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            // --no-cache is the one boolean flag; everything else is a pair.
+            // Boolean flags; everything else is a flag/value pair.
             if flag == "--no-cache" {
                 o.no_cache = true;
+                continue;
+            }
+            if flag == "--naive-tick" {
+                o.naive_tick = true;
                 continue;
             }
             let val = it
@@ -560,7 +569,7 @@ impl CampaignOpts {
                 .ok_or_else(|| format!("missing value for {flag}"))?;
             match flag.as_str() {
                 "--suite" => {
-                    if !["parsec", "synth", "ci"].contains(&val.as_str()) {
+                    if !["parsec", "synth", "ci", "fastpath"].contains(&val.as_str()) {
                         return Err(format!("unknown suite {val}"));
                     }
                     o.suite = val.clone();
@@ -599,6 +608,7 @@ impl CampaignOpts {
         match self.suite.as_str() {
             "parsec" => campaign::parsec_suite(self.seed),
             "synth" => campaign::synthetic_suite(self.seed),
+            "fastpath" => campaign::fastpath_suite(self.seed),
             _ => campaign::ci_suite(self.seed),
         }
     }
@@ -612,6 +622,11 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.naive_tick {
+        // Before any worker thread exists: every Network built by this
+        // process ticks cycle-by-cycle (the differential reference mode).
+        std::env::set_var("PP_NAIVE_TICK", "1");
+    }
     let specs = opts.specs();
     let name = opts.name.clone().unwrap_or_else(|| opts.suite.clone());
     let runner = Runner {
@@ -924,6 +939,7 @@ mod tests {
         assert_eq!(o.out, PathBuf::from("bench-out"));
         assert_eq!(o.seed, campaign::DEFAULT_SEED);
         assert!(!o.no_cache);
+        assert!(!o.naive_tick);
         assert!(!o.specs().is_empty());
 
         let o = CampaignOpts::parse(&strs(&[
@@ -938,6 +954,7 @@ mod tests {
             "--seed",
             "7",
             "--no-cache",
+            "--naive-tick",
         ]))
         .unwrap();
         assert_eq!(o.suite, "synth");
@@ -946,6 +963,7 @@ mod tests {
         assert_eq!(o.name.as_deref(), Some("pr"));
         assert_eq!(o.seed, 7);
         assert!(o.no_cache);
+        assert!(o.naive_tick);
         assert_eq!(o.specs().len(), campaign::synthetic_suite(7).len());
     }
 

@@ -1,0 +1,205 @@
+//! Differential conformance suite for the quiescence fast-forward kernel.
+//!
+//! Every case builds the *same* experiment twice — once in
+//! [`TickMode::Naive`] (the cycle-by-cycle reference, every tick executed
+//! literally) and once in [`TickMode::Fast`] (quiescence skip-ahead plus
+//! the host-side arrival-gap skip) — and runs both in lock-step chunks.
+//! At every checkpoint the two must agree on the clock, every router's
+//! power state, the power-gating counters and the in-flight packet count;
+//! at the end the complete [`NetworkReport`] must be identical down to
+//! the last bit.
+//!
+//! Configurations are drawn from a seeded [`SimRng`], covering mesh
+//! sizes, punch depths H ∈ {2,3,4}, all five schemes, injection rates
+//! from zero (pure quiescence) to moderate load, burstiness, and fault
+//! profiles (jitter, punch drops, WU drops, stuck-off epochs). Any
+//! divergence pinpoints an observable behavior change introduced by
+//! skip-ahead — exactly what the event-horizon contract (DESIGN.md §12)
+//! forbids.
+
+use punchsim::prelude::*;
+use punchsim::traffic::InjectionConfig;
+
+/// One generated experiment description.
+#[derive(Debug)]
+struct Case {
+    cfg: SimConfig,
+    inj: InjectionConfig,
+    pattern: TrafficPattern,
+}
+
+/// Exact digest of a report: every field of [`NetworkReport`] (f64 Debug
+/// formatting round-trips, so string equality is bit equality).
+fn digest(r: &NetworkReport) -> String {
+    format!("{r:?}")
+}
+
+fn draw_case(rng: &mut SimRng, id: u64) -> Case {
+    let schemes = [
+        SchemeKind::NoPg,
+        SchemeKind::ConvPg,
+        SchemeKind::ConvOptPg,
+        SchemeKind::PowerPunchSignal,
+        SchemeKind::PowerPunchFull,
+    ];
+    let meshes = [
+        Mesh::new(4, 4),
+        Mesh::new(4, 4),
+        Mesh::new(4, 6),
+        Mesh::new(6, 6),
+        Mesh::new(8, 8),
+    ];
+    let rates = [0.0, 0.001, 0.005, 0.02];
+    let patterns = [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+        TrafficPattern::Neighbor,
+    ];
+    let mesh = meshes[rng.random_range(0..meshes.len())];
+    let mut cfg = SimConfig::with_scheme(schemes[rng.random_range(0..schemes.len())]);
+    cfg.noc.mesh = mesh;
+    cfg.power.punch_hops = rng.random_range(2..5u16);
+    cfg.seed = 0xD1FF_0000 + id;
+    // Fault profile: 0 = clean, then jitter / drops / stuck / everything.
+    match rng.random_range(0..5u32) {
+        0 => {}
+        1 => cfg.faults.max_wakeup_jitter = rng.random_range(1..4u32),
+        2 => {
+            cfg.faults.drop_punch_ppm = 200_000;
+            cfg.faults.drop_wu_ppm = 50_000;
+        }
+        3 => {
+            cfg.faults.stuck_epochs = vec![StuckEpoch {
+                router: NodeId(rng.random_range(0..mesh.nodes() as u16)),
+                start: rng.random_range(100..400u64),
+                duration: rng.random_range(50..200u64),
+            }];
+        }
+        _ => {
+            cfg.faults.max_wakeup_jitter = 2;
+            cfg.faults.drop_punch_ppm = 100_000;
+            cfg.faults.stuck_epochs = vec![StuckEpoch {
+                router: NodeId(rng.random_range(0..mesh.nodes() as u16)),
+                start: 150,
+                duration: 120,
+            }];
+        }
+    }
+    cfg.faults.seed = 0xFA_0000 + id;
+    let mut inj = InjectionConfig::at_rate(rates[rng.random_range(0..rates.len())]);
+    inj.burstiness = if rng.random_bool_ppm(300_000) {
+        0.5
+    } else {
+        0.0
+    };
+    inj.slack2_cycles = rng.random_range(4..9u64);
+    Case {
+        cfg,
+        inj,
+        pattern: patterns[rng.random_range(0..patterns.len())],
+    }
+}
+
+fn build(case: &Case, mode: TickMode) -> SyntheticSim {
+    let mut sim = SyntheticSim::with_injection(case.cfg.clone(), case.pattern, case.inj.clone());
+    sim.network_mut().set_tick_mode(mode);
+    sim
+}
+
+/// Compares the two simulations' observable state at one checkpoint.
+fn assert_same_state(case_id: u64, at: u64, fast: &SyntheticSim, naive: &SyntheticSim) {
+    let (fnet, nnet) = (fast.network(), naive.network());
+    assert_eq!(
+        fnet.cycle(),
+        nnet.cycle(),
+        "case {case_id}: clock diverged at checkpoint {at}"
+    );
+    assert_eq!(
+        fnet.in_flight(),
+        nnet.in_flight(),
+        "case {case_id} cycle {at}: in-flight count diverged"
+    );
+    for r in 0..case_id_nodes(fast) {
+        let node = NodeId(r as u16);
+        assert_eq!(
+            fnet.power_state(node),
+            nnet.power_state(node),
+            "case {case_id} cycle {at}: power state of router {r} diverged"
+        );
+    }
+    let (fr, nr) = (fnet.report(), nnet.report());
+    assert_eq!(
+        fr.pg, nr.pg,
+        "case {case_id} cycle {at}: PgCounters diverged"
+    );
+    assert_eq!(
+        digest(&fr),
+        digest(&nr),
+        "case {case_id} cycle {at}: NetworkReport diverged"
+    );
+}
+
+fn case_id_nodes(sim: &SyntheticSim) -> usize {
+    sim.network().mesh().nodes()
+}
+
+#[test]
+fn fast_forward_is_observably_identical_to_naive_ticking() {
+    let mut rng = SimRng::seed_from_u64(0xD1FF);
+    for id in 0..50u64 {
+        let case = draw_case(&mut rng, id);
+        let mut fast = build(&case, TickMode::Fast);
+        let mut naive = build(&case, TickMode::Naive);
+        assert_eq!(fast.network().tick_mode(), TickMode::Fast);
+        assert_eq!(naive.network().tick_mode(), TickMode::Naive);
+        // Warm-up, then a measured window compared every `chunk` cycles.
+        let (warmup, measure, chunk) = (200u64, 1_000u64, 100u64);
+        fast.run(warmup).unwrap();
+        naive.run(warmup).unwrap();
+        fast.network_mut().reset_stats();
+        naive.network_mut().reset_stats();
+        assert_same_state(id, warmup, &fast, &naive);
+        let mut at = warmup;
+        for _ in 0..(measure / chunk) {
+            fast.run(chunk).unwrap();
+            naive.run(chunk).unwrap();
+            at += chunk;
+            assert_same_state(id, at, &fast, &naive);
+        }
+    }
+}
+
+/// The fast path must also agree through a *drain*: injection stops, the
+/// network empties, long quiescent stretches follow.
+#[test]
+fn fast_forward_matches_naive_through_drain_and_deep_idle() {
+    for (scheme, rate) in [
+        (SchemeKind::ConvOptPg, 0.02),
+        (SchemeKind::PowerPunchFull, 0.02),
+        (SchemeKind::PowerPunchSignal, 0.005),
+    ] {
+        let run = |mode: TickMode| {
+            let mut cfg = SimConfig::with_scheme(scheme);
+            cfg.noc.mesh = Mesh::new(6, 6);
+            cfg.seed = 0xDEAD + f64::to_bits(rate);
+            let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, rate);
+            sim.network_mut().set_tick_mode(mode);
+            sim.run(2_000).unwrap();
+            let drained = sim.drain(50_000).unwrap();
+            // Deep idle after the drain: the skip path dominates here.
+            let pre_idle = sim.network().cycle();
+            sim.run(20_000).unwrap();
+            (
+                drained,
+                pre_idle,
+                sim.network().cycle(),
+                digest(&sim.report()),
+            )
+        };
+        assert_eq!(
+            run(TickMode::Fast),
+            run(TickMode::Naive),
+            "scheme {scheme:?} diverged through drain/deep-idle"
+        );
+    }
+}

@@ -5,17 +5,29 @@
 //! always powered on".
 
 use punchsim::core::build_power_manager;
-use punchsim::noc::{Message, MsgClass, Network};
+use punchsim::noc::{Message, MsgClass, Network, TickMode};
 use punchsim::types::{Mesh, NodeId, SchemeKind, SimConfig, VnetId};
 
 /// Sends isolated packets across a sleeping 8x8 mesh and returns the total
-/// wakeup-wait cycles and delivered count.
+/// wakeup-wait cycles and delivered count. Runs with quiescence
+/// fast-forwarding explicitly enabled (the long idle gaps between packets
+/// are exactly where skip-ahead engages).
 fn run_isolated_packets(scheme: SchemeKind, wakeup: u32, use_slack2: bool) -> (u64, u64) {
+    run_isolated_packets_mode(scheme, wakeup, use_slack2, TickMode::Fast)
+}
+
+fn run_isolated_packets_mode(
+    scheme: SchemeKind,
+    wakeup: u32,
+    use_slack2: bool,
+    mode: TickMode,
+) -> (u64, u64) {
     let mut cfg = SimConfig::with_scheme(scheme);
     cfg.noc.mesh = Mesh::new(8, 8);
     cfg.power.wakeup_latency = wakeup;
     let pm = build_power_manager(&cfg).unwrap();
     let mut net = Network::new(&cfg.noc, pm).unwrap();
+    net.set_tick_mode(mode);
     // Let every router fall asleep.
     net.run(50).unwrap();
     let flows: &[(u16, u16)] = &[
@@ -57,6 +69,34 @@ fn power_punch_pg_hides_an_8_cycle_wakeup_completely() {
     assert_eq!(
         wait, 0,
         "Twakeup=8 must be fully hidden by 3-hop punches + NI slack"
+    );
+}
+
+/// The tentpole guarantee, stated against the kernelized tick path: with
+/// fast-forward enabled, low-injection Power Punch traffic at H=3 still
+/// records *zero* wakeup-induced stall cycles, and the fast path agrees
+/// with the cycle-by-cycle reference on every scheme — skip-ahead changes
+/// wall-clock, never timing.
+#[test]
+fn fast_forward_keeps_wakeups_non_blocking_and_matches_naive() {
+    for (scheme, slack2) in [
+        (SchemeKind::PowerPunchFull, true),
+        (SchemeKind::PowerPunchSignal, false),
+        (SchemeKind::ConvOptPg, false),
+    ] {
+        let fast = run_isolated_packets_mode(scheme, 8, slack2, TickMode::Fast);
+        let naive = run_isolated_packets_mode(scheme, 8, slack2, TickMode::Naive);
+        assert_eq!(
+            fast, naive,
+            "{scheme:?}: fast path changed observable timing"
+        );
+    }
+    let (wait, delivered) =
+        run_isolated_packets_mode(SchemeKind::PowerPunchFull, 8, true, TickMode::Fast);
+    assert_eq!(delivered, 6);
+    assert_eq!(
+        wait, 0,
+        "H=3 + slacks must stay non-blocking under fast-forward"
     );
 }
 

@@ -10,8 +10,8 @@
 //! pin that observation never perturbs simulation results.
 
 use punchsim::core::build_power_manager;
-use punchsim::noc::{Message, MsgClass, Network};
-use punchsim::prelude::RingSink;
+use punchsim::noc::{Message, MsgClass, Network, TickMode};
+use punchsim::prelude::{RingSink, Sampler};
 use punchsim::types::{
     FaultConfig, Mesh, NodeId, SchemeKind, SimConfig, SimError, StuckEpoch, TraceConfig, VnetId,
 };
@@ -163,4 +163,82 @@ fn tracing_does_not_perturb_results() {
         "latency distribution diverged under tracing"
     );
     assert_eq!(plain.pg, traced.pg, "power-gating counters diverged");
+}
+
+/// Builds a mostly idle PowerPunch-PG network carrying one early burst —
+/// quiescent stretches long enough that fast-forward jumps span many
+/// sampling intervals.
+fn mostly_idle_network(mode: TickMode) -> Network {
+    let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+    cfg.noc.mesh = Mesh::new(4, 4);
+    let pm = build_power_manager(&cfg).expect("valid config");
+    let mut net = Network::new(&cfg.noc, pm).expect("valid config");
+    net.set_tick_mode(mode);
+    for (src, dst) in [(0u16, 15u16), (5, 10), (12, 3)] {
+        net.send(Message {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            vnet: VnetId(0),
+            class: MsgClass::Control,
+            payload: 0,
+            gen_cycle: 0,
+        })
+        .expect("in-mesh send");
+    }
+    net
+}
+
+/// Skip-ahead must not smear the time axis: `run_hooked` caps every jump
+/// at the sampling boundary, so interval rows carry exactly the same
+/// `[start, end]` timestamps — and the same deltas — as a cycle-by-cycle
+/// run, even when the jump spans many whole intervals.
+#[test]
+fn sample_timestamps_are_exact_across_fast_forward_jumps() {
+    let rows = |mode: TickMode| {
+        let mut net = mostly_idle_network(mode);
+        let mut sampler = Sampler::new(16);
+        sampler.observe(net.obs_sample());
+        net.run_hooked(2_500, 100, &mut |n| sampler.observe(n.obs_sample()))
+            .expect("idle network must not stall");
+        sampler.into_rows()
+    };
+    let fast = rows(TickMode::Fast);
+    let naive = rows(TickMode::Naive);
+    assert_eq!(fast.len(), 25, "one row per 100-cycle interval");
+    for (i, row) in fast.iter().enumerate() {
+        assert_eq!(row.start, i as u64 * 100, "interval {i} start");
+        assert_eq!(row.end, (i as u64 + 1) * 100, "interval {i} end");
+    }
+    assert_eq!(fast, naive, "interval series must be mode-independent");
+}
+
+/// The watchdog's stall detector must not fire across a skipped stretch:
+/// a quiescent network is *making no progress by design*, and the jump
+/// accounts for that. A tiny threshold plus a multi-million-cycle idle
+/// run would stall instantly if fast-forward left `last_progress` behind.
+#[test]
+fn watchdog_sees_no_phantom_stall_across_jumps() {
+    let mut cfg = SimConfig::with_scheme(SchemeKind::ConvOptPg);
+    cfg.noc.mesh = Mesh::new(4, 4);
+    cfg.noc.watchdog.stall_threshold = 50; // far below the jump spans
+    let pm = build_power_manager(&cfg).expect("valid config");
+    let mut net = Network::new(&cfg.noc, pm).expect("valid config");
+    net.set_tick_mode(TickMode::Fast);
+    net.run(2_000_000)
+        .expect("idle quiescence is not a stall, even across jumps");
+    assert_eq!(net.cycle(), 2_000_000);
+    // Real work right after the jump still delivers — and a real stall
+    // right after a jump is still caught (the detector stays armed).
+    net.send(Message {
+        src: NodeId(0),
+        dst: NodeId(15),
+        vnet: VnetId(0),
+        class: MsgClass::Control,
+        payload: 0,
+        gen_cycle: net.cycle(),
+    })
+    .expect("in-mesh send");
+    net.run(500).expect("post-jump traffic must flow");
+    assert_eq!(net.in_flight(), 0);
+    assert_eq!(net.take_delivered(NodeId(15)).len(), 1);
 }

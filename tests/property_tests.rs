@@ -156,6 +156,108 @@ fn codebook_roundtrip_all_links() {
     }
 }
 
+/// Contention-freedom of the punch codebooks (§4.1 steps 3–5): whatever
+/// subset of wakeup signals shares a link in the same cycle — relayed
+/// remainders arriving from any combination of upstream links plus at
+/// most one locally generated punch — the merged target set is itself a
+/// codebook entry, and its codeword decodes to exactly the normalized
+/// (implied-target-free) closure of the merged targets. Merging therefore
+/// never needs arbitration, never loses a target, and never wakes a
+/// router the closure does not name.
+#[test]
+fn codebook_merges_are_contention_free() {
+    let mut rng = SimRng::seed_from_u64(0x16);
+    // Memoize enumerations: the random cases reuse few (mesh, H) combos.
+    let mut books: Vec<((u16, u16, u16), Codebook)> = Vec::new();
+    for _case in 0..300 {
+        let mesh = random_mesh(&mut rng);
+        let h = rng.random_range(2..5u16);
+        let key = (mesh.width(), mesh.height(), h);
+        if !books.iter().any(|(k, _)| *k == key) {
+            books.push((key, Codebook::enumerate(mesh, h)));
+        }
+        let cb = &books.iter().find(|(k, _)| *k == key).unwrap().1;
+        // A random directed link that exists.
+        let n = mesh.nodes() as u16;
+        let (r, dir) = loop {
+            let r = NodeId(rng.random_range(0..n));
+            let dir = Direction::ALL[rng.random_range(0..4usize)];
+            if cb.link(r, dir).is_some() {
+                break (r, dir);
+            }
+        };
+        let link = cb.link(r, dir).unwrap();
+        // Merge a random subset of same-cycle contributors.
+        let mut merged = PunchSet::new();
+        for in_dir in Direction::ALL {
+            let Some(up) = mesh.neighbor(r, in_dir) else {
+                continue;
+            };
+            let Some(up_link) = cb.link(up, in_dir.opposite()) else {
+                continue;
+            };
+            if rng.random_bool_ppm(500_000) {
+                continue; // this upstream link is idle this cycle
+            }
+            let arriving = up_link.sets()[rng.random_range(0..up_link.set_count())];
+            // The relayed remainder: targets consumed at `r` drop out and
+            // only those continuing through (r, dir) ride this link.
+            for &t in arriving.targets() {
+                if t != r && routing::xy_direction(mesh, r, t) == Some(dir) {
+                    merged.insert_normalized(mesh, r, t);
+                }
+            }
+        }
+        if rng.random_bool_ppm(500_000) {
+            // At most one locally generated punch joins the merge (the
+            // fabric's generation arbitration enforces the "one").
+            let local: Vec<NodeId> = mesh
+                .iter_nodes()
+                .filter(|&t| {
+                    t != r
+                        && mesh.distance(r, t) <= h
+                        && routing::xy_direction(mesh, r, t) == Some(dir)
+                })
+                .collect();
+            if !local.is_empty() {
+                merged.insert_normalized(mesh, r, local[rng.random_range(0..local.len())]);
+            }
+        }
+        if merged.is_empty() {
+            continue;
+        }
+        let code = link
+            .encode(&merged)
+            .unwrap_or_else(|| panic!("merged set {merged} not expressible on {r}->{dir} (H={h})"));
+        assert!(code > 0, "non-empty merge must not encode to idle");
+        assert_eq!(
+            link.decode(code),
+            Some(merged.canonical()),
+            "codeword must decode to the exact implied-target closure"
+        );
+    }
+}
+
+/// The paper's wire-width claims, re-checked from the property-test side:
+/// H=3 on an 8x8 mesh needs at most 5 bits on X links and 2 bits on Y
+/// links (Table 1 / §4.1 step 4).
+#[test]
+fn h3_link_widths_match_paper() {
+    let cb = Codebook::enumerate(Mesh::new(8, 8), 3);
+    for l in cb.iter() {
+        let cap = if l.dir.is_x() { 5 } else { 2 };
+        assert!(
+            l.width_bits() <= cap,
+            "{}->{} needs {} bits",
+            l.from,
+            l.dir,
+            l.width_bits()
+        );
+    }
+    assert_eq!(cb.max_x_width(), 5);
+    assert_eq!(cb.max_y_width(), 2);
+}
+
 /// Conservation: every injected packet is delivered exactly once, to the
 /// right node, under random traffic (always-on network).
 #[test]
