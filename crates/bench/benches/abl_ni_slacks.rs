@@ -26,7 +26,7 @@ fn main() {
     ]);
     for (s1, s2) in [(false, false), (true, false), (false, true), (true, true)] {
         let cfg = SimConfig::with_scheme(SchemeKind::PowerPunchSignal);
-        let mesh = cfg.noc.mesh;
+        let mesh = cfg.noc.topology;
         let hop = cfg.noc.hop_latency();
         // Build the manager with the ablated slack combination directly
         // (the `build_power_manager` factory only exposes the paper's two
@@ -57,7 +57,7 @@ fn main() {
 fn drive(net: &mut punchsim::noc::Network, cycles: u64) -> (f64, f64, f64) {
     use punchsim::noc::{Message, MsgClass};
     use punchsim::types::{NodeId, VnetId};
-    let nodes = net.mesh().nodes() as u64;
+    let nodes = net.topology().nodes() as u64;
     let mut pending: Vec<(u64, NodeId, NodeId)> = Vec::new();
     let mut seed = 0x9E3779B97F4A7C15u64;
     let mut rand = move || {

@@ -28,7 +28,7 @@ fn main() {
     for ((w, h), paper) in [((4u16, 4u16), "43.4%"), ((8, 8), "54.9%"), ((16, 16), "69.1%")] {
         let run = |scheme| {
             let mut cfg = SimConfig::with_scheme(scheme);
-            cfg.noc.mesh = Mesh::new(w, h);
+            cfg.noc.topology = Mesh::new(w, h).into();
             let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.002);
             sim.run_experiment(synth_cycles() / 4, synth_cycles()).unwrap()
                 .avg_packet_latency()

@@ -50,7 +50,7 @@ pub use store::Store;
 
 use punchsim_cmp::Benchmark;
 use punchsim_traffic::TrafficPattern;
-use punchsim_types::{Mesh, SchemeKind};
+use punchsim_types::{Mesh, RoutingKind, SchemeKind, Substrate, Torus};
 
 /// The default seed, matching `SimConfig::default().seed` so campaign
 /// results line up with ad-hoc CLI runs of the same configuration.
@@ -119,7 +119,8 @@ pub fn synthetic_suite(seed: u64) -> Vec<RunSpec> {
                 seed,
                 workload: Workload::Synthetic {
                     pattern,
-                    mesh: Mesh::new(8, 8),
+                    topo: Mesh::new(8, 8).into(),
+                    routing: RoutingKind::Xy,
                     rate: 0.005,
                     warmup_cycles: measure / 4,
                     measure_cycles: measure,
@@ -135,6 +136,40 @@ pub fn synthetic_suite(seed: u64) -> Vec<RunSpec> {
 pub fn ci_suite(seed: u64) -> Vec<RunSpec> {
     let mut specs = parsec_suite(seed);
     specs.extend(synthetic_suite(seed));
+    specs
+}
+
+/// The substrate sweep: the transpose and uniform patterns under every
+/// evaluated scheme on each non-default substrate the trait layer adds —
+/// the 8x8 torus under XY, the 8x8 mesh under YX, and the west-first
+/// turn-model mesh. Exercises the derived (non-hand-coded) codebooks end
+/// to end; EXPERIMENTS.md's torus-vs-mesh recipe runs this suite.
+pub fn substrate_suite(seed: u64) -> Vec<RunSpec> {
+    let measure = synth_cycles();
+    let substrates: [(Substrate, RoutingKind); 3] = [
+        (Substrate::Torus(Torus::new(8, 8)), RoutingKind::Xy),
+        (Mesh::new(8, 8).into(), RoutingKind::Yx),
+        (Mesh::new(8, 8).into(), RoutingKind::WestFirst),
+    ];
+    let mut specs = Vec::new();
+    for (topo, routing) in substrates {
+        for pattern in [TrafficPattern::UniformRandom, TrafficPattern::Transpose] {
+            for scheme in SchemeKind::EVALUATED {
+                specs.push(RunSpec {
+                    scheme,
+                    seed,
+                    workload: Workload::Synthetic {
+                        pattern,
+                        topo,
+                        routing,
+                        rate: 0.005,
+                        warmup_cycles: measure / 4,
+                        measure_cycles: measure,
+                    },
+                });
+            }
+        }
+    }
     specs
 }
 
@@ -167,7 +202,8 @@ pub fn fastpath_suite(seed: u64) -> Vec<RunSpec> {
             seed,
             workload: Workload::Synthetic {
                 pattern: TrafficPattern::UniformRandom,
-                mesh: Mesh::new(8, 8),
+                topo: Mesh::new(8, 8).into(),
+                routing: RoutingKind::Xy,
                 rate: 0.00005,
                 warmup_cycles: measure / 8,
                 measure_cycles: measure,
@@ -197,6 +233,16 @@ mod tests {
         assert_eq!(ci.len(), parsec.len() + synth.len());
         let fastpath = fastpath_suite(seed);
         assert_eq!(fastpath.len(), SchemeKind::EVALUATED.len());
+        let substrate = substrate_suite(seed);
+        assert_eq!(substrate.len(), 3 * 2 * SchemeKind::EVALUATED.len());
+        // Every id names its substrate: no two substrates collide.
+        let mut sids: Vec<String> = substrate.iter().map(RunSpec::id).collect();
+        sids.sort();
+        sids.dedup();
+        assert_eq!(sids.len(), substrate.len());
+        assert!(sids.iter().any(|i| i.contains("/torus8x8/")));
+        assert!(sids.iter().any(|i| i.contains("/8x8-yx/")));
+        assert!(sids.iter().any(|i| i.contains("/8x8-wf/")));
         for s in &fastpath {
             let Workload::Synthetic { rate, .. } = s.workload else {
                 panic!("fastpath suite must be synthetic");

@@ -138,7 +138,7 @@ impl CampaignReport {
 mod tests {
     use super::*;
     use punchsim_traffic::TrafficPattern;
-    use punchsim_types::{Mesh, SchemeKind};
+    use punchsim_types::{Mesh, RoutingKind, SchemeKind};
 
     use crate::runner::Runner;
     use crate::spec::{RunSpec, Workload};
@@ -150,7 +150,8 @@ mod tests {
                 seed: 1,
                 workload: Workload::Synthetic {
                     pattern: TrafficPattern::Neighbor,
-                    mesh: Mesh::new(4, 4),
+                    topo: Mesh::new(4, 4).into(),
+                    routing: RoutingKind::Xy,
                     rate: 0.02,
                     warmup_cycles: 50,
                     measure_cycles: 200,
@@ -162,7 +163,8 @@ mod tests {
                 seed: 2,
                 workload: Workload::Synthetic {
                     pattern: TrafficPattern::Neighbor,
-                    mesh: Mesh::new(4, 4),
+                    topo: Mesh::new(4, 4).into(),
+                    routing: RoutingKind::Xy,
                     rate: -1.0,
                     warmup_cycles: 50,
                     measure_cycles: 200,
@@ -219,7 +221,8 @@ mod tests {
             seed: 3,
             workload: Workload::Synthetic {
                 pattern: TrafficPattern::Neighbor,
-                mesh: Mesh::new(4, 4),
+                topo: Mesh::new(4, 4).into(),
+                routing: RoutingKind::Xy,
                 rate: 0.02,
                 warmup_cycles: 50,
                 measure_cycles: 200,

@@ -255,7 +255,7 @@ fn execute_one(spec: &RunSpec, store: Option<&Store>, opts: ObserveOpts) -> Outc
 mod tests {
     use super::*;
     use punchsim_traffic::TrafficPattern;
-    use punchsim_types::{Mesh, SchemeKind};
+    use punchsim_types::{Mesh, RoutingKind, SchemeKind};
 
     use crate::spec::Workload;
 
@@ -265,7 +265,8 @@ mod tests {
             seed,
             workload: Workload::Synthetic {
                 pattern: TrafficPattern::UniformRandom,
-                mesh: Mesh::new(4, 4),
+                topo: Mesh::new(4, 4).into(),
+                routing: RoutingKind::Xy,
                 rate,
                 warmup_cycles: 50,
                 measure_cycles: 200,

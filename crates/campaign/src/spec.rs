@@ -9,7 +9,7 @@ use punchsim_cmp::{Benchmark, CmpConfig, CmpSim};
 use punchsim_obs::{IntervalRow, RingSink, Sampler, Stamped};
 use punchsim_power::PowerModel;
 use punchsim_traffic::{SyntheticSim, TrafficPattern};
-use punchsim_types::{Mesh, SchemeKind, SimConfig, SimError};
+use punchsim_types::{RoutingKind, SchemeKind, SimConfig, SimError, Substrate};
 
 use crate::hash::Fnv64;
 use crate::json::Json;
@@ -36,8 +36,10 @@ pub enum Workload {
     Synthetic {
         /// Destination pattern.
         pattern: TrafficPattern,
-        /// Mesh dimensions.
-        mesh: Mesh,
+        /// Network substrate (mesh, torus or concentrated mesh).
+        topo: Substrate,
+        /// Routing function driving the substrate.
+        routing: RoutingKind,
         /// Offered load in flits/node/cycle.
         rate: f64,
         /// Warm-up cycles before statistics reset.
@@ -74,18 +76,30 @@ impl RunSpec {
             }
             Workload::Synthetic {
                 pattern,
-                mesh,
+                topo,
+                routing,
                 rate,
                 ..
-            } => format!(
-                "synth/{}/{}x{}/r{}/{}/s{}",
-                pattern.tag(),
-                mesh.width(),
-                mesh.height(),
-                rate,
-                self.scheme.tag(),
-                self.seed
-            ),
+            } => {
+                // The substrate segment stays byte-identical to the historic
+                // `{w}x{h}` rendering for the default mesh + XY combination
+                // (`Substrate::tag` renders a mesh as `8x8`); non-default
+                // routing appends a dash-suffix inside the same segment so
+                // the id keeps its slash structure.
+                let mut sub = topo.tag();
+                if *routing != RoutingKind::Xy {
+                    sub.push('-');
+                    sub.push_str(routing.tag());
+                }
+                format!(
+                    "synth/{}/{}/r{}/{}/s{}",
+                    pattern.tag(),
+                    sub,
+                    rate,
+                    self.scheme.tag(),
+                    self.seed
+                )
+            }
         }
     }
 
@@ -110,15 +124,26 @@ impl RunSpec {
             }
             Workload::Synthetic {
                 pattern,
-                mesh,
+                topo,
+                routing,
                 rate,
                 warmup_cycles,
                 measure_cycles,
             } => {
                 h.write_str("synth");
                 h.write_str(pattern.tag());
-                h.write_u64(mesh.width() as u64);
-                h.write_u64(mesh.height() as u64);
+                h.write_u64(topo.width() as u64);
+                h.write_u64(topo.height() as u64);
+                // Non-default substrates and routers extend the digest;
+                // the default mesh + XY writes exactly the historic byte
+                // sequence, keeping store entries and baselines valid.
+                if !matches!(topo, Substrate::Mesh(_)) {
+                    h.write_str(topo.kind_name());
+                    h.write_u64(topo.concentration() as u64);
+                }
+                if *routing != RoutingKind::Xy {
+                    h.write_str(routing.tag());
+                }
                 h.write_f64(*rate);
                 h.write_u64(*warmup_cycles);
                 h.write_u64(*measure_cycles);
@@ -144,17 +169,21 @@ impl RunSpec {
             }
             Workload::Synthetic {
                 pattern,
-                mesh,
+                topo,
+                routing,
                 rate,
                 warmup_cycles,
                 measure_cycles,
             } => {
                 o.push("kind", Json::Str("synth".to_string()));
                 o.push("pattern", Json::Str(pattern.tag().to_string()));
-                o.push(
-                    "mesh",
-                    Json::Str(format!("{}x{}", mesh.width(), mesh.height())),
-                );
+                // The key stays "mesh" (and a plain mesh renders the
+                // historic "WxH") so default artifacts are byte-identical;
+                // a non-XY router adds a "routing" key after it.
+                o.push("mesh", Json::Str(topo.tag()));
+                if *routing != RoutingKind::Xy {
+                    o.push("routing", Json::Str(routing.tag().to_string()));
+                }
                 o.push("rate", Json::Float(*rate));
                 o.push("warmup_cycles", Json::Int(*warmup_cycles as i64));
                 o.push("measure_cycles", Json::Int(*measure_cycles as i64));
@@ -200,7 +229,7 @@ impl RunSpec {
                 cfg.sim.seed = self.seed;
                 cfg.instr_per_core = *instr_per_core;
                 cfg.warmup_instr = *warmup_instr;
-                let routers = cfg.sim.noc.mesh.nodes();
+                let routers = cfg.sim.noc.topology.nodes();
                 let mut sim = CmpSim::new(cfg);
                 if opts.trace_cap > 0 {
                     sim.network_mut()
@@ -239,15 +268,17 @@ impl RunSpec {
             }
             Workload::Synthetic {
                 pattern,
-                mesh,
+                topo,
+                routing,
                 rate,
                 warmup_cycles,
                 measure_cycles,
             } => {
                 let mut cfg = SimConfig::with_scheme(self.scheme);
-                cfg.noc.mesh = *mesh;
+                cfg.noc.topology = *topo;
+                cfg.noc.routing = *routing;
                 cfg.seed = self.seed;
-                let routers = mesh.nodes();
+                let routers = topo.nodes();
                 let mut sim = SyntheticSim::new(cfg, *pattern, *rate);
                 if opts.trace_cap > 0 {
                     sim.network_mut()
@@ -423,6 +454,7 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use punchsim_types::Mesh;
 
     fn synth_spec() -> RunSpec {
         RunSpec {
@@ -430,7 +462,8 @@ mod tests {
             seed: 7,
             workload: Workload::Synthetic {
                 pattern: TrafficPattern::Transpose,
-                mesh: Mesh::new(4, 4),
+                topo: Mesh::new(4, 4).into(),
+                routing: RoutingKind::Xy,
                 rate: 0.05,
                 warmup_cycles: 100,
                 measure_cycles: 400,

@@ -97,7 +97,7 @@ impl Store {
 mod tests {
     use super::*;
     use punchsim_traffic::TrafficPattern;
-    use punchsim_types::{Mesh, SchemeKind};
+    use punchsim_types::{Mesh, RoutingKind, SchemeKind};
 
     use crate::spec::Workload;
 
@@ -107,7 +107,8 @@ mod tests {
             seed,
             workload: Workload::Synthetic {
                 pattern: TrafficPattern::UniformRandom,
-                mesh: Mesh::new(4, 4),
+                topo: Mesh::new(4, 4).into(),
+                routing: RoutingKind::Xy,
                 rate: 0.01,
                 warmup_cycles: 10,
                 measure_cycles: 50,

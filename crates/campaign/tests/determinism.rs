@@ -4,7 +4,7 @@
 
 use punchsim_campaign::{CampaignReport, Json, RunSpec, Runner, Store, Workload};
 use punchsim_traffic::TrafficPattern;
-use punchsim_types::{Mesh, SchemeKind};
+use punchsim_types::{Mesh, RoutingKind, SchemeKind};
 
 fn specs() -> Vec<RunSpec> {
     let mut v = Vec::new();
@@ -22,7 +22,8 @@ fn specs() -> Vec<RunSpec> {
                 seed: 40 + i as u64,
                 workload: Workload::Synthetic {
                     pattern,
-                    mesh: Mesh::new(4, 4),
+                    topo: Mesh::new(4, 4).into(),
+                    routing: RoutingKind::Xy,
                     rate: 0.03,
                     warmup_cycles: 100,
                     measure_cycles: 500,

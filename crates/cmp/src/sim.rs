@@ -133,9 +133,9 @@ impl CmpSim {
                 cfg.sim.trace.ring_capacity,
             )));
         }
-        let mesh = cfg.sim.noc.mesh;
-        let n = mesh.nodes();
-        let mem_nodes = corner_nodes(mesh.width(), mesh.height());
+        let topo = cfg.sim.noc.topology;
+        let n = topo.nodes();
+        let mem_nodes = corner_nodes(topo.width(), topo.height());
         let cores = (0..n)
             .map(|i| SyntheticCore::new(cfg.benchmark, i as u64, cfg.instr_per_core))
             .collect();
@@ -184,7 +184,7 @@ impl CmpSim {
     }
 
     fn home_of(&self, addr: BlockAddr) -> NodeId {
-        home_node(addr, self.cfg.sim.noc.mesh.nodes())
+        home_node(addr, self.cfg.sim.noc.topology.nodes())
     }
 
     /// Advances the system by one cycle.
@@ -261,7 +261,7 @@ impl CmpSim {
 
     /// Routes every message delivered by the network to its tile component.
     fn deliver(&mut self, now: Cycle) {
-        let nodes = self.cfg.sim.noc.mesh.nodes();
+        let nodes = self.cfg.sim.noc.topology.nodes();
         let l2_lat = self.cfg.l2_latency;
         for idx in 0..nodes {
             let node = NodeId(idx as u16);
@@ -366,7 +366,7 @@ impl CmpSim {
     }
 
     fn core_tick(&mut self, now: Cycle) {
-        let nodes = self.cfg.sim.noc.mesh.nodes();
+        let nodes = self.cfg.sim.noc.topology.nodes();
         for idx in 0..nodes {
             if self.blocked[idx] || self.cores[idx].done() {
                 continue;
@@ -444,7 +444,7 @@ impl CmpSim {
                     c.retired, c.quota, self.blocked[i], pend
                 );
                 if let Some(p) = pend {
-                    let home = home_node(p.addr, self.cfg.sim.noc.mesh.nodes());
+                    let home = home_node(p.addr, self.cfg.sim.noc.topology.nodes());
                     let d = &self.dirs[home.index()];
                     println!(
                         "   home {home}: state {:?} busy {}",
@@ -474,7 +474,7 @@ mod tests {
 
     fn small_cfg(scheme: SchemeKind) -> CmpConfig {
         let mut cfg = CmpConfig::new(Benchmark::Blackscholes, scheme);
-        cfg.sim.noc.mesh = Mesh::new(4, 4);
+        cfg.sim.noc.topology = Mesh::new(4, 4).into();
         cfg.instr_per_core = 6_000;
         cfg.warmup_instr = 1_500;
         cfg.max_cycles = 2_000_000;

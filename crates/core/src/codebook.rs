@@ -1,18 +1,23 @@
 //! Punch-signal codebooks: enumerating every distinct target set a link can
 //! carry, and assigning the codewords that make merging contention-free.
 //!
-//! This reproduces §4.1 steps 3–5 of the paper. For each directed link the
-//! closure of reachable *normalized* target sets is computed by fixpoint:
-//! a link's sets are all combinations of (a) at most one locally generated
-//! wakeup and (b) the relayed remainder of sets arriving on the upstream
-//! links, filtered by XY next-hop direction and normalized (implied targets
-//! dropped). Table 1 of the paper — the 22 sets on the X+ link of router 27
-//! of an 8x8 mesh for 3-hop punches, encodable in 5 bits — falls out of
-//! this enumeration, as do the 2-bit Y links.
+//! This reproduces §4.1 steps 3–5 of the paper, generalized over the
+//! topology/routing trait layer. For each directed link the closure of
+//! reachable *normalized* target sets is computed by fixpoint: a link's
+//! sets are all combinations of (a) at most one locally generated wakeup
+//! and (b) the relayed remainder of sets arriving on the upstream links,
+//! filtered by the routing function's next-hop direction and normalized
+//! (implied targets dropped). Nothing here is XY-specific: the turn model
+//! enters only through [`RouteView::direction`] and the path predicate
+//! inside [`PunchSet::insert_normalized`]. Table 1 of the paper — the 22
+//! sets on the X+ link of router 27 of an 8x8 XY mesh for 3-hop punches,
+//! encodable in 5 bits — falls out of this enumeration as the special
+//! case `RoutingKind::Xy`, as do the 2-bit Y links; YX routing yields the
+//! transposed widths.
 
 use std::collections::{BTreeSet, HashMap};
 
-use punchsim_types::{routing, Direction, Mesh, NodeId};
+use punchsim_types::{Direction, NodeId, RouteView, Substrate};
 
 use crate::punch::PunchSet;
 
@@ -85,32 +90,36 @@ impl LinkCodebook {
     }
 }
 
-/// All link codebooks of a mesh for a given punch depth.
+/// All link codebooks of a topology for a given punch depth.
 #[derive(Debug, Clone)]
 pub struct Codebook {
-    mesh: Mesh,
+    view: RouteView,
     hops: u16,
-    /// Indexed `[router][direction]`; `None` at mesh edges.
+    /// Indexed `[router][direction]`; `None` at topology edges.
     links: Vec<[Option<LinkCodebook>; 4]>,
 }
 
 impl Codebook {
-    /// Enumerates the codebooks for `mesh` with punch depth `hops` by
-    /// fixpoint closure. Cost is polynomial in mesh size and tiny in
+    /// Enumerates the codebooks for a topology/routing pair with punch
+    /// depth `hops` by fixpoint closure. Accepts anything convertible to a
+    /// [`RouteView`] — a bare [`punchsim_types::Mesh`] means XY routing,
+    /// matching the paper. Cost is polynomial in network size and tiny in
     /// practice (an 8x8 mesh at H=3 converges in a few iterations).
-    pub fn enumerate(mesh: Mesh, hops: u16) -> Self {
-        let n = mesh.nodes();
+    pub fn enumerate(view: impl Into<RouteView>, hops: u16) -> Self {
+        let view: RouteView = view.into();
+        let topo = view.topo;
+        let n = topo.nodes();
         // Locally generated targets per (router, out-dir): every router
-        // within `hops` whose XY path leaves through that direction.
-        let gen: Vec<[Vec<NodeId>; 4]> = mesh
+        // within `hops` whose route leaves through that direction.
+        let gen: Vec<[Vec<NodeId>; 4]> = topo
             .iter_nodes()
             .map(|r| {
                 let mut g: [Vec<NodeId>; 4] = Default::default();
-                for t in mesh.iter_nodes() {
-                    if t == r || mesh.distance(r, t) > hops {
+                for t in topo.iter_nodes() {
+                    if t == r || topo.distance(r, t) > hops {
                         continue;
                     }
-                    let d = routing::xy_direction(mesh, r, t).expect("t != r");
+                    let d = view.direction(r, t).expect("t != r");
                     g[d.index()].push(t);
                 }
                 g
@@ -121,16 +130,16 @@ impl Codebook {
         let mut changed = true;
         while changed {
             changed = false;
-            for r in mesh.iter_nodes() {
+            for r in topo.iter_nodes() {
                 for dir in Direction::ALL {
-                    if mesh.neighbor(r, dir).is_none() {
+                    if topo.neighbor(r, dir).is_none() {
                         continue;
                     }
                     // Options arriving from each upstream link, filtered to
                     // the targets that continue through (r, dir).
                     let mut relay_options: Vec<Vec<PunchSet>> = Vec::new();
                     for in_dir in Direction::ALL {
-                        let Some(up) = mesh.neighbor(r, in_dir) else {
+                        let Some(up) = topo.neighbor(r, in_dir) else {
                             continue;
                         };
                         // The upstream link points from `up` toward `r`.
@@ -142,8 +151,8 @@ impl Codebook {
                                 if t == r {
                                     continue; // consumed at r
                                 }
-                                if routing::xy_direction(mesh, r, t) == Some(dir) {
-                                    f.insert_normalized(mesh, r, t);
+                                if view.direction(r, t) == Some(dir) {
+                                    f.insert_normalized(view, r, t);
                                 }
                             }
                             if !f.is_empty() {
@@ -164,7 +173,7 @@ impl Codebook {
                             for s in opts {
                                 let mut merged = *base;
                                 for &t in s.targets() {
-                                    merged.insert_normalized(mesh, r, t);
+                                    merged.insert_normalized(view, r, t);
                                 }
                                 next.push(merged);
                             }
@@ -179,7 +188,7 @@ impl Codebook {
                         }
                         for &g in &gen[r.index()][dir.index()] {
                             let mut merged = *base;
-                            merged.insert_normalized(mesh, r, g);
+                            merged.insert_normalized(view, r, g);
                             out.insert(merged.canonical());
                         }
                     }
@@ -189,12 +198,12 @@ impl Codebook {
                 }
             }
         }
-        let links = mesh
+        let links = topo
             .iter_nodes()
             .map(|r| {
                 let mut row: [Option<LinkCodebook>; 4] = Default::default();
                 for dir in Direction::ALL {
-                    if mesh.neighbor(r, dir).is_none() {
+                    if topo.neighbor(r, dir).is_none() {
                         continue;
                     }
                     row[dir.index()] = Some(LinkCodebook::new(
@@ -206,12 +215,17 @@ impl Codebook {
                 row
             })
             .collect();
-        Codebook { mesh, hops, links }
+        Codebook { view, hops, links }
     }
 
-    /// The mesh this codebook was enumerated for.
-    pub fn mesh(&self) -> Mesh {
-        self.mesh
+    /// The topology/routing pair this codebook was enumerated for.
+    pub fn view(&self) -> RouteView {
+        self.view
+    }
+
+    /// The topology this codebook was enumerated for.
+    pub fn topology(&self) -> Substrate {
+        self.view.topo
     }
 
     /// The punch depth H.
@@ -257,6 +271,7 @@ impl Codebook {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use punchsim_types::{Mesh, RoutingKind};
 
     #[test]
     fn table1_x_plus_of_r27_has_22_sets_in_5_bits() {
@@ -348,6 +363,46 @@ mod tests {
     }
 
     #[test]
+    fn yx_routing_transposes_the_paper_widths() {
+        // Under YX routing the roles of the axes swap: Y links carry the
+        // rich multi-target sets (5 bits at H=3 on 8x8) and X links carry
+        // only straight-line singletons (2 bits). The derivation needs no
+        // YX-specific code — the turn model alone produces the transpose
+        // of Table 1.
+        let cb = Codebook::enumerate((Mesh::new(8, 8), RoutingKind::Yx), 3);
+        assert_eq!(cb.max_y_width(), 5);
+        assert_eq!(cb.max_x_width(), 2);
+        for l in cb.iter().filter(|l| l.dir.is_x()) {
+            assert!(l.set_count() <= 3);
+            for s in l.sets() {
+                assert_eq!(s.len(), 1, "X set {s} must be a singleton under YX");
+            }
+        }
+        // The transposed worst-case link mirrors R27's X+ link: same set
+        // count on the Y+ link of the transposed coordinate.
+        let link = cb.link(NodeId(27), Direction::South).unwrap();
+        assert_eq!(link.set_count(), 22);
+    }
+
+    #[test]
+    fn torus_links_enumerate_everywhere() {
+        // On a torus every router has all four links (wraparound), and XY
+        // routing with wrapped minimal deltas still converges to a finite
+        // codebook. Width can only grow relative to the mesh since every
+        // link sees at least the mesh's relay traffic patterns.
+        use punchsim_types::Torus;
+        let t = Substrate::Torus(Torus::new(5, 5));
+        let cb = Codebook::enumerate(t, 2);
+        for r in t.iter_nodes() {
+            for dir in Direction::ALL {
+                assert!(cb.link(r, dir).is_some(), "torus link {r}->{dir} missing");
+            }
+        }
+        assert!(cb.max_x_width() >= 1);
+        assert!(cb.max_y_width() >= 1);
+    }
+
+    #[test]
     fn h2_is_narrower_than_h3() {
         let cb2 = Codebook::enumerate(Mesh::new(8, 8), 2);
         let cb3 = Codebook::enumerate(Mesh::new(8, 8), 3);
@@ -380,7 +435,7 @@ mod tests {
             }
             // Unknown sets still encode to None.
             let mut alien = PunchSet::new();
-            alien.insert_normalized(cb.mesh(), NodeId(0), NodeId(1));
+            alien.insert_normalized(cb.view(), NodeId(0), NodeId(1));
             if !l.sets().contains(&alien.canonical()) {
                 assert_eq!(l.encode(&alien), None);
             }

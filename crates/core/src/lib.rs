@@ -51,19 +51,23 @@ use punchsim_types::{SchemeKind, SimConfig, SimError};
 /// Returns [`SimError::Config`] if `cfg` fails validation.
 pub fn build_power_manager(cfg: &SimConfig) -> Result<Box<dyn PowerManager>, SimError> {
     cfg.validate()?;
-    let mesh = cfg.noc.mesh;
+    let view = cfg.noc.view();
     let hop = cfg.noc.hop_latency();
     let base: Box<dyn PowerManager> = match cfg.scheme {
-        SchemeKind::NoPg => Box::new(AlwaysOn::new(mesh.nodes())),
-        SchemeKind::ConvPg => Box::new(ConvPgManager::new(mesh, &cfg.power, false)),
-        SchemeKind::ConvOptPg => Box::new(ConvPgManager::new(mesh, &cfg.power, true)),
+        SchemeKind::NoPg => Box::new(AlwaysOn::new(view.topo.nodes())),
+        SchemeKind::ConvPg => Box::new(ConvPgManager::new(view, &cfg.power, false)),
+        SchemeKind::ConvOptPg => Box::new(ConvPgManager::new(view, &cfg.power, true)),
         SchemeKind::PowerPunchSignal => {
-            Box::new(PowerPunchManager::new(mesh, &cfg.power, hop, false))
+            Box::new(PowerPunchManager::new(view, &cfg.power, hop, false))
         }
-        SchemeKind::PowerPunchFull => Box::new(PowerPunchManager::new(mesh, &cfg.power, hop, true)),
+        SchemeKind::PowerPunchFull => Box::new(PowerPunchManager::new(view, &cfg.power, hop, true)),
     };
     if cfg.faults.is_active() {
-        Ok(Box::new(FaultInjector::new(base, &cfg.faults, mesh)))
+        Ok(Box::new(FaultInjector::new(
+            base,
+            &cfg.faults,
+            cfg.noc.topology,
+        )))
     } else {
         Ok(base)
     }

@@ -8,7 +8,7 @@
 
 use punchsim_noc::obs::{Event, Stamped};
 use punchsim_noc::{IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
-use punchsim_types::{routing, Cycle, Mesh, NodeId, PowerConfig, SchemeKind};
+use punchsim_types::{Cycle, NodeId, PowerConfig, RouteView, SchemeKind};
 
 use crate::gating::GateArray;
 use crate::punch::PunchFabric;
@@ -24,16 +24,18 @@ use crate::punch::PunchFabric;
 #[derive(Debug)]
 pub struct ConvPgManager {
     kind: SchemeKind,
-    mesh: Mesh,
+    view: RouteView,
     gate: GateArray,
     early_wakeup: bool,
 }
 
 impl ConvPgManager {
-    /// Creates the conventional scheme. `early_wakeup` selects ConvOpt
-    /// behaviour; plain conventional gating uses the minimum 2-cycle
-    /// timeout, ConvOpt uses `power.idle_timeout`.
-    pub fn new(mesh: Mesh, power: &PowerConfig, early_wakeup: bool) -> Self {
+    /// Creates the conventional scheme over any topology/routing pair (a
+    /// bare [`punchsim_types::Mesh`] means XY routing). `early_wakeup`
+    /// selects ConvOpt behaviour; plain conventional gating uses the
+    /// minimum 2-cycle timeout, ConvOpt uses `power.idle_timeout`.
+    pub fn new(view: impl Into<RouteView>, power: &PowerConfig, early_wakeup: bool) -> Self {
+        let view: RouteView = view.into();
         let timeout = if early_wakeup {
             power.idle_timeout
         } else {
@@ -45,8 +47,8 @@ impl ConvPgManager {
             } else {
                 SchemeKind::ConvPg
             },
-            mesh,
-            gate: GateArray::new(mesh.nodes(), power.wakeup_latency, timeout),
+            view,
+            gate: GateArray::new(view.topo.nodes(), power.wakeup_latency, timeout),
             early_wakeup,
         }
     }
@@ -70,7 +72,7 @@ impl PowerManager for ConvPgManager {
                     self.gate.request_wake(router, cycle);
                 }
                 PmEvent::HeadArrival { router, dst } if self.early_wakeup => {
-                    if let Some(next) = routing::xy_next_hop(self.mesh, router, dst) {
+                    if let Some(next) = self.view.next_hop(router, dst) {
                         self.gate.counters_mut().wu_assertions += 1;
                         self.gate.request_wake(next, cycle);
                     }
@@ -136,13 +138,20 @@ pub struct PowerPunchManager {
 }
 
 impl PowerPunchManager {
-    /// Creates the Power Punch scheme for `mesh`. `ni_slack = false` is the
-    /// paper's `PowerPunch-Signal`, `true` is the full `PowerPunch-PG`.
+    /// Creates the Power Punch scheme over any topology/routing pair (a
+    /// bare [`punchsim_types::Mesh`] means XY routing). `ni_slack = false`
+    /// is the paper's `PowerPunch-Signal`, `true` is the full
+    /// `PowerPunch-PG`.
     ///
     /// `hop_latency` is the per-hop packet latency (router stages + link),
     /// used to size the forewarning window.
-    pub fn new(mesh: Mesh, power: &PowerConfig, hop_latency: u64, ni_slack: bool) -> Self {
-        Self::with_slacks(mesh, power, hop_latency, ni_slack, ni_slack)
+    pub fn new(
+        view: impl Into<RouteView>,
+        power: &PowerConfig,
+        hop_latency: u64,
+        ni_slack: bool,
+    ) -> Self {
+        Self::with_slacks(view, power, hop_latency, ni_slack, ni_slack)
     }
 
     /// Creates a Power Punch manager with the two injection-node slack
@@ -151,23 +160,24 @@ impl PowerPunchManager {
     /// router at resource-access start. The paper's `PowerPunch-PG` is
     /// both on; `PowerPunch-Signal` is both off.
     pub fn with_slacks(
-        mesh: Mesh,
+        view: impl Into<RouteView>,
         power: &PowerConfig,
         hop_latency: u64,
         slack1: bool,
         slack2: bool,
     ) -> Self {
+        let view: RouteView = view.into();
         PowerPunchManager {
             kind: if slack1 || slack2 {
                 SchemeKind::PowerPunchFull
             } else {
                 SchemeKind::PowerPunchSignal
             },
-            gate: GateArray::new(mesh.nodes(), power.wakeup_latency, power.idle_timeout),
-            fabric: PunchFabric::new(mesh, power.punch_hops),
+            gate: GateArray::new(view.topo.nodes(), power.wakeup_latency, power.idle_timeout),
+            fabric: PunchFabric::new(view, power.punch_hops),
             slack1,
             slack2,
-            forewarn_until: vec![0; mesh.nodes()],
+            forewarn_until: vec![0; view.topo.nodes()],
             trace: None,
             // A punch notification means a packet arrives within at most
             // H hops of packet flight time; afterwards the regular idle

@@ -9,7 +9,7 @@
 //! with 5-bit/2-bit wires. This module carries the *sets*; the codeword
 //! assignment lives in [`crate::codebook`].
 
-use punchsim_types::{routing, Direction, Mesh, NodeId};
+use punchsim_types::{Direction, NodeId, RouteView};
 
 /// Maximum distinct targets a single punch signal can carry after
 /// normalization (2 suffices for 3-hop punches on X links; 4-hop punches
@@ -55,7 +55,8 @@ impl PunchSet {
     }
 
     /// Inserts `t` into the set, maintaining the normalization invariant
-    /// with respect to XY paths rooted at `sender`:
+    /// with respect to routes rooted at `sender` (under `view`'s topology
+    /// and routing function):
     ///
     /// * if `t` lies on the path to an existing target, it is implied —
     ///   nothing changes;
@@ -67,16 +68,17 @@ impl PunchSet {
     /// Panics if more than [`MAX_TARGETS`] independent targets accumulate —
     /// the fabric's one-local-generation-per-cycle arbitration makes that
     /// unreachable.
-    pub fn insert_normalized(&mut self, mesh: Mesh, sender: NodeId, t: NodeId) {
+    pub fn insert_normalized(&mut self, view: impl Into<RouteView>, sender: NodeId, t: NodeId) {
+        let view = view.into();
         debug_assert_ne!(t, sender, "a punch target is never the sender");
         let mut keep = [NodeId(0); MAX_TARGETS];
         let mut n = 0usize;
         for &old in self.targets() {
-            if old == t || routing::xy_on_path(mesh, sender, old, t) {
+            if old == t || view.on_path(sender, old, t) {
                 // `t` is implied by `old`: set unchanged.
                 return;
             }
-            if !routing::xy_on_path(mesh, sender, t, old) {
+            if !view.on_path(sender, t, old) {
                 keep[n] = old;
                 n += 1;
             }
@@ -115,11 +117,11 @@ impl std::fmt::Display for PunchSet {
 /// and (b) at most one locally generated wakeup per output direction
 /// (additional local wakeups wait a cycle in a small queue — the hardware
 /// encoder can only express codebook sets), then forwards each target along
-/// its XY path. Every router a set arrives at is *notified*: the power
+/// its route. Every router a set arrives at is *notified*: the power
 /// manager wakes it if off and defers its sleep timer.
 #[derive(Debug, Clone)]
 pub struct PunchFabric {
-    mesh: Mesh,
+    view: RouteView,
     hops: u16,
     /// Sets that will arrive at router `r` from direction `d` next cycle.
     arriving: Vec<[PunchSet; 4]>,
@@ -139,11 +141,13 @@ pub struct PunchFabric {
 }
 
 impl PunchFabric {
-    /// Creates an idle fabric over `mesh` with punch depth `hops`.
-    pub fn new(mesh: Mesh, hops: u16) -> Self {
-        let n = mesh.nodes();
+    /// Creates an idle fabric over the given substrate + routing (a bare
+    /// `Mesh` selects XY) with punch depth `hops`.
+    pub fn new(view: impl Into<RouteView>, hops: u16) -> Self {
+        let view = view.into();
+        let n = view.topo.nodes();
         PunchFabric {
-            mesh,
+            view,
             hops,
             arriving: vec![[PunchSet::new(); 4]; n],
             scratch: vec![[PunchSet::new(); 4]; n],
@@ -162,15 +166,17 @@ impl PunchFabric {
     /// Queues a wakeup generated at `router` for a packet destined to `dst`,
     /// returning the punched target for observability.
     ///
-    /// The target is the router `min(H, dist)` hops ahead on the XY path
+    /// The target is the router `min(H, dist)` hops ahead on the route
     /// (§4.1 step 1). Nothing is queued when `router == dst` (returns
     /// `None`).
     pub fn generate(&mut self, router: NodeId, dst: NodeId) -> Option<NodeId> {
         if router == dst {
             return None;
         }
-        let target = routing::xy_router_ahead(self.mesh, router, dst, self.hops);
-        let dir = routing::xy_direction(self.mesh, router, target)
+        let target = self.view.router_ahead(router, dst, self.hops);
+        let dir = self
+            .view
+            .direction(router, target)
             .expect("target != router by construction");
         self.gen_queues[router.index()][dir.index()].push(target);
         self.gens_queued += 1;
@@ -184,7 +190,7 @@ impl PunchFabric {
         if self.wires_live == 0 && self.gens_queued == 0 {
             return; // idle fabric: nothing can arrive, nothing to relay
         }
-        let n = self.mesh.nodes();
+        let n = self.view.topo.nodes();
         let mut live = 0usize;
         for idx in 0..n {
             let here = NodeId(idx as u16);
@@ -201,8 +207,8 @@ impl PunchFabric {
                     if t == here {
                         continue; // final target reached; consumed
                     }
-                    let dir = routing::xy_direction(self.mesh, here, t).expect("t != here");
-                    outgoing[dir.index()].insert_normalized(self.mesh, here, t);
+                    let dir = self.view.direction(here, t).expect("t != here");
+                    outgoing[dir.index()].insert_normalized(self.view, here, t);
                 }
             }
             // Local generations also notify (they wake the local router when
@@ -210,7 +216,7 @@ impl PunchFabric {
             for (d, out) in outgoing.iter_mut().enumerate() {
                 if let Some(t) = self.pop_gen(idx, d) {
                     any_arrival = true;
-                    out.insert_normalized(self.mesh, here, t);
+                    out.insert_normalized(self.view, here, t);
                 }
             }
             if any_arrival {
@@ -222,8 +228,8 @@ impl PunchFabric {
                     continue;
                 }
                 let dir = Direction::ALL[d];
-                let Some(nb) = self.mesh.neighbor(here, dir) else {
-                    debug_assert!(false, "punch target routed off-mesh");
+                let Some(nb) = self.view.topo.neighbor(here, dir) else {
+                    debug_assert!(false, "punch target routed off the substrate");
                     continue;
                 };
                 self.hops_sent += 1;
@@ -267,7 +273,8 @@ impl PunchFabric {
                 // was sent by the neighbour in that direction.
                 let dir = Direction::ALL[d];
                 let src = self
-                    .mesh
+                    .view
+                    .topo
                     .neighbor(NodeId(idx as u16), dir)
                     .expect("punch arrived over a real link");
                 v.push((src, dir.opposite(), *set));
@@ -308,6 +315,7 @@ impl PunchFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use punchsim_types::Mesh;
 
     fn mesh8() -> Mesh {
         Mesh::new(8, 8)

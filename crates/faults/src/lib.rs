@@ -28,7 +28,7 @@
 
 use punchsim_noc::obs::{Event, FaultKind, Stamped};
 use punchsim_noc::{IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
-use punchsim_types::{Cycle, FaultConfig, Mesh, NodeId, SchemeKind, SimRng, StuckEpoch};
+use punchsim_types::{Cycle, FaultConfig, NodeId, SchemeKind, SimRng, StuckEpoch, Substrate};
 
 /// Counts of each fault actually injected so far (as opposed to the
 /// configured probabilities).
@@ -84,7 +84,7 @@ enum EpochState {
 /// power states in between.
 pub struct FaultInjector {
     inner: Box<dyn PowerManager>,
-    mesh: Mesh,
+    topo: Substrate,
     rng: SimRng,
     cfg: FaultConfig,
     /// Events delayed by jitter, as `(due_cycle, event)`.
@@ -104,16 +104,22 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
-    /// Wraps `inner` with the fault schedule in `cfg` over `mesh`.
+    /// Wraps `inner` with the fault schedule in `cfg` over `topo` (a bare
+    /// [`punchsim_types::Mesh`] converts implicitly).
     ///
     /// `cfg` is assumed validated (probabilities within 1_000_000 ppm,
-    /// stuck routers inside the mesh) —
+    /// stuck routers inside the topology) —
     /// [`punchsim_types::SimConfig::validate`] checks this.
-    pub fn new(inner: Box<dyn PowerManager>, cfg: &FaultConfig, mesh: Mesh) -> Self {
+    pub fn new(
+        inner: Box<dyn PowerManager>,
+        cfg: &FaultConfig,
+        topo: impl Into<Substrate>,
+    ) -> Self {
+        let topo: Substrate = topo.into();
         let counters_cache = inner.counters().clone();
         FaultInjector {
             inner,
-            mesh,
+            topo,
             rng: SimRng::seed_from_u64(cfg.seed),
             cfg: cfg.clone(),
             delayed: Vec::new(),
@@ -123,7 +129,7 @@ impl FaultInjector {
                 .iter()
                 .map(|&e| (e, EpochState::Pending))
                 .collect(),
-            stuck: vec![false; mesh.nodes()],
+            stuck: vec![false; topo.nodes()],
             stats: FaultStats::default(),
             counters_cache,
             trace: None,
@@ -191,10 +197,10 @@ impl FaultInjector {
         }
     }
 
-    /// Rewrites `dst` to a different in-mesh router — the decoded-to-wrong-
-    /// codeword model. Deterministic given the RNG stream position.
+    /// Rewrites `dst` to a different in-topology router — the decoded-to-
+    /// wrong-codeword model. Deterministic given the RNG stream position.
     fn corrupt_dst(&mut self, dst: NodeId) -> NodeId {
-        let n = self.mesh.nodes() as u16;
+        let n = self.topo.nodes() as u16;
         if n <= 1 {
             return dst;
         }
@@ -420,6 +426,7 @@ impl PowerManager for FaultInjector {
 mod tests {
     use super::*;
     use punchsim_noc::AlwaysOn;
+    use punchsim_types::Mesh;
 
     fn idle_none(n: usize) -> Vec<bool> {
         vec![false; n]

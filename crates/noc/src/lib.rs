@@ -17,7 +17,7 @@
 //! use punchsim_types::{NocConfig, NodeId, VnetId};
 //!
 //! let cfg = NocConfig::default();
-//! let mut net = Network::new(&cfg, Box::new(AlwaysOn::new(cfg.mesh.nodes()))).unwrap();
+//! let mut net = Network::new(&cfg, Box::new(AlwaysOn::new(cfg.topology.nodes()))).unwrap();
 //! net.send(Message {
 //!     src: NodeId(0),
 //!     dst: NodeId(63),

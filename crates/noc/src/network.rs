@@ -13,8 +13,8 @@ use std::collections::HashMap;
 
 use punchsim_obs::{self as obs, Event, EventSink, PowerTag};
 use punchsim_types::{
-    routing, BlockedPacket, Cycle, InvariantViolation, Mesh, NocConfig, NodeId, PacketId, Port,
-    PortMap, SimError, StallReport, WatchdogConfig,
+    BlockedPacket, Cycle, InvariantViolation, NocConfig, NodeId, PacketId, Port, PortMap,
+    RouteView, SimError, StallReport, Substrate, WatchdogConfig,
 };
 
 use crate::flit::{Flit, Message, MsgClass, PacketMeta};
@@ -71,7 +71,7 @@ impl TickMode {
 /// use punchsim_types::{NocConfig, NodeId, VnetId};
 ///
 /// let cfg = NocConfig::default();
-/// let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+/// let pm = Box::new(AlwaysOn::new(cfg.topology.nodes()));
 /// let mut net = Network::new(&cfg, pm).unwrap();
 /// net.send(Message {
 ///     src: NodeId(0),
@@ -90,7 +90,7 @@ impl TickMode {
 /// ```
 pub struct Network {
     cfg: NocConfig,
-    mesh: Mesh,
+    view: RouteView,
     cycle: Cycle,
     routers: Vec<Router>,
     nis: Vec<Ni>,
@@ -154,7 +154,7 @@ impl std::fmt::Debug for Network {
         f.debug_struct("Network")
             .field("cycle", &self.cycle)
             .field("scheme", &self.pm.kind())
-            .field("nodes", &self.mesh.nodes())
+            .field("nodes", &self.view.topo.nodes())
             .field("in_flight_packets", &self.packets.len())
             .finish()
     }
@@ -168,26 +168,27 @@ impl Network {
     /// Returns [`SimError::Config`] if `cfg` fails [`NocConfig::validate`].
     pub fn new(cfg: &NocConfig, pm: Box<dyn PowerManager>) -> Result<Self, SimError> {
         cfg.validate()?;
-        let mesh = cfg.mesh;
+        let view = cfg.view();
+        let topo = view.topo;
         let layout = VcLayout::new(cfg);
-        let n = mesh.nodes();
-        let routers = mesh
+        let n = topo.nodes();
+        let routers = topo
             .iter_nodes()
             .map(|id| {
                 let has = PortMap::from_fn(|p| match p {
                     Port::Local => true,
-                    Port::Link(d) => mesh.neighbor(id, d).is_some(),
+                    Port::Link(d) => topo.neighbor(id, d).is_some(),
                 });
                 Router::new(id, layout, cfg.router_stages, has)
             })
             .collect();
-        let nis = mesh
+        let nis = topo
             .iter_nodes()
             .map(|id| Ni::new(id, layout, cfg.ni_latency))
             .collect();
         Ok(Network {
             cfg: cfg.clone(),
-            mesh,
+            view,
             cycle: 0,
             routers,
             nis,
@@ -267,7 +268,7 @@ impl Network {
     /// behaviour; with no sink attached the only overhead is one branch
     /// per emission site.
     pub fn set_sink(&mut self, sink: Box<dyn EventSink>) {
-        let n = self.mesh.nodes();
+        let n = self.view.topo.nodes();
         // Prime the shadow from the current states so the first diff only
         // reports genuine transitions.
         self.power_shadow = (0..n)
@@ -314,9 +315,14 @@ impl Network {
         self.cycle
     }
 
-    /// The mesh this network is built on.
-    pub fn mesh(&self) -> Mesh {
-        self.mesh
+    /// The topology this network is built on.
+    pub fn topology(&self) -> Substrate {
+        self.view.topo
+    }
+
+    /// The topology/routing pair this network routes with.
+    pub fn view(&self) -> RouteView {
+        self.view
     }
 
     /// The network configuration.
@@ -350,10 +356,10 @@ impl Network {
     /// not a configured virtual network.
     pub fn send(&mut self, msg: Message) -> Result<PacketId, SimError> {
         for node in [msg.src, msg.dst] {
-            if !self.mesh.contains(node) {
+            if !self.view.topo.contains(node) {
                 return Err(SimError::NodeOutOfRange {
                     node,
-                    nodes: self.mesh.nodes(),
+                    nodes: self.view.topo.nodes(),
                 });
             }
         }
@@ -374,7 +380,7 @@ impl Network {
         // Look-ahead route for the first hop; a message to the local node
         // still traverses the local router (inject then immediately eject),
         // as in GARNET.
-        let route_port = match routing::xy_direction(self.mesh, msg.src, msg.dst) {
+        let route_port = match self.view.direction(msg.src, msg.dst) {
             Some(d) => Port::Link(d),
             None => Port::Local,
         };
@@ -593,10 +599,10 @@ impl Network {
             activity.merge(&r.activity);
         }
         let cycles = self.cycle - self.measure_start;
-        let denom = cycles as f64 * self.mesh.nodes() as f64;
+        let denom = cycles as f64 * self.view.topo.nodes() as f64;
         NetworkReport {
             scheme: self.pm.kind(),
-            routers: self.mesh.nodes(),
+            routers: self.view.topo.nodes(),
             cycles,
             stats: self.stats.clone(),
             activity,
@@ -688,7 +694,8 @@ impl Network {
             let down_on = PortMap::from_fn(|p| match p {
                 Port::Local => true,
                 Port::Link(d) => self
-                    .mesh
+                    .view
+                    .topo
                     .neighbor(here, d)
                     .is_some_and(|n| self.pm.is_available(n, arrival)),
             });
@@ -699,7 +706,8 @@ impl Network {
                     .direction()
                     .expect("PG can only block link ports");
                 let next = self
-                    .mesh
+                    .view
+                    .topo
                     .neighbor(here, d)
                     .expect("blocked port has a neighbor");
                 self.events.push(PmEvent::BlockedNeed { router: next });
@@ -723,7 +731,8 @@ impl Network {
                     }
                     Port::Link(d) => {
                         let up = self
-                            .mesh
+                            .view
+                            .topo
                             .neighbor(here, d)
                             .expect("flits only arrive over real links");
                         self.credit_in[up.index()][Port::Link(d.opposite())]
@@ -736,13 +745,14 @@ impl Network {
                     }
                     Port::Link(d) => {
                         let next = self
-                            .mesh
+                            .view
+                            .topo
                             .neighbor(here, d)
                             .expect("allocation never targets a mesh edge");
                         let mut flit = dep.flit;
                         // Look-ahead routing: compute the output port this
                         // flit will request at `next`.
-                        flit.route_port = match routing::xy_direction(self.mesh, next, flit.dst) {
+                        flit.route_port = match self.view.direction(next, flit.dst) {
                             Some(nd) => Port::Link(nd),
                             None => Port::Local,
                         };
@@ -1014,7 +1024,7 @@ impl Network {
     fn stall_report(&self, now: Cycle, stalled_for: Cycle) -> StallReport {
         let mut off_routers = Vec::new();
         let mut waking_routers = Vec::new();
-        for id in self.mesh.iter_nodes() {
+        for id in self.view.topo.iter_nodes() {
             match self.pm.state(id) {
                 PowerState::Off => off_routers.push(id),
                 PowerState::WakingUp { .. } => waking_routers.push(id),
@@ -1074,7 +1084,7 @@ mod tests {
 
     fn net() -> Network {
         let cfg = NocConfig::default();
-        let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+        let pm = Box::new(AlwaysOn::new(cfg.topology.nodes()));
         Network::new(&cfg, pm).unwrap()
     }
 
@@ -1173,7 +1183,7 @@ mod tests {
             router_stages: 4,
             ..NocConfig::default()
         };
-        let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+        let pm = Box::new(AlwaysOn::new(cfg.topology.nodes()));
         let mut n = Network::new(&cfg, pm).unwrap();
         n.send(msg(0, 3, MsgClass::Control)).unwrap();
         n.run(50).unwrap();
@@ -1285,7 +1295,7 @@ mod tests {
             ..NocConfig::default()
         };
         let pm = Box::new(AlwaysOff {
-            counters: crate::power::PgCounters::new(cfg.mesh.nodes()),
+            counters: crate::power::PgCounters::new(cfg.topology.nodes()),
         });
         let mut n = Network::new(&cfg, pm).unwrap();
         n.send(msg(0, 9, MsgClass::Control)).unwrap();
@@ -1321,7 +1331,7 @@ mod tests {
             ..NocConfig::default()
         };
         let pm = Box::new(AlwaysOff {
-            counters: crate::power::PgCounters::new(cfg.mesh.nodes()),
+            counters: crate::power::PgCounters::new(cfg.topology.nodes()),
         });
         let mut n = Network::new(&cfg, pm).unwrap();
         n.send(msg(0, 1, MsgClass::Control)).unwrap();
@@ -1345,7 +1355,7 @@ mod tests {
             },
             ..NocConfig::default()
         };
-        let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+        let pm = Box::new(AlwaysOn::new(cfg.topology.nodes()));
         let mut n = Network::new(&cfg, pm).unwrap();
         // No traffic at all: an empty network is idle, not stalled.
         n.run(500).unwrap();
@@ -1409,7 +1419,7 @@ mod tests {
             ..NocConfig::default()
         };
         let pm = Box::new(AlwaysOff {
-            counters: crate::power::PgCounters::new(cfg.mesh.nodes()),
+            counters: crate::power::PgCounters::new(cfg.topology.nodes()),
         });
         let mut n = Network::new(&cfg, pm).unwrap();
         n.set_sink(Box::new(punchsim_obs::RingSink::new(64)));
@@ -1496,7 +1506,7 @@ mod tests {
             link_latency: 0,
             ..NocConfig::default()
         };
-        let pm = Box::new(AlwaysOn::new(cfg.mesh.nodes()));
+        let pm = Box::new(AlwaysOn::new(cfg.topology.nodes()));
         let err = Network::new(&cfg, pm).unwrap_err();
         assert!(matches!(
             err,

@@ -17,7 +17,7 @@ fn msg(src: u16, dst: u16, vnet: u8, class: MsgClass) -> Message {
 
 fn net_with_mesh(mesh: Mesh) -> Network {
     let cfg = NocConfig {
-        mesh,
+        topology: mesh.into(),
         ..NocConfig::default()
     };
     Network::new(&cfg, Box::new(AlwaysOn::new(mesh.nodes()))).expect("valid config")

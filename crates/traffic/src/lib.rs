@@ -12,7 +12,7 @@
 //! use punchsim_types::{Mesh, SchemeKind, SimConfig};
 //!
 //! let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-//! cfg.noc.mesh = Mesh::new(4, 4);
+//! cfg.noc.topology = Mesh::new(4, 4).into();
 //! let mut sim = SyntheticSim::new(cfg, TrafficPattern::Transpose, 0.03);
 //! let report = sim.run_experiment(1_000, 4_000).unwrap();
 //! assert!(report.stats.packets_delivered > 0);

@@ -1,6 +1,6 @@
 //! Synthetic traffic patterns (§6.4 of the paper and the usual suspects).
 
-use punchsim_types::{Coord, Mesh, NodeId, SimRng};
+use punchsim_types::{Coord, NodeId, SimRng, Substrate};
 
 /// A synthetic destination-selection pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +86,8 @@ impl TrafficPattern {
     /// Deterministic patterns ignore `rng`. Index-bit patterns assume the
     /// node count is a power of two (true for the evaluated 4x4/8x8/16x16
     /// meshes); for other sizes they fall back to a modulo mapping.
-    pub fn destination(self, mesh: Mesh, src: NodeId, rng: &mut SimRng) -> NodeId {
+    pub fn destination(self, topo: impl Into<Substrate>, src: NodeId, rng: &mut SimRng) -> NodeId {
+        let mesh: Substrate = topo.into();
         let n = mesh.nodes() as u16;
         let bits = n.trailing_zeros();
         match self {
@@ -132,6 +133,7 @@ impl std::fmt::Display for TrafficPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use punchsim_types::Mesh;
 
     fn rng() -> SimRng {
         SimRng::seed_from_u64(1)

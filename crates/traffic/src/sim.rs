@@ -55,7 +55,7 @@ impl InjectionConfig {
 /// use punchsim_types::{Mesh, SchemeKind, SimConfig};
 ///
 /// let mut cfg = SimConfig::with_scheme(SchemeKind::ConvOptPg);
-/// cfg.noc.mesh = Mesh::new(4, 4);
+/// cfg.noc.topology = Mesh::new(4, 4).into();
 /// let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.05);
 /// sim.run(3_000).unwrap();
 /// assert!(sim.report().stats.packets_delivered > 0);
@@ -95,9 +95,13 @@ impl SyntheticSim {
             )));
         }
         let avg = inj.avg_packet_flits(cfg.noc.ctrl_packet_flits, cfg.noc.data_packet_flits);
-        let p_packet = (inj.rate_flits / avg).min(1.0);
+        // Concentrated topologies inject for `concentration` terminals per
+        // router; plain meshes and tori have concentration 1, leaving the
+        // probability bit-identical to the unconcentrated formula.
+        let conc = cfg.noc.topology.concentration() as f64;
+        let p_packet = (inj.rate_flits * conc / avg).min(1.0);
         let rng = SimRng::seed_from_u64(cfg.seed);
-        let n = cfg.noc.mesh.nodes();
+        let n = cfg.noc.topology.nodes();
         let mut sim = SyntheticSim {
             net,
             pattern,
@@ -163,7 +167,7 @@ impl SyntheticSim {
     /// [`SimError::Invariant`]) from [`Network::tick`].
     pub fn tick(&mut self) -> Result<(), SimError> {
         let now = self.net.cycle();
-        let mesh = self.net.mesh();
+        let topo = self.net.topology();
         for idx in 0..self.next_arrival.len() {
             let (at, slack2) = self.next_arrival[idx];
             let node = NodeId(idx as u16);
@@ -173,7 +177,7 @@ impl SyntheticSim {
                 self.net.notify_future_injection(node);
             }
             if at == now {
-                let dst = self.pattern.destination(mesh, node, &mut self.rng);
+                let dst = self.pattern.destination(topo, node, &mut self.rng);
                 let class = if self.rng.random_f64() < self.inj.data_fraction {
                     MsgClass::Data
                 } else {
@@ -306,7 +310,7 @@ mod tests {
 
     fn cfg(scheme: SchemeKind, mesh: Mesh) -> SimConfig {
         let mut c = SimConfig::with_scheme(scheme);
-        c.noc.mesh = mesh;
+        c.noc.topology = mesh.into();
         c
     }
 

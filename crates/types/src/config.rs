@@ -3,7 +3,8 @@
 //! argument (§4.1–4.2: punches are pure optimization) executable.
 
 use crate::error::ConfigError;
-use crate::geometry::Mesh;
+use crate::routing::{RouteView, RoutingKind};
+use crate::topology::Substrate;
 use crate::{Cycle, NodeId};
 
 /// Which power-gating scheme drives the routers (§5 of the paper).
@@ -81,8 +82,12 @@ impl std::fmt::Display for SchemeKind {
 /// Router microarchitecture and network parameters (Table 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NocConfig {
-    /// Mesh dimensions (Table 2: 4x4, 8x8 or 16x16; default 8x8).
-    pub mesh: Mesh,
+    /// Network substrate (Table 2 evaluates 4x4, 8x8 and 16x16 meshes;
+    /// default the paper's 8x8 mesh — torus and concentrated mesh are also
+    /// expressible).
+    pub topology: Substrate,
+    /// Routing function / turn model (default the paper's XY).
+    pub routing: RoutingKind,
     /// Number of virtual networks (3 for MESI without deadlock).
     pub vnets: u8,
     /// Data VCs per vnet (Table 2 / §2.1: two 3-flit data VCs).
@@ -116,7 +121,8 @@ pub struct NocConfig {
 impl Default for NocConfig {
     fn default() -> Self {
         NocConfig {
-            mesh: Mesh::new(8, 8),
+            topology: Substrate::default(),
+            routing: RoutingKind::Xy,
             vnets: 3,
             data_vcs_per_vnet: 2,
             data_vc_depth: 3,
@@ -149,6 +155,11 @@ impl NocConfig {
         self.router_stages as u64 + self.link_latency as u64
     }
 
+    /// The substrate + routing bundle route-aware components consume.
+    pub fn view(&self) -> RouteView {
+        RouteView::new(self.topology, self.routing)
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -170,6 +181,7 @@ impl NocConfig {
         if self.data_packet_flits == 0 || self.ctrl_packet_flits == 0 {
             return Err(ConfigError::EmptyPacket);
         }
+        self.routing.validate_on(self.topology)?;
         Ok(())
     }
 }
@@ -269,12 +281,13 @@ impl FaultConfig {
             || !self.stuck_epochs.is_empty()
     }
 
-    /// Validates probabilities and epoch targets against `mesh`.
+    /// Validates probabilities and epoch targets against the substrate.
     ///
     /// # Errors
     ///
     /// Returns the first violated constraint.
-    pub fn validate(&self, mesh: Mesh) -> Result<(), ConfigError> {
+    pub fn validate(&self, topo: impl Into<Substrate>) -> Result<(), ConfigError> {
+        let topo = topo.into();
         for (field, ppm) in [
             ("drop_punch_ppm", self.drop_punch_ppm),
             ("corrupt_punch_ppm", self.corrupt_punch_ppm),
@@ -285,7 +298,7 @@ impl FaultConfig {
             }
         }
         for e in &self.stuck_epochs {
-            if !mesh.contains(e.router) {
+            if !topo.contains(e.router) {
                 return Err(ConfigError::BadStuckRouter(e.router));
             }
         }
@@ -438,7 +451,7 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.noc.validate()?;
         self.power.validate()?;
-        self.faults.validate(self.noc.mesh)?;
+        self.faults.validate(self.noc.topology)?;
         self.trace.validate()
     }
 }
@@ -446,12 +459,14 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::geometry::Mesh;
 
     #[test]
     fn table2_defaults() {
         // Table 2 of the paper.
         let c = NocConfig::default();
-        assert_eq!(c.mesh, Mesh::new(8, 8));
+        assert_eq!(c.topology, Substrate::Mesh(Mesh::new(8, 8)));
+        assert_eq!(c.routing, RoutingKind::Xy);
         assert_eq!(c.vnets, 3);
         assert_eq!(c.data_vc_depth, 3);
         assert_eq!(c.ctrl_vc_depth, 1);
@@ -481,6 +496,26 @@ mod tests {
             ..PowerConfig::default()
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn cyclic_routing_on_torus_is_rejected() {
+        use crate::topology::Torus;
+        let mut c = NocConfig {
+            topology: Torus::new(8, 8).into(),
+            routing: RoutingKind::WestFirst,
+            ..NocConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::CyclicRouting { .. })
+        ));
+        c.routing = RoutingKind::Yx;
+        c.validate().unwrap();
+        // Any turn model is fine on an acyclic mesh substrate.
+        c.topology = Mesh::new(8, 8).into();
+        c.routing = RoutingKind::NegativeFirst;
+        c.validate().unwrap();
     }
 
     #[test]

@@ -45,6 +45,27 @@ pub enum ConfigError {
     BadStuckRouter(NodeId),
     /// Tracing was enabled with a zero-capacity flight recorder.
     ZeroTraceCapacity,
+    /// A topology was given degenerate dimensions (zero for a mesh,
+    /// below 2 for a torus ring).
+    BadTopologyDims {
+        /// Topology kind name (`"mesh"`, `"torus"`, `"cmesh"`).
+        kind: &'static str,
+        /// Offending width.
+        width: u16,
+        /// Offending height.
+        height: u16,
+    },
+    /// A concentrated mesh was given a zero concentration factor.
+    BadConcentration,
+    /// The routing function's turn model admits cycles on the chosen
+    /// topology (e.g. a non-dimension-ordered turn model on a torus, whose
+    /// wrap links close rings no turn restriction can break).
+    CyclicRouting {
+        /// Routing function name.
+        routing: &'static str,
+        /// Topology kind name.
+        topology: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -72,6 +93,23 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroTraceCapacity => {
                 write!(f, "tracing is enabled but ring_capacity is 0")
+            }
+            ConfigError::BadTopologyDims {
+                kind,
+                width,
+                height,
+            } => {
+                write!(f, "{kind} dimensions {width}x{height} are degenerate")
+            }
+            ConfigError::BadConcentration => {
+                write!(f, "concentrated mesh needs a concentration factor >= 1")
+            }
+            ConfigError::CyclicRouting { routing, topology } => {
+                write!(
+                    f,
+                    "routing {routing} admits cycles on a {topology} \
+                     (only dimension-ordered routing is deadlock-free there)"
+                )
             }
         }
     }

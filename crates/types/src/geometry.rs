@@ -5,6 +5,7 @@
 //! east and `Y+` points south (toward larger ids in both cases).
 
 use crate::direction::Direction;
+use crate::error::ConfigError;
 use crate::NodeId;
 
 /// A position in the mesh, `x` eastward and `y` southward.
@@ -53,10 +54,28 @@ impl Mesh {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero. Use [`Mesh::try_new`] where a
+    /// typed error is wanted instead (CLI parsing, config validation).
     pub fn new(width: u16, height: u16) -> Self {
-        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
-        Mesh { width, height }
+        Mesh::try_new(width, height).expect("mesh dimensions must be non-zero")
+    }
+
+    /// Creates a `width x height` mesh, rejecting zero dimensions through
+    /// the typed-error path: a `0xN` mesh has no nodes, and every
+    /// coordinate conversion on it would otherwise divide by zero.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::BadTopologyDims`] when either dimension is zero.
+    pub fn try_new(width: u16, height: u16) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::BadTopologyDims {
+                kind: "mesh",
+                width,
+                height,
+            });
+        }
+        Ok(Mesh { width, height })
     }
 
     /// Mesh width (number of columns).
@@ -197,6 +216,17 @@ mod tests {
     #[should_panic]
     fn out_of_range_coord_panics() {
         Mesh::new(4, 4).coord(NodeId(16));
+    }
+
+    #[test]
+    fn zero_dimensions_are_a_typed_error() {
+        for (w, h) in [(0, 4), (4, 0), (0, 0)] {
+            assert!(matches!(
+                Mesh::try_new(w, h),
+                Err(ConfigError::BadTopologyDims { kind: "mesh", .. })
+            ));
+        }
+        assert_eq!(Mesh::try_new(4, 4), Ok(Mesh::new(4, 4)));
     }
 
     #[test]

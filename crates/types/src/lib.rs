@@ -23,6 +23,7 @@ pub mod error;
 pub mod geometry;
 pub mod rng;
 pub mod routing;
+pub mod topology;
 
 pub use config::{
     FaultConfig, NocConfig, PowerConfig, SchemeKind, SimConfig, StuckEpoch, TraceConfig,
@@ -32,6 +33,8 @@ pub use direction::{Direction, Port, PortMap};
 pub use error::{BlockedPacket, ConfigError, InvariantViolation, SimError, StallReport};
 pub use geometry::{Coord, Mesh};
 pub use rng::SimRng;
+pub use routing::{RouteView, RoutingFunction, RoutingKind};
+pub use topology::{CMesh, Substrate, Topology, Torus};
 
 /// A simulation timestamp, in router clock cycles.
 pub type Cycle = u64;

@@ -1,13 +1,401 @@
-//! Dimension-order (XY) routing.
+//! Routing functions as first-class turn models.
 //!
 //! The paper implements Power Punch on a 2D mesh with XY routing (§4.1):
-//! packets travel the full X offset first, then the full Y offset. The
+//! packets travel the full X offset first, then the full Y offset, and the
 //! resulting turn restriction — `Y->X` turns are illegal — is what lets
-//! punch signals be merged into narrow codewords.
+//! punch signals be merged into narrow codewords. That derivation never
+//! actually uses "XY"; it uses *determinism* (one outgoing port per
+//! destination) and the *turn model* (which port sequences are legal). This
+//! module expresses routing as exactly that contract:
+//!
+//! * [`RoutingFunction`] — plans a route as at most four straight segment
+//!   runs over any [`Topology`], with closed-form `router_ahead`/`on_path`
+//!   derived from the segment schedule (no hop-by-hop walking);
+//! * [`RoutingKind`] — the storable implementations: dimension-ordered XY
+//!   and YX plus the west-first, north-last and negative-first turn models;
+//! * [`RouteView`] — a `Copy` bundle of substrate + routing that the punch
+//!   fabric, codebook enumeration and power managers thread around.
+//!
+//! The original `xy_*` free functions remain as thin wrappers over
+//! [`RoutingKind::Xy`] so existing mesh-only call sites keep working.
 
 use crate::direction::Direction;
+use crate::error::ConfigError;
 use crate::geometry::Mesh;
+use crate::topology::{Substrate, Topology};
 use crate::NodeId;
+
+/// A route plan: at most four straight `(direction, hops)` runs, in travel
+/// order. Minimal 2D routes have at most one run per axis sign, so four
+/// covers every turn model here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Segments {
+    runs: [(Option<Direction>, u16); 4],
+    len: u8,
+}
+
+impl Segments {
+    /// Appends a run; zero-length runs are dropped.
+    pub fn push(&mut self, dir: Direction, hops: u16) {
+        if hops > 0 {
+            self.runs[self.len as usize] = (Some(dir), hops);
+            self.len += 1;
+        }
+    }
+
+    /// The runs in travel order.
+    pub fn iter(&self) -> impl Iterator<Item = (Direction, u16)> + '_ {
+        self.runs[..self.len as usize]
+            .iter()
+            .map(|&(d, n)| (d.expect("pushed runs always carry a direction"), n))
+    }
+
+    /// Total hops across all runs.
+    pub fn total_hops(&self) -> u16 {
+        self.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The first run's direction, or `None` for an empty (already-there)
+    /// route.
+    pub fn first_direction(&self) -> Option<Direction> {
+        self.iter().next().map(|(d, _)| d)
+    }
+}
+
+/// A deterministic routing function expressed as a turn model.
+///
+/// Implementors provide the segment schedule and the turn-legality
+/// predicate; everything the simulator needs — output ports, punch targets,
+/// implied-target checks — is derived from those in closed form.
+pub trait RoutingFunction {
+    /// The straight segment runs a packet travels from `from` to `to`, in
+    /// order. Consecutive runs must form legal turns under
+    /// [`RoutingFunction::turn_legal`], and each intermediate router's
+    /// remaining route must equal `segments(topo, intermediate, to)` (the
+    /// prefix property deterministic routing needs).
+    fn segments(&self, topo: Substrate, from: NodeId, to: NodeId) -> Segments;
+
+    /// Whether a packet travelling in `incoming` may leave in `outgoing`.
+    /// All models here forbid U-turns.
+    fn turn_legal(&self, incoming: Direction, outgoing: Direction) -> bool;
+
+    /// The output direction at `from` for a packet headed to `to`, or
+    /// `None` when `from == to` (the packet ejects locally).
+    fn direction(&self, topo: Substrate, from: NodeId, to: NodeId) -> Option<Direction> {
+        self.segments(topo, from, to).first_direction()
+    }
+
+    /// The next router on the route, or `None` when `from == to`.
+    fn next_hop(&self, topo: Substrate, from: NodeId, to: NodeId) -> Option<NodeId> {
+        let dir = self.direction(topo, from, to)?;
+        Some(
+            topo.neighbor(from, dir)
+                .expect("routing directions always point at an existing link"),
+        )
+    }
+
+    /// The router exactly `hops` hops along the route from `from` to `to`,
+    /// or the destination itself when the route is shorter. This is the
+    /// paper's *targeted router* rule — the wakeup target is the router
+    /// `min(H, dist)` hops ahead (§4.1 step 1) — computed as a closed-form
+    /// coordinate jump over the segment schedule, not an O(hops) walk.
+    fn router_ahead(&self, topo: Substrate, from: NodeId, to: NodeId, hops: u16) -> NodeId {
+        let mut cur = from;
+        let mut left = hops;
+        for (dir, n) in self.segments(topo, from, to).iter() {
+            if left <= n {
+                return topo.advance(cur, dir, left);
+            }
+            cur = topo.advance(cur, dir, n);
+            left -= n;
+        }
+        cur
+    }
+
+    /// Returns `true` if `mid` lies on the route from `from` to `to`
+    /// (endpoints included). Used to drop *implied* punch targets
+    /// (§4.1 step 4). Closed-form per segment run.
+    fn on_path(&self, topo: Substrate, from: NodeId, to: NodeId, mid: NodeId) -> bool {
+        if mid == from {
+            return true;
+        }
+        let mut cur = from;
+        for (dir, n) in self.segments(topo, from, to).iter() {
+            if let Some(k) = topo.steps_between(cur, mid, dir) {
+                if k <= n {
+                    return true;
+                }
+            }
+            cur = topo.advance(cur, dir, n);
+        }
+        false
+    }
+}
+
+/// The storable routing-function handle: which turn model a configuration
+/// or spec routes with. `Copy`/`Eq`/`Hash`, like [`Substrate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingKind {
+    /// Dimension-ordered X-then-Y (the paper's routing; forbids `Y->X`).
+    #[default]
+    Xy,
+    /// Dimension-ordered Y-then-X (forbids `X->Y`; transposes the punch
+    /// codeword widths).
+    Yx,
+    /// West-first turn model: all westward travel happens first; turning
+    /// *into* West is forbidden.
+    WestFirst,
+    /// North-last turn model: northward travel happens last; turning *out
+    /// of* North is forbidden.
+    NorthLast,
+    /// Negative-first turn model: all West/North (negative) travel happens
+    /// first; turns from a positive into a negative direction are
+    /// forbidden.
+    NegativeFirst,
+}
+
+impl RoutingKind {
+    /// Every supported routing function, in stable order.
+    pub const ALL: [RoutingKind; 5] = [
+        RoutingKind::Xy,
+        RoutingKind::Yx,
+        RoutingKind::WestFirst,
+        RoutingKind::NorthLast,
+        RoutingKind::NegativeFirst,
+    ];
+
+    /// Stable tag used in artifact ids, content hashes and CLI parsing.
+    /// Never rename a tag: artifact names and baselines depend on them.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RoutingKind::Xy => "xy",
+            RoutingKind::Yx => "yx",
+            RoutingKind::WestFirst => "wf",
+            RoutingKind::NorthLast => "nl",
+            RoutingKind::NegativeFirst => "nf",
+        }
+    }
+
+    /// Parses a [`RoutingKind::tag`] (long CLI spellings included).
+    pub fn from_tag(tag: &str) -> Option<RoutingKind> {
+        Some(match tag {
+            "xy" => RoutingKind::Xy,
+            "yx" => RoutingKind::Yx,
+            "wf" | "westfirst" | "west-first" => RoutingKind::WestFirst,
+            "nl" | "northlast" | "north-last" => RoutingKind::NorthLast,
+            "nf" | "negfirst" | "negative-first" => RoutingKind::NegativeFirst,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name for errors and help text.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingKind::Xy => "XY",
+            RoutingKind::Yx => "YX",
+            RoutingKind::WestFirst => "west-first",
+            RoutingKind::NorthLast => "north-last",
+            RoutingKind::NegativeFirst => "negative-first",
+        }
+    }
+
+    /// Checks that this turn model is deadlock-free on `topo`.
+    ///
+    /// Turn models break cycles by forbidding turns, which works on an
+    /// acyclic channel graph (mesh, concentrated mesh). A torus closes
+    /// every row and column into a ring that no turn restriction can cut,
+    /// so only dimension-ordered routing — whose straight rings are handled
+    /// by the multi-VC vnet layout — is admitted there.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::CyclicRouting`] for a forbidden combination.
+    pub fn validate_on(&self, topo: Substrate) -> Result<(), ConfigError> {
+        if topo.wraps() && !matches!(self, RoutingKind::Xy | RoutingKind::Yx) {
+            return Err(ConfigError::CyclicRouting {
+                routing: self.name(),
+                topology: topo.kind_name(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for RoutingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Splits a signed delta into `(direction, hops)` runs for each axis.
+fn axis_runs(dx: i32, dy: i32) -> ((Direction, u16), (Direction, u16)) {
+    let x = if dx >= 0 {
+        (Direction::East, dx as u16)
+    } else {
+        (Direction::West, (-dx) as u16)
+    };
+    let y = if dy >= 0 {
+        (Direction::South, dy as u16)
+    } else {
+        (Direction::North, (-dy) as u16)
+    };
+    (x, y)
+}
+
+impl RoutingFunction for RoutingKind {
+    fn segments(&self, topo: Substrate, from: NodeId, to: NodeId) -> Segments {
+        let (dx, dy) = topo.delta(from, to);
+        let ((xd, xn), (yd, yn)) = axis_runs(dx, dy);
+        let mut s = Segments::default();
+        match self {
+            RoutingKind::Xy => {
+                s.push(xd, xn);
+                s.push(yd, yn);
+            }
+            RoutingKind::Yx => {
+                s.push(yd, yn);
+                s.push(xd, xn);
+            }
+            RoutingKind::WestFirst => {
+                // Westward travel first; otherwise Y before East so the
+                // route never turns into West.
+                if xd == Direction::West {
+                    s.push(xd, xn);
+                    s.push(yd, yn);
+                } else {
+                    s.push(yd, yn);
+                    s.push(xd, xn);
+                }
+            }
+            RoutingKind::NorthLast => {
+                // Northward travel last; otherwise South before X so the
+                // route never turns out of North.
+                if yd == Direction::North {
+                    s.push(xd, xn);
+                    s.push(yd, yn);
+                } else {
+                    s.push(yd, yn);
+                    s.push(xd, xn);
+                }
+            }
+            RoutingKind::NegativeFirst => {
+                // Negative directions (West, North) first, in fixed W,N,E,S
+                // order; a positive run never precedes a negative one.
+                let (mut neg, mut pos) = (Segments::default(), Segments::default());
+                for (d, n) in [(xd, xn), (yd, yn)] {
+                    if matches!(d, Direction::West | Direction::North) {
+                        neg.push(d, n);
+                    } else {
+                        pos.push(d, n);
+                    }
+                }
+                for (d, n) in neg.iter().chain(pos.iter()) {
+                    s.push(d, n);
+                }
+            }
+        }
+        debug_assert_eq!(s.total_hops(), topo.distance(from, to));
+        s
+    }
+
+    fn turn_legal(&self, incoming: Direction, outgoing: Direction) -> bool {
+        if outgoing == incoming.opposite() {
+            return false; // U-turns are illegal under every model.
+        }
+        if outgoing == incoming {
+            return true; // Continuing straight always is.
+        }
+        match self {
+            RoutingKind::Xy => !(incoming.is_y() && outgoing.is_x()),
+            RoutingKind::Yx => !(incoming.is_x() && outgoing.is_y()),
+            RoutingKind::WestFirst => outgoing != Direction::West,
+            RoutingKind::NorthLast => incoming != Direction::North,
+            RoutingKind::NegativeFirst => {
+                let positive = |d| matches!(d, Direction::East | Direction::South);
+                let negative = |d| matches!(d, Direction::West | Direction::North);
+                !(positive(incoming) && negative(outgoing))
+            }
+        }
+    }
+}
+
+/// A substrate paired with the routing function that runs on it: the
+/// `Copy` bundle everything route-aware stores.
+///
+/// `From<Mesh>`/`From<Substrate>` default the routing to [`RoutingKind::Xy`]
+/// so pre-trait call sites (`PunchFabric::new(mesh, 3)`, …) keep compiling;
+/// pass a `(topology, routing)` tuple to pick another turn model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteView {
+    /// The substrate routes run over.
+    pub topo: Substrate,
+    /// The turn model that plans them.
+    pub routing: RoutingKind,
+}
+
+impl RouteView {
+    /// Bundles a substrate with a routing function.
+    pub fn new(topo: impl Into<Substrate>, routing: RoutingKind) -> Self {
+        RouteView {
+            topo: topo.into(),
+            routing,
+        }
+    }
+
+    /// The output direction at `from` toward `to` (`None` when ejecting).
+    #[inline]
+    pub fn direction(&self, from: NodeId, to: NodeId) -> Option<Direction> {
+        self.routing.direction(self.topo, from, to)
+    }
+
+    /// The next router on the route (`None` when `from == to`).
+    #[inline]
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<NodeId> {
+        self.routing.next_hop(self.topo, from, to)
+    }
+
+    /// The router `min(hops, dist)` hops along the route (§4.1 step 1).
+    #[inline]
+    pub fn router_ahead(&self, from: NodeId, to: NodeId, hops: u16) -> NodeId {
+        self.routing.router_ahead(self.topo, from, to, hops)
+    }
+
+    /// Whether `mid` lies on the route (endpoints included).
+    #[inline]
+    pub fn on_path(&self, from: NodeId, to: NodeId, mid: NodeId) -> bool {
+        self.routing.on_path(self.topo, from, to, mid)
+    }
+
+    /// Whether the `incoming -> outgoing` turn is legal.
+    #[inline]
+    pub fn turn_legal(&self, incoming: Direction, outgoing: Direction) -> bool {
+        self.routing.turn_legal(incoming, outgoing)
+    }
+
+    /// Minimal hop distance on the substrate.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u16 {
+        self.topo.distance(a, b)
+    }
+}
+
+impl From<Mesh> for RouteView {
+    fn from(m: Mesh) -> Self {
+        RouteView::new(m, RoutingKind::Xy)
+    }
+}
+
+impl From<Substrate> for RouteView {
+    fn from(t: Substrate) -> Self {
+        RouteView::new(t, RoutingKind::Xy)
+    }
+}
+
+impl<T: Into<Substrate>> From<(T, RoutingKind)> for RouteView {
+    fn from((t, r): (T, RoutingKind)) -> Self {
+        RouteView::new(t, r)
+    }
+}
 
 /// The XY-routing output direction at `from` for a packet headed to `to`,
 /// or `None` when `from == to` (the packet ejects locally).
@@ -22,28 +410,13 @@ use crate::NodeId;
 /// assert_eq!(xy_direction(mesh, NodeId(26), NodeId(31)), Some(Direction::East));
 /// ```
 pub fn xy_direction(mesh: Mesh, from: NodeId, to: NodeId) -> Option<Direction> {
-    let (f, t) = (mesh.coord(from), mesh.coord(to));
-    if f.x < t.x {
-        Some(Direction::East)
-    } else if f.x > t.x {
-        Some(Direction::West)
-    } else if f.y < t.y {
-        Some(Direction::South)
-    } else if f.y > t.y {
-        Some(Direction::North)
-    } else {
-        None
-    }
+    RoutingKind::Xy.direction(mesh.into(), from, to)
 }
 
 /// The next router on the XY path from `from` to `to`, or `None` when
 /// `from == to`.
 pub fn xy_next_hop(mesh: Mesh, from: NodeId, to: NodeId) -> Option<NodeId> {
-    let dir = xy_direction(mesh, from, to)?;
-    Some(
-        mesh.neighbor(from, dir)
-            .expect("XY direction always points inside the mesh"),
-    )
+    RoutingKind::Xy.next_hop(mesh.into(), from, to)
 }
 
 /// The router exactly `hops` hops along the XY path from `from` to `to`.
@@ -52,43 +425,44 @@ pub fn xy_next_hop(mesh: Mesh, from: NodeId, to: NodeId) -> Option<NodeId> {
 /// This is precisely the paper's *targeted router* rule: the wakeup target
 /// is the router `min(H, dist)` hops ahead (§4.1 step 1).
 pub fn xy_router_ahead(mesh: Mesh, from: NodeId, to: NodeId, hops: u16) -> NodeId {
-    let mut cur = from;
-    for _ in 0..hops {
-        match xy_next_hop(mesh, cur, to) {
-            Some(next) => cur = next,
-            None => break,
-        }
-    }
-    cur
+    RoutingKind::Xy.router_ahead(mesh.into(), from, to, hops)
 }
 
 /// Returns `true` if `mid` lies on the XY path from `from` to `to`
 /// (endpoints included). Used to drop *implied* punch targets (§4.1 step 4).
 pub fn xy_on_path(mesh: Mesh, from: NodeId, to: NodeId, mid: NodeId) -> bool {
-    let (f, t, m) = (mesh.coord(from), mesh.coord(to), mesh.coord(mid));
-    // X phase: same row as source, x between f.x and t.x.
-    let in_x_phase = m.y == f.y && m.x >= f.x.min(t.x) && m.x <= f.x.max(t.x);
-    // Y phase: same column as destination, y between f.y and t.y.
-    let in_y_phase = m.x == t.x && m.y >= f.y.min(t.y) && m.y <= f.y.max(t.y);
-    in_x_phase || in_y_phase
+    RoutingKind::Xy.on_path(mesh.into(), from, to, mid)
 }
 
-/// An iterator over the routers of an XY route, excluding the source and
+/// An iterator over the routers of a route, excluding the source and
 /// including the destination.
 #[derive(Debug, Clone)]
-pub struct XyPath {
-    mesh: Mesh,
+pub struct RoutePath {
+    view: RouteView,
     cur: NodeId,
     dst: NodeId,
 }
 
-impl Iterator for XyPath {
+/// Kept as an alias for the pre-trait name.
+pub type XyPath = RoutePath;
+
+impl Iterator for RoutePath {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        let next = xy_next_hop(self.mesh, self.cur, self.dst)?;
+        let next = self.view.next_hop(self.cur, self.dst)?;
         self.cur = next;
         Some(next)
+    }
+}
+
+/// The route from `from` to `to` under `view` as an iterator of
+/// intermediate routers and the destination (the source is not yielded).
+pub fn route_path(view: impl Into<RouteView>, from: NodeId, to: NodeId) -> RoutePath {
+    RoutePath {
+        view: view.into(),
+        cur: from,
+        dst: to,
     }
 }
 
@@ -104,27 +478,20 @@ impl Iterator for XyPath {
 /// let hops: Vec<_> = xy_path(mesh, NodeId(26), NodeId(36)).collect();
 /// assert_eq!(hops, vec![NodeId(27), NodeId(28), NodeId(36)]);
 /// ```
-pub fn xy_path(mesh: Mesh, from: NodeId, to: NodeId) -> XyPath {
-    XyPath {
-        mesh,
-        cur: from,
-        dst: to,
-    }
+pub fn xy_path(mesh: Mesh, from: NodeId, to: NodeId) -> RoutePath {
+    route_path(mesh, from, to)
 }
 
 /// Returns `true` if turning from travel direction `incoming` to `outgoing`
 /// is legal under XY routing (Y->X turns are forbidden).
 pub fn xy_turn_legal(incoming: Direction, outgoing: Direction) -> bool {
-    // Continuing straight or turning X->Y is legal; U-turns and Y->X are not.
-    if outgoing == incoming.opposite() {
-        return false;
-    }
-    !(incoming.is_y() && outgoing.is_x())
+    RoutingKind::Xy.turn_legal(incoming, outgoing)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Torus;
 
     fn mesh8() -> Mesh {
         Mesh::new(8, 8)
@@ -210,5 +577,139 @@ mod tests {
         assert!(xy_turn_legal(East, North));
         assert!(xy_turn_legal(East, East));
         assert!(!xy_turn_legal(East, West)); // U-turn
+    }
+
+    #[test]
+    fn yx_transposes_xy() {
+        let m = mesh8();
+        let v = RouteView::new(m, RoutingKind::Yx);
+        // R26 -> R36: YX goes south first (26 -> 34 -> 35 -> 36).
+        let p: Vec<_> = route_path(v, NodeId(26), NodeId(36)).collect();
+        assert_eq!(p, vec![NodeId(34), NodeId(35), NodeId(36)]);
+        // YX forbids X->Y instead of Y->X.
+        use Direction::*;
+        assert!(!v.turn_legal(East, South));
+        assert!(v.turn_legal(South, East));
+    }
+
+    /// Every routing kind, on every substrate it admits: the planned
+    /// segments form a minimal, turn-legal, prefix-consistent route.
+    #[test]
+    fn all_kinds_plan_minimal_legal_routes() {
+        let topos: Vec<Substrate> = vec![
+            Mesh::new(5, 4).into(),
+            Mesh::new(4, 5).into(),
+            Torus::new(5, 4).into(),
+        ];
+        for topo in topos {
+            for kind in RoutingKind::ALL {
+                if kind.validate_on(topo).is_err() {
+                    continue;
+                }
+                for a in topo.iter_nodes() {
+                    for b in topo.iter_nodes() {
+                        let v = RouteView::new(topo, kind);
+                        // Walk the route hop by hop, checking legality.
+                        let mut cur = a;
+                        let mut hops = 0u16;
+                        let mut prev: Option<Direction> = None;
+                        while cur != b {
+                            let d = v.direction(cur, b).expect("route not done");
+                            if let Some(p) = prev {
+                                assert!(
+                                    v.turn_legal(p, d),
+                                    "{kind:?} on {topo}: illegal {p}->{d} at {cur} ({a}->{b})"
+                                );
+                            }
+                            // on_path sees every router the walk visits.
+                            assert!(v.on_path(a, b, cur), "{kind:?} {a}->{b} misses {cur}");
+                            cur = v.next_hop(cur, b).unwrap();
+                            prev = Some(d);
+                            hops += 1;
+                            assert!(hops <= topo.distance(a, b), "{kind:?} {a}->{b} detours");
+                        }
+                        assert_eq!(hops, topo.distance(a, b), "{kind:?} {a}->{b} not minimal");
+                        assert!(v.on_path(a, b, b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The closed-form `router_ahead` equals the hop-by-hop walk it
+    /// replaced, for every kind, pair and horizon.
+    #[test]
+    fn router_ahead_matches_hop_walk() {
+        let topos: Vec<Substrate> = vec![Mesh::new(5, 4).into(), Torus::new(4, 4).into()];
+        for topo in topos {
+            for kind in RoutingKind::ALL {
+                if kind.validate_on(topo).is_err() {
+                    continue;
+                }
+                for a in topo.iter_nodes() {
+                    for b in topo.iter_nodes() {
+                        for h in 0..=5u16 {
+                            let mut cur = a;
+                            for _ in 0..h {
+                                match kind.next_hop(topo, cur, b) {
+                                    Some(n) => cur = n,
+                                    None => break,
+                                }
+                            }
+                            assert_eq!(
+                                kind.router_ahead(topo, a, b, h),
+                                cur,
+                                "{kind:?} on {topo}: {a}->{b} h={h}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routes_through_wrap_links() {
+        let t: Substrate = Torus::new(8, 8).into();
+        let v = RouteView::new(t, RoutingKind::Xy);
+        // R0 -> R7 is one westward wrap hop, not seven east.
+        assert_eq!(v.direction(NodeId(0), NodeId(7)), Some(Direction::West));
+        assert_eq!(v.next_hop(NodeId(0), NodeId(7)), Some(NodeId(7)));
+        assert_eq!(v.distance(NodeId(0), NodeId(63)), 2);
+        // Targeted-router rule across a wrap: 3 hops ahead of R0 toward
+        // R61 (3 west on the row ring).
+        assert_eq!(v.router_ahead(NodeId(0), NodeId(61), 3), NodeId(5));
+    }
+
+    #[test]
+    fn cyclic_combinations_are_rejected() {
+        let torus: Substrate = Torus::new(4, 4).into();
+        let mesh: Substrate = Mesh::new(4, 4).into();
+        for kind in [
+            RoutingKind::WestFirst,
+            RoutingKind::NorthLast,
+            RoutingKind::NegativeFirst,
+        ] {
+            assert!(matches!(
+                kind.validate_on(torus),
+                Err(ConfigError::CyclicRouting { .. })
+            ));
+            assert!(kind.validate_on(mesh).is_ok());
+        }
+        assert!(RoutingKind::Xy.validate_on(torus).is_ok());
+        assert!(RoutingKind::Yx.validate_on(torus).is_ok());
+    }
+
+    #[test]
+    fn routing_tags_roundtrip() {
+        for kind in RoutingKind::ALL {
+            assert_eq!(RoutingKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(
+            RoutingKind::from_tag("westfirst"),
+            Some(RoutingKind::WestFirst)
+        );
+        assert_eq!(RoutingKind::from_tag("bogus"), None);
+        assert_eq!(RoutingKind::default(), RoutingKind::Xy);
     }
 }

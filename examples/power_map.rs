@@ -11,7 +11,7 @@ use punchsim::prelude::*;
 
 fn main() {
     let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-    cfg.noc.mesh = Mesh::new(8, 8);
+    cfg.noc.topology = Mesh::new(8, 8).into();
     // All traffic converges on R27 (the paper's Figure 4 focus router).
     let mut sim = SyntheticSim::new(cfg, TrafficPattern::Hotspot(NodeId(27)), 0.004);
     let report = sim.run_experiment(3_000, 20_000).unwrap();

@@ -22,7 +22,7 @@ fn main() {
     for (w, h) in [(4u16, 4u16), (8, 8), (16, 16)] {
         let run = |scheme| {
             let mut cfg = SimConfig::with_scheme(scheme);
-            cfg.noc.mesh = Mesh::new(w, h);
+            cfg.noc.topology = Mesh::new(w, h).into();
             let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, rate);
             sim.run_experiment(4_000, 12_000)
                 .unwrap()

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Substrate no-drift gate, in two halves:
+#
+#   1. Baseline identity — the default-substrate `ci` suite (8x8 XY mesh)
+#      must produce a BENCH_ci.json byte-identical to the checked-in
+#      bench/baseline.json. The topology/routing trait layer is supposed
+#      to be *invisible* on the default substrate: same RunSpec ids, same
+#      content hashes, same artifact bytes. Any diff here means the
+#      refactor leaked into observable behavior.
+#
+#   2. Substrate determinism — the non-default `substrate` suite (torus,
+#      YX, west-first) run twice against fresh stores at different worker
+#      counts must produce byte-identical BENCH_substrate.json artifacts.
+#      Derived codebooks and non-XY routing get no determinism discount.
+#
+# Usage: scripts/no_drift.sh [OUT_DIR]
+# Honors PP_FAST like every other campaign entry point; CI runs it with
+# PP_FAST=1 (bench/baseline.json is the ci suite under PP_FAST=1).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench-out/no-drift}"
+
+cargo build --release -q
+
+target/release/punchsim-cli campaign --suite ci --name ci \
+    --out "$OUT/ci" --no-cache
+if ! cmp bench/baseline.json "$OUT/ci/BENCH_ci.json"; then
+    echo "no_drift: default-substrate ci artifact drifted from bench/baseline.json" >&2
+    exit 1
+fi
+echo "no_drift: ci artifact byte-identical to the checked-in baseline"
+
+target/release/punchsim-cli campaign --suite substrate --name substrate \
+    --out "$OUT/sub-a" --no-cache --threads 4
+target/release/punchsim-cli campaign --suite substrate --name substrate \
+    --out "$OUT/sub-b" --no-cache --threads 1
+if ! cmp "$OUT/sub-a/BENCH_substrate.json" "$OUT/sub-b/BENCH_substrate.json"; then
+    echo "no_drift: substrate suite not byte-stable across runs/thread counts" >&2
+    exit 1
+fi
+echo "no_drift: substrate artifacts byte-identical across fresh recomputes"

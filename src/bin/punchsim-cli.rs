@@ -2,15 +2,17 @@
 //! Rust.
 //!
 //! ```text
-//! punchsim-cli sweep    [--pattern P] [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
+//! punchsim-cli sweep    [--pattern P] [--scheme S] [--mesh WxH] [--topology T]
+//!                       [--routing R] [--rate R] [--cycles N]
 //! punchsim-cli parsec   [--benchmark B] [--scheme S] [--instr N]
 //! punchsim-cli table1
-//! punchsim-cli schemes  [--mesh WxH] [--rate R]
+//! punchsim-cli schemes  [--mesh WxH] [--topology T] [--routing R] [--rate R]
 //! punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--corrupt P] [--fault-seed N]
 //!                       [--trace-out PATH] [--trace-cap N]
 //! punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
 //!                       [--trace-out PATH] [--format chrome|jsonl|csv] [--trace-cap N]
-//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath] [--threads N] [--out DIR]
+//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate]
+//!                       [--threads N] [--out DIR]
 //!                       [--name NAME] [--seed N] [--no-cache] [--naive-tick]
 //!                       [--sample N] [--trace-out DIR] [--trace-cap N]
 //! punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
@@ -19,7 +21,11 @@
 //!
 //! Schemes: `nopg`, `conv`, `convopt`, `pps` (PowerPunch-Signal),
 //! `ppf` (PowerPunch-PG). Patterns: `uniform`, `transpose`, `bitcomp`,
-//! `bitrev`, `shuffle`, `tornado`, `neighbor`.
+//! `bitrev`, `shuffle`, `tornado`, `neighbor`. Topologies: `mesh`
+//! (default), `torus`, `cmesh:C` (concentrated mesh, C terminals per
+//! router). Routings: `xy` (default), `yx`, `wf` (west-first), `nl`
+//! (north-last), `nf` (negative-first); turn-model routings are rejected
+//! on the torus, whose wrap links would close their cycles.
 //!
 //! The `faults` command sweeps the punch-drop probability from 0 to 1 and
 //! shows that delivery stays at 100% while only latency degrades — the
@@ -93,17 +99,20 @@ fn sim_err(e: SimError) -> String {
 }
 
 const USAGE: &str = "usage:
-  punchsim-cli sweep    [--pattern P] [--scheme S] [--mesh WxH] [--cycles N]
+  punchsim-cli sweep    [--pattern P] [--scheme S] [--mesh WxH] [--topology T]
+                        [--routing R] [--cycles N]
   punchsim-cli parsec   [--benchmark B] [--scheme S] [--instr N]
   punchsim-cli table1
-  punchsim-cli schemes  [--mesh WxH] [--rate R] [--cycles N]
+  punchsim-cli schemes  [--mesh WxH] [--topology T] [--routing R] [--rate R]
+                        [--cycles N]
   punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--corrupt P] [--fault-seed N] [--trace-out PATH]
                         [--trace-cap N]
   punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--pattern P] [--trace-out PATH] [--trace-cap N]
                         [--format chrome|jsonl|csv]
-  punchsim-cli campaign [--suite parsec|synth|ci|fastpath] [--threads N] [--out DIR]
+  punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate]
+                        [--threads N] [--out DIR]
                         [--name NAME] [--seed N] [--no-cache] [--naive-tick]
                         [--sample N] [--trace-out DIR] [--trace-cap N]
   punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
@@ -123,8 +132,9 @@ trace flags:
                    jsonl, or csv
 
 campaign flags:
-  --suite S        spec list: parsec, synth, ci (both; default) or
-                   fastpath (idle-dominated speedup-gate runs)
+  --suite S        spec list: parsec, synth, ci (both; default),
+                   fastpath (idle-dominated speedup-gate runs) or
+                   substrate (torus / YX / west-first sweep)
   --threads N      worker threads; 0 = one per core (default)
   --out DIR        artifact directory (default bench-out)
   --name NAME      artifact name: BENCH_<NAME>.json (default: the suite)
@@ -137,6 +147,13 @@ campaign flags:
   --trace-out DIR  write per-run flight-recorder dumps (JSONL) into DIR
   PP_FAST=1 in the environment shortens every run (CI smoke mode)
 
+substrate flags (any synthetic command):
+  --topology T     mesh (default), torus, or cmesh:C (concentrated mesh
+                   with C terminals per router); dimensions come from --mesh
+  --routing R      xy (default), yx, wf (west-first), nl (north-last),
+                   nf (negative-first); turn-model routings are rejected on
+                   the torus (wrap links would close their turn cycles)
+
 schemes: nopg conv convopt pps ppf
 patterns: uniform transpose bitcomp bitrev shuffle tornado neighbor
 benchmarks: blackscholes bodytrack canneal dedup ferret fluidanimate swaptions x264";
@@ -145,6 +162,8 @@ struct Opts {
     pattern: TrafficPattern,
     scheme: SchemeKind,
     mesh: Mesh,
+    topo: TopoChoice,
+    routing: RoutingKind,
     rate: f64,
     cycles: u64,
     benchmark: Benchmark,
@@ -183,12 +202,35 @@ impl TraceFormat {
     }
 }
 
+/// Which substrate `--topology` selected; dimensions come from `--mesh`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TopoChoice {
+    Mesh,
+    Torus,
+    CMesh(u16),
+}
+
+impl TopoChoice {
+    fn from_tag(tag: &str) -> Option<TopoChoice> {
+        match tag {
+            "mesh" => Some(TopoChoice::Mesh),
+            "torus" => Some(TopoChoice::Torus),
+            _ => {
+                let c = tag.strip_prefix("cmesh:")?;
+                Some(TopoChoice::CMesh(c.parse().ok()?))
+            }
+        }
+    }
+}
+
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
         let mut o = Opts {
             pattern: TrafficPattern::UniformRandom,
             scheme: SchemeKind::PowerPunchFull,
             mesh: Mesh::new(8, 8),
+            topo: TopoChoice::Mesh,
+            routing: RoutingKind::Xy,
             rate: 0.005,
             cycles: 20_000,
             benchmark: Benchmark::Dedup,
@@ -220,7 +262,15 @@ impl Opts {
                         .ok_or_else(|| format!("mesh must look like 8x8, got {val}"))?;
                     let w: u16 = w.parse().map_err(|_| "bad mesh width".to_string())?;
                     let h: u16 = h.parse().map_err(|_| "bad mesh height".to_string())?;
-                    o.mesh = Mesh::new(w, h);
+                    o.mesh = Mesh::try_new(w, h).map_err(|e| e.to_string())?;
+                }
+                "--topology" => {
+                    o.topo = TopoChoice::from_tag(val)
+                        .ok_or_else(|| format!("unknown topology {val} (mesh, torus, cmesh:C)"))?;
+                }
+                "--routing" => {
+                    o.routing = RoutingKind::from_tag(val)
+                        .ok_or_else(|| format!("unknown routing {val} (xy, yx, wf, nl, nf)"))?;
                 }
                 "--rate" => {
                     o.rate = val.parse().map_err(|_| "bad rate".to_string())?;
@@ -262,6 +312,35 @@ impl Opts {
         Ok(o)
     }
 
+    /// Resolves `--topology`/`--mesh`/`--routing` into a validated
+    /// substrate + routing pair. Degenerate dimensions and cyclic
+    /// combinations (a turn-model router on the torus) surface as typed
+    /// [`SimError::Config`] errors.
+    fn noc_view(&self) -> Result<(Substrate, RoutingKind), SimError> {
+        let (w, h) = (self.mesh.width(), self.mesh.height());
+        let topo = match self.topo {
+            TopoChoice::Mesh => Substrate::Mesh(self.mesh),
+            TopoChoice::Torus => Substrate::Torus(Torus::try_new(w, h)?),
+            TopoChoice::CMesh(c) => Substrate::CMesh(CMesh::try_new(w, h, c)?),
+        };
+        self.routing.validate_on(topo)?;
+        Ok((topo, self.routing))
+    }
+
+    /// Substrate label for table headers: `8x8`, `torus8x8-yx`, ...
+    fn substrate_label(&self) -> String {
+        let (topo, routing) = match self.noc_view() {
+            Ok(v) => v,
+            Err(_) => return format!("{}x{}", self.mesh.width(), self.mesh.height()),
+        };
+        let mut s = topo.tag();
+        if routing != RoutingKind::Xy {
+            s.push('-');
+            s.push_str(routing.tag());
+        }
+        s
+    }
+
     fn fault_config(&self, drop: f64) -> FaultConfig {
         FaultConfig {
             seed: self.fault_seed,
@@ -296,7 +375,9 @@ fn run_synth_observed(
     trace_cap: usize,
 ) -> Result<(NetworkReport, Vec<Stamped>), SimError> {
     let mut cfg = SimConfig::with_scheme(scheme);
-    cfg.noc.mesh = opts.mesh;
+    let (topo, routing) = opts.noc_view()?;
+    cfg.noc.topology = topo;
+    cfg.noc.routing = routing;
     cfg.faults = opts.fault_config(drop);
     let mut sim = SyntheticSim::new(cfg, opts.pattern, rate);
     if trace_cap > 0 {
@@ -315,10 +396,9 @@ fn run_synth_observed(
 fn sweep(opts: &Opts) -> Result<(), SimError> {
     let pm = PowerModel::default_45nm();
     println!(
-        "load sweep: {} on {}x{} under {}",
+        "load sweep: {} on {} under {}",
         opts.pattern,
-        opts.mesh.width(),
-        opts.mesh.height(),
+        opts.substrate_label(),
         opts.scheme
     );
     let mut t = Table::new(["load", "latency", "off %", "static W", "throughput"]);
@@ -340,11 +420,10 @@ fn sweep(opts: &Opts) -> Result<(), SimError> {
 fn schemes(opts: &Opts) -> Result<(), SimError> {
     let pm = PowerModel::default_45nm();
     println!(
-        "scheme comparison: {} at {} flits/node/cycle on {}x{}",
+        "scheme comparison: {} at {} flits/node/cycle on {}",
         opts.pattern,
         opts.rate,
-        opts.mesh.width(),
-        opts.mesh.height()
+        opts.substrate_label()
     );
     let mut t = Table::new([
         "scheme",
@@ -375,12 +454,11 @@ fn schemes(opts: &Opts) -> Result<(), SimError> {
 /// point additionally dumps its flight recorder as JSONL for postmortems.
 fn faults(opts: &Opts) -> Result<(), String> {
     println!(
-        "fault sweep: {} at {} flits/node/cycle on {}x{} under {} \
+        "fault sweep: {} at {} flits/node/cycle on {} under {} \
          (corrupt {:.2}, seed {:#x})",
         opts.pattern,
         opts.rate,
-        opts.mesh.width(),
-        opts.mesh.height(),
+        opts.substrate_label(),
         opts.scheme,
         opts.fault_corrupt,
         opts.fault_seed,
@@ -440,7 +518,9 @@ fn faults_dump_path(base: &std::path::Path, drop: f64) -> PathBuf {
 /// Records one run's full event stream and writes a trace artifact.
 fn trace(opts: &Opts) -> Result<(), String> {
     let mut cfg = SimConfig::with_scheme(opts.scheme);
-    cfg.noc.mesh = opts.mesh;
+    let (topo, routing) = opts.noc_view().map_err(sim_err)?;
+    cfg.noc.topology = topo;
+    cfg.noc.routing = routing;
     cfg.faults = opts.fault_config(opts.fault_drop);
     let mut sim = SyntheticSim::new(cfg, opts.pattern, opts.rate);
     let sink: Box<dyn EventSink> = if opts.trace_cap > 0 {
@@ -467,12 +547,11 @@ fn trace(opts: &Opts) -> Result<(), String> {
         .unwrap_or_else(|| PathBuf::from(opts.format.default_path()));
     std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     println!(
-        "traced {} events: {} under {} on {}x{} at {} flits/node/cycle",
+        "traced {} events: {} under {} on {} at {} flits/node/cycle",
         events.len(),
         opts.pattern,
         opts.scheme,
-        opts.mesh.width(),
-        opts.mesh.height(),
+        opts.substrate_label(),
         opts.rate,
     );
     println!("wrote {}", path.display());
@@ -569,7 +648,7 @@ impl CampaignOpts {
                 .ok_or_else(|| format!("missing value for {flag}"))?;
             match flag.as_str() {
                 "--suite" => {
-                    if !["parsec", "synth", "ci", "fastpath"].contains(&val.as_str()) {
+                    if !["parsec", "synth", "ci", "fastpath", "substrate"].contains(&val.as_str()) {
                         return Err(format!("unknown suite {val}"));
                     }
                     o.suite = val.clone();
@@ -609,6 +688,7 @@ impl CampaignOpts {
             "parsec" => campaign::parsec_suite(self.seed),
             "synth" => campaign::synthetic_suite(self.seed),
             "fastpath" => campaign::fastpath_suite(self.seed),
+            "substrate" => campaign::substrate_suite(self.seed),
             _ => campaign::ci_suite(self.seed),
         }
     }
@@ -867,6 +947,60 @@ mod tests {
         assert_eq!(o.benchmark, Benchmark::Canneal);
         assert_eq!(o.cycles, 500);
         assert_eq!(o.instr, 1000);
+    }
+
+    #[test]
+    fn topology_and_routing_flags_parse() {
+        let o = parse(&["--topology", "torus", "--routing", "yx", "--mesh", "6x6"]).unwrap();
+        assert_eq!(o.topo, TopoChoice::Torus);
+        assert_eq!(o.routing, RoutingKind::Yx);
+        let (topo, routing) = o.noc_view().unwrap();
+        assert_eq!(topo, Substrate::Torus(Torus::new(6, 6)));
+        assert_eq!(routing, RoutingKind::Yx);
+        assert_eq!(o.substrate_label(), "torus6x6-yx");
+
+        let o = parse(&["--topology", "cmesh:4", "--mesh", "4x4"]).unwrap();
+        assert_eq!(o.topo, TopoChoice::CMesh(4));
+        let (topo, _) = o.noc_view().unwrap();
+        assert_eq!(topo.concentration(), 4);
+        assert_eq!(o.substrate_label(), "c4x4x4");
+    }
+
+    #[test]
+    fn default_substrate_is_the_plain_xy_mesh() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.topo, TopoChoice::Mesh);
+        assert_eq!(o.routing, RoutingKind::Xy);
+        let (topo, routing) = o.noc_view().unwrap();
+        assert_eq!(topo, Substrate::Mesh(Mesh::new(8, 8)));
+        assert_eq!(routing, RoutingKind::Xy);
+        assert_eq!(o.substrate_label(), "8x8");
+    }
+
+    #[test]
+    fn turn_model_routing_on_torus_is_a_typed_error() {
+        let o = parse(&["--topology", "torus", "--routing", "wf"]).unwrap();
+        let err = o.noc_view().unwrap_err();
+        assert!(
+            matches!(err, SimError::Config(ConfigError::CyclicRouting { .. })),
+            "expected CyclicRouting, got {err:?}"
+        );
+        // XY and YX stay legal on the torus (dateline-free minimal DOR is
+        // the model here; the codebook only needs the turn relation).
+        for r in ["xy", "yx"] {
+            let o = parse(&["--topology", "torus", "--routing", r]).unwrap();
+            assert!(o.noc_view().is_ok(), "{r} must be legal on the torus");
+        }
+    }
+
+    #[test]
+    fn bad_topology_flags_are_rejected() {
+        assert!(parse(&["--topology", "hypercube"]).is_err());
+        assert!(parse(&["--topology", "cmesh:0"]).is_ok()); // parses...
+        let o = parse(&["--topology", "cmesh:0"]).unwrap();
+        assert!(o.noc_view().is_err()); // ...but fails typed validation
+        assert!(parse(&["--routing", "adaptive"]).is_err());
+        assert!(parse(&["--mesh", "0x8"]).is_err(), "zero dims via try_new");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! use punchsim::prelude::*;
 //!
 //! let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-//! cfg.noc.mesh = Mesh::new(4, 4);
+//! cfg.noc.topology = Mesh::new(4, 4).into();
 //! let mut sim = SyntheticSim::new(
 //!     cfg,
 //!     TrafficPattern::UniformRandom,
@@ -64,8 +64,8 @@ pub mod prelude {
     pub use punchsim_power::{EnergyBreakdown, PowerModel};
     pub use punchsim_traffic::{SyntheticSim, TrafficPattern};
     pub use punchsim_types::{
-        ConfigError, Cycle, Direction, FaultConfig, Mesh, NocConfig, NodeId, PacketId, Port,
-        PowerConfig, SchemeKind, SimConfig, SimError, SimRng, StallReport, StuckEpoch, VnetId,
-        WatchdogConfig,
+        CMesh, ConfigError, Cycle, Direction, FaultConfig, Mesh, NocConfig, NodeId, PacketId, Port,
+        PowerConfig, RouteView, RoutingKind, SchemeKind, SimConfig, SimError, SimRng, StallReport,
+        StuckEpoch, Substrate, Topology, Torus, VnetId, WatchdogConfig,
     };
 }

@@ -42,12 +42,21 @@ fn draw_case(rng: &mut SimRng, id: u64) -> Case {
         SchemeKind::PowerPunchSignal,
         SchemeKind::PowerPunchFull,
     ];
-    let meshes = [
-        Mesh::new(4, 4),
-        Mesh::new(4, 4),
-        Mesh::new(4, 6),
-        Mesh::new(6, 6),
-        Mesh::new(8, 8),
+    // Substrate pool spans the trait layer: plain meshes under all five
+    // routing functions, tori under the DOR routings that stay acyclic on
+    // wrap links, and a concentrated mesh. Skip-ahead must be observably
+    // exact on every one of them.
+    let substrates: [(Substrate, RoutingKind); 10] = [
+        (Mesh::new(4, 4).into(), RoutingKind::Xy),
+        (Mesh::new(4, 4).into(), RoutingKind::Yx),
+        (Mesh::new(4, 6).into(), RoutingKind::WestFirst),
+        (Mesh::new(6, 6).into(), RoutingKind::NorthLast),
+        (Mesh::new(5, 5).into(), RoutingKind::NegativeFirst),
+        (Mesh::new(6, 6).into(), RoutingKind::Xy),
+        (Mesh::new(8, 8).into(), RoutingKind::Xy),
+        (Substrate::Torus(Torus::new(4, 4)), RoutingKind::Xy),
+        (Substrate::Torus(Torus::new(6, 6)), RoutingKind::Yx),
+        (Substrate::CMesh(CMesh::new(4, 4, 4)), RoutingKind::Xy),
     ];
     let rates = [0.0, 0.001, 0.005, 0.02];
     let patterns = [
@@ -55,9 +64,10 @@ fn draw_case(rng: &mut SimRng, id: u64) -> Case {
         TrafficPattern::Transpose,
         TrafficPattern::Neighbor,
     ];
-    let mesh = meshes[rng.random_range(0..meshes.len())];
+    let (topo, routing) = substrates[rng.random_range(0..substrates.len())];
     let mut cfg = SimConfig::with_scheme(schemes[rng.random_range(0..schemes.len())]);
-    cfg.noc.mesh = mesh;
+    cfg.noc.topology = topo;
+    cfg.noc.routing = routing;
     cfg.power.punch_hops = rng.random_range(2..5u16);
     cfg.seed = 0xD1FF_0000 + id;
     // Fault profile: 0 = clean, then jitter / drops / stuck / everything.
@@ -70,7 +80,7 @@ fn draw_case(rng: &mut SimRng, id: u64) -> Case {
         }
         3 => {
             cfg.faults.stuck_epochs = vec![StuckEpoch {
-                router: NodeId(rng.random_range(0..mesh.nodes() as u16)),
+                router: NodeId(rng.random_range(0..topo.nodes() as u16)),
                 start: rng.random_range(100..400u64),
                 duration: rng.random_range(50..200u64),
             }];
@@ -79,7 +89,7 @@ fn draw_case(rng: &mut SimRng, id: u64) -> Case {
             cfg.faults.max_wakeup_jitter = 2;
             cfg.faults.drop_punch_ppm = 100_000;
             cfg.faults.stuck_epochs = vec![StuckEpoch {
-                router: NodeId(rng.random_range(0..mesh.nodes() as u16)),
+                router: NodeId(rng.random_range(0..topo.nodes() as u16)),
                 start: 150,
                 duration: 120,
             }];
@@ -140,7 +150,7 @@ fn assert_same_state(case_id: u64, at: u64, fast: &SyntheticSim, naive: &Synthet
 }
 
 fn case_id_nodes(sim: &SyntheticSim) -> usize {
-    sim.network().mesh().nodes()
+    sim.network().topology().nodes()
 }
 
 #[test]
@@ -180,7 +190,7 @@ fn fast_forward_matches_naive_through_drain_and_deep_idle() {
     ] {
         let run = |mode: TickMode| {
             let mut cfg = SimConfig::with_scheme(scheme);
-            cfg.noc.mesh = Mesh::new(6, 6);
+            cfg.noc.topology = Mesh::new(6, 6).into();
             cfg.seed = 0xDEAD + f64::to_bits(rate);
             let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, rate);
             sim.network_mut().set_tick_mode(mode);
@@ -201,5 +211,54 @@ fn fast_forward_matches_naive_through_drain_and_deep_idle() {
             run(TickMode::Naive),
             "scheme {scheme:?} diverged through drain/deep-idle"
         );
+    }
+}
+
+/// Satellite check for the closed-form `router_ahead`: the coordinate-jump
+/// implementation must name exactly the router a literal `next_hop` walk
+/// reaches after `min(h, distance)` steps — for every routing function on
+/// the mesh and the DOR routings on the torus.
+#[test]
+fn closed_form_router_ahead_matches_hop_by_hop_walk() {
+    let views: Vec<RouteView> = vec![
+        (Mesh::new(8, 8), RoutingKind::Xy).into(),
+        (Mesh::new(8, 8), RoutingKind::Yx).into(),
+        (Mesh::new(7, 5), RoutingKind::WestFirst).into(),
+        (Mesh::new(5, 7), RoutingKind::NorthLast).into(),
+        (Mesh::new(6, 6), RoutingKind::NegativeFirst).into(),
+        (Substrate::Torus(Torus::new(6, 6)), RoutingKind::Xy).into(),
+        (Substrate::Torus(Torus::new(5, 4)), RoutingKind::Yx).into(),
+        (Substrate::CMesh(CMesh::new(4, 4, 4)), RoutingKind::Xy).into(),
+    ];
+    for view in views {
+        let topo = view.topo;
+        for src in topo.iter_nodes() {
+            for dst in topo.iter_nodes() {
+                for h in 1..=4u16 {
+                    // Reference: walk next_hop() literally, one hop at a
+                    // time, stopping at the destination.
+                    let mut walk = src;
+                    for _ in 0..h {
+                        if walk == dst {
+                            break;
+                        }
+                        walk = view.next_hop(walk, dst).expect("en route");
+                    }
+                    let jump = view.router_ahead(src, dst, h);
+                    assert_eq!(
+                        jump, walk,
+                        "{:?}/{:?}: ahead({src}, {dst}, {h})",
+                        topo, view.routing
+                    );
+                    assert_eq!(
+                        topo.distance(src, jump),
+                        h.min(topo.distance(src, dst)),
+                        "{:?}/{:?}: ahead() must sit min(h, dist) hops out",
+                        topo,
+                        view.routing
+                    );
+                }
+            }
+        }
     }
 }

@@ -17,7 +17,7 @@ use punchsim::types::{
 /// Returns (sent, delivered, wakeup-wait mean, final PG counters).
 fn run_faulted(mesh: Mesh, faults: FaultConfig) -> (usize, usize, f64, PgCounters) {
     let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-    cfg.noc.mesh = mesh;
+    cfg.noc.topology = mesh.into();
     cfg.faults = faults;
     let pm = build_power_manager(&cfg).expect("valid config");
     let mut net = Network::new(&cfg.noc, pm).expect("valid config");

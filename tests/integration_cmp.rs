@@ -7,7 +7,7 @@ use punchsim::types::Mesh;
 
 fn small(bench: Benchmark, scheme: SchemeKind) -> CmpConfig {
     let mut cfg = CmpConfig::new(bench, scheme);
-    cfg.sim.noc.mesh = Mesh::new(4, 4);
+    cfg.sim.noc.topology = Mesh::new(4, 4).into();
     cfg.instr_per_core = 8_000;
     cfg.warmup_instr = 2_000;
     cfg.max_cycles = 3_000_000;

@@ -7,7 +7,7 @@ use punchsim::traffic::InjectionConfig;
 
 fn report(scheme: SchemeKind, rate: f64) -> NetworkReport {
     let mut cfg = SimConfig::with_scheme(scheme);
-    cfg.noc.mesh = Mesh::new(8, 8);
+    cfg.noc.topology = Mesh::new(8, 8).into();
     let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, rate);
     sim.run_experiment(3_000, 12_000).unwrap()
 }
@@ -79,7 +79,7 @@ fn saturation_throughput_unaffected_by_power_punch() {
     // §6.4: PowerPunch-PG reaches the same maximum throughput as No-PG.
     let run = |scheme| {
         let mut cfg = SimConfig::with_scheme(scheme);
-        cfg.noc.mesh = Mesh::new(4, 4);
+        cfg.noc.topology = Mesh::new(4, 4).into();
         let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.6);
         sim.run_experiment(3_000, 8_000).unwrap().throughput()
     };
@@ -97,7 +97,7 @@ fn slack2_fraction_controls_full_scheme_advantage() {
     // should converge; with full slack, PP-PG must win on wait cycles.
     let run = |scheme, slack_frac: f64| {
         let mut cfg = SimConfig::with_scheme(scheme);
-        cfg.noc.mesh = Mesh::new(8, 8);
+        cfg.noc.topology = Mesh::new(8, 8).into();
         let mut inj = InjectionConfig::at_rate(0.004);
         inj.slack2_fraction = slack_frac;
         let mut sim = SyntheticSim::with_injection(cfg, TrafficPattern::UniformRandom, inj);
@@ -112,7 +112,7 @@ fn slack2_fraction_controls_full_scheme_advantage() {
 fn four_stage_router_still_orders_schemes() {
     let run = |scheme| {
         let mut cfg = SimConfig::with_scheme(scheme);
-        cfg.noc.mesh = Mesh::new(8, 8);
+        cfg.noc.topology = Mesh::new(8, 8).into();
         cfg.noc.router_stages = 4;
         cfg.power.wakeup_latency = 10;
         let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.005);
@@ -138,7 +138,7 @@ fn all_patterns_deliver_under_power_punch() {
         TrafficPattern::Hotspot(NodeId(27)),
     ] {
         let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-        cfg.noc.mesh = Mesh::new(8, 8);
+        cfg.noc.topology = Mesh::new(8, 8).into();
         let mut sim = SyntheticSim::new(cfg, pattern, 0.01);
         let r = sim.run_experiment(1_000, 4_000).unwrap();
         assert!(

@@ -23,7 +23,7 @@ fn run_isolated_packets_mode(
     mode: TickMode,
 ) -> (u64, u64) {
     let mut cfg = SimConfig::with_scheme(scheme);
-    cfg.noc.mesh = Mesh::new(8, 8);
+    cfg.noc.topology = Mesh::new(8, 8).into();
     cfg.power.wakeup_latency = wakeup;
     let pm = build_power_manager(&cfg).unwrap();
     let mut net = Network::new(&cfg.noc, pm).unwrap();
@@ -141,7 +141,7 @@ fn four_stage_router_hides_up_to_twelve_cycles_in_steady_state() {
     // while an 18-cycle wakeup leaks at every hop.
     let run = |wakeup: u32| {
         let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-        cfg.noc.mesh = Mesh::new(8, 8);
+        cfg.noc.topology = Mesh::new(8, 8).into();
         cfg.noc.router_stages = 4;
         cfg.power.wakeup_latency = wakeup;
         let pm = build_power_manager(&cfg).unwrap();

@@ -20,7 +20,7 @@ use punchsim::types::{
 /// the whole run.
 fn stuck_router_config() -> SimConfig {
     let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-    cfg.noc.mesh = Mesh::new(4, 4);
+    cfg.noc.topology = Mesh::new(4, 4).into();
     cfg.faults = FaultConfig {
         seed: 3,
         stuck_epochs: vec![StuckEpoch {
@@ -144,7 +144,7 @@ fn tracing_does_not_perturb_results() {
 
     let run = |traced: bool| {
         let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-        cfg.noc.mesh = Mesh::new(4, 4);
+        cfg.noc.topology = Mesh::new(4, 4).into();
         if traced {
             cfg.trace = TraceConfig::enabled();
         }
@@ -170,7 +170,7 @@ fn tracing_does_not_perturb_results() {
 /// sampling intervals.
 fn mostly_idle_network(mode: TickMode) -> Network {
     let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-    cfg.noc.mesh = Mesh::new(4, 4);
+    cfg.noc.topology = Mesh::new(4, 4).into();
     let pm = build_power_manager(&cfg).expect("valid config");
     let mut net = Network::new(&cfg.noc, pm).expect("valid config");
     net.set_tick_mode(mode);
@@ -219,7 +219,7 @@ fn sample_timestamps_are_exact_across_fast_forward_jumps() {
 #[test]
 fn watchdog_sees_no_phantom_stall_across_jumps() {
     let mut cfg = SimConfig::with_scheme(SchemeKind::ConvOptPg);
-    cfg.noc.mesh = Mesh::new(4, 4);
+    cfg.noc.topology = Mesh::new(4, 4).into();
     cfg.noc.watchdog.stall_threshold = 50; // far below the jump spans
     let pm = build_power_manager(&cfg).expect("valid config");
     let mut net = Network::new(&cfg.noc, pm).expect("valid config");

@@ -265,7 +265,7 @@ fn network_delivers_everything_exactly_once() {
     let mut rng = SimRng::seed_from_u64(0x14);
     for _case in 0..12 {
         let cfg = NocConfig {
-            mesh: Mesh::new(4, 4),
+            topology: Mesh::new(4, 4).into(),
             ..NocConfig::default()
         };
         let mut net = Network::new(&cfg, Box::new(AlwaysOn::new(16))).unwrap();
@@ -312,7 +312,7 @@ fn gated_network_loses_nothing() {
     let mut rng = SimRng::seed_from_u64(0x15);
     for _case in 0..12 {
         let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
-        cfg.noc.mesh = Mesh::new(4, 4);
+        cfg.noc.topology = Mesh::new(4, 4).into();
         let pm = build_power_manager(&cfg).unwrap();
         let mut net = Network::new(&cfg.noc, pm).unwrap();
         let gap = rng.random_range(1..40u64);
