@@ -76,7 +76,7 @@ fn drive(net: &mut punchsim::noc::Network, cycles: u64) -> (f64, f64, f64) {
         if rand() % 8 == 0 {
             let src = NodeId((rand() % nodes) as u16);
             let dst = NodeId((rand() % nodes) as u16);
-            net.notify_future_injection(src);
+            net.notify_future_injection(src).unwrap();
             pending.push((c + 6, src, dst));
         }
         let mut i = 0;

@@ -283,7 +283,9 @@ impl CmpSim {
                         if !out.is_empty() {
                             // Slack 2: the L2/directory access that will
                             // produce these messages starts now.
-                            self.net.notify_future_injection(node);
+                            self.net
+                                .notify_future_injection(node)
+                                .expect("directory node is in the topology");
                         }
                         for (dst, m) in out {
                             self.sends[idx].push_back((now + l2_lat, dst, m));
@@ -345,7 +347,9 @@ impl CmpSim {
             let node = mc.node();
             let (warn, due) = mc.tick(now, slack2);
             for w in warn {
-                self.net.notify_future_injection(w);
+                self.net
+                    .notify_future_injection(w)
+                    .expect("memory-controller node is in the topology");
             }
             for (dst, m) in due {
                 to_send.push((node, dst, m));

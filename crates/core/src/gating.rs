@@ -225,6 +225,34 @@ impl GateArray {
         }
     }
 
+    /// Appends the canonical snapshot encoding of every gate (see
+    /// `punchsim_noc::snapshot`): the state tag plus its dynamic payload —
+    /// `On` carries the idle counter (bounded by the timeout, past which the
+    /// gate sleeps), `Waking` carries the remaining transient rebased
+    /// against `now`. Counters are statistics and excluded.
+    pub fn encode_state(&self, now: Cycle, out: &mut Vec<u8>) {
+        use punchsim_noc::snapshot::{put_u32, put_u64, put_u8};
+        for g in &self.gates {
+            match *g {
+                Gate::On { idle_cycles } => {
+                    put_u8(out, 0);
+                    // The timeout filter compares against `idle_timeout`;
+                    // larger values behave identically, so saturate to keep
+                    // long-idle states from encoding distinctly.
+                    put_u32(out, idle_cycles.min(self.idle_timeout));
+                }
+                Gate::Off => {
+                    put_u8(out, 1);
+                    put_u32(out, 0);
+                }
+                Gate::Waking { ready_at } => {
+                    put_u8(out, 2);
+                    put_u64(out, ready_at.saturating_sub(now));
+                }
+            }
+        }
+    }
+
     /// Advances idle timers using the network's per-router idleness and
     /// powers off routers that pass the timeout filter and the
     /// scheme-specific `may_sleep` predicate. Call once per tick, after

@@ -29,11 +29,13 @@
 pub mod codebook;
 pub mod gating;
 pub mod manager;
+pub mod oracle;
 pub mod punch;
 
 pub use codebook::{Codebook, LinkCodebook};
 pub use gating::GateArray;
 pub use manager::{ConvPgManager, PowerPunchManager};
+pub use oracle::StepOracle;
 pub use punch::{PunchFabric, PunchSet};
 
 use punchsim_faults::FaultInjector;
@@ -63,11 +65,8 @@ pub fn build_power_manager(cfg: &SimConfig) -> Result<Box<dyn PowerManager>, Sim
         SchemeKind::PowerPunchFull => Box::new(PowerPunchManager::new(view, &cfg.power, hop, true)),
     };
     if cfg.faults.is_active() {
-        Ok(Box::new(FaultInjector::new(
-            base,
-            &cfg.faults,
-            cfg.noc.topology,
-        )))
+        let inj = FaultInjector::new(base, &cfg.faults, cfg.noc.topology)?;
+        Ok(Box::new(inj))
     } else {
         Ok(base)
     }

@@ -21,7 +21,7 @@ use crate::punch::PunchFabric;
 /// routing), hiding roughly one router-pipeline's worth of wakeup latency
 /// (paper ref. 24) — the paper's `ConvOpt-PG` when combined with the
 /// 4-cycle timeout filter.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ConvPgManager {
     kind: SchemeKind,
     view: RouteView,
@@ -111,13 +111,24 @@ impl PowerManager for ConvPgManager {
             }
         }
     }
+
+    fn clone_boxed(&self) -> Option<Box<dyn PowerManager>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn encode_state(&self, now: Cycle, out: &mut Vec<u8>) -> bool {
+        // All dynamic state lives in the gate array; `kind`/`view`/
+        // `early_wakeup` are construction-time constants.
+        self.gate.encode_state(now, out);
+        true
+    }
 }
 
 /// The Power Punch scheme (§4): punch signals race ahead of packets through
 /// the sideband fabric, waking every router on the imminent path; with
 /// `ni_slack`, wakeups additionally exploit "slack 1" (destination known at
 /// NI entry) and "slack 2" (L2/directory access start) at injection nodes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PowerPunchManager {
     kind: SchemeKind,
     gate: GateArray,
@@ -327,6 +338,24 @@ impl PowerManager for PowerPunchManager {
                 self.tick(c, &[], idle);
             }
         }
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn PowerManager>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn encode_state(&self, now: Cycle, out: &mut Vec<u8>) -> bool {
+        use punchsim_noc::snapshot::put_u64;
+        self.gate.encode_state(now, out);
+        // Forewarning floors, rebased: 0 means "may sleep now"; positive
+        // values are bounded by the forewarn window.
+        for &until in &self.forewarn_until {
+            put_u64(out, until.saturating_sub(now));
+        }
+        self.fabric.encode_state(out);
+        // The trace buffer is drained to the sink and never feeds back into
+        // dynamics; excluded.
+        true
     }
 }
 

@@ -1,0 +1,103 @@
+//! The stepping interface the exhaustive wakeup-protocol checker explores.
+//!
+//! [`StepOracle`] abstracts "a system the checker can fork, step one cycle
+//! under a chosen fault, and canonically fingerprint". The production
+//! implementation is [`punchsim_noc::Network`]; keeping the checker against
+//! a trait (rather than `Network` directly) pins down exactly which
+//! observations the three verified properties depend on, and lets tests
+//! drive the checker with tiny hand-built systems.
+
+use punchsim_noc::obs::PowerTag;
+use punchsim_noc::Network;
+use punchsim_types::{Cycle, FaultChoice, SimError};
+
+/// A forkable, canonically-encodable transition system stepped one cycle at
+/// a time under per-cycle fault choices.
+///
+/// The abstraction the checker relies on (argued in DESIGN.md §14 from the
+/// §12 quiescence contract): two instances with equal [`canonical_key`]s
+/// produce equal behaviour — the same successor keys and the same property
+/// observations — for every sequence of future choices.
+///
+/// [`canonical_key`]: StepOracle::canonical_key
+pub trait StepOracle: Sized {
+    /// Current cycle (for bounding and for rebasing counterexample traces).
+    fn cycle(&self) -> Cycle;
+
+    /// Canonical byte fingerprint of all dynamic state, rebased so that
+    /// states differing only by a uniform time shift collide. `None` when
+    /// the system cannot be fingerprinted (e.g. an unsupported power
+    /// manager), which aborts exploration rather than risking unsoundness.
+    fn canonical_key(&self) -> Option<Vec<u8>>;
+
+    /// Deep-copies the system so one state can be stepped under several
+    /// different choices. `None` when the system is not forkable.
+    fn fork(&self) -> Option<Self>;
+
+    /// Arms `choice` for the next step, then advances one cycle. Returns
+    /// `false` (without stepping) if the system cannot honour the choice —
+    /// the checker then skips that edge. A step error is a property
+    /// violation candidate (stall or invariant), surfaced verbatim.
+    fn step(&mut self, choice: FaultChoice) -> Result<bool, SimError>;
+
+    /// `true` when every injected packet has fully ejected — the terminal
+    /// predicate for no-deadlock and the frame for no-lost-wakeup.
+    fn delivered_all(&self) -> bool;
+
+    /// Cycles since the last observed forward progress (bounded-stall's
+    /// measured quantity).
+    fn stall_age(&self) -> Cycle;
+
+    /// `true` while router `r`'s WU handshake is asserted and unanswered —
+    /// the premise of the no-lost-wakeup property.
+    fn wu_pending(&self, r: usize) -> bool;
+
+    /// Power tag of router `r` (no-lost-wakeup's conclusion looks for
+    /// `On`/`Waking`).
+    fn power_tag(&self, r: usize) -> PowerTag;
+
+    /// Number of routers (the range of `wu_pending`/`power_tag` indices).
+    fn routers(&self) -> usize;
+}
+
+impl StepOracle for Network {
+    fn cycle(&self) -> Cycle {
+        Network::cycle(self)
+    }
+
+    fn canonical_key(&self) -> Option<Vec<u8>> {
+        self.encode_state()
+    }
+
+    fn fork(&self) -> Option<Self> {
+        self.try_clone()
+    }
+
+    fn step(&mut self, choice: FaultChoice) -> Result<bool, SimError> {
+        if !choice.is_none() && !self.arm_fault_choice(choice) {
+            return Ok(false);
+        }
+        self.tick()?;
+        Ok(true)
+    }
+
+    fn delivered_all(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    fn stall_age(&self) -> Cycle {
+        Network::stall_age(self)
+    }
+
+    fn wu_pending(&self, r: usize) -> bool {
+        self.blocked_streaks()[r] > 0
+    }
+
+    fn power_tag(&self, r: usize) -> PowerTag {
+        self.power_state(punchsim_types::NodeId(r as u16)).tag()
+    }
+
+    fn routers(&self) -> usize {
+        self.topology().nodes()
+    }
+}

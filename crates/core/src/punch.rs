@@ -163,6 +163,33 @@ impl PunchFabric {
         self.hops
     }
 
+    /// Appends the fabric's canonical snapshot encoding (see
+    /// `punchsim_noc::snapshot`): the punch sets on every wire (canonical
+    /// target order — merge order within a cycle is not semantic) and the
+    /// queued locally-generated targets per output direction. `hops_sent`
+    /// is a statistic (monotone) and excluded; `scratch` is empty between
+    /// ticks; `wires_live`/`gens_queued` are derived counts.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use punchsim_noc::snapshot::{put_u16, put_u8};
+        for wires in &self.arriving {
+            for set in wires {
+                let canon = set.canonical();
+                put_u8(out, canon.len() as u8);
+                for &t in canon.targets() {
+                    put_u16(out, t.0);
+                }
+            }
+        }
+        for queues in &self.gen_queues {
+            for q in queues {
+                put_u8(out, q.len() as u8);
+                for t in q {
+                    put_u16(out, t.0);
+                }
+            }
+        }
+    }
+
     /// Queues a wakeup generated at `router` for a packet destined to `dst`,
     /// returning the punched target for observability.
     ///

@@ -28,7 +28,13 @@
 
 use punchsim_noc::obs::{Event, FaultKind, Stamped};
 use punchsim_noc::{IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
-use punchsim_types::{Cycle, FaultConfig, NodeId, SchemeKind, SimRng, StuckEpoch, Substrate};
+use punchsim_types::{
+    ConfigError, Cycle, FaultConfig, NodeId, SchemeKind, SimRng, StuckEpoch, Substrate,
+};
+
+pub mod choice;
+
+pub use choice::ChoiceInjector;
 
 /// Counts of each fault actually injected so far (as opposed to the
 /// configured probabilities).
@@ -107,17 +113,24 @@ impl FaultInjector {
     /// Wraps `inner` with the fault schedule in `cfg` over `topo` (a bare
     /// [`punchsim_types::Mesh`] converts implicitly).
     ///
-    /// `cfg` is assumed validated (probabilities within 1_000_000 ppm,
-    /// stuck routers inside the topology) —
-    /// [`punchsim_types::SimConfig::validate`] checks this.
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadStuckRouter`] if any scheduled stuck epoch
+    /// names a router outside `topo`. This is checked here (not just in
+    /// [`punchsim_types::SimConfig::validate`]) because the injector can be
+    /// composed directly over hand-built managers, where the epoch would
+    /// otherwise index out of bounds deep inside `advance_epochs`.
     pub fn new(
         inner: Box<dyn PowerManager>,
         cfg: &FaultConfig,
         topo: impl Into<Substrate>,
-    ) -> Self {
+    ) -> Result<Self, ConfigError> {
         let topo: Substrate = topo.into();
+        if let Some(e) = cfg.stuck_epochs.iter().find(|e| !topo.contains(e.router)) {
+            return Err(ConfigError::BadStuckRouter(e.router));
+        }
         let counters_cache = inner.counters().clone();
-        FaultInjector {
+        Ok(FaultInjector {
             inner,
             topo,
             rng: SimRng::seed_from_u64(cfg.seed),
@@ -133,7 +146,7 @@ impl FaultInjector {
             stats: FaultStats::default(),
             counters_cache,
             trace: None,
-        }
+        })
     }
 
     /// Faults injected so far.
@@ -485,10 +498,27 @@ mod tests {
     }
 
     #[test]
+    fn out_of_mesh_stuck_epoch_is_a_typed_config_error() {
+        let mesh = Mesh::new(4, 4);
+        let cfg = FaultConfig {
+            stuck_epochs: vec![StuckEpoch {
+                router: NodeId(99),
+                start: 0,
+                duration: 10,
+            }],
+            ..FaultConfig::default()
+        };
+        // Previously this epoch would have indexed out of bounds deep in
+        // `advance_epochs`; now construction rejects it up front.
+        let err = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh).unwrap_err();
+        assert_eq!(err, ConfigError::BadStuckRouter(NodeId(99)));
+    }
+
+    #[test]
     fn inactive_config_passes_everything_through() {
         let mesh = Mesh::new(4, 4);
         let cfg = FaultConfig::default();
-        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh).unwrap();
         let evs = [head(0, 5), PmEvent::BlockedNeed { router: NodeId(3) }];
         for c in 0..10 {
             f.tick(
@@ -510,7 +540,7 @@ mod tests {
             drop_punch_ppm: 1_000_000,
             ..FaultConfig::default()
         };
-        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh).unwrap();
         for c in 0..20 {
             f.tick(
                 c,
@@ -534,7 +564,7 @@ mod tests {
             seed: 7,
             ..FaultConfig::default()
         };
-        let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh).unwrap();
         for c in 0..50 {
             f.tick(
                 c,
@@ -560,7 +590,7 @@ mod tests {
             seed: 11,
             ..FaultConfig::default()
         };
-        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh).unwrap();
         for c in 0..40 {
             f.tick(
                 c,
@@ -598,7 +628,7 @@ mod tests {
             }],
             ..FaultConfig::default()
         };
-        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh).unwrap();
         let idle = idle_none(16);
         for c in 0..5 {
             f.tick(c, &[], IdleInfo { idle: &idle });
@@ -637,7 +667,7 @@ mod tests {
             ..FaultConfig::default()
         };
         // The recorder keeps router 2 on: the epoch may never arm.
-        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(Recorder::new(16)), &cfg, mesh).unwrap();
         let idle = idle_none(16);
         for c in 0..10 {
             f.tick(c, &[], IdleInfo { idle: &idle });
@@ -664,7 +694,7 @@ mod tests {
             }],
             ..FaultConfig::default()
         };
-        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh).unwrap();
         f.set_tracing(true);
         let idle = idle_none(16);
         f.tick(
@@ -731,7 +761,7 @@ mod tests {
         let inner = Dormant {
             counters: PgCounters::new(16),
         };
-        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh).unwrap();
         // Pending epoch: the horizon is its start cycle (clamped to now).
         assert_eq!(f.next_event_at(10), Some(50));
         assert_eq!(f.next_event_at(60), Some(60));
@@ -769,7 +799,7 @@ mod tests {
             let inner = Dormant {
                 counters: PgCounters::new(16),
             };
-            let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh);
+            let mut f = FaultInjector::new(Box::new(inner), &cfg, mesh).unwrap();
             let idle = idle_none(16);
             // Prologue: populate the jitter queue and arm the epoch.
             for c in 0..12 {
@@ -794,7 +824,7 @@ mod tests {
     fn dormant_tick_quiet_delegates_to_inner() {
         let mesh = Mesh::new(4, 4);
         let cfg = FaultConfig::default();
-        let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh);
+        let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh).unwrap();
         let all_idle = vec![true; 16];
         f.tick_quiet(0, 10_000, IdleInfo { idle: &all_idle });
         assert_eq!(f.stats().total(), 0);
@@ -813,7 +843,7 @@ mod tests {
             ..FaultConfig::default()
         };
         let run = || {
-            let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh);
+            let mut f = FaultInjector::new(Box::new(AlwaysOn::new(16)), &cfg, mesh).unwrap();
             let idle = vec![false; 16];
             for c in 0..500 {
                 f.tick(

@@ -68,6 +68,17 @@ impl FlitKind {
     pub fn is_tail(self) -> bool {
         matches!(self, FlitKind::Tail | FlitKind::HeadTail)
     }
+
+    /// Stable discriminant for state snapshots.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        match self {
+            FlitKind::Head => 0,
+            FlitKind::Body => 1,
+            FlitKind::Tail => 2,
+            FlitKind::HeadTail => 3,
+        }
+    }
 }
 
 /// A flow-control unit traversing the network.
@@ -99,6 +110,25 @@ pub struct Flit {
     /// Cycle the flit was latched into the current input buffer; it becomes
     /// eligible for allocation the following cycle (the BW stage).
     pub latched_at: Cycle,
+}
+
+impl Flit {
+    /// Appends this flit's canonical snapshot encoding (see
+    /// [`crate::snapshot`]): every field that affects future dynamics.
+    /// `latched_at` is excluded — between ticks it is always strictly below
+    /// the current cycle (a flit latched during cycle `t` becomes eligible
+    /// at `t + 1`), so the rebased encoding carries no information in it.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_u16, put_u64, put_u8};
+        put_u64(out, self.packet.0);
+        put_u8(out, self.kind.tag());
+        put_u8(out, self.vnet.0);
+        put_u8(out, self.class.index() as u8);
+        put_u16(out, self.dst.0);
+        put_u8(out, self.route_port.index() as u8);
+        put_u8(out, self.vc as u8);
+        put_u16(out, self.seq);
+    }
 }
 
 /// Per-packet bookkeeping kept by the network from injection to ejection.

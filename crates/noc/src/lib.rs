@@ -41,6 +41,7 @@ pub mod network;
 pub mod ni;
 pub mod power;
 pub mod router;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod vc;

@@ -65,6 +65,12 @@ impl<T> Pipe<T> {
         self.queue.len()
     }
 
+    /// In-flight items with their delivery cycles, oldest first (read-only;
+    /// used by state snapshots and diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.queue.iter().map(|(at, item)| (*at, item))
+    }
+
     /// `true` when nothing is in flight.
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()

@@ -13,8 +13,8 @@ use std::collections::HashMap;
 
 use punchsim_obs::{self as obs, Event, EventSink, PowerTag};
 use punchsim_types::{
-    BlockedPacket, Cycle, InvariantViolation, NocConfig, NodeId, PacketId, Port, PortMap,
-    RouteView, SimError, StallReport, Substrate, WatchdogConfig,
+    BlockedPacket, ConfigError, Cycle, FaultChoice, InvariantViolation, NocConfig, NodeId,
+    PacketId, Port, PortMap, RouteView, SimError, StallReport, Substrate, WatchdogConfig,
 };
 
 use crate::flit::{Flit, Message, MsgClass, PacketMeta};
@@ -412,13 +412,201 @@ impl Network {
     /// Reports that `node` will generate a packet shortly although its
     /// destination is not yet known — the paper's "slack 2" (§4.2), e.g. the
     /// start of an L2 or directory access. Only `PowerPunch-PG` uses it.
-    pub fn notify_future_injection(&mut self, node: NodeId) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeOutOfRange`] if `node` is outside the
+    /// topology (previously this fed an unchecked index into the power
+    /// manager, which panicked several layers down).
+    pub fn notify_future_injection(&mut self, node: NodeId) -> Result<(), SimError> {
+        if !self.view.topo.contains(node) {
+            return Err(SimError::NodeOutOfRange {
+                node,
+                nodes: self.view.topo.nodes(),
+            });
+        }
         self.events.push(PmEvent::FutureInjection { node });
+        Ok(())
     }
 
     /// Takes every message that has been delivered to `node` so far.
     pub fn take_delivered(&mut self, node: NodeId) -> Vec<Message> {
         std::mem::take(&mut self.outbox[node.index()])
+    }
+
+    /// Deep-copies the network for state-space exploration, or `None` when
+    /// it cannot be copied faithfully: an event sink is attached (sinks are
+    /// not clonable), or the active power manager does not implement
+    /// [`PowerManager::clone_boxed`].
+    pub fn try_clone(&self) -> Option<Network> {
+        if self.sink.is_some() {
+            return None;
+        }
+        let pm = self.pm.clone_boxed()?;
+        Some(Network {
+            cfg: self.cfg.clone(),
+            view: self.view,
+            cycle: self.cycle,
+            routers: self.routers.clone(),
+            nis: self.nis.clone(),
+            flit_in: self.flit_in.clone(),
+            credit_in: self.credit_in.clone(),
+            ni_credit_in: self.ni_credit_in.clone(),
+            eject_in: self.eject_in.clone(),
+            packets: self.packets.clone(),
+            next_packet: self.next_packet,
+            pm,
+            events: self.events.clone(),
+            stats: self.stats.clone(),
+            outbox: self.outbox.clone(),
+            ni_flits: self.ni_flits,
+            injected_flits: self.injected_flits,
+            measure_start: self.measure_start,
+            trace: self.trace.clone(),
+            sink: None,
+            power_shadow: self.power_shadow.clone(),
+            off_since: self.off_since.clone(),
+            credits_in_flight: self.credits_in_flight,
+            conserv_injected: self.conserv_injected,
+            conserv_delivered: self.conserv_delivered,
+            conserv_in_flight: self.conserv_in_flight,
+            last_progress: self.last_progress,
+            moved: self.moved,
+            blocked_streak: self.blocked_streak.clone(),
+            violation: self.violation.clone(),
+            tick_mode: self.tick_mode,
+            idle_scratch: Vec::with_capacity(self.routers.len()),
+            seen_scratch: Vec::with_capacity(self.routers.len()),
+            any_streak: self.any_streak,
+        })
+    }
+
+    /// Canonical byte encoding of all dynamic state, for reachable-set
+    /// deduplication in the exhaustive checker (see [`crate::snapshot`] for
+    /// the two rules every field follows). Returns `None` when the active
+    /// power manager does not support state encoding.
+    ///
+    /// Two networks with equal encodings behave identically from here on
+    /// (up to a uniform time shift): routers, NIs, every in-flight item in
+    /// every pipe (delivery cycles rebased), the in-flight packet-id set,
+    /// pending power-manager events, the watchdog's blocked-WU streaks and
+    /// stall age, and the power manager's own state. Statistics, the
+    /// delivered-message outbox and the conservation totals are excluded —
+    /// they never feed back into dynamics.
+    pub fn encode_state(&self) -> Option<Vec<u8>> {
+        use crate::snapshot::{put_u16, put_u64, put_u8, put_usize};
+        let now = self.cycle;
+        let mut out = Vec::with_capacity(1024);
+        for r in &self.routers {
+            r.encode_state(&mut out);
+        }
+        for ni in &self.nis {
+            ni.encode_state(now, &mut out);
+        }
+        for ports in &self.flit_in {
+            for (_, pipe) in ports.iter() {
+                put_u8(&mut out, pipe.len() as u8);
+                for (at, flit) in pipe.iter() {
+                    put_u64(&mut out, at.saturating_sub(now));
+                    flit.encode_state(&mut out);
+                }
+            }
+        }
+        for ports in &self.credit_in {
+            for (_, pipe) in ports.iter() {
+                put_u8(&mut out, pipe.len() as u8);
+                for (at, &vc) in pipe.iter() {
+                    put_u64(&mut out, at.saturating_sub(now));
+                    put_u8(&mut out, vc as u8);
+                }
+            }
+        }
+        for pipe in &self.ni_credit_in {
+            put_u8(&mut out, pipe.len() as u8);
+            for (at, &vc) in pipe.iter() {
+                put_u64(&mut out, at.saturating_sub(now));
+                put_u8(&mut out, vc as u8);
+            }
+        }
+        for pipe in &self.eject_in {
+            put_u8(&mut out, pipe.len() as u8);
+            for (at, flit) in pipe.iter() {
+                put_u64(&mut out, at.saturating_sub(now));
+                flit.encode_state(&mut out);
+            }
+        }
+        // The in-flight id set decides terminality; sorted for canonicity.
+        let mut ids: Vec<u64> = self.packets.keys().copied().collect();
+        ids.sort_unstable();
+        put_usize(&mut out, ids.len());
+        for id in ids {
+            put_u64(&mut out, id);
+        }
+        // Events buffered for the next power_tick (non-empty only right
+        // after host sends, but those states are explored too).
+        put_u8(&mut out, self.events.len() as u8);
+        for ev in &self.events {
+            match *ev {
+                PmEvent::HeadArrival { router, dst } => {
+                    put_u8(&mut out, 0);
+                    put_u16(&mut out, router.0);
+                    put_u16(&mut out, dst.0);
+                }
+                PmEvent::BlockedNeed { router } => {
+                    put_u8(&mut out, 1);
+                    put_u16(&mut out, router.0);
+                    put_u16(&mut out, 0);
+                }
+                PmEvent::NiMessageKnown { node, dst } => {
+                    put_u8(&mut out, 2);
+                    put_u16(&mut out, node.0);
+                    put_u16(&mut out, dst.0);
+                }
+                PmEvent::FutureInjection { node } => {
+                    put_u8(&mut out, 3);
+                    put_u16(&mut out, node.0);
+                    put_u16(&mut out, 0);
+                }
+                PmEvent::NiReadyToInject { node, dst } => {
+                    put_u8(&mut out, 4);
+                    put_u16(&mut out, node.0);
+                    put_u16(&mut out, dst.0);
+                }
+            }
+        }
+        // Watchdog dynamic state: both bounded (escalation resets streaks,
+        // a stall report re-arms the progress clock), both behaviour-
+        // relevant, so both belong in the encoding.
+        for &s in &self.blocked_streak {
+            put_u64(&mut out, s);
+        }
+        put_u64(&mut out, self.stall_age());
+        if !self.pm.encode_state(now, &mut out) {
+            return None;
+        }
+        Some(out)
+    }
+
+    /// Cycles since the watchdog last saw forward progress (0 while idle or
+    /// right after movement; bounded by the stall threshold, past which
+    /// [`Network::tick`] errors out).
+    pub fn stall_age(&self) -> Cycle {
+        self.cycle
+            .saturating_sub(1)
+            .saturating_sub(self.last_progress)
+    }
+
+    /// Per-router count of consecutive cycles the WU handshake has been
+    /// asserted and ignored (indexed by node id).
+    pub fn blocked_streaks(&self) -> &[Cycle] {
+        &self.blocked_streak
+    }
+
+    /// Arms a one-shot fault choice on the power manager for the next tick;
+    /// `false` if the active manager does not support scripted choices (see
+    /// [`PowerManager::arm_choice`]).
+    pub fn arm_fault_choice(&mut self, choice: FaultChoice) -> bool {
+        self.pm.arm_choice(choice)
     }
 
     /// Advances the network by one cycle.
@@ -539,21 +727,22 @@ impl Network {
     /// at exactly the same cycles as in [`TickMode::Naive`] — samplers see
     /// identical interval timestamps either way.
     ///
-    /// # Panics
-    ///
-    /// Panics if `every` is zero.
-    ///
     /// # Errors
     ///
-    /// Propagates the first error from [`Network::tick`]; the hook does not
-    /// run for the failing window.
+    /// Returns [`ConfigError::ZeroHookPeriod`] if `every` is zero
+    /// (a hook that can never fire; previously this panicked, which is the
+    /// wrong failure mode for a value that typically arrives from campaign
+    /// configuration). Otherwise propagates the first error from
+    /// [`Network::tick`]; the hook does not run for the failing window.
     pub fn run_hooked(
         &mut self,
         n: u64,
         every: u64,
         hook: &mut dyn FnMut(&Network),
     ) -> Result<(), SimError> {
-        assert!(every > 0, "hook period must be positive");
+        if every == 0 {
+            return Err(SimError::Config(ConfigError::ZeroHookPeriod));
+        }
         let mut i = 0;
         while i < n {
             if self.may_fast_forward() {
@@ -1238,6 +1427,29 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn future_injection_notice_rejects_out_of_range_node() {
+        let mut n = net();
+        let err = n.notify_future_injection(NodeId(200)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::NodeOutOfRange {
+                node: NodeId(200),
+                nodes: 64
+            }
+        ));
+        // An in-range notice is accepted and leaves the network clean.
+        n.notify_future_injection(NodeId(5)).unwrap();
+        n.run(10).unwrap();
+    }
+
+    #[test]
+    fn hooked_run_rejects_zero_period() {
+        let mut n = net();
+        let err = n.run_hooked(10, 0, &mut |_| {}).unwrap_err();
+        assert!(matches!(err, SimError::Config(ConfigError::ZeroHookPeriod)));
     }
 
     #[test]

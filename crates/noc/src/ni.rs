@@ -92,6 +92,40 @@ impl Ni {
         self.node
     }
 
+    /// Appends this NI's canonical snapshot encoding (see
+    /// [`crate::snapshot`]): the per-vnet injection queues (with `ready_at`
+    /// rebased against `now`), local-port credits, VC ownership and the
+    /// vnet round-robin pointer. `flits_ejected` is a statistic (monotone)
+    /// and excluded.
+    pub fn encode_state(&self, now: Cycle, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_bool, put_u16, put_u64, put_u8};
+        for queue in &self.queues {
+            put_u8(out, queue.len() as u8);
+            for p in queue {
+                put_u64(out, p.id.0);
+                put_u16(out, p.dst.0);
+                put_u8(out, p.vnet.0);
+                put_u8(out, p.class.index() as u8);
+                put_u16(out, p.len);
+                put_u64(out, p.ready_at.saturating_sub(now));
+                put_bool(out, p.announced);
+                match p.vc {
+                    None => put_u8(out, 0xFF),
+                    Some(vc) => put_u8(out, vc as u8),
+                }
+                put_u16(out, p.next_seq);
+                put_u8(out, p.route_port.index() as u8);
+            }
+        }
+        for &c in &self.credits {
+            put_u8(out, c as u8);
+        }
+        for &b in &self.vc_busy {
+            put_bool(out, b);
+        }
+        put_u8(out, self.rr as u8);
+    }
+
     /// Queues a message for injection at `cycle`; returns the cycle at which
     /// it will first be able to inject (end of the NI pipeline).
     ///

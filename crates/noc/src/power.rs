@@ -8,7 +8,7 @@
 //! the trivial [`AlwaysOn`] baseline so the substrate is testable on its own.
 
 use punchsim_obs::{PowerTag, Stamped};
-use punchsim_types::{Cycle, NodeId, SchemeKind};
+use punchsim_types::{Cycle, FaultChoice, NodeId, SchemeKind};
 
 /// Power state of one router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +276,45 @@ pub trait PowerManager {
             self.tick(c, &[], idle);
         }
     }
+
+    // --- model-checker hooks (all optional) -----------------------------
+    //
+    // The exhaustive wakeup-protocol checker (`punchsim-verify`) explores
+    // the joint state space of the network and its power manager. That
+    // needs three capabilities a plain manager does not have: forking the
+    // manager at a state (`clone_boxed`), folding its dynamic state into a
+    // canonical byte encoding (`encode_state`), and arming an enumerated
+    // fault choice for the next tick (`arm_choice`). They are default
+    // methods rather than a sub-trait because trait upcasting is not
+    // available at this crate's MSRV; managers that do not opt in simply
+    // return `None`/`false` and the checker refuses them with a typed
+    // error instead of producing unsound results.
+
+    /// Forks this manager at its current state, or `None` when the
+    /// implementation cannot be cloned (e.g. it samples an RNG stream whose
+    /// future draws are not part of the observable state).
+    fn clone_boxed(&self) -> Option<Box<dyn PowerManager>> {
+        None
+    }
+
+    /// Appends a canonical, *time-rebased* encoding of all dynamic state to
+    /// `out`: every stored absolute cycle must be encoded relative to `now`
+    /// so that states differing only by a uniform time shift encode
+    /// identically. Monotone counters (statistics) must be excluded — they
+    /// would make every state unique and the reachable set unbounded.
+    /// Returns `false` when the manager does not support encoding (the
+    /// buffer may then hold a partial write; callers must discard it).
+    fn encode_state(&self, _now: Cycle, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    /// Arms `choice` to perturb the *next* [`PowerManager::tick`], then
+    /// disarm. Returns `false` when this manager does not support scripted
+    /// fault choices (the default); the fault-free [`FaultChoice::None`]
+    /// must still be accepted by implementations that do.
+    fn arm_choice(&mut self, _choice: FaultChoice) -> bool {
+        false
+    }
 }
 
 /// The `No-PG` baseline: every router is always on.
@@ -318,6 +357,16 @@ impl PowerManager for AlwaysOn {
     }
 
     fn tick_quiet(&mut self, _from: Cycle, _to: Cycle, _idle: IdleInfo<'_>) {}
+
+    fn clone_boxed(&self) -> Option<Box<dyn PowerManager>> {
+        Some(Box::new(self.clone()))
+    }
+
+    /// No dynamic state beyond the (excluded) counters: the encoding is
+    /// empty and always supported.
+    fn encode_state(&self, _now: Cycle, _out: &mut Vec<u8>) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -185,6 +185,51 @@ impl Router {
             .sum()
     }
 
+    /// Appends this router's canonical snapshot encoding (see
+    /// [`crate::snapshot`]): input VCs (sparse — an empty, unrouted VC is a
+    /// single zero byte), link-port credit *deficits* (depth minus current
+    /// credits, so a fully-credited idle router encodes as zeros), output-VC
+    /// ownership and the three round-robin pointers. `Local` ejection
+    /// credits are excluded: they start effectively infinite and only ever
+    /// decrease, which makes them a monotone counter in disguise. Activity
+    /// counters are statistics and excluded per the snapshot rules.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_bool, put_u8};
+        for (_, vcs) in self.inputs.iter() {
+            for vc in vcs {
+                if vc.is_empty() && vc.route == VcRoute::Unrouted {
+                    put_u8(out, 0);
+                } else {
+                    put_u8(out, 1);
+                    vc.encode_state(out);
+                }
+            }
+        }
+        for (port, credits) in self.out_credits.iter() {
+            if port == Port::Local {
+                continue;
+            }
+            for (idx, &c) in credits.iter().enumerate() {
+                let depth = self.layout.depth(idx) as u32;
+                put_u8(out, depth.saturating_sub(c) as u8);
+            }
+        }
+        for (_, busy) in self.out_vc_busy.iter() {
+            for &b in busy {
+                put_bool(out, b);
+            }
+        }
+        for (_, &rr) in self.va_rr.iter() {
+            put_u8(out, rr as u8);
+        }
+        for (_, &rr) in self.sa_in_rr.iter() {
+            put_u8(out, rr as u8);
+        }
+        for (_, &rr) in self.sa_out_rr.iter() {
+            put_u8(out, rr as u8);
+        }
+    }
+
     /// Runs VC allocation then switch allocation for `cycle`.
     ///
     /// `down_on[p]` tells whether the router downstream of output `p` is

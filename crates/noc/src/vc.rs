@@ -155,6 +155,30 @@ impl Vc {
     pub fn pop(&mut self) -> Option<Flit> {
         self.flits.pop_front()
     }
+
+    /// Appends this VC's canonical snapshot encoding (see
+    /// [`crate::snapshot`]): the buffered flits and the allocation state of
+    /// the front packet. `va_cycle` is excluded — it only distinguishes
+    /// same-cycle speculative grants, and between ticks it is always
+    /// strictly below the current cycle, so it carries no information in
+    /// the rebased encoding.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::put_u8;
+        put_u8(out, self.flits.len() as u8);
+        for flit in &self.flits {
+            flit.encode_state(out);
+        }
+        match self.route {
+            VcRoute::Unrouted => put_u8(out, 0),
+            VcRoute::Routed {
+                out_port, out_vc, ..
+            } => {
+                put_u8(out, 1);
+                put_u8(out, out_port.index() as u8);
+                put_u8(out, out_vc as u8);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

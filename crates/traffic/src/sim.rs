@@ -174,7 +174,7 @@ impl SyntheticSim {
             if slack2 && now + self.inj.slack2_cycles == at {
                 // Slack 2: the node knows a packet is coming before the
                 // destination is known (PowerPunch-PG exploits this).
-                self.net.notify_future_injection(node);
+                self.net.notify_future_injection(node)?;
             }
             if at == now {
                 let dst = self.pattern.destination(topo, node, &mut self.rng);

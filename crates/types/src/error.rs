@@ -45,6 +45,8 @@ pub enum ConfigError {
     BadStuckRouter(NodeId),
     /// Tracing was enabled with a zero-capacity flight recorder.
     ZeroTraceCapacity,
+    /// A hooked run was asked to invoke its progress hook every 0 cycles.
+    ZeroHookPeriod,
     /// A topology was given degenerate dimensions (zero for a mesh,
     /// below 2 for a torus ring).
     BadTopologyDims {
@@ -93,6 +95,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroTraceCapacity => {
                 write!(f, "tracing is enabled but ring_capacity is 0")
+            }
+            ConfigError::ZeroHookPeriod => {
+                write!(f, "hook period must be at least 1 cycle")
             }
             ConfigError::BadTopologyDims {
                 kind,

@@ -17,6 +17,7 @@
 //! assert_eq!(xy_next_hop(mesh, src, dst), Some(NodeId(28)));
 //! ```
 
+pub mod choice;
 pub mod config;
 pub mod direction;
 pub mod error;
@@ -25,6 +26,7 @@ pub mod rng;
 pub mod routing;
 pub mod topology;
 
+pub use choice::FaultChoice;
 pub use config::{
     FaultConfig, NocConfig, PowerConfig, SchemeKind, SimConfig, StuckEpoch, TraceConfig,
     WatchdogConfig,

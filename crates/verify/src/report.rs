@@ -1,0 +1,72 @@
+//! The deterministic `VERIFY_<config>.json` artifact.
+//!
+//! Rendered through `punchsim-obs`'s insertion-ordered [`Json`] builder so
+//! equal explorations produce byte-identical files — CI `cmp`s these
+//! against checked-in baselines, making any drift in the state encoding,
+//! the choice enumeration order or the property evaluation visible as a
+//! build failure.
+
+use punchsim_obs::Json;
+
+use crate::checker::Exploration;
+use crate::scenario::{scheme_tag, VerifyConfig, STALL_BOUND};
+
+/// Schema identifier stamped into every artifact.
+pub const SCHEMA: &str = "punchsim-verify-v1";
+
+/// Renders the artifact for `cfg`'s exploration, trailing-newline
+/// terminated and byte-stable across runs.
+pub fn render_report(cfg: &VerifyConfig, exp: &Exploration) -> String {
+    let mut root = Json::obj();
+    root.push("schema", Json::Str(SCHEMA.to_string()));
+
+    let mut config = Json::obj();
+    config.push("mesh", Json::Str(format!("{}x{}", cfg.width, cfg.height)));
+    config.push("scheme", Json::Str(scheme_tag(cfg.scheme).to_string()));
+    config.push("faulty", Json::Bool(cfg.faulty));
+    config.push("max_faults", Json::Int(i64::from(cfg.max_faults)));
+    config.push("broken", Json::Bool(cfg.broken));
+    config.push("stall_bound", Json::Int(STALL_BOUND as i64));
+    root.push("config", config);
+
+    let mut space = Json::obj();
+    space.push("reachable_states", Json::Int(exp.reachable as i64));
+    space.push("edges", Json::Int(exp.edges as i64));
+    space.push("terminal_states", Json::Int(exp.terminals as i64));
+    space.push("max_depth", Json::Int(exp.max_depth as i64));
+    space.push("max_stall_age", Json::Int(exp.max_stall_age as i64));
+    root.push("state_space", space);
+
+    let mut props = Json::obj();
+    for p in &exp.properties {
+        let mut entry = Json::obj();
+        entry.push(
+            "status",
+            Json::Str(if p.proved { "proved" } else { "violated" }.to_string()),
+        );
+        entry.push("detail", Json::Str(p.detail.clone()));
+        match &p.counterexample {
+            None => {
+                entry.push("counterexample", Json::Null);
+            }
+            Some(ce) => {
+                let mut c = Json::obj();
+                c.push("kind", Json::Str(ce.kind.label().to_string()));
+                c.push("length", Json::Int(ce.choices.len() as i64));
+                c.push("ends_in_error", Json::Bool(ce.ends_in_error));
+                c.push(
+                    "choices",
+                    Json::Arr(ce.choices.iter().map(|ch| Json::Str(ch.label())).collect()),
+                );
+                entry.push("counterexample", c);
+            }
+        }
+        props.push(p.name, entry);
+    }
+    root.push("properties", props);
+    root.push("verified", Json::Bool(exp.all_proved()));
+
+    let mut out = root.render();
+    out.push('\n');
+    out
+}

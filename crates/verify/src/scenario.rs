@@ -1,0 +1,275 @@
+//! The bounded verification scenario the checker explores.
+//!
+//! A scenario is a small mesh, a power scheme, a tightened watchdog, a
+//! fixed warmup that lets every router fall asleep, and a fixed pair of
+//! corner-to-corner control packets injected *before* exploration starts.
+//! Injecting everything up front makes the transition relation invariant
+//! under a uniform time shift, which is what justifies merging states whose
+//! canonical encodings (all absolute cycles rebased to "now") collide.
+
+use punchsim_core::build_power_manager;
+use punchsim_faults::ChoiceInjector;
+use punchsim_noc::{
+    IdleInfo, Message, MsgClass, Network, PgCounters, PmEvent, PowerManager, PowerState, TickMode,
+};
+use punchsim_obs::{EventSink, Stamped};
+use punchsim_types::{
+    Cycle, FaultChoice, Mesh, NodeId, SchemeKind, SimConfig, SimError, VnetId, WatchdogConfig,
+};
+
+/// Stall threshold used during exploration — the bound the bounded-stall
+/// property is checked against. Small enough to keep the state space tight,
+/// large enough that every fault-free and single-fault wakeup completes.
+pub const STALL_BOUND: Cycle = 64;
+
+/// Escalation threshold for correct scenarios. Broken scenarios set 0
+/// (escalation disabled) so the suppressed-WU bug is actually reachable.
+pub const ESCALATE_AFTER: Cycle = 16;
+
+/// Warmup cycles before injection: with `idle_timeout = 4` every router in
+/// a 2x3 mesh is fully gated well before this.
+pub const WARMUP: Cycle = 32;
+
+/// Duration of the bounded [`FaultChoice::StickOff`] variant the checker
+/// enumerates (the unbounded variant is enumerated alongside it).
+pub const STICK_DURATION: Cycle = 16;
+
+/// One bounded verification instance: mesh size, scheme and fault mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Mesh width (2 or 3 keeps the state space exhaustive-friendly).
+    pub width: u16,
+    /// Mesh height.
+    pub height: u16,
+    /// Power-gating scheme under verification.
+    pub scheme: SchemeKind,
+    /// When `true`, the checker branches over the fault alphabet every
+    /// cycle; when `false` only `FaultChoice::None` is enabled.
+    pub faulty: bool,
+    /// Fault budget: the checker explores every placement of at most this
+    /// many faults along a trajectory (the classic bounded-fault
+    /// assumption — the per-cycle alphabet with an unbounded budget is not
+    /// finitely enumerable in useful time even on a 2x2 mesh).
+    pub max_faults: u32,
+    /// When `true`, the scheme is wrapped in [`SuppressWu`] (the WU
+    /// safety-net level signal never reaches the manager) and watchdog
+    /// escalation is disabled — the intentionally-broken configuration
+    /// that must yield a minimal counterexample.
+    pub broken: bool,
+    /// Abort exploration beyond this many distinct states.
+    pub max_states: usize,
+    /// Abort exploration beyond this BFS depth.
+    pub max_depth: u64,
+}
+
+impl VerifyConfig {
+    /// The 2x2 instance of `scheme`.
+    pub fn mesh2x2(scheme: SchemeKind) -> Self {
+        VerifyConfig {
+            width: 2,
+            height: 2,
+            scheme,
+            faulty: false,
+            max_faults: 2,
+            broken: false,
+            max_states: 400_000,
+            max_depth: 4_000,
+        }
+    }
+
+    /// The 2x3 instance of `scheme`.
+    pub fn mesh2x3(scheme: SchemeKind) -> Self {
+        VerifyConfig {
+            width: 2,
+            height: 3,
+            ..Self::mesh2x2(scheme)
+        }
+    }
+
+    /// Enables per-cycle fault branching.
+    pub fn with_faults(mut self) -> Self {
+        self.faulty = true;
+        self
+    }
+
+    /// Switches to the intentionally-broken (WU-suppressed) manager.
+    pub fn with_broken_manager(mut self) -> Self {
+        self.broken = true;
+        self
+    }
+
+    /// Stable label used in artifact names: `2x2_ppf_faulty` etc.
+    pub fn label(&self) -> String {
+        let mode = match (self.faulty, self.broken) {
+            (_, true) => "broken",
+            (true, false) => "faulty",
+            (false, false) => "clean",
+        };
+        format!(
+            "{}x{}_{}_{}",
+            self.width,
+            self.height,
+            scheme_tag(self.scheme),
+            mode
+        )
+    }
+}
+
+/// Stable lowercase tag for a scheme, matching the CLI's `--scheme` values.
+pub fn scheme_tag(scheme: SchemeKind) -> &'static str {
+    match scheme {
+        SchemeKind::NoPg => "nopg",
+        SchemeKind::ConvPg => "conv",
+        SchemeKind::ConvOptPg => "convopt",
+        SchemeKind::PowerPunchSignal => "pps",
+        SchemeKind::PowerPunchFull => "ppf",
+    }
+}
+
+/// A power manager that silently discards every [`PmEvent::BlockedNeed`]
+/// before its inner scheme sees it — modelling a controller whose WU
+/// level-signal input is disconnected. With watchdog escalation also
+/// disabled this is the intentionally-broken configuration the checker
+/// must catch: under conventional gating a sleeping router on the path is
+/// never woken and the blocked packet stalls forever.
+pub struct SuppressWu {
+    inner: Box<dyn PowerManager>,
+    filtered: Vec<PmEvent>,
+}
+
+impl std::fmt::Debug for SuppressWu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuppressWu")
+            .field("inner", &self.inner.kind())
+            .finish()
+    }
+}
+
+impl SuppressWu {
+    /// Wraps `inner`, disconnecting its WU input.
+    pub fn new(inner: Box<dyn PowerManager>) -> Self {
+        SuppressWu {
+            inner,
+            filtered: Vec::new(),
+        }
+    }
+}
+
+impl PowerManager for SuppressWu {
+    fn kind(&self) -> SchemeKind {
+        self.inner.kind()
+    }
+
+    fn state(&self, r: NodeId) -> PowerState {
+        self.inner.state(r)
+    }
+
+    fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>) {
+        self.filtered.clear();
+        self.filtered.extend(
+            events
+                .iter()
+                .filter(|e| !matches!(e, PmEvent::BlockedNeed { .. }))
+                .copied(),
+        );
+        self.inner.tick(cycle, &self.filtered, idle);
+    }
+
+    fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
+        self.inner.force_wake(r, cycle);
+    }
+
+    fn pending_punches(&self) -> usize {
+        self.inner.pending_punches()
+    }
+
+    fn counters(&self) -> &PgCounters {
+        self.inner.counters()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+
+    fn set_tracing(&mut self, enabled: bool) {
+        self.inner.set_tracing(enabled);
+    }
+
+    fn drain_trace(&mut self) -> Vec<Stamped> {
+        self.inner.drain_trace()
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        self.inner.next_event_at(now)
+    }
+
+    fn tick_quiet(&mut self, from: Cycle, to: Cycle, idle: IdleInfo<'_>) {
+        self.inner.tick_quiet(from, to, idle);
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn PowerManager>> {
+        let inner = self.inner.clone_boxed()?;
+        Some(Box::new(SuppressWu {
+            inner,
+            filtered: Vec::new(),
+        }))
+    }
+
+    fn encode_state(&self, now: Cycle, out: &mut Vec<u8>) -> bool {
+        // The wrapper itself is stateless (`filtered` is per-tick scratch).
+        self.inner.encode_state(now, out)
+    }
+
+    fn arm_choice(&mut self, choice: FaultChoice) -> bool {
+        self.inner.arm_choice(choice)
+    }
+}
+
+/// Builds the scenario network: configured mesh + scheme, tightened
+/// watchdog, strict one-tick-per-cycle stepping, warmup, then the two
+/// corner-to-corner control packets. Returns the fully-armed BFS root.
+///
+/// When `sink` is `Some`, it is attached *before* injection so a
+/// counterexample replay captures the inject events too (a network with a
+/// sink attached cannot be forked, so the checker passes `None`).
+///
+/// # Errors
+///
+/// Returns any configuration or warmup simulation error verbatim.
+pub fn build_network(
+    cfg: &VerifyConfig,
+    sink: Option<Box<dyn EventSink>>,
+) -> Result<Network, SimError> {
+    let mut sim = SimConfig::with_scheme(cfg.scheme);
+    sim.noc.topology = Mesh::new(cfg.width, cfg.height).into();
+    sim.noc.watchdog = WatchdogConfig {
+        stall_threshold: STALL_BOUND,
+        invariant_checks: true,
+        escalate_after: if cfg.broken { 0 } else { ESCALATE_AFTER },
+    };
+    let mut pm = build_power_manager(&sim)?;
+    if cfg.broken {
+        pm = Box::new(SuppressWu::new(pm));
+    }
+    if cfg.faulty {
+        pm = Box::new(ChoiceInjector::new(pm, sim.noc.topology));
+    }
+    let mut net = Network::new(&sim.noc, pm)?;
+    net.set_tick_mode(TickMode::Naive);
+    net.run(WARMUP)?;
+    if let Some(s) = sink {
+        net.set_sink(s);
+    }
+    let n = sim.noc.topology.nodes() as u16;
+    for (src, dst) in [(0, n - 1), (n - 1, 0)] {
+        net.send(Message {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            vnet: VnetId(0),
+            class: MsgClass::Control,
+            payload: u64::from(src),
+            gen_cycle: net.cycle(),
+        })?;
+    }
+    Ok(net)
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Wakeup-protocol verification gate, in three parts:
+#
+#   1. Fault-free proofs — the exhaustive 2x2 and 2x3 explorations of the
+#      full Power Punch scheme (and conventional gating on 2x2) must prove
+#      all three properties: no-lost-wakeup, no-deadlock, bounded-stall.
+#
+#   2. Faulty proofs — the same explorations under the per-cycle fault
+#      alphabet (punch drop/corruption, WU loss, stuck-off epochs) with
+#      the default two-fault budget must still prove all three: the WU
+#      handshake plus watchdog escalation is the safety net the paper
+#      argues makes punches a pure optimization.
+#
+#   3. Broken-manager counterexample — with the WU input disconnected and
+#      escalation disabled, the checker must FIND a lost-wakeup
+#      counterexample (exit 0 only via --expect-violation). A checker
+#      that can no longer catch the bug it was built for is itself broken.
+#
+# Every VERIFY_*.json artifact is byte-compared against the checked-in
+# bench/ baseline: the state encoding, the choice enumeration order and
+# the property evaluation are part of the repo's determinism contract.
+#
+# Usage: scripts/verify_gate.sh [OUT_DIR]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench-out/verify}"
+mkdir -p "$OUT"
+
+cargo build --release -q
+
+CLI=target/release/punchsim-cli
+
+check() {
+    # check <label> <extra flags...>: run one config, cmp its artifact.
+    label="$1"; shift
+    "$CLI" verify "$@" --out "$OUT/VERIFY_$label.json"
+    if ! cmp "bench/VERIFY_$label.json" "$OUT/VERIFY_$label.json"; then
+        echo "verify_gate: VERIFY_$label.json drifted from checked-in baseline" >&2
+        exit 1
+    fi
+}
+
+check 2x2_ppf_clean   --mesh 2x2 --scheme ppf
+check 2x2_conv_clean  --mesh 2x2 --scheme conv
+check 2x3_ppf_clean   --mesh 2x3 --scheme ppf
+check 2x2_ppf_faulty  --mesh 2x2 --scheme ppf --faulty
+check 2x2_conv_faulty --mesh 2x2 --scheme conv --faulty
+check 2x3_ppf_faulty  --mesh 2x3 --scheme ppf --faulty
+check 2x2_conv_broken --mesh 2x2 --scheme conv --broken --expect-violation \
+    --replay-out "$OUT/broken-replay.jsonl" --chrome-out "$OUT/broken-replay.chrome.json"
+
+# The broken counterexample must replay into a non-empty obs event stream.
+if ! [ -s "$OUT/broken-replay.jsonl" ]; then
+    echo "verify_gate: broken-manager counterexample replay produced no events" >&2
+    exit 1
+fi
+
+echo "verify_gate: all explorations match checked-in baselines"

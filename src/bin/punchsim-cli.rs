@@ -17,6 +17,8 @@
 //!                       [--sample N] [--trace-out DIR] [--trace-cap N]
 //! punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
 //!                       [--tol-delivered R] [--tol-escalations N]
+//! punchsim-cli verify   [--mesh WxH] [--scheme S] [--faulty] [--broken]
+//!                       [--max-faults N] [--out PATH] [--replay-out PATH]
 //! ```
 //!
 //! Schemes: `nopg`, `conv`, `convopt`, `pps` (PowerPunch-Signal),
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "campaign" => return campaign_cmd(&args[1..]),
         "compare" => return compare_cmd(&args[1..]),
+        "verify" => return verify_cmd(&args[1..]),
         _ => {}
     }
     let opts = match Opts::parse(&args[1..]) {
@@ -117,6 +120,9 @@ const USAGE: &str = "usage:
                         [--sample N] [--trace-out DIR] [--trace-cap N]
   punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
                         [--tol-delivered R] [--tol-escalations N]
+  punchsim-cli verify   [--mesh WxH] [--scheme S] [--faulty] [--broken]
+                        [--max-faults N] [--out PATH] [--replay-out PATH]
+                        [--chrome-out PATH] [--expect-violation]
 
 fault flags (any synthetic command):
   --faults P       drop each punch-carrying sideband event with probability P
@@ -130,6 +136,18 @@ trace flags:
                    faults/campaign default 4096)
   --format F       trace artifact format: chrome (Perfetto; default),
                    jsonl, or csv
+
+verify flags:
+  --faulty         branch over the per-cycle fault alphabet (punch drop /
+                   corruption, WU loss, stuck-off epochs)
+  --broken         suppress the WU safety net and disable escalation (the
+                   intentionally-broken manager; expect a counterexample)
+  --max-faults N   fault budget for --faulty exploration (default 2)
+  --out PATH       write the byte-stable VERIFY artifact (default: stdout)
+  --replay-out P   replay the minimal counterexample, write JSONL events
+  --chrome-out P   same replay as a Chrome trace (open in Perfetto)
+  --expect-violation  exit 0 only if a property is violated (CI gates the
+                   broken configuration this way)
 
 campaign flags:
   --suite S        spec list: parsec, synth, ci (both; default),
@@ -899,6 +917,181 @@ fn compare_cmd(args: &[String]) -> ExitCode {
             cmp.run_errors.len()
         );
         ExitCode::FAILURE
+    }
+}
+
+/// Options of the `verify` subcommand. Boolean mode flags put it outside
+/// the flag/value `Opts` grammar, so it parses its own argument list.
+struct VerifyOpts {
+    width: u16,
+    height: u16,
+    scheme: SchemeKind,
+    faulty: bool,
+    broken: bool,
+    max_faults: u32,
+    out: Option<PathBuf>,
+    replay_out: Option<PathBuf>,
+    chrome_out: Option<PathBuf>,
+    expect_violation: bool,
+}
+
+impl VerifyOpts {
+    fn parse(args: &[String]) -> Result<VerifyOpts, String> {
+        let mut o = VerifyOpts {
+            width: 2,
+            height: 2,
+            scheme: SchemeKind::PowerPunchFull,
+            faulty: false,
+            broken: false,
+            max_faults: 2,
+            out: None,
+            replay_out: None,
+            chrome_out: None,
+            expect_violation: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--faulty" => o.faulty = true,
+                "--broken" => o.broken = true,
+                "--expect-violation" => o.expect_violation = true,
+                _ => {
+                    let val = it
+                        .next()
+                        .ok_or_else(|| format!("missing value for {flag}"))?;
+                    match flag.as_str() {
+                        "--mesh" => {
+                            let (w, h) = val
+                                .split_once('x')
+                                .ok_or_else(|| format!("mesh must look like 2x2, got {val}"))?;
+                            o.width = w.parse().map_err(|_| "bad mesh width".to_string())?;
+                            o.height = h.parse().map_err(|_| "bad mesh height".to_string())?;
+                        }
+                        "--scheme" => {
+                            o.scheme = SchemeKind::from_tag(val)
+                                .ok_or_else(|| format!("unknown scheme {val}"))?;
+                        }
+                        "--max-faults" => {
+                            o.max_faults =
+                                val.parse().map_err(|_| "bad fault budget".to_string())?;
+                        }
+                        "--out" => o.out = Some(PathBuf::from(val)),
+                        "--replay-out" => o.replay_out = Some(PathBuf::from(val)),
+                        "--chrome-out" => o.chrome_out = Some(PathBuf::from(val)),
+                        f => return Err(format!("unknown flag {f}")),
+                    }
+                }
+            }
+        }
+        if usize::from(o.width) * usize::from(o.height) > 9 {
+            return Err(format!(
+                "verify explores the joint state space exhaustively; meshes beyond \
+                 9 routers are intractable (got {}x{})",
+                o.width, o.height
+            ));
+        }
+        Ok(o)
+    }
+}
+
+fn verify_cmd(args: &[String]) -> ExitCode {
+    let opts = match VerifyOpts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = VerifyConfig::mesh2x2(opts.scheme);
+    cfg.width = opts.width;
+    cfg.height = opts.height;
+    cfg.faulty = opts.faulty;
+    cfg.broken = opts.broken;
+    cfg.max_faults = opts.max_faults;
+    let started = Instant::now();
+    let out = match run_verification(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exp = &out.exploration;
+    eprintln!(
+        "verify {}: {} states, {} edges, {} terminal(s), depth {} in {:.2?}",
+        cfg.label(),
+        exp.reachable,
+        exp.edges,
+        exp.terminals,
+        exp.max_depth,
+        started.elapsed()
+    );
+    for p in &exp.properties {
+        eprintln!(
+            "  {:<16} {}  ({})",
+            p.name,
+            if p.proved { "proved" } else { "VIOLATED" },
+            p.detail
+        );
+    }
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &out.report) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{}", out.report),
+    }
+    if opts.replay_out.is_some() || opts.chrome_out.is_some() {
+        match exp.first_counterexample() {
+            None => eprintln!("note: nothing to replay — all properties proved"),
+            Some(ce) => {
+                let rep = match punchsim::verify::replay(&cfg, ce) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: counterexample replay failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                eprintln!(
+                    "replayed {}-step {} counterexample: {} event(s){}",
+                    ce.choices.len(),
+                    ce.kind.label(),
+                    rep.events.len(),
+                    match &rep.error {
+                        Some(e) => format!(", ending in: {e}"),
+                        None => String::new(),
+                    }
+                );
+                for (path, body) in [
+                    (&opts.replay_out, rep.to_jsonl()),
+                    (&opts.chrome_out, rep.to_chrome_trace()),
+                ] {
+                    if let Some(path) = path {
+                        if let Err(e) = std::fs::write(path, body) {
+                            eprintln!("error: cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("wrote {}", path.display());
+                    }
+                }
+            }
+        }
+    }
+    if exp.all_proved() == opts.expect_violation {
+        eprintln!(
+            "verify FAILED: {}",
+            if opts.expect_violation {
+                "expected a violation, but every property proved"
+            } else {
+                "a property was violated"
+            }
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -49,6 +49,7 @@ pub use punchsim_power as power;
 pub use punchsim_stats as stats;
 pub use punchsim_traffic as traffic;
 pub use punchsim_types as types;
+pub use punchsim_verify as verify;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -68,4 +69,5 @@ pub mod prelude {
         PowerConfig, RouteView, RoutingKind, SchemeKind, SimConfig, SimError, SimRng, StallReport,
         StuckEpoch, Substrate, Topology, Torus, VnetId, WatchdogConfig,
     };
+    pub use punchsim_verify::{run_verification, VerifyConfig, VerifyOutcome};
 }

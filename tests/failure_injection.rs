@@ -9,7 +9,8 @@
 use punchsim::core::build_power_manager;
 use punchsim::noc::{Message, MsgClass, Network, PgCounters};
 use punchsim::types::{
-    FaultConfig, Mesh, NodeId, SchemeKind, SimConfig, SimRng, StuckEpoch, VnetId,
+    FaultConfig, Mesh, NodeId, RoutingKind, SchemeKind, SimConfig, SimError, SimRng, StallReport,
+    StuckEpoch, Substrate, Torus, VnetId, WatchdogConfig,
 };
 
 /// Builds a faulted PowerPunch-PG config on `mesh` and runs a light random
@@ -138,6 +139,130 @@ fn stuck_off_router_is_escalated_and_all_packets_deliver() {
         pg.escalations > 0,
         "the watchdog force-woke the stuck router (escalations = {})",
         pg.escalations
+    );
+    assert!(pg.faults_injected > 0, "the stuck epoch swallowed WUs");
+}
+
+/// Runs a workload on an arbitrary substrate + routing with the watchdog's
+/// escalation path initially *disabled*, so a wedged sideband produces a
+/// harvestable [`StallReport`] instead of a silent recovery. After the
+/// first report, escalation is re-enabled and the run must drain fully.
+/// Returns (sent, delivered, first stall report, final PG counters).
+fn run_wedged(
+    topo: Substrate,
+    routing: RoutingKind,
+    faults: FaultConfig,
+) -> (usize, usize, Box<StallReport>, PgCounters) {
+    let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+    cfg.noc.topology = topo;
+    cfg.noc.routing = routing;
+    cfg.noc.watchdog = WatchdogConfig {
+        stall_threshold: 200,
+        invariant_checks: true,
+        escalate_after: 0,
+    };
+    cfg.faults = faults;
+    let pm = build_power_manager(&cfg).expect("valid config");
+    let mut net = Network::new(&cfg.noc, pm).expect("valid config");
+    let n = topo.nodes() as u16;
+    let mut rng = SimRng::seed_from_u64(11);
+    let mut sent = 0usize;
+    let mut stall: Option<Box<StallReport>> = None;
+    let mut round = 0u64;
+    while round < 1_200 || net.in_flight() > 0 {
+        if round < 1_200 && round % 40 == 0 {
+            let src = NodeId(rng.random_range(0..n));
+            let dst = NodeId(rng.random_range(0..n));
+            net.send(Message {
+                src,
+                dst,
+                vnet: VnetId(0),
+                class: MsgClass::Control,
+                payload: 0,
+                gen_cycle: 0,
+            })
+            .expect("in-substrate send");
+            sent += 1;
+        }
+        match net.tick() {
+            Ok(()) => {}
+            Err(SimError::Stall(report)) => {
+                assert!(
+                    stall.is_none(),
+                    "a second stall after escalation was re-enabled"
+                );
+                stall = Some(report);
+                // The safety net goes back on: from here the watchdog must
+                // recover the run without losing a single flit.
+                net.set_watchdog(WatchdogConfig {
+                    stall_threshold: 200,
+                    invariant_checks: true,
+                    escalate_after: 32,
+                });
+            }
+            Err(e) => panic!("unexpected simulation error: {e}"),
+        }
+        round += 1;
+        assert!(round < 100_000, "network failed to drain");
+    }
+    let delivered: usize = (0..n).map(|i| net.take_delivered(NodeId(i)).len()).sum();
+    let stall = stall.expect("the wedged sideband must produce a stall report");
+    (sent, delivered, stall, net.report().pg.clone())
+}
+
+/// Acceptance (torus + YX): with every punch *and* every WU assertion
+/// dropped, the sideband is fully wedged — the watchdog files a populated
+/// stall report, and once escalation is re-enabled every flit still
+/// delivers. Zero lost flits on a non-default substrate.
+#[test]
+fn torus_yx_wu_loss_stalls_then_recovers_losslessly() {
+    let faults = FaultConfig {
+        seed: 21,
+        drop_punch_ppm: FaultConfig::ppm(1.0),
+        drop_wu_ppm: FaultConfig::ppm(1.0),
+        ..FaultConfig::default()
+    };
+    let topo = Substrate::Torus(Torus::try_new(4, 4).expect("4x4 torus"));
+    let (sent, delivered, stall, pg) = run_wedged(topo, RoutingKind::Yx, faults);
+    assert_eq!(delivered, sent, "zero lost flits after recovery");
+    assert!(stall.stalled_for >= 200, "threshold honoured");
+    assert!(
+        stall.in_flight_packets > 0,
+        "report names the stuck traffic"
+    );
+    assert!(
+        stall.oldest_blocked.is_some(),
+        "report identifies the oldest blocked packet"
+    );
+    assert!(
+        !stall.off_routers.is_empty(),
+        "report lists the sleeping routers"
+    );
+    assert!(pg.escalations > 0, "recovery went through force-wake");
+}
+
+/// Acceptance (torus + YX): a long stuck-off epoch swallows the WU
+/// handshake of one router outright. Same contract: populated stall
+/// report, then lossless recovery via escalation.
+#[test]
+fn torus_yx_stuck_epoch_stalls_then_recovers_losslessly() {
+    let faults = FaultConfig {
+        seed: 23,
+        stuck_epochs: vec![StuckEpoch {
+            router: NodeId(5),
+            start: 40,
+            duration: 100_000,
+        }],
+        ..FaultConfig::default()
+    };
+    let topo = Substrate::Torus(Torus::try_new(4, 4).expect("4x4 torus"));
+    let (sent, delivered, stall, pg) = run_wedged(topo, RoutingKind::Yx, faults);
+    assert_eq!(delivered, sent, "zero lost flits after recovery");
+    assert!(stall.in_flight_packets > 0);
+    assert!(stall.oldest_blocked.is_some());
+    assert!(
+        pg.escalations > 0,
+        "only escalation can release a stuck-off router"
     );
     assert!(pg.faults_injected > 0, "the stuck epoch swallowed WUs");
 }

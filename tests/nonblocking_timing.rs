@@ -42,7 +42,7 @@ fn run_isolated_packets_mode(
         if use_slack2 {
             // Slack 2: the node knows a packet is coming 6 cycles before
             // the message reaches the NI (L2/directory access start).
-            net.notify_future_injection(NodeId(src));
+            net.notify_future_injection(NodeId(src)).unwrap();
             net.run(6).unwrap();
         }
         net.send(Message {
@@ -147,7 +147,7 @@ fn four_stage_router_hides_up_to_twelve_cycles_in_steady_state() {
         let pm = build_power_manager(&cfg).unwrap();
         let mut net = Network::new(&cfg.noc, pm).unwrap();
         net.run(50).unwrap();
-        net.notify_future_injection(NodeId(0));
+        net.notify_future_injection(NodeId(0)).unwrap();
         net.run(6).unwrap();
         net.send(Message {
             src: NodeId(0),
