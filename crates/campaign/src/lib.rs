@@ -212,6 +212,56 @@ pub fn fastpath_suite(seed: u64) -> Vec<RunSpec> {
         .collect()
 }
 
+/// Measured cycles for the busy-regime scalability gate suite (shortened
+/// by [`fast_mode`]). Shorter than [`fastpath_cycles`]: every cycle here
+/// is a *busy* cycle (packets continuously in flight, so quiescence
+/// fast-forward never engages), and busy cycles on a 32x32 mesh are what
+/// the SoA-vs-struct ratio is measured on.
+pub fn busy_cycles() -> u64 {
+    if fast_mode() {
+        12_000
+    } else {
+        40_000
+    }
+}
+
+/// The busy-regime scalability suite: large meshes (16x16 and 32x32)
+/// under continuous uniform-random load — the regime the paper's Figs.
+/// 7–13 live in, and the one where the per-tick sweep cost dominates.
+/// The per-node rate is low but the aggregate is not: mesh-wide, a new
+/// packet arrives every ~2 cycles (32x32), far inside end-to-end packet
+/// latency, so the network never goes quiescent — yet only a sparse
+/// minority of routers is busy on any given cycle, which is exactly the
+/// coherence-traffic shape the SoA word sweep exists for. CI's
+/// `soa_gate.sh` runs this suite under the SoA and struct kernels
+/// (byte-identical artifacts, ≥1.5x speed), and `shard_gate.sh` reruns
+/// it across `--shards` counts (byte-identical artifacts again).
+pub fn busy_suite(seed: u64) -> Vec<RunSpec> {
+    let measure = busy_cycles();
+    let mut specs = Vec::new();
+    for (w, h) in [(16u16, 16u16), (32, 32)] {
+        for scheme in [
+            SchemeKind::NoPg,
+            SchemeKind::ConvOptPg,
+            SchemeKind::PowerPunchFull,
+        ] {
+            specs.push(RunSpec {
+                scheme,
+                seed,
+                workload: Workload::Synthetic {
+                    pattern: TrafficPattern::UniformRandom,
+                    topo: Mesh::new(w, h).into(),
+                    routing: RoutingKind::Xy,
+                    rate: 0.0005,
+                    warmup_cycles: measure / 8,
+                    measure_cycles: measure,
+                },
+            });
+        }
+    }
+    specs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +298,26 @@ mod tests {
                 panic!("fastpath suite must be synthetic");
             };
             assert!(rate < 0.001, "fastpath runs must be idle-dominated");
+        }
+        let busy = busy_suite(seed);
+        assert_eq!(busy.len(), 2 * 3, "two meshes x three schemes");
+        let mut bids: Vec<String> = busy.iter().map(RunSpec::id).collect();
+        bids.sort();
+        bids.dedup();
+        assert_eq!(bids.len(), busy.len());
+        assert!(bids.iter().any(|i| i.contains("16x16")));
+        assert!(bids.iter().any(|i| i.contains("32x32")));
+        for s in &busy {
+            let Workload::Synthetic { rate, topo, .. } = s.workload else {
+                panic!("busy suite must be synthetic");
+            };
+            // Aggregate arrivals/cycle, not per-node rate, is what keeps a
+            // mesh busy: the inter-arrival gap must sit well inside packet
+            // latency so the network never goes quiescent.
+            assert!(
+                rate * topo.nodes() as f64 >= 0.1,
+                "busy runs must keep packets continuously in flight"
+            );
         }
         // Ids are unique within a suite (artifact keys).
         let mut ids: Vec<String> = ci.iter().map(RunSpec::id).collect();

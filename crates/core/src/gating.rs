@@ -59,6 +59,31 @@ impl GateArray {
         }
     }
 
+    /// Single-pass bulk availability snapshot for the sharded SoA tick
+    /// (see [`punchsim_noc::PowerManager::fill_availability`]): one walk
+    /// over the gate vector instead of three virtual dispatches per
+    /// router. Values are exactly what per-router [`GateArray::state`]
+    /// queries would yield.
+    pub fn fill_availability(
+        &self,
+        arrival_by: Cycle,
+        local_by: Cycle,
+        arrival: &mut [bool],
+        local: &mut [bool],
+        off: &mut [bool],
+    ) {
+        for (i, g) in self.gates.iter().enumerate() {
+            let (a, l, o) = match *g {
+                Gate::On { .. } => (true, true, false),
+                Gate::Off => (false, false, true),
+                Gate::Waking { ready_at } => (ready_at <= arrival_by, ready_at <= local_by, false),
+            };
+            arrival[i] = a;
+            local[i] = l;
+            off[i] = o;
+        }
+    }
+
     /// Activity counters.
     pub fn counters(&self) -> &PgCounters {
         &self.counters

@@ -63,6 +63,18 @@ impl PowerManager for ConvPgManager {
         self.gate.state(r)
     }
 
+    fn fill_availability(
+        &self,
+        arrival_by: Cycle,
+        local_by: Cycle,
+        arrival: &mut [bool],
+        local: &mut [bool],
+        off: &mut [bool],
+    ) {
+        self.gate
+            .fill_availability(arrival_by, local_by, arrival, local, off);
+    }
+
     fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>) {
         self.gate.begin_cycle(cycle);
         for ev in events {
@@ -233,6 +245,18 @@ impl PowerManager for PowerPunchManager {
 
     fn state(&self, r: NodeId) -> PowerState {
         self.gate.state(r)
+    }
+
+    fn fill_availability(
+        &self,
+        arrival_by: Cycle,
+        local_by: Cycle,
+        arrival: &mut [bool],
+        local: &mut [bool],
+        off: &mut [bool],
+    ) {
+        self.gate
+            .fill_availability(arrival_by, local_by, arrival, local, off);
     }
 
     fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>) {

@@ -22,6 +22,7 @@ use crate::link::Pipe;
 use crate::ni::Ni;
 use crate::power::{IdleInfo, PmEvent, PowerManager, PowerState};
 use crate::router::{Router, RouterActivity};
+use crate::soa::{self, BusyKernel, FlatAvail, PmAvail, ShardBuf, ShardView, SoaState, TickCtx};
 use crate::stats::{NetStats, NetworkReport};
 use crate::trace::{PacketRecord, TraceLog};
 use crate::vc::VcLayout;
@@ -108,6 +109,9 @@ pub struct Network {
     events: Vec<PmEvent>,
     stats: NetStats,
     outbox: Vec<Vec<Message>>,
+    /// Messages currently sitting in `outbox` across all nodes, so hosts
+    /// can skip their per-node drain scan when nothing was delivered.
+    outbox_pending: u64,
     ni_flits: u64,
     injected_flits: u64,
     measure_start: Cycle,
@@ -139,6 +143,20 @@ pub struct Network {
     violation: Option<InvariantViolation>,
     /// Clock-advance strategy for `run`/`run_hooked`.
     tick_mode: TickMode,
+    /// Busy-cycle kernel for `tick`: the SoA word sweep (default) or the
+    /// object-at-a-time struct reference.
+    busy_kernel: BusyKernel,
+    /// Row-band shard count for the SoA kernel (1 = no threading).
+    shards: usize,
+    /// Flat per-mesh bitset index over the router/NI structs (see
+    /// [`crate::soa`]).
+    soa: SoaState,
+    /// The struct-path kernel does not maintain the SoA bits; after it has
+    /// run, the next SoA tick rebuilds them from the structs.
+    soa_dirty: bool,
+    /// Per-shard phase-A outcome buffers (reused; steady-state ticks
+    /// allocate nothing).
+    shard_bufs: Vec<ShardBuf>,
     /// Reusable per-tick idleness scratch (steady-state tick allocates
     /// nothing).
     idle_scratch: Vec<bool>,
@@ -172,6 +190,14 @@ impl Network {
         let topo = view.topo;
         let layout = VcLayout::new(cfg);
         let n = topo.nodes();
+        // `PP_SHARDS` mirrors the CLI's `--shards`: an execution detail like
+        // the thread count, never part of a run's content hash. Unparsable
+        // values fall back to 1; a parsed-but-invalid count is a config error.
+        let shards = std::env::var("PP_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1);
+        Self::validate_shards(shards, topo.height())?;
         let routers = topo
             .iter_nodes()
             .map(|id| {
@@ -202,6 +228,7 @@ impl Network {
             events: Vec::new(),
             stats: NetStats::default(),
             outbox: vec![Vec::new(); n],
+            outbox_pending: 0,
             ni_flits: 0,
             injected_flits: 0,
             measure_start: 0,
@@ -218,10 +245,60 @@ impl Network {
             blocked_streak: vec![0; n],
             violation: None,
             tick_mode: TickMode::from_env(),
+            busy_kernel: BusyKernel::from_env(),
+            shards,
+            soa: SoaState::new(n),
+            soa_dirty: false,
+            shard_bufs: Vec::new(),
             idle_scratch: Vec::with_capacity(n),
             seen_scratch: Vec::with_capacity(n),
             any_streak: false,
         })
+    }
+
+    /// Checks a shard count against this topology's row count.
+    fn validate_shards(shards: usize, rows: u16) -> Result<(), ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if shards > rows as usize {
+            return Err(ConfigError::ShardsExceedRows { shards, rows });
+        }
+        Ok(())
+    }
+
+    /// Sets the row-band shard count for the SoA busy-tick kernel
+    /// (overrides the `PP_SHARDS` environment resolution done at
+    /// construction). Shard count never changes results — phase A is
+    /// confined to shard-owned state and the commit order is fixed — so
+    /// this is an execution knob like the campaign thread count, not part
+    /// of any run specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroShards`] for `0` and
+    /// [`ConfigError::ShardsExceedRows`] when `shards` exceeds the
+    /// topology's router rows (a shard would own no rows).
+    pub fn set_shards(&mut self, shards: usize) -> Result<(), ConfigError> {
+        Self::validate_shards(shards, self.view.topo.height())?;
+        self.shards = shards;
+        Ok(())
+    }
+
+    /// The active shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Selects the busy-cycle kernel (overrides the `PP_STRUCT_TICK`
+    /// environment resolution done at construction).
+    pub fn set_busy_kernel(&mut self, kernel: BusyKernel) {
+        self.busy_kernel = kernel;
+    }
+
+    /// The active busy-cycle kernel.
+    pub fn busy_kernel(&self) -> BusyKernel {
+        self.busy_kernel
     }
 
     /// Selects how `run`/`run_hooked` advance the clock (overrides the
@@ -400,6 +477,8 @@ impl Network {
                 },
             );
         }
+        // The NI now has injection-side work: flag it for the SoA sweep.
+        self.soa.ni_pend.set(msg.src.index());
         self.packets
             .insert(id.0, PacketMeta::new(msg, len, self.cycle, true));
         self.stats.packets_injected += 1;
@@ -431,7 +510,16 @@ impl Network {
 
     /// Takes every message that has been delivered to `node` so far.
     pub fn take_delivered(&mut self, node: NodeId) -> Vec<Message> {
-        std::mem::take(&mut self.outbox[node.index()])
+        let msgs = std::mem::take(&mut self.outbox[node.index()]);
+        self.outbox_pending -= msgs.len() as u64;
+        msgs
+    }
+
+    /// Messages delivered but not yet collected with
+    /// [`Network::take_delivered`], across all nodes. Hosts polling every
+    /// node each cycle can skip the whole scan while this is zero.
+    pub fn delivered_pending(&self) -> u64 {
+        self.outbox_pending
     }
 
     /// Deep-copies the network for state-space exploration, or `None` when
@@ -459,6 +547,7 @@ impl Network {
             events: self.events.clone(),
             stats: self.stats.clone(),
             outbox: self.outbox.clone(),
+            outbox_pending: self.outbox_pending,
             ni_flits: self.ni_flits,
             injected_flits: self.injected_flits,
             measure_start: self.measure_start,
@@ -475,6 +564,11 @@ impl Network {
             blocked_streak: self.blocked_streak.clone(),
             violation: self.violation.clone(),
             tick_mode: self.tick_mode,
+            busy_kernel: self.busy_kernel,
+            shards: self.shards,
+            soa: self.soa.clone(),
+            soa_dirty: self.soa_dirty,
+            shard_bufs: Vec::new(),
             idle_scratch: Vec::with_capacity(self.routers.len()),
             seen_scratch: Vec::with_capacity(self.routers.len()),
             any_streak: self.any_streak,
@@ -621,6 +715,18 @@ impl Network {
     /// returning it. A stall re-arms, so a caller that intentionally keeps
     /// ticking past it will get a fresh report each threshold window.
     pub fn tick(&mut self) -> Result<(), SimError> {
+        match self.busy_kernel {
+            BusyKernel::Soa => self.tick_soa(),
+            BusyKernel::Struct => self.tick_struct(),
+        }
+    }
+
+    /// The object-at-a-time reference kernel: every router, NI and pipe
+    /// visited every cycle through the structs.
+    fn tick_struct(&mut self) -> Result<(), SimError> {
+        // The struct sweeps do not maintain the SoA bit index; rebuild it
+        // lazily if the SoA kernel runs next.
+        self.soa_dirty = true;
         let now = self.cycle;
         self.moved = false;
         self.deliver_flits(now);
@@ -632,6 +738,380 @@ impl Network {
         self.power_tick(now);
         self.cycle = now + 1;
         self.watchdog_check(now)
+    }
+
+    /// The SoA word-sweep kernel: phase A computes each shard's slice of
+    /// the tick over shard-owned state only, then the commit applies every
+    /// cross-router effect serially in router-index order — bit-exact with
+    /// [`Network::tick_struct`] for any shard count.
+    fn tick_soa(&mut self) -> Result<(), SimError> {
+        if self.soa_dirty {
+            self.rebuild_soa();
+        }
+        let now = self.cycle;
+        self.moved = false;
+        self.soa_phase_a(now);
+        self.soa_commit(now);
+        self.watchdog_escalate(now);
+        self.power_tick_soa(now);
+        self.cycle = now + 1;
+        self.watchdog_check(now)
+    }
+
+    /// Recomputes every SoA bit from the authoritative structs (after the
+    /// struct kernel has run, or a kernel switch).
+    fn rebuild_soa(&mut self) {
+        let n = self.routers.len();
+        self.soa.occ.clear_all();
+        self.soa.flit_pend.clear_all();
+        self.soa.credit_pend.clear_all();
+        self.soa.eject_pend.clear_all();
+        self.soa.ni_pend.clear_all();
+        self.soa.ni_mid.clear_all();
+        for idx in 0..n {
+            if !self.routers[idx].datapath_empty() {
+                self.soa.occ.set(idx);
+            }
+            if Port::ALL.iter().any(|&p| !self.flit_in[idx][p].is_empty()) {
+                self.soa.flit_pend.set(idx);
+            }
+            if !self.ni_credit_in[idx].is_empty()
+                || Port::ALL
+                    .iter()
+                    .any(|&p| !self.credit_in[idx][p].is_empty())
+            {
+                self.soa.credit_pend.set(idx);
+            }
+            if !self.eject_in[idx].is_empty() {
+                self.soa.eject_pend.set(idx);
+            }
+            if self.nis[idx].pending() > 0 {
+                self.soa.ni_pend.set(idx);
+            }
+            if self.nis[idx].mid_packet() {
+                self.soa.ni_mid.set(idx);
+            }
+        }
+        self.soa_dirty = false;
+    }
+
+    /// Runs phase A over all shards: inline for one shard (power-manager
+    /// queries go straight to the boxed manager), on scoped threads for
+    /// more (availability is precomputed into flat arrays first — the
+    /// manager is host-thread-only).
+    fn soa_phase_a(&mut self, now: Cycle) {
+        let shards = self.shards;
+        if self.shard_bufs.len() != shards {
+            self.shard_bufs.resize_with(shards, ShardBuf::default);
+        }
+        for b in &mut self.shard_bufs {
+            b.reset();
+        }
+        let link = self.cfg.link_latency as Cycle;
+        let check = self.cfg.watchdog.invariant_checks;
+        let violation_open = self.violation.is_none();
+        if shards > 1 {
+            let Network { pm, soa, .. } = self;
+            soa.fill_avail(pm.as_ref(), now + 2 + link, now + 1 + link);
+        }
+        let Network {
+            routers,
+            nis,
+            flit_in,
+            credit_in,
+            ni_credit_in,
+            eject_in,
+            pm,
+            soa,
+            shard_bufs,
+            view,
+            ..
+        } = self;
+        let soa = &*soa;
+        let ctx = TickCtx {
+            now,
+            link,
+            check,
+            violation_open,
+            view: *view,
+            occ: soa.occ.words(),
+            flit_pend: soa.flit_pend.words(),
+            credit_pend: soa.credit_pend.words(),
+            eject_pend: soa.eject_pend.words(),
+            ni_pend: soa.ni_pend.words(),
+        };
+        if shards == 1 {
+            let avail = PmAvail {
+                pm: pm.as_ref(),
+                arrival_by: now + 2 + link,
+                local_by: now + 1 + link,
+            };
+            let mut sv = ShardView {
+                lo: 0,
+                hi: routers.len(),
+                routers,
+                nis,
+                flit_in,
+                credit_in,
+                ni_credit_in,
+                eject_in,
+            };
+            soa::shard_phase_a(&mut sv, &ctx, &avail, &mut shard_bufs[0]);
+            return;
+        }
+        let avail = FlatAvail {
+            arrival: &soa.avail_arrival,
+            local: &soa.avail_local,
+            off: &soa.power_off,
+        };
+        let bounds = soa::shard_bounds(view.topo.width(), view.topo.height(), shards);
+        let views = soa::split_shards(
+            routers,
+            nis,
+            flit_in,
+            credit_in,
+            ni_credit_in,
+            eject_in,
+            &bounds,
+        );
+        std::thread::scope(|scope| {
+            let ctx = &ctx;
+            let avail = &avail;
+            let mut bufs = shard_bufs.iter_mut();
+            let mut shard0 = None;
+            for (i, mut sv) in views.into_iter().enumerate() {
+                let buf = bufs.next().expect("one buffer per shard");
+                if i == 0 {
+                    // The calling thread runs shard 0 itself.
+                    shard0 = Some((sv, buf));
+                } else {
+                    scope.spawn(move || soa::shard_phase_a(&mut sv, ctx, avail, buf));
+                }
+            }
+            let (mut sv, buf) = shard0.expect("at least one shard");
+            soa::shard_phase_a(&mut sv, ctx, avail, buf);
+        });
+    }
+
+    /// Applies every shard's phase-A outcome serially, shard-ascending (=
+    /// router-index order, reproducing the reference kernel's event order
+    /// and state updates exactly), sub-phase by sub-phase.
+    fn soa_commit(&mut self, now: Cycle) {
+        let link = self.cfg.link_latency as Cycle;
+        let check = self.cfg.watchdog.invariant_checks;
+        let mut bufs = std::mem::take(&mut self.shard_bufs);
+        // --- 1. flit deliveries ------------------------------------------
+        for buf in &mut bufs {
+            self.moved |= buf.moved;
+            if check && self.violation.is_none() {
+                if let Some(router) = buf.violation {
+                    self.violation =
+                        Some(InvariantViolation::FlitIntoOffRouter { cycle: now, router });
+                }
+            }
+            for ha in buf.head_arrivals.drain(..) {
+                if ha.counted_hop {
+                    self.packets
+                        .get_mut(&ha.packet.0)
+                        .expect("meta exists while in flight")
+                        .hops += 1;
+                }
+                self.events.push(PmEvent::HeadArrival {
+                    router: ha.router,
+                    dst: ha.dst,
+                });
+            }
+            for &i in &buf.newly_occ {
+                self.soa.occ.set(i);
+            }
+            for &i in &buf.flit_clear {
+                self.soa.flit_pend.clear(i);
+            }
+        }
+        // --- 2. credit deliveries ----------------------------------------
+        for buf in &bufs {
+            self.credits_in_flight -= buf.credits_delivered;
+            for &i in &buf.credit_clear {
+                self.soa.credit_pend.clear(i);
+            }
+        }
+        // --- 3. allocation outcomes --------------------------------------
+        for buf in &mut bufs {
+            for (idx, outcome) in buf.alloc.drain(..) {
+                let here = NodeId(idx as u16);
+                for b in outcome.pg_blocked {
+                    let d = b
+                        .next_router_port
+                        .direction()
+                        .expect("PG can only block link ports");
+                    let next = self
+                        .view
+                        .topo
+                        .neighbor(here, d)
+                        .expect("blocked port has a neighbor");
+                    self.events.push(PmEvent::BlockedNeed { router: next });
+                    if let Some(meta) = self.packets.get_mut(&b.packet.0) {
+                        meta.wakeup_wait += 1;
+                        if meta.blocked_on != Some(next) {
+                            meta.blocked_on = Some(next);
+                            meta.pg_encounters += 1;
+                        }
+                    }
+                }
+                for dep in outcome.departures {
+                    self.moved = true;
+                    self.credits_in_flight += 1;
+                    match dep.in_port {
+                        Port::Local => {
+                            self.ni_credit_in[idx].push_at(dep.in_vc, now + 1 + link);
+                            self.soa.credit_pend.set(idx);
+                        }
+                        Port::Link(d) => {
+                            let up = self
+                                .view
+                                .topo
+                                .neighbor(here, d)
+                                .expect("flits only arrive over real links");
+                            self.credit_in[up.index()][Port::Link(d.opposite())]
+                                .push_at(dep.in_vc, now + 1 + link);
+                            self.soa.credit_pend.set(up.index());
+                        }
+                    }
+                    match dep.out_port {
+                        Port::Local => {
+                            self.eject_in[idx].push_at(dep.flit, now + 2);
+                            self.soa.eject_pend.set(idx);
+                        }
+                        Port::Link(d) => {
+                            let next = self
+                                .view
+                                .topo
+                                .neighbor(here, d)
+                                .expect("allocation never targets a mesh edge");
+                            let mut flit = dep.flit;
+                            flit.route_port = match self.view.direction(next, flit.dst) {
+                                Some(nd) => Port::Link(nd),
+                                None => Port::Local,
+                            };
+                            self.stats.link_traversals += 1;
+                            self.flit_in[next.index()][Port::Link(d.opposite())]
+                                .push_at(flit, now + 2 + link);
+                            self.soa.flit_pend.set(next.index());
+                        }
+                    }
+                }
+            }
+            for &i in &buf.alloc_empty {
+                self.soa.occ.clear(i);
+            }
+        }
+        // --- 4. ejections ------------------------------------------------
+        for buf in &mut bufs {
+            self.ni_flits += buf.ejected_flits;
+            for (idx, done) in buf.completions.drain(..) {
+                let meta = self
+                    .packets
+                    .remove(&done.0)
+                    .expect("completed packet has meta");
+                if let Some(s) = self.sink.as_mut() {
+                    s.record(
+                        now,
+                        &Event::Deliver {
+                            packet: done.0,
+                            src: meta.message.src,
+                            dst: meta.message.dst,
+                            latency: now.saturating_sub(meta.ni_enqueue),
+                        },
+                    );
+                }
+                self.conserv_delivered += meta.len_flits as u64;
+                self.conserv_in_flight =
+                    self.conserv_in_flight.saturating_sub(meta.len_flits as u64);
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(PacketRecord::from_meta(done, &meta, now));
+                }
+                if meta.measured {
+                    self.stats.packets_delivered += 1;
+                    self.stats.flits_delivered += meta.len_flits as u64;
+                    self.stats.latency.record((now - meta.ni_enqueue) as f64);
+                    self.stats
+                        .net_latency
+                        .record(now.saturating_sub(meta.inject) as f64);
+                    self.stats.hops.record(meta.hops as f64);
+                    self.stats.pg_encounters.record(meta.pg_encounters as f64);
+                    self.stats.wakeup_wait.record(meta.wakeup_wait as f64);
+                }
+                self.outbox[idx].push(meta.message);
+                self.outbox_pending += 1;
+            }
+            for &i in &buf.eject_clear {
+                // Phase A saw the pipe drain, but this commit's allocation
+                // step (above) may have pushed a fresh ejection into it;
+                // only clear if it is still empty.
+                if self.eject_in[i].is_empty() {
+                    self.soa.eject_pend.clear(i);
+                }
+            }
+        }
+        // --- 5. injections -----------------------------------------------
+        for buf in &mut bufs {
+            for r in buf.inject.drain(..) {
+                let node = NodeId(r.idx as u16);
+                for (_pkt, dst) in r.newly_ready {
+                    self.events.push(PmEvent::NiReadyToInject { node, dst });
+                }
+                for pkt in r.blocked_on_local {
+                    self.events.push(PmEvent::BlockedNeed { router: node });
+                    if let Some(meta) = self.packets.get_mut(&pkt.0) {
+                        meta.wakeup_wait += 1;
+                        if meta.blocked_on != Some(node) {
+                            meta.blocked_on = Some(node);
+                            meta.pg_encounters += 1;
+                        }
+                    }
+                }
+                if let Some(pkt) = r.head_injected {
+                    if let Some(meta) = self.packets.get_mut(&pkt.0) {
+                        meta.inject = now;
+                    }
+                }
+                if r.sent {
+                    self.ni_flits += 1;
+                    self.moved = true;
+                    // Phase A already pushed the flit into the (shard-own)
+                    // local pipe; only the global index bits remain.
+                    self.soa.flit_pend.set(r.idx);
+                    if r.mid_after {
+                        self.soa.ni_mid.set(r.idx);
+                    } else {
+                        self.soa.ni_mid.clear(r.idx);
+                    }
+                }
+                if !r.pending_after {
+                    self.soa.ni_pend.clear(r.idx);
+                }
+            }
+        }
+        self.shard_bufs = bufs;
+    }
+
+    /// `power_tick` with idleness derived from the SoA words: a router is
+    /// idle iff its occupancy, inbound-flit and NI-mid-packet bits are all
+    /// clear — exactly the struct path's per-router predicate.
+    fn power_tick_soa(&mut self, now: Cycle) {
+        self.idle_scratch.clear();
+        let n = self.routers.len();
+        if self.packets.is_empty() {
+            self.idle_scratch.resize(n, true);
+        } else {
+            let occ = self.soa.occ.words();
+            let flit = self.soa.flit_pend.words();
+            let mid = self.soa.ni_mid.words();
+            self.idle_scratch.extend(
+                (0..n).map(|i| (occ[i / 64] | flit[i / 64] | mid[i / 64]) >> (i % 64) & 1 == 0),
+            );
+        }
+        self.power_tick_finish(now);
     }
 
     /// `true` when nothing can change network state before new host input:
@@ -996,6 +1476,7 @@ impl Network {
                         self.stats.wakeup_wait.record(meta.wakeup_wait as f64);
                     }
                     self.outbox[idx].push(meta.message);
+                    self.outbox_pending += 1;
                 }
             }
         }
@@ -1054,6 +1535,13 @@ impl Network {
                 );
             }
         }
+        self.power_tick_finish(now);
+    }
+
+    /// Sink mirroring, the power-manager tick against the filled
+    /// `idle_scratch`, and transition recording — shared by both kernels'
+    /// power phases.
+    fn power_tick_finish(&mut self, now: Cycle) {
         if let Some(sink) = self.sink.as_mut() {
             // Mirror this cycle's PM events into the structured trace before
             // the manager consumes them. `HeadArrival` is skipped: it fires

@@ -217,6 +217,31 @@ pub trait PowerManager {
     /// decisions using `idle`.
     fn tick(&mut self, cycle: Cycle, events: &[PmEvent], idle: IdleInfo<'_>);
 
+    /// Bulk availability snapshot for the sharded SoA tick: fills
+    /// `arrival[r]` with [`PowerManager::is_available`]`(r, arrival_by)`,
+    /// `local[r]` with `is_available(r, local_by)` and `off[r]` with
+    /// `state(r) == Off`, for every router. Worker threads read these flat
+    /// arrays instead of the (non-`Sync`) manager itself; the manager's
+    /// state cannot change between this precompute and the sweep, so the
+    /// values are exactly what the per-router queries would return. The
+    /// default loops over `state`; schemes backed by a state vector may
+    /// override it with a single pass.
+    fn fill_availability(
+        &self,
+        arrival_by: Cycle,
+        local_by: Cycle,
+        arrival: &mut [bool],
+        local: &mut [bool],
+        off: &mut [bool],
+    ) {
+        for i in 0..arrival.len() {
+            let r = NodeId(i as u16);
+            arrival[i] = self.is_available(r, arrival_by);
+            local[i] = self.is_available(r, local_by);
+            off[i] = self.state(r) == PowerState::Off;
+        }
+    }
+
     /// Escalated wakeup: the network watchdog timed out the level-signaled
     /// WU handshake on router `r` and overrides its sleep gate — the
     /// hardware's last-resort force-wake path. Implementations must clear

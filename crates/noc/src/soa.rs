@@ -1,0 +1,727 @@
+//! Structure-of-arrays busy-tick kernel: flat per-mesh bitset words plus a
+//! two-phase (compute/commit) sharded sweep.
+//!
+//! PR 4 made *idle* cycles nearly free (quiescence fast-forward); busy
+//! cycles still walked every `Router`/`Ni` struct and every pipe, five
+//! sweeps per tick, even when only a handful of routers had work. This
+//! module flattens the per-router *control plane* — datapath occupancy,
+//! pending flits/credits/ejections per pipe group, NI injection state —
+//! into one bit per router packed into `u64` words owned by [`SoaState`].
+//! Busy sweeps then iterate set bits (`trailing_zeros` per active router,
+//! one word test per 64 idle routers) instead of chasing structs. The
+//! `Router`/`Vc`/`Ni` structs remain the authoritative flit storage and the
+//! views `encode_state` and the struct-path reference kernel read; the bit
+//! words are an incrementally-maintained index over them, rebuilt from the
+//! structs whenever the reference kernel (which does not maintain them)
+//! has run.
+//!
+//! On top of the flat layout sits deterministic sharding: the mesh is cut
+//! into contiguous row bands, each shard runs the *compute* half of a tick
+//! over its own routers/NIs/pipes (phase A — nothing outside the shard is
+//! touched), and the *commit* half applies every cross-router effect
+//! (pipe pushes toward neighbours, power-manager events, packet metadata,
+//! statistics) serially in router-index order. Because phase A is
+//! side-effect-free outside the shard and the commit order is fixed,
+//! results are bit-exact for every shard count — pinned by the CI gate
+//! that `cmp`s BENCH artifacts across `--shards 1..4`.
+
+use punchsim_types::{Cycle, NodeId, PacketId, Port, PortMap, RouteView};
+
+use crate::flit::Flit;
+use crate::link::Pipe;
+use crate::ni::Ni;
+use crate::power::PowerManager;
+use crate::router::{AllocOutcome, Router};
+
+/// Which kernel [`crate::Network::tick`] uses for busy cycles.
+///
+/// Both kernels are observationally identical — pinned by the differential
+/// oracle in `tests/soa_differential.rs` and by the CI `soa_gate.sh`
+/// running the busy campaign under both kernels and comparing artifacts
+/// byte for byte. `Soa` is the default; `Struct` is the object-at-a-time
+/// reference the SoA sweep is checked against (and raced against: the CI
+/// gate also enforces a >=1.5x cycles/sec floor for `Soa` on the
+/// busy-dominated suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BusyKernel {
+    /// Word-sweep kernel over the flat [`SoaState`] bitsets (the default).
+    #[default]
+    Soa,
+    /// The object-at-a-time reference: every router, NI and pipe visited
+    /// every cycle. Selected by `PP_STRUCT_TICK=1` at construction, or
+    /// [`crate::Network::set_busy_kernel`].
+    Struct,
+}
+
+impl BusyKernel {
+    /// Resolves the kernel from the `PP_STRUCT_TICK` environment variable:
+    /// `1` selects [`BusyKernel::Struct`], anything else (or unset)
+    /// selects [`BusyKernel::Soa`].
+    pub fn from_env() -> Self {
+        match std::env::var("PP_STRUCT_TICK") {
+            Ok(v) if v == "1" => BusyKernel::Struct,
+            _ => BusyKernel::Soa,
+        }
+    }
+}
+
+/// A fixed-length bitset packed into `u64` words: one bit per router (or
+/// NI), swept word-at-a-time by the SoA kernel.
+#[derive(Debug, Clone, Default)]
+pub struct BitWords {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitWords {
+    /// An all-clear bitset over `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitWords {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the set holds zero bits (capacity, not population).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Clears every bit, keeping capacity.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `true` when no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Population count.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words (trailing bits past `len` are always zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Calls `f(index)` for every set bit in `words` within `[lo, hi)`, in
+/// ascending index order — the sweep order every SoA phase uses, matching
+/// the reference kernel's `0..n` scan over the routers it would not have
+/// skipped.
+#[inline]
+pub fn for_each_one(words: &[u64], lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+    if lo >= hi {
+        return;
+    }
+    let first = lo / 64;
+    let last = (hi - 1) / 64;
+    for (wi, &word) in words.iter().enumerate().take(last + 1).skip(first) {
+        let mut w = word;
+        if wi == first {
+            w &= !0u64 << (lo % 64);
+        }
+        if wi == last {
+            let top = hi - wi * 64;
+            if top < 64 {
+                w &= (1u64 << top) - 1;
+            }
+        }
+        while w != 0 {
+            f(wi * 64 + w.trailing_zeros() as usize);
+            w &= w - 1;
+        }
+    }
+}
+
+/// The flat per-mesh index the SoA kernel sweeps: one bit per router (or
+/// NI) per concern, plus the per-tick power-availability arrays the
+/// sharded path precomputes (the power manager is host-thread-only).
+///
+/// Invariant after every SoA tick commit (and after [`SoaState::rebuild`]):
+/// each bit is set iff the corresponding struct-side predicate holds —
+/// `occ[r]` iff `!routers[r].datapath_empty()`, `flit_pend[r]` iff any
+/// flit pipe into `r` is non-empty, and so on. The struct-path reference
+/// kernel does not maintain the bits; `Network` marks them dirty and
+/// rebuilds lazily on the next SoA tick.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SoaState {
+    /// Router datapath holds at least one buffered flit.
+    pub occ: BitWords,
+    /// At least one incoming flit pipe (any port) is non-empty.
+    pub flit_pend: BitWords,
+    /// At least one incoming credit pipe (router ports or the NI credit
+    /// pipe) is non-empty.
+    pub credit_pend: BitWords,
+    /// The ejection pipe into the NI is non-empty.
+    pub eject_pend: BitWords,
+    /// The NI has at least one queued or mid-flight injection-side packet.
+    pub ni_pend: BitWords,
+    /// The NI is mid-packet (head sent, tail not) — its router must stay on.
+    pub ni_mid: BitWords,
+    /// `pm.is_available(r, now + 2 + link)` per router, refreshed each
+    /// sharded tick (allocation's downstream-on horizon).
+    pub avail_arrival: Vec<bool>,
+    /// `pm.is_available(r, now + 1 + link)` per router (NI injection
+    /// horizon).
+    pub avail_local: Vec<bool>,
+    /// `pm.state(r) == Off` per router (invariant-check input).
+    pub power_off: Vec<bool>,
+}
+
+impl SoaState {
+    pub fn new(n: usize) -> Self {
+        SoaState {
+            occ: BitWords::new(n),
+            flit_pend: BitWords::new(n),
+            credit_pend: BitWords::new(n),
+            eject_pend: BitWords::new(n),
+            ni_pend: BitWords::new(n),
+            ni_mid: BitWords::new(n),
+            avail_arrival: Vec::new(),
+            avail_local: Vec::new(),
+            power_off: Vec::new(),
+        }
+    }
+
+    /// Refreshes the flat availability arrays from the power manager, for
+    /// a sharded tick (worker threads cannot touch the boxed manager).
+    pub fn fill_avail(&mut self, pm: &dyn PowerManager, arrival_by: Cycle, local_by: Cycle) {
+        let n = self.occ.len();
+        self.avail_arrival.clear();
+        self.avail_arrival.resize(n, false);
+        self.avail_local.clear();
+        self.avail_local.resize(n, false);
+        self.power_off.clear();
+        self.power_off.resize(n, false);
+        pm.fill_availability(
+            arrival_by,
+            local_by,
+            &mut self.avail_arrival,
+            &mut self.avail_local,
+            &mut self.power_off,
+        );
+    }
+}
+
+/// Power-availability reads during phase A, monomorphized per path: the
+/// single-shard path asks the manager directly; the sharded path reads the
+/// flat arrays precomputed by [`SoaState::fill_avail`] (same values — the
+/// manager's state cannot change between the precompute and the sweep).
+pub(crate) trait Avail {
+    /// Downstream router usable by a flit granted SA now (`now + 2 + link`).
+    fn downstream_on(&self, n: NodeId) -> bool;
+    /// Local router usable by an NI flit sent now (`now + 1 + link`).
+    fn local_on(&self, n: NodeId) -> bool;
+    /// Router is fully powered off right now (invariant-check input).
+    fn is_off(&self, n: NodeId) -> bool;
+}
+
+pub(crate) struct PmAvail<'a> {
+    pub pm: &'a dyn PowerManager,
+    pub arrival_by: Cycle,
+    pub local_by: Cycle,
+}
+
+impl Avail for PmAvail<'_> {
+    fn downstream_on(&self, n: NodeId) -> bool {
+        self.pm.is_available(n, self.arrival_by)
+    }
+    fn local_on(&self, n: NodeId) -> bool {
+        self.pm.is_available(n, self.local_by)
+    }
+    fn is_off(&self, n: NodeId) -> bool {
+        self.pm.state(n) == crate::power::PowerState::Off
+    }
+}
+
+pub(crate) struct FlatAvail<'a> {
+    pub arrival: &'a [bool],
+    pub local: &'a [bool],
+    pub off: &'a [bool],
+}
+
+impl Avail for FlatAvail<'_> {
+    fn downstream_on(&self, n: NodeId) -> bool {
+        self.arrival[n.index()]
+    }
+    fn local_on(&self, n: NodeId) -> bool {
+        self.local[n.index()]
+    }
+    fn is_off(&self, n: NodeId) -> bool {
+        self.off[n.index()]
+    }
+}
+
+/// Read-only per-tick context shared by every shard's phase A.
+pub(crate) struct TickCtx<'a> {
+    pub now: Cycle,
+    pub link: Cycle,
+    /// Invariant checks enabled in the watchdog config.
+    pub check: bool,
+    /// No violation latched before this tick (matches the reference
+    /// kernel's `violation.is_none()` read at pop time).
+    pub violation_open: bool,
+    pub view: RouteView,
+    pub occ: &'a [u64],
+    pub flit_pend: &'a [u64],
+    pub credit_pend: &'a [u64],
+    pub eject_pend: &'a [u64],
+    pub ni_pend: &'a [u64],
+}
+
+/// A head flit latched this tick (commit applies hop counts and the
+/// `HeadArrival` power-manager event in router order).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeadArrival {
+    pub router: NodeId,
+    pub dst: NodeId,
+    pub packet: PacketId,
+    /// Arrived over a link (counts as a hop); `false` for the local port.
+    pub counted_hop: bool,
+}
+
+/// NI injection results for one swept NI.
+#[derive(Debug, Default)]
+pub(crate) struct InjectRes {
+    pub idx: usize,
+    pub newly_ready: Vec<(PacketId, NodeId)>,
+    pub blocked_on_local: Vec<PacketId>,
+    pub head_injected: Option<PacketId>,
+    /// A flit was sent (phase A already pushed it into the shard-local
+    /// flit pipe; commit bumps counters and the `flit_pend` bit).
+    pub sent: bool,
+    /// `mid_packet()` after the send (only meaningful when `sent`).
+    pub mid_after: bool,
+    /// Injection-side packets remain after this tick.
+    pub pending_after: bool,
+}
+
+/// Everything one shard's phase A produced, applied serially by the commit
+/// phase in shard (= router-index) order.
+#[derive(Debug, Default)]
+pub(crate) struct ShardBuf {
+    /// Any flit latched or popped inside the shard this tick.
+    pub moved: bool,
+    /// First flit-into-off-router candidate (router order within the
+    /// shard; the commit latches the first across shards).
+    pub violation: Option<NodeId>,
+    pub head_arrivals: Vec<HeadArrival>,
+    /// Routers whose datapath went non-empty this tick (occ bit to set).
+    pub newly_occ: Vec<usize>,
+    /// Routers whose flit pipes all drained (flit_pend bit to clear).
+    pub flit_clear: Vec<usize>,
+    /// Routers/NIs whose credit pipes all drained.
+    pub credit_clear: Vec<usize>,
+    /// Credits popped inside the shard (decrements `credits_in_flight`).
+    pub credits_delivered: u64,
+    /// Allocation outcomes with at least one departure or PG block.
+    pub alloc: Vec<(usize, AllocOutcome)>,
+    /// Routers left with an empty datapath after allocation.
+    pub alloc_empty: Vec<usize>,
+    /// Scratch for the merged (occ-bits + newly-occupied) allocation list.
+    alloc_list: Vec<usize>,
+    /// NIs whose ejection pipe drained.
+    pub eject_clear: Vec<usize>,
+    /// Flits popped from ejection pipes (bumps `ni_flits`).
+    pub ejected_flits: u64,
+    /// Completed packets, in NI order: (NI index, packet id).
+    pub completions: Vec<(usize, PacketId)>,
+    pub inject: Vec<InjectRes>,
+}
+
+impl ShardBuf {
+    pub fn reset(&mut self) {
+        self.moved = false;
+        self.violation = None;
+        self.head_arrivals.clear();
+        self.newly_occ.clear();
+        self.flit_clear.clear();
+        self.credit_clear.clear();
+        self.credits_delivered = 0;
+        self.alloc.clear();
+        self.alloc_empty.clear();
+        self.alloc_list.clear();
+        self.eject_clear.clear();
+        self.ejected_flits = 0;
+        self.completions.clear();
+        self.inject.clear();
+    }
+}
+
+/// Mutable view over one shard's contiguous slice of per-router state.
+/// Global router index `g` lives at local offset `g - lo`.
+pub(crate) struct ShardView<'a> {
+    pub lo: usize,
+    pub hi: usize,
+    pub routers: &'a mut [Router],
+    pub nis: &'a mut [Ni],
+    pub flit_in: &'a mut [PortMap<Pipe<Flit>>],
+    pub credit_in: &'a mut [PortMap<Pipe<usize>>],
+    pub ni_credit_in: &'a mut [Pipe<usize>],
+    pub eject_in: &'a mut [Pipe<Flit>],
+}
+
+/// Contiguous row-band shard boundaries as node ranges: shard `k` owns
+/// rows `[k*h/shards, (k+1)*h/shards)`. Requires `1 <= shards <= height`
+/// (validated by `Network::set_shards`), so every shard owns at least one
+/// full row and the bands tile `0..w*h` exactly.
+pub(crate) fn shard_bounds(width: u16, height: u16, shards: usize) -> Vec<(usize, usize)> {
+    let (w, h) = (width as usize, height as usize);
+    (0..shards)
+        .map(|k| (k * h / shards * w, (k + 1) * h / shards * w))
+        .collect()
+}
+
+/// Splits the six per-router state vectors into per-shard views along
+/// `bounds` (which must tile the full range, as `shard_bounds` guarantees).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn split_shards<'a>(
+    mut routers: &'a mut [Router],
+    mut nis: &'a mut [Ni],
+    mut flit_in: &'a mut [PortMap<Pipe<Flit>>],
+    mut credit_in: &'a mut [PortMap<Pipe<usize>>],
+    mut ni_credit_in: &'a mut [Pipe<usize>],
+    mut eject_in: &'a mut [Pipe<Flit>],
+    bounds: &[(usize, usize)],
+) -> Vec<ShardView<'a>> {
+    let mut out = Vec::with_capacity(bounds.len());
+    for &(lo, hi) in bounds {
+        let take = hi - lo;
+        let (r, rest) = routers.split_at_mut(take);
+        routers = rest;
+        let (n, rest) = nis.split_at_mut(take);
+        nis = rest;
+        let (f, rest) = flit_in.split_at_mut(take);
+        flit_in = rest;
+        let (c, rest) = credit_in.split_at_mut(take);
+        credit_in = rest;
+        let (nc, rest) = ni_credit_in.split_at_mut(take);
+        ni_credit_in = rest;
+        let (e, rest) = eject_in.split_at_mut(take);
+        eject_in = rest;
+        out.push(ShardView {
+            lo,
+            hi,
+            routers: r,
+            nis: n,
+            flit_in: f,
+            credit_in: c,
+            ni_credit_in: nc,
+            eject_in: e,
+        });
+    }
+    out
+}
+
+/// Phase A of an SoA tick for one shard: flit delivery, credit delivery,
+/// allocation, ejection and NI injection over the shard's own routers,
+/// NIs and inbound pipes — in the exact sub-phase and index order of the
+/// reference kernel restricted to this shard. Everything that crosses a
+/// router boundary (pipe pushes toward neighbours, PM events, packet
+/// metadata, global counters, bit updates) is recorded in `buf` for the
+/// serial commit. Routers the reference kernel would visit but not change
+/// (empty pipes, empty datapath, idle NI) have clear bits and are never
+/// visited at all — that skip is the entire speedup, and it is exact
+/// because those visits are pure no-ops.
+pub(crate) fn shard_phase_a<A: Avail>(
+    sv: &mut ShardView<'_>,
+    ctx: &TickCtx<'_>,
+    avail: &A,
+    buf: &mut ShardBuf,
+) {
+    let now = ctx.now;
+    let (lo, hi) = (sv.lo, sv.hi);
+
+    // --- 1. deliver flits -------------------------------------------------
+    {
+        let routers = &mut *sv.routers;
+        let flit_in = &mut *sv.flit_in;
+        let buf = &mut *buf;
+        for_each_one(ctx.flit_pend, lo, hi, |idx| {
+            let li = idx - lo;
+            let was_occupied = (ctx.occ[idx / 64] >> (idx % 64)) & 1 == 1;
+            for port in Port::ALL {
+                while let Some(flit) = flit_in[li][port].pop_ready(now) {
+                    buf.moved = true;
+                    if ctx.check
+                        && ctx.violation_open
+                        && buf.violation.is_none()
+                        && avail.is_off(NodeId(idx as u16))
+                    {
+                        buf.violation = Some(NodeId(idx as u16));
+                    }
+                    if flit.kind.is_head() {
+                        buf.head_arrivals.push(HeadArrival {
+                            router: NodeId(idx as u16),
+                            dst: flit.dst,
+                            packet: flit.packet,
+                            counted_hop: port != Port::Local,
+                        });
+                    }
+                    routers[li].latch(port, flit, now);
+                }
+            }
+            if !was_occupied && !routers[li].datapath_empty() {
+                buf.newly_occ.push(idx);
+            }
+            if Port::ALL.iter().all(|&p| flit_in[li][p].is_empty()) {
+                buf.flit_clear.push(idx);
+            }
+        });
+    }
+
+    // --- 2. deliver credits -----------------------------------------------
+    {
+        let routers = &mut *sv.routers;
+        let nis = &mut *sv.nis;
+        let credit_in = &mut *sv.credit_in;
+        let ni_credit_in = &mut *sv.ni_credit_in;
+        let buf = &mut *buf;
+        for_each_one(ctx.credit_pend, lo, hi, |idx| {
+            let li = idx - lo;
+            for port in Port::ALL {
+                while let Some(vc) = credit_in[li][port].pop_ready(now) {
+                    buf.credits_delivered += 1;
+                    routers[li].credit(port, vc);
+                }
+            }
+            while let Some(vc) = ni_credit_in[li].pop_ready(now) {
+                buf.credits_delivered += 1;
+                nis[li].credit(vc);
+            }
+            if ni_credit_in[li].is_empty() && Port::ALL.iter().all(|&p| credit_in[li][p].is_empty())
+            {
+                buf.credit_clear.push(idx);
+            }
+        });
+    }
+
+    // --- 3. allocate ------------------------------------------------------
+    // Sweep the routers occupied at the start of the tick (occ bits) merged
+    // with those that just latched their first flit (newly_occ), ascending.
+    let mut list = std::mem::take(&mut buf.alloc_list);
+    {
+        let mut np = 0;
+        let newly = &buf.newly_occ;
+        for_each_one(ctx.occ, lo, hi, |idx| {
+            while np < newly.len() && newly[np] < idx {
+                list.push(newly[np]);
+                np += 1;
+            }
+            if np < newly.len() && newly[np] == idx {
+                np += 1;
+            }
+            list.push(idx);
+        });
+        list.extend_from_slice(&newly[np..]);
+    }
+    for &idx in &list {
+        let li = idx - lo;
+        if sv.routers[li].datapath_empty() {
+            // Stale occ bit (cannot normally happen); retire it.
+            buf.alloc_empty.push(idx);
+            continue;
+        }
+        let here = NodeId(idx as u16);
+        let down_on = PortMap::from_fn(|p| match p {
+            Port::Local => true,
+            Port::Link(d) => ctx
+                .view
+                .topo
+                .neighbor(here, d)
+                .is_some_and(|n| avail.downstream_on(n)),
+        });
+        let outcome = sv.routers[li].allocate(now, &down_on);
+        if !outcome.departures.is_empty() || !outcome.pg_blocked.is_empty() {
+            buf.alloc.push((idx, outcome));
+        }
+        if sv.routers[li].datapath_empty() {
+            buf.alloc_empty.push(idx);
+        }
+    }
+    list.clear();
+    buf.alloc_list = list;
+
+    // --- 4. eject ---------------------------------------------------------
+    {
+        let nis = &mut *sv.nis;
+        let eject_in = &mut *sv.eject_in;
+        let buf = &mut *buf;
+        for_each_one(ctx.eject_pend, lo, hi, |idx| {
+            let li = idx - lo;
+            while let Some(flit) = eject_in[li].pop_ready(now) {
+                buf.ejected_flits += 1;
+                buf.moved = true;
+                if let Some(done) = nis[li].eject(&flit) {
+                    buf.completions.push((idx, done));
+                }
+            }
+            if eject_in[li].is_empty() {
+                buf.eject_clear.push(idx);
+            }
+        });
+    }
+
+    // --- 5. inject --------------------------------------------------------
+    {
+        let nis = &mut *sv.nis;
+        let flit_in = &mut *sv.flit_in;
+        let buf = &mut *buf;
+        for_each_one(ctx.ni_pend, lo, hi, |idx| {
+            let li = idx - lo;
+            let node = NodeId(idx as u16);
+            let outcome = nis[li].tick_inject(now, avail.local_on(node));
+            let sent = if let Some(flit) = outcome.sent {
+                flit_in[li][Port::Local].push_at(flit, now + 1 + ctx.link);
+                true
+            } else {
+                false
+            };
+            buf.inject.push(InjectRes {
+                idx,
+                newly_ready: outcome.newly_ready,
+                blocked_on_local: outcome.blocked_on_local,
+                head_injected: outcome.head_injected,
+                sent,
+                mid_after: sent && nis[li].mid_packet(),
+                pending_after: nis[li].pending() > 0,
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ones(words: &[u64], lo: usize, hi: usize) -> Vec<usize> {
+        let mut v = Vec::new();
+        for_each_one(words, lo, hi, |i| v.push(i));
+        v
+    }
+
+    #[test]
+    fn bitwords_set_clear_get_roundtrip() {
+        let mut b = BitWords::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(b.none_set());
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            b.set(i);
+            assert!(b.get(i), "bit {i}");
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+        b.clear_all();
+        assert!(b.none_set());
+    }
+
+    /// The last word is partial: bits past `len` never appear in sweeps
+    /// even if a full-word mask would cover them.
+    #[test]
+    fn sweep_respects_last_partial_word() {
+        let mut b = BitWords::new(70);
+        for i in 0..70 {
+            b.set(i);
+        }
+        assert_eq!(b.count_ones(), 70);
+        let seen = ones(b.words(), 0, 70);
+        assert_eq!(seen.len(), 70);
+        assert_eq!(*seen.last().unwrap(), 69);
+        // A sub-range ending inside the last word.
+        assert_eq!(ones(b.words(), 64, 67), vec![64, 65, 66]);
+    }
+
+    /// Shard ranges that start/end mid-word (e.g. a 12-wide mesh: rows
+    /// wrap around word boundaries at columns that are not multiples of
+    /// 64) must mask both edges of the sweep.
+    #[test]
+    fn sweep_masks_both_edges_of_wraparound_columns() {
+        // 12x12 mesh: row 5 spans bits 60..72 — crosses the word boundary.
+        let mut b = BitWords::new(144);
+        for i in 0..144 {
+            b.set(i);
+        }
+        assert_eq!(ones(b.words(), 60, 72), (60..72).collect::<Vec<_>>());
+        // Only the wrapped column bits inside the range, nothing outside.
+        let mut c = BitWords::new(144);
+        c.set(59);
+        c.set(60);
+        c.set(63);
+        c.set(64);
+        c.set(71);
+        c.set(72);
+        assert_eq!(ones(c.words(), 60, 72), vec![60, 63, 64, 71]);
+    }
+
+    #[test]
+    fn sweep_is_ascending_and_range_exact() {
+        let mut b = BitWords::new(256);
+        let set = [3usize, 64, 65, 100, 191, 192, 255];
+        for &i in &set {
+            b.set(i);
+        }
+        assert_eq!(ones(b.words(), 0, 256), set.to_vec());
+        assert_eq!(ones(b.words(), 64, 192), vec![64, 65, 100, 191]);
+        assert_eq!(ones(b.words(), 66, 100), Vec::<usize>::new());
+        assert_eq!(ones(b.words(), 100, 101), vec![100]);
+        assert_eq!(ones(b.words(), 10, 10), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn shard_bounds_tile_rows_exactly() {
+        // 16x16, 4 shards: 4 rows each.
+        assert_eq!(
+            shard_bounds(16, 16, 4),
+            vec![(0, 64), (64, 128), (128, 192), (192, 256)]
+        );
+        // Uneven split: 5 rows over 3 shards -> 1/2/2 rows.
+        assert_eq!(shard_bounds(4, 5, 3), vec![(0, 4), (4, 12), (12, 20)]);
+        // One shard owns everything.
+        assert_eq!(shard_bounds(8, 8, 1), vec![(0, 64)]);
+        // shards == rows: one row each.
+        let per_row = shard_bounds(3, 4, 4);
+        assert_eq!(per_row, vec![(0, 3), (3, 6), (6, 9), (9, 12)]);
+        // Bounds always tile 0..w*h with no gaps.
+        for shards in 1..=7 {
+            let b = shard_bounds(12, 7, shards);
+            assert_eq!(b[0].0, 0);
+            assert_eq!(b.last().unwrap().1, 84);
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+                assert!(w[0].0 < w[0].1, "empty shard in {b:?}");
+            }
+        }
+    }
+}

@@ -1,10 +1,19 @@
 //! Open-loop synthetic-traffic simulation harness.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use punchsim_core::build_power_manager;
 use punchsim_noc::{Message, MsgClass, Network, NetworkReport, TickMode};
 use punchsim_types::{Cycle, NodeId, SimConfig, SimError, SimRng, VnetId};
 
 use crate::pattern::TrafficPattern;
+
+/// Host-event kinds, ordered so a node's slack-2 forewarning sorts before
+/// its injection within the same cycle — the order the historic per-node
+/// scan processed them in.
+const EV_NOTIFY: u8 = 0;
+const EV_INJECT: u8 = 1;
 
 /// Mix and process parameters for synthetic injection.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +77,14 @@ pub struct SyntheticSim {
     rng: SimRng,
     /// Per-node next scheduled arrival and whether slack-2 fires for it.
     next_arrival: Vec<(Cycle, bool)>,
+    /// Min-heap of upcoming host events `(cycle, node, kind)`, so a busy
+    /// tick touches only the nodes with something due instead of scanning
+    /// all of `next_arrival` — on a 32x32 mesh that scan is 1024 checks
+    /// per cycle of pure harness overhead. Entries are validated against
+    /// `next_arrival` (the source of truth) when popped; a mismatch means
+    /// the node rescheduled (or [`SyntheticSim::drain`] cancelled it) and
+    /// the entry is stale, so it is dropped (lazy deletion).
+    events: BinaryHeap<Reverse<(Cycle, u16, u8)>>,
     /// Per-packet Bernoulli probability per node per cycle.
     p_packet: f64,
     delivered_sink: u64,
@@ -107,12 +124,15 @@ impl SyntheticSim {
             pattern,
             inj,
             next_arrival: vec![(0, false); n],
+            events: BinaryHeap::with_capacity(2 * n),
             p_packet,
             rng,
             delivered_sink: 0,
         };
         for i in 0..n {
-            sim.next_arrival[i] = sim.draw_arrival(0);
+            let (at, slack2) = sim.draw_arrival(0);
+            sim.next_arrival[i] = (at, slack2);
+            sim.push_events(i, at, slack2, None);
         }
         // Re-seed deterministically after initialization order.
         sim.rng = SimRng::seed_from_u64(cfg.seed.wrapping_add(1));
@@ -158,6 +178,30 @@ impl SyntheticSim {
         (from + gap, slack2)
     }
 
+    /// Enqueues the heap events for node `idx`'s freshly drawn arrival.
+    ///
+    /// The slack-2 forewarning fires on the cycle where
+    /// `now + slack2_cycles == at`. The historic scan evaluated that
+    /// condition from the cycle *after* the draw onwards (the draw
+    /// happens after its own slot in the scan), so a mid-run draw only
+    /// schedules a forewarning strictly after `drawn_at`; construction
+    /// draws (`drawn_at == None`) are visible from cycle 0.
+    fn push_events(&mut self, idx: usize, at: Cycle, slack2: bool, drawn_at: Option<Cycle>) {
+        if at == Cycle::MAX {
+            return;
+        }
+        self.events.push(Reverse((at, idx as u16, EV_INJECT)));
+        if !slack2 {
+            return;
+        }
+        let Some(fire) = at.checked_sub(self.inj.slack2_cycles) else {
+            return;
+        };
+        if drawn_at.is_none_or(|now| fire > now) {
+            self.events.push(Reverse((fire, idx as u16, EV_NOTIFY)));
+        }
+    }
+
     /// Advances one cycle: fire slack-2 forewarnings, inject due packets,
     /// tick the network, and drain deliveries.
     ///
@@ -168,15 +212,28 @@ impl SyntheticSim {
     pub fn tick(&mut self) -> Result<(), SimError> {
         let now = self.net.cycle();
         let topo = self.net.topology();
-        for idx in 0..self.next_arrival.len() {
-            let (at, slack2) = self.next_arrival[idx];
-            let node = NodeId(idx as u16);
-            if slack2 && now + self.inj.slack2_cycles == at {
-                // Slack 2: the node knows a packet is coming before the
-                // destination is known (PowerPunch-PG exploits this).
-                self.net.notify_future_injection(node)?;
+        // Pop every event due by `now` in (cycle, node, kind) order — the
+        // exact order the historic all-nodes scan fired them in: ascending
+        // node index, a node's forewarning before its injection. Stale
+        // entries (the node rescheduled or was cancelled since the push)
+        // fail validation against `next_arrival` and are dropped.
+        while let Some(&Reverse((c, node16, kind))) = self.events.peek() {
+            if c > now {
+                break;
             }
-            if at == now {
+            self.events.pop();
+            let idx = node16 as usize;
+            let (at, slack2) = self.next_arrival[idx];
+            let node = NodeId(node16);
+            if kind == EV_NOTIFY {
+                if c == now && slack2 && now + self.inj.slack2_cycles == at {
+                    // Slack 2: the node knows a packet is coming before the
+                    // destination is known (PowerPunch-PG exploits this).
+                    self.net.notify_future_injection(node)?;
+                }
+                continue;
+            }
+            if c == now && at == now {
                 let dst = self.pattern.destination(topo, node, &mut self.rng);
                 let class = if self.rng.random_f64() < self.inj.data_fraction {
                     MsgClass::Data
@@ -194,12 +251,20 @@ impl SyntheticSim {
                         gen_cycle: now,
                     })
                     .expect("pattern destinations are always in-mesh");
-                self.next_arrival[idx] = self.draw_arrival(now);
+                let (at, slack2) = self.draw_arrival(now);
+                self.next_arrival[idx] = (at, slack2);
+                self.push_events(idx, at, slack2, Some(now));
             }
         }
         self.net.tick()?;
-        for idx in 0..self.next_arrival.len() {
-            self.delivered_sink += self.net.take_delivered(NodeId(idx as u16)).len() as u64;
+        // Drain deliveries — but only scan the nodes when something was
+        // actually delivered; on large meshes the common busy cycle
+        // delivers nothing and this is the difference between O(1) and
+        // O(nodes) of pure harness overhead per tick.
+        if self.net.delivered_pending() > 0 {
+            for idx in 0..self.next_arrival.len() {
+                self.delivered_sink += self.net.take_delivered(NodeId(idx as u16)).len() as u64;
+            }
         }
         Ok(())
     }

@@ -68,6 +68,16 @@ pub enum ConfigError {
         /// Topology kind name.
         topology: &'static str,
     },
+    /// Sharded ticking was requested with zero shards (`--shards 0`).
+    ZeroShards,
+    /// Sharded ticking was asked to cut the mesh into more row shards than
+    /// the topology has router rows, leaving at least one shard empty.
+    ShardsExceedRows {
+        /// Requested shard count.
+        shards: usize,
+        /// Router rows available to partition.
+        rows: u16,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -114,6 +124,16 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "routing {routing} admits cycles on a {topology} \
                      (only dimension-ordered routing is deadlock-free there)"
+                )
+            }
+            ConfigError::ZeroShards => {
+                write!(f, "sharded ticking needs at least 1 shard (--shards 0)")
+            }
+            ConfigError::ShardsExceedRows { shards, rows } => {
+                write!(
+                    f,
+                    "{shards} shards exceed the {rows} router rows available \
+                     (each shard must own at least one row)"
                 )
             }
         }

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# SoA busy-kernel gate: run the busy-dominated `busy` campaign twice — once
+# with the structure-of-arrays busy-tick kernel (the default) and once with
+# `--struct-tick` (the per-router struct-scan reference) — then enforce the
+# two properties the kernel is sold on:
+#
+#   1. The benchmark artifacts are byte-identical: the bitset sweep must
+#      never change observable results, only wall-clock.
+#   2. The SoA path's aggregate cycles/sec is at least MIN_RATIO x the
+#      struct path's, from the `.timing.json` sidecars. The suite's 16x16
+#      and 32x32 meshes are where the per-tick sweep cost dominates; the
+#      gate trips at 1.5x, far above noise but well below the win the
+#      kernel must deliver at those sizes.
+#
+# Usage: scripts/soa_gate.sh [OUT_DIR] [MIN_RATIO]
+# Defaults match the CI bench-smoke job. Honors PP_FAST like every other
+# campaign entry point.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench-out/soa}"
+MIN_RATIO="${2:-1.5}"
+
+cargo build --release -q
+
+target/release/punchsim-cli campaign --suite busy --name busy \
+    --out "$OUT/soa" --no-cache
+target/release/punchsim-cli campaign --suite busy --name busy \
+    --out "$OUT/struct" --no-cache --struct-tick
+
+if ! cmp "$OUT/soa/BENCH_busy.json" "$OUT/struct/BENCH_busy.json"; then
+    echo "soa_gate: the SoA kernel changed the benchmark artifact" >&2
+    exit 1
+fi
+echo "soa_gate: artifacts byte-identical across busy kernels"
+
+# First "cycles_per_sec" in each timing sidecar is the campaign aggregate
+# (per-run entries follow it).
+cps() {
+    grep -o '"cycles_per_sec": [0-9.eE+-]*' "$1" | head -1 | awk '{print $2}'
+}
+SOA=$(cps "$OUT/soa/BENCH_busy.timing.json")
+STRUCT=$(cps "$OUT/struct/BENCH_busy.timing.json")
+if [ -z "$SOA" ] || [ -z "$STRUCT" ]; then
+    echo "soa_gate: missing cycles_per_sec in timing sidecars" >&2
+    exit 1
+fi
+
+echo "soa_gate: soa=$SOA cyc/s struct=$STRUCT cyc/s (floor ${MIN_RATIO}x)"
+awk -v s="$SOA" -v r="$STRUCT" -v min="$MIN_RATIO" 'BEGIN {
+    if (r <= 0) { print "soa_gate: bad struct-path throughput"; exit 1 }
+    ratio = s / r
+    printf "soa_gate: speedup %.2fx\n", ratio
+    if (ratio < min) {
+        printf "soa_gate: SoA kernel below %.2fx floor\n", min
+        exit 1
+    }
+}'

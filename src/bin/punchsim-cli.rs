@@ -11,10 +11,11 @@
 //!                       [--trace-out PATH] [--trace-cap N]
 //! punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
 //!                       [--trace-out PATH] [--format chrome|jsonl|csv] [--trace-cap N]
-//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate]
-//!                       [--threads N] [--out DIR]
+//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy]
+//!                       [--threads N] [--shards N] [--out DIR]
 //!                       [--name NAME] [--seed N] [--no-cache] [--naive-tick]
-//!                       [--sample N] [--trace-out DIR] [--trace-cap N]
+//!                       [--struct-tick] [--sample N] [--trace-out DIR]
+//!                       [--trace-cap N]
 //! punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
 //!                       [--tol-delivered R] [--tol-escalations N]
 //! punchsim-cli verify   [--mesh WxH] [--scheme S] [--faulty] [--broken]
@@ -114,10 +115,11 @@ const USAGE: &str = "usage:
   punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--pattern P] [--trace-out PATH] [--trace-cap N]
                         [--format chrome|jsonl|csv]
-  punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate]
-                        [--threads N] [--out DIR]
+  punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy]
+                        [--threads N] [--shards N] [--out DIR]
                         [--name NAME] [--seed N] [--no-cache] [--naive-tick]
-                        [--sample N] [--trace-out DIR] [--trace-cap N]
+                        [--struct-tick] [--sample N] [--trace-out DIR]
+                        [--trace-cap N]
   punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
                         [--tol-delivered R] [--tol-escalations N]
   punchsim-cli verify   [--mesh WxH] [--scheme S] [--faulty] [--broken]
@@ -160,6 +162,11 @@ campaign flags:
   --no-cache       ignore the result store; simulate every spec
   --naive-tick     disable quiescence fast-forwarding (cycle-by-cycle
                    reference mode; same as PP_NAIVE_TICK=1)
+  --struct-tick    disable the SoA busy-tick kernel (per-router struct
+                   scans; same as PP_STRUCT_TICK=1)
+  --shards N       tick each network in N row shards (same as PP_SHARDS=N;
+                   bit-exact for any N; N must be >= 1 and no larger than
+                   the smallest mesh's rows)
   --sample N       sample per-interval series every N cycles into the
                    .timing.json sidecar (forces simulation)
   --trace-out DIR  write per-run flight-recorder dumps (JSONL) into DIR
@@ -631,6 +638,8 @@ struct CampaignOpts {
     seed: u64,
     no_cache: bool,
     naive_tick: bool,
+    struct_tick: bool,
+    shards: usize,
     sample: u64,
     trace_out: Option<PathBuf>,
     trace_cap: usize,
@@ -646,6 +655,8 @@ impl CampaignOpts {
             seed: campaign::DEFAULT_SEED,
             no_cache: false,
             naive_tick: false,
+            struct_tick: false,
+            shards: 1,
             sample: 0,
             trace_out: None,
             trace_cap: 0,
@@ -661,18 +672,27 @@ impl CampaignOpts {
                 o.naive_tick = true;
                 continue;
             }
+            if flag == "--struct-tick" {
+                o.struct_tick = true;
+                continue;
+            }
             let val = it
                 .next()
                 .ok_or_else(|| format!("missing value for {flag}"))?;
             match flag.as_str() {
                 "--suite" => {
-                    if !["parsec", "synth", "ci", "fastpath", "substrate"].contains(&val.as_str()) {
+                    if !["parsec", "synth", "ci", "fastpath", "substrate", "busy"]
+                        .contains(&val.as_str())
+                    {
                         return Err(format!("unknown suite {val}"));
                     }
                     o.suite = val.clone();
                 }
                 "--threads" => {
                     o.threads = val.parse().map_err(|_| "bad thread count".to_string())?;
+                }
+                "--shards" => {
+                    o.shards = val.parse().map_err(|_| "bad shard count".to_string())?;
                 }
                 "--out" => o.out = PathBuf::from(val),
                 "--name" => o.name = Some(val.clone()),
@@ -707,8 +727,34 @@ impl CampaignOpts {
             "synth" => campaign::synthetic_suite(self.seed),
             "fastpath" => campaign::fastpath_suite(self.seed),
             "substrate" => campaign::substrate_suite(self.seed),
+            "busy" => campaign::busy_suite(self.seed),
             _ => campaign::ci_suite(self.seed),
         }
+    }
+
+    /// Checks `--shards` against every spec in the suite *before* any run
+    /// starts, so a bad count is one typed [`ConfigError`] up front rather
+    /// than a per-run failure midway through the campaign. Mirrors
+    /// `Network::set_shards`: sharding splits the mesh into row bands, so
+    /// the count must fit the smallest topology's rows.
+    fn validate_shards(&self, specs: &[RunSpec]) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        for spec in specs {
+            let rows = match &spec.workload {
+                Workload::Synthetic { topo, .. } => topo.height(),
+                // Full-system runs drive CmpConfig's fixed 8x8 mesh.
+                Workload::Parsec { .. } => 8,
+            };
+            if self.shards > rows as usize {
+                return Err(ConfigError::ShardsExceedRows {
+                    shards: self.shards,
+                    rows,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -725,7 +771,17 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
         // process ticks cycle-by-cycle (the differential reference mode).
         std::env::set_var("PP_NAIVE_TICK", "1");
     }
+    if opts.struct_tick {
+        std::env::set_var("PP_STRUCT_TICK", "1");
+    }
     let specs = opts.specs();
+    if let Err(e) = opts.validate_shards(&specs) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if opts.shards != 1 {
+        std::env::set_var("PP_SHARDS", opts.shards.to_string());
+    }
     let name = opts.name.clone().unwrap_or_else(|| opts.suite.clone());
     let runner = Runner {
         threads: opts.threads,
@@ -1267,6 +1323,8 @@ mod tests {
         assert_eq!(o.seed, campaign::DEFAULT_SEED);
         assert!(!o.no_cache);
         assert!(!o.naive_tick);
+        assert!(!o.struct_tick);
+        assert_eq!(o.shards, 1);
         assert!(!o.specs().is_empty());
 
         let o = CampaignOpts::parse(&strs(&[
@@ -1274,6 +1332,8 @@ mod tests {
             "synth",
             "--threads",
             "3",
+            "--shards",
+            "4",
             "--out",
             "tmp",
             "--name",
@@ -1282,16 +1342,54 @@ mod tests {
             "7",
             "--no-cache",
             "--naive-tick",
+            "--struct-tick",
         ]))
         .unwrap();
         assert_eq!(o.suite, "synth");
         assert_eq!(o.threads, 3);
+        assert_eq!(o.shards, 4);
         assert_eq!(o.out, PathBuf::from("tmp"));
         assert_eq!(o.name.as_deref(), Some("pr"));
         assert_eq!(o.seed, 7);
         assert!(o.no_cache);
         assert!(o.naive_tick);
+        assert!(o.struct_tick);
         assert_eq!(o.specs().len(), campaign::synthetic_suite(7).len());
+
+        let o = CampaignOpts::parse(&strs(&["--suite", "busy"])).unwrap();
+        assert_eq!(o.specs().len(), campaign::busy_suite(o.seed).len());
+    }
+
+    #[test]
+    fn campaign_shard_counts_are_validated_up_front() {
+        // `--shards 0` is a typed ConfigError, not a panic or a per-run
+        // failure.
+        let o = CampaignOpts::parse(&strs(&["--shards", "0"])).unwrap();
+        let specs = o.specs();
+        assert!(matches!(
+            o.validate_shards(&specs),
+            Err(ConfigError::ZeroShards)
+        ));
+        // The ci suite's 8x8 meshes cap the shard count at 8 rows.
+        let o = CampaignOpts::parse(&strs(&["--shards", "9"])).unwrap();
+        let specs = o.specs();
+        assert!(matches!(
+            o.validate_shards(&specs),
+            Err(ConfigError::ShardsExceedRows { shards: 9, rows: 8 })
+        ));
+        // The busy suite's smallest mesh is 16x16, so 9 shards fit there.
+        let o = CampaignOpts::parse(&strs(&["--suite", "busy", "--shards", "9"])).unwrap();
+        let specs = o.specs();
+        assert!(o.validate_shards(&specs).is_ok());
+        let o = CampaignOpts::parse(&strs(&["--suite", "busy", "--shards", "17"])).unwrap();
+        let specs = o.specs();
+        assert!(matches!(
+            o.validate_shards(&specs),
+            Err(ConfigError::ShardsExceedRows {
+                shards: 17,
+                rows: 16
+            })
+        ));
     }
 
     #[test]
@@ -1318,6 +1416,8 @@ mod tests {
     fn campaign_bad_inputs_are_rejected() {
         assert!(CampaignOpts::parse(&strs(&["--suite", "quantum"])).is_err());
         assert!(CampaignOpts::parse(&strs(&["--threads", "many"])).is_err());
+        assert!(CampaignOpts::parse(&strs(&["--shards", "lots"])).is_err());
+        assert!(CampaignOpts::parse(&strs(&["--shards"])).is_err());
         assert!(CampaignOpts::parse(&strs(&["--name"])).is_err());
         assert!(CampaignOpts::parse(&strs(&["--cache", "1"])).is_err());
     }
