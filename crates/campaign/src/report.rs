@@ -16,8 +16,9 @@ use crate::json::Json;
 use crate::runner::Outcome;
 use crate::spec::SCHEMA_VERSION;
 
-/// Timing-sidecar schema tag.
-pub const TIMING_SCHEMA_VERSION: &str = "punchsim-campaign-timing/v1";
+/// Timing-sidecar schema tag. v2 added per-run shard-spawn overhead and
+/// the optional campaign-level merged metric registry.
+pub const TIMING_SCHEMA_VERSION: &str = "punchsim-campaign-timing/v2";
 
 /// A finished campaign, ready to render into artifacts.
 #[derive(Debug)]
@@ -105,6 +106,10 @@ impl CampaignReport {
             if let Some(cps) = rec.cycles_per_sec() {
                 r.push("cycles_per_sec", Json::Float(cps));
             }
+            // Shard-thread spawn overhead (ROADMAP's persistent-pool
+            // question needs this baseline in every sidecar).
+            r.push("spawn_count", Json::Int(rec.spawn_count as i64));
+            r.push("spawn_nanos", Json::Int(rec.spawn_nanos as i64));
             if !rec.series.is_empty() {
                 r.push(
                     "series",
@@ -114,7 +119,27 @@ impl CampaignReport {
             runs.push(r);
         }
         doc.push("runs", Json::Arr(runs));
+        if let Some(merged) = self.merged_registry() {
+            doc.push("metrics", merged.to_json());
+        }
         doc
+    }
+
+    /// The campaign-wide metric registry: every run's registry merged in
+    /// spec order. Merging is order-independent (counters add, histograms
+    /// merge elementwise, planes add cell-wise), so the result is the same
+    /// no matter which worker ran which spec. `None` when no run collected
+    /// metrics.
+    pub fn merged_registry(&self) -> Option<punchsim_metrics::Registry> {
+        let mut merged: Option<punchsim_metrics::Registry> = None;
+        for rec in self.outcomes.iter().filter_map(Outcome::record) {
+            if let Some(reg) = &rec.registry {
+                merged
+                    .get_or_insert_with(punchsim_metrics::Registry::new)
+                    .merge(reg);
+            }
+        }
+        merged
     }
 
     /// Writes both artifacts into `dir` and returns their paths
@@ -209,9 +234,69 @@ mod tests {
         // One successful 250-cycle run.
         assert_eq!(t.get("simulated_cycles").unwrap().as_u64(), Some(250));
         assert!(t.get("cycles_per_sec").unwrap().as_f64().unwrap() > 0.0);
-        // No sampling requested: no series key in the sidecar.
+        // No sampling requested: no series key in the sidecar. Spawn
+        // overhead is always reported (0 when phase A never sharded).
         let runs = t.get("runs").unwrap().as_arr().unwrap();
         assert!(runs[0].get("series").is_none());
+        assert!(runs[0].get("spawn_count").unwrap().as_u64().is_some());
+        assert!(runs[0].get("spawn_nanos").unwrap().as_u64().is_some());
+        // No metrics requested: no campaign-level registry either.
+        assert!(t.get("metrics").is_none());
+    }
+
+    #[test]
+    fn timing_sidecar_carries_merged_metrics_when_collected() {
+        let specs = vec![
+            RunSpec {
+                scheme: SchemeKind::ConvOptPg,
+                seed: 4,
+                workload: Workload::Synthetic {
+                    pattern: TrafficPattern::Neighbor,
+                    topo: Mesh::new(4, 4).into(),
+                    routing: RoutingKind::Xy,
+                    rate: 0.02,
+                    warmup_cycles: 50,
+                    measure_cycles: 200,
+                },
+            },
+            RunSpec {
+                scheme: SchemeKind::PowerPunchFull,
+                seed: 4,
+                workload: Workload::Synthetic {
+                    pattern: TrafficPattern::Neighbor,
+                    topo: Mesh::new(4, 4).into(),
+                    routing: RoutingKind::Xy,
+                    rate: 0.02,
+                    warmup_cycles: 50,
+                    measure_cycles: 200,
+                },
+            },
+        ];
+        let runner = Runner {
+            threads: 2,
+            collect_metrics: true,
+            ..Default::default()
+        };
+        let report = CampaignReport {
+            name: "metered".to_string(),
+            threads: 2,
+            outcomes: runner.run(&specs),
+            wall_nanos: 1,
+        };
+        // The merged registry sums the per-run deterministic counters.
+        let merged = report.merged_registry().expect("metrics were collected");
+        let delivered: u64 = report
+            .outcomes
+            .iter()
+            .filter_map(Outcome::record)
+            .map(|r| r.metrics.delivered)
+            .sum();
+        assert_eq!(merged.counter("packets_delivered_total"), delivered);
+        // The sidecar embeds it; the deterministic artifact never does.
+        let t = report.timing_json();
+        assert!(t.get("metrics").unwrap().get("counters").is_some());
+        assert!(!report.to_json().render().contains("tick_phase_nanos"));
+        Json::parse(&t.render()).unwrap();
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use punchsim_metrics::Registry;
 use punchsim_obs::{IntervalRow, Stamped};
 
 use crate::spec::{Metrics, ObserveOpts, RunSpec};
@@ -43,6 +44,14 @@ pub struct RunRecord {
     /// Flight-recorder tail (empty unless the runner traced; feeds
     /// per-run trace dumps, never the deterministic artifact).
     pub events: Vec<Stamped>,
+    /// Metric registry (`None` unless the runner collected metrics or
+    /// the run was a cache hit; feeds the timing sidecar and exposition,
+    /// never the deterministic artifact).
+    pub registry: Option<Box<Registry>>,
+    /// Shard worker threads the run spawned (0 for cache hits).
+    pub spawn_count: u64,
+    /// Wall-clock nanoseconds spent issuing those spawns.
+    pub spawn_nanos: u64,
 }
 
 impl RunRecord {
@@ -88,8 +97,9 @@ impl std::fmt::Display for RunError {
 /// The result slot for one spec.
 #[derive(Debug, Clone)]
 pub enum Outcome {
-    /// The run completed.
-    Done(RunRecord),
+    /// The run completed (boxed: a record now carries an optional registry
+    /// and grew well past the error variant).
+    Done(Box<RunRecord>),
     /// The run failed.
     Failed(RunError),
 }
@@ -127,6 +137,10 @@ pub struct Runner {
     /// Per-run flight-recorder capacity in events; `0` disables tracing.
     /// Like sampling, tracing forces simulation without changing metrics.
     pub trace_cap: usize,
+    /// When `true`, every run collects a metric registry (counters,
+    /// latency histograms, per-router planes, tick-phase profile). Like
+    /// sampling, collection forces simulation without changing metrics.
+    pub collect_metrics: bool,
 }
 
 impl Runner {
@@ -172,6 +186,7 @@ impl Runner {
                     let opts = ObserveOpts {
                         sample_every: self.sample_every,
                         trace_cap: self.trace_cap,
+                        metrics: self.collect_metrics,
                     };
                     let outcome = execute_one(spec, self.store.as_ref(), opts);
                     on_done(i, &outcome);
@@ -199,14 +214,17 @@ fn execute_one(spec: &RunSpec, store: Option<&Store>, opts: ObserveOpts) -> Outc
     if opts.is_none() {
         if let Some(store) = store {
             if let Some(metrics) = store.load(spec) {
-                return Outcome::Done(RunRecord {
+                return Outcome::Done(Box::new(RunRecord {
                     spec: spec.clone(),
                     metrics,
                     cached: true,
                     wall_nanos: started.elapsed().as_nanos() as u64,
                     series: Vec::new(),
                     events: Vec::new(),
-                });
+                    registry: None,
+                    spawn_count: 0,
+                    spawn_nanos: 0,
+                }));
             }
         }
     }
@@ -222,14 +240,17 @@ fn execute_one(spec: &RunSpec, store: Option<&Store>, opts: ObserveOpts) -> Outc
                     eprintln!("warning: could not store {}: {e}", spec.id());
                 }
             }
-            Outcome::Done(RunRecord {
+            Outcome::Done(Box::new(RunRecord {
                 spec: spec.clone(),
                 metrics: observed.metrics,
                 cached: false,
                 wall_nanos,
                 series: observed.series,
                 events: observed.events,
-            })
+                registry: observed.registry,
+                spawn_count: observed.spawn_count,
+                spawn_nanos: observed.spawn_nanos,
+            }))
         }
         Ok(Err(sim)) => Outcome::Failed(RunError {
             id: spec.id(),
@@ -367,6 +388,7 @@ mod tests {
             store: Some(Store::new(&dir)),
             sample_every: 50,
             trace_cap: 512,
+            ..Default::default()
         }
         .run(&specs);
         let s = sampled[0].record().unwrap();
@@ -377,6 +399,40 @@ mod tests {
         // The flight recorder captured the run's event tail.
         assert!(!s.events.is_empty());
         assert!(s.events.len() <= 512);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_collection_forces_simulation_without_metric_drift() {
+        let dir = std::env::temp_dir().join(format!(
+            "punchsim-runner-metrics-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let specs = vec![small_spec(11, 0.02)];
+        let plain = Runner {
+            threads: 1,
+            store: Some(Store::new(&dir)),
+            ..Default::default()
+        }
+        .run(&specs);
+        let p = plain[0].record().unwrap();
+        assert!(p.registry.is_none());
+        let collected = Runner {
+            threads: 1,
+            store: Some(Store::new(&dir)),
+            collect_metrics: true,
+            ..Default::default()
+        }
+        .run(&specs);
+        let c = collected[0].record().unwrap();
+        assert!(!c.cached, "a registry cannot be served from the store");
+        assert_eq!(c.metrics, p.metrics);
+        let reg = c.registry.as_ref().expect("metrics were requested");
+        // The registry's deterministic counters agree with the metrics.
+        assert_eq!(reg.counter("packets_delivered_total"), c.metrics.delivered);
+        // The profiler attributed wall time to at least one phase.
+        assert!(reg.counter("tick_phase_marks{phase=\"power_tick\"}") > 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

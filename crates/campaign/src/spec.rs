@@ -6,6 +6,7 @@
 //! artifacts, and executed ([`RunSpec::execute`]) into [`Metrics`].
 
 use punchsim_cmp::{Benchmark, CmpConfig, CmpSim};
+use punchsim_metrics::Registry;
 use punchsim_obs::{IntervalRow, RingSink, Sampler, Stamped};
 use punchsim_power::PowerModel;
 use punchsim_traffic::{SyntheticSim, TrafficPattern};
@@ -17,7 +18,8 @@ use crate::json::Json;
 /// Schema tag stamped into every artifact and mixed into every content
 /// hash. Bump it whenever the meaning of a metric changes: old store
 /// entries and baselines then stop matching instead of silently lying.
-pub const SCHEMA_VERSION: &str = "punchsim-campaign/v1";
+/// v2 added the deterministic latency percentiles (p50/p95/p99/max).
+pub const SCHEMA_VERSION: &str = "punchsim-campaign/v2";
 
 /// What a single run simulates.
 #[derive(Debug, Clone, PartialEq)]
@@ -235,6 +237,9 @@ impl RunSpec {
                     sim.network_mut()
                         .set_sink(Box::new(RingSink::new(opts.trace_cap)));
                 }
+                if opts.metrics {
+                    sim.network_mut().enable_profiler();
+                }
                 let mut sampler = Sampler::new(routers);
                 let every = if opts.sample_every > 0 {
                     sampler.observe(sim.network().obs_sample());
@@ -250,6 +255,10 @@ impl RunSpec {
                     exec_cycles: r.exec_cycles,
                     total_cycles: r.total_cycles,
                     latency: r.net.avg_packet_latency(),
+                    latency_p50: r.net.latency_p50(),
+                    latency_p95: r.net.latency_p95(),
+                    latency_p99: r.net.latency_p99(),
+                    latency_max: r.net.latency_max(),
                     encounters: r.net.avg_pg_encounters(),
                     wait: r.net.avg_wakeup_wait(),
                     escalations: r.net.pg.escalations,
@@ -260,10 +269,14 @@ impl RunSpec {
                     baseline_static_pj: pm.baseline_static_pj(&r.net),
                     completed: r.completed,
                 };
+                let (spawn_count, spawn_nanos) = sim.network().spawn_stats();
                 Ok(Observed {
                     metrics,
                     series: sampler.into_rows(),
                     events: take_events(sim.network_mut()),
+                    registry: take_registry(sim.network_mut(), opts),
+                    spawn_count,
+                    spawn_nanos,
                 })
             }
             Workload::Synthetic {
@@ -283,6 +296,9 @@ impl RunSpec {
                 if opts.trace_cap > 0 {
                     sim.network_mut()
                         .set_sink(Box::new(RingSink::new(opts.trace_cap)));
+                }
+                if opts.metrics {
+                    sim.network_mut().enable_profiler();
                 }
                 // The same tick sequence as `run_experiment`, opened up so
                 // the measured window can be sampled at interval boundaries.
@@ -309,6 +325,10 @@ impl RunSpec {
                     exec_cycles: r.cycles,
                     total_cycles: warmup_cycles + measure_cycles,
                     latency: r.avg_packet_latency(),
+                    latency_p50: r.latency_p50(),
+                    latency_p95: r.latency_p95(),
+                    latency_p99: r.latency_p99(),
+                    latency_max: r.latency_max(),
                     encounters: r.avg_pg_encounters(),
                     wait: r.avg_wakeup_wait(),
                     escalations: r.pg.escalations,
@@ -319,10 +339,14 @@ impl RunSpec {
                     baseline_static_pj: pm.baseline_static_pj(&r),
                     completed: true,
                 };
+                let (spawn_count, spawn_nanos) = sim.network().spawn_stats();
                 Ok(Observed {
                     metrics,
                     series: sampler.into_rows(),
                     events: take_events(sim.network_mut()),
+                    registry: take_registry(sim.network_mut(), opts),
+                    spawn_count,
+                    spawn_nanos,
                 })
             }
         }
@@ -335,6 +359,22 @@ fn take_events(net: &mut punchsim_noc::Network) -> Vec<Stamped> {
     net.take_sink().map(|s| s.snapshot()).unwrap_or_default()
 }
 
+/// Builds the run's metric registry when `opts.metrics` asked for one:
+/// every deterministic counter/histogram/plane the network exports, plus
+/// the wall-clock tick-phase profile. Boxed because a registry is large
+/// relative to [`Observed`] and usually absent.
+fn take_registry(net: &mut punchsim_noc::Network, opts: ObserveOpts) -> Option<Box<Registry>> {
+    if !opts.metrics {
+        return None;
+    }
+    let mut reg = Registry::new();
+    net.export_metrics(&mut reg);
+    if let Some(profiler) = net.take_profiler() {
+        profiler.export(&mut reg);
+    }
+    Some(Box::new(reg))
+}
+
 /// What [`RunSpec::execute_observed`] should collect beyond [`Metrics`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObserveOpts {
@@ -343,6 +383,10 @@ pub struct ObserveOpts {
     pub sample_every: u64,
     /// Flight-recorder capacity in events; `0` leaves tracing off.
     pub trace_cap: usize,
+    /// When `true`, the run collects a metric [`Registry`] (counters,
+    /// latency histogram, per-router planes, tick-phase profile). Like
+    /// the sampler and the sink, collection never changes [`Metrics`].
+    pub metrics: bool,
 }
 
 impl ObserveOpts {
@@ -351,11 +395,12 @@ impl ObserveOpts {
     pub const NONE: ObserveOpts = ObserveOpts {
         sample_every: 0,
         trace_cap: 0,
+        metrics: false,
     };
 
-    /// `true` when neither the sampler nor the flight recorder is requested.
+    /// `true` when no form of observation is requested.
     pub fn is_none(&self) -> bool {
-        self.sample_every == 0 && self.trace_cap == 0
+        self.sample_every == 0 && self.trace_cap == 0 && !self.metrics
     }
 }
 
@@ -370,6 +415,14 @@ pub struct Observed {
     pub series: Vec<IntervalRow>,
     /// Flight-recorder tail (empty when `trace_cap` was 0).
     pub events: Vec<Stamped>,
+    /// Metric registry (`None` unless `metrics` was requested).
+    pub registry: Option<Box<Registry>>,
+    /// Shard worker threads spawned across the run (0 when phase A never
+    /// took the sharded path). Always collected — it is a single counter
+    /// read — so the timing sidecar can report spawn overhead per run.
+    pub spawn_count: u64,
+    /// Wall-clock nanoseconds spent issuing those spawns.
+    pub spawn_nanos: u64,
 }
 
 /// The deterministic, machine-readable result of one run. Everything here
@@ -388,6 +441,15 @@ pub struct Metrics {
     pub total_cycles: u64,
     /// Mean packet latency, cycles.
     pub latency: f64,
+    /// Median packet latency, cycles (log-bucketed histogram quantile,
+    /// deterministic like every other metric here).
+    pub latency_p50: u64,
+    /// 95th-percentile packet latency, cycles.
+    pub latency_p95: u64,
+    /// 99th-percentile packet latency, cycles.
+    pub latency_p99: u64,
+    /// Worst packet latency, cycles (exact, not bucketed).
+    pub latency_max: u64,
     /// Mean powered-off routers encountered per packet (Fig 9).
     pub encounters: f64,
     /// Mean wakeup-wait cycles per packet (Fig 10).
@@ -418,6 +480,10 @@ impl Metrics {
         o.push("exec_cycles", Json::Int(self.exec_cycles as i64));
         o.push("total_cycles", Json::Int(self.total_cycles as i64));
         o.push("latency", Json::Float(self.latency));
+        o.push("latency_p50", Json::Int(self.latency_p50 as i64));
+        o.push("latency_p95", Json::Int(self.latency_p95 as i64));
+        o.push("latency_p99", Json::Int(self.latency_p99 as i64));
+        o.push("latency_max", Json::Int(self.latency_max as i64));
         o.push("encounters", Json::Float(self.encounters));
         o.push("wait", Json::Float(self.wait));
         o.push("escalations", Json::Int(self.escalations as i64));
@@ -438,6 +504,10 @@ impl Metrics {
             exec_cycles: v.get("exec_cycles")?.as_u64()?,
             total_cycles: v.get("total_cycles")?.as_u64()?,
             latency: v.get("latency")?.as_f64()?,
+            latency_p50: v.get("latency_p50")?.as_u64()?,
+            latency_p95: v.get("latency_p95")?.as_u64()?,
+            latency_p99: v.get("latency_p99")?.as_u64()?,
+            latency_max: v.get("latency_max")?.as_u64()?,
             encounters: v.get("encounters")?.as_f64()?,
             wait: v.get("wait")?.as_f64()?,
             escalations: v.get("escalations")?.as_u64()?,
@@ -516,6 +586,10 @@ mod tests {
             exec_cycles: 5_000,
             total_cycles: 5_500,
             latency: 36.25,
+            latency_p50: 34,
+            latency_p95: 61,
+            latency_p99: 70,
+            latency_max: 83,
             encounters: 0.5,
             wait: 1.75,
             escalations: 2,
@@ -552,6 +626,7 @@ mod tests {
             .execute_observed(ObserveOpts {
                 sample_every: 100,
                 trace_cap: 4_096,
+                metrics: false,
             })
             .unwrap();
         // The core invariant: attaching observation changes nothing.
@@ -575,5 +650,31 @@ mod tests {
         let obs = synth_spec().execute_observed(ObserveOpts::NONE).unwrap();
         assert!(obs.series.is_empty());
         assert!(obs.events.is_empty());
+        assert!(obs.registry.is_none());
+    }
+
+    #[test]
+    fn metrics_registry_matches_plain_execute() {
+        let spec = synth_spec();
+        let plain = spec.execute().unwrap();
+        let obs = spec
+            .execute_observed(ObserveOpts {
+                metrics: true,
+                ..ObserveOpts::NONE
+            })
+            .unwrap();
+        // Collection never steers the simulation.
+        assert_eq!(obs.metrics, plain);
+        let reg = obs.registry.expect("metrics were requested");
+        assert_eq!(reg.counter("packets_delivered_total"), plain.delivered);
+        // The latency histogram agrees with the deterministic percentiles.
+        let hist = reg.hist("packet_latency_cycles").unwrap();
+        assert_eq!(hist.count(), plain.delivered);
+        assert_eq!(hist.max(), plain.latency_max);
+        // The per-router planes cover the mesh and sum to the globals.
+        let plane = reg.plane("router_wu_assertions").unwrap();
+        assert_eq!((plane.width(), plane.height()), (4, 4));
+        // The tick-phase profile attributed the measured window.
+        assert!(reg.counter("tick_phase_nanos{phase=\"power_tick\"}") > 0);
     }
 }

@@ -123,6 +123,10 @@ mod tests {
             exec_cycles: 50,
             total_cycles: 60,
             latency: 21.5,
+            latency_p50: 20,
+            latency_p95: 27,
+            latency_p99: 29,
+            latency_max: 31,
             encounters: 0.0,
             wait: 0.0,
             escalations: 0,

@@ -144,7 +144,7 @@ impl GateArray {
     /// sleep gate asserted. Counted separately from normal wake events so a
     /// non-zero [`PgCounters::escalations`] flags that the safety net fired.
     pub fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
-        self.counters.escalations += 1;
+        self.counters.record_escalation(r);
         if self.gates[r.index()] == Gate::Off {
             let i = r.index();
             self.counters.wake_events[i] += 1;

@@ -80,12 +80,12 @@ impl PowerManager for ConvPgManager {
         for ev in events {
             match *ev {
                 PmEvent::BlockedNeed { router } => {
-                    self.gate.counters_mut().wu_assertions += 1;
+                    self.gate.counters_mut().record_wu_assertion(router);
                     self.gate.request_wake(router, cycle);
                 }
                 PmEvent::HeadArrival { router, dst } if self.early_wakeup => {
                     if let Some(next) = self.view.next_hop(router, dst) {
-                        self.gate.counters_mut().wu_assertions += 1;
+                        self.gate.counters_mut().record_wu_assertion(next);
                         self.gate.request_wake(next, cycle);
                     }
                 }
@@ -272,7 +272,7 @@ impl PowerManager for PowerPunchManager {
                 // punch that could not fully cover the wakeup leaves a
                 // stalled packet; the WU wire keeps the guarantee).
                 PmEvent::BlockedNeed { router } => {
-                    self.gate.counters_mut().wu_assertions += 1;
+                    self.gate.counters_mut().record_wu_assertion(router);
                     self.gate.request_wake(router, cycle);
                 }
                 // Slack 1 (PowerPunch-PG): destination known at NI entry.
@@ -327,9 +327,14 @@ impl PowerManager for PowerPunchManager {
         self.gate.counters()
     }
 
+    fn punch_hops_at(&self) -> Option<&[u64]> {
+        Some(&self.fabric.hops_sent_at)
+    }
+
     fn reset_counters(&mut self) {
         self.gate.reset_counters();
         self.fabric.hops_sent = 0;
+        self.fabric.hops_sent_at.iter_mut().for_each(|c| *c = 0);
     }
 
     fn set_tracing(&mut self, enabled: bool) {

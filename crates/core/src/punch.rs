@@ -138,6 +138,10 @@ pub struct PunchFabric {
     gens_queued: usize,
     /// Total non-idle signal link traversals (wire energy metric).
     pub hops_sent: u64,
+    /// Per-router breakdown of `hops_sent`: `hops_sent_at[r]` counts the
+    /// traversals departing router `r` (sums to `hops_sent`). A
+    /// statistic like `hops_sent`, excluded from `encode_state`.
+    pub hops_sent_at: Vec<u64>,
 }
 
 impl PunchFabric {
@@ -155,6 +159,7 @@ impl PunchFabric {
             wires_live: 0,
             gens_queued: 0,
             hops_sent: 0,
+            hops_sent_at: vec![0; n],
         }
     }
 
@@ -260,6 +265,7 @@ impl PunchFabric {
                     continue;
                 };
                 self.hops_sent += 1;
+                self.hops_sent_at[idx] += 1;
                 live += 1;
                 self.scratch[nb.index()][dir.opposite().index()] = set;
             }

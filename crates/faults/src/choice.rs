@@ -253,6 +253,10 @@ impl PowerManager for ChoiceInjector {
         self.inner.pending_punches()
     }
 
+    fn punch_hops_at(&self) -> Option<&[u64]> {
+        self.inner.punch_hops_at()
+    }
+
     fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
         let mut horizon = self.inner.next_event_at(now);
         for s in &self.stuck {

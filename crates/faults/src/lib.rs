@@ -367,6 +367,10 @@ impl PowerManager for FaultInjector {
         self.inner.pending_punches() + self.delayed.len()
     }
 
+    fn punch_hops_at(&self) -> Option<&[u64]> {
+        self.inner.punch_hops_at()
+    }
+
     /// Earliest cycle at which this injector (or the wrapped scheme) could
     /// act: a jittered event coming due, a stuck epoch arming or expiring,
     /// or the inner manager's own horizon.

@@ -10,7 +10,9 @@
 //! argument.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
+use punchsim_metrics::{Phase, PhaseProfiler, Registry};
 use punchsim_obs::{self as obs, Event, EventSink, PowerTag};
 use punchsim_types::{
     BlockedPacket, ConfigError, Cycle, FaultChoice, InvariantViolation, NocConfig, NodeId,
@@ -165,6 +167,17 @@ pub struct Network {
     /// `true` while any `blocked_streak` entry is non-zero, so the common
     /// no-blocked-wakeups cycle skips the escalation scan entirely.
     any_streak: bool,
+    /// Tick-phase wall-time profiler (`None` = profiling disabled: like
+    /// `sink`, the only cost on hot paths is one branch per phase
+    /// boundary). Wall-clock data never feeds back into simulation state
+    /// and is exported only toward the nondeterministic timing sidecar.
+    profiler: Option<PhaseProfiler>,
+    /// Shard threads spawned by `soa_phase_a` since the last stats reset
+    /// (ROADMAP item 1's persistent-pool baseline: what a pool would
+    /// amortize away).
+    spawn_count: u64,
+    /// Wall nanoseconds spent issuing those spawns.
+    spawn_nanos: u64,
 }
 
 impl std::fmt::Debug for Network {
@@ -253,6 +266,9 @@ impl Network {
             idle_scratch: Vec::with_capacity(n),
             seen_scratch: Vec::with_capacity(n),
             any_streak: false,
+            profiler: None,
+            spawn_count: 0,
+            spawn_nanos: 0,
         })
     }
 
@@ -384,6 +400,82 @@ impl Network {
             punch_hops: pg.punch_hops,
             escalations: pg.escalations,
             wu_assertions: pg.wu_assertions,
+        }
+    }
+
+    /// Attaches a fresh tick-phase profiler: from the next tick on, every
+    /// phase boundary charges elapsed wall time to its phase. Profiling
+    /// observes the simulation clock loop only — it cannot change results.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(PhaseProfiler::new());
+    }
+
+    /// The attached phase profiler, if any.
+    pub fn profiler(&self) -> Option<&PhaseProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Detaches and returns the phase profiler, disabling profiling.
+    pub fn take_profiler(&mut self) -> Option<PhaseProfiler> {
+        self.profiler.take()
+    }
+
+    /// Shard-thread spawn overhead since the last stats reset:
+    /// `(spawn_count, spawn_nanos)` — threads spawned by the sharded SoA
+    /// phase A and the wall time spent issuing those spawns. Always
+    /// measured while `shards > 1` (two timestamps per sharded tick);
+    /// `(0, 0)` otherwise.
+    pub fn spawn_stats(&self) -> (u64, u64) {
+        (self.spawn_count, self.spawn_nanos)
+    }
+
+    /// Charges the wall time since the previous phase boundary to `p`.
+    /// One branch when profiling is disabled.
+    #[inline]
+    fn mark(&mut self, p: Phase) {
+        if let Some(pr) = self.profiler.as_mut() {
+            pr.mark(p);
+        }
+    }
+
+    /// Exports every deterministic metric of the current measured window
+    /// into `reg`: run-level counters, the end-to-end latency histogram,
+    /// and the per-router planes (power-gating cycles/events, WU
+    /// assertions, escalations, and — for punch schemes — punch hops).
+    /// Wall-clock phase data is *not* included here; export the profiler
+    /// separately into a registry bound for the timing sidecar.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        let pg = self.pm.counters();
+        reg.inc("packets_injected_total", self.stats.packets_injected);
+        reg.inc("packets_delivered_total", self.stats.packets_delivered);
+        reg.inc("flits_delivered_total", self.stats.flits_delivered);
+        reg.inc("link_traversals_total", self.stats.link_traversals);
+        reg.inc("ni_flits_total", self.ni_flits);
+        reg.inc("punch_hops_total", pg.punch_hops);
+        reg.inc("wu_assertions_total", pg.wu_assertions);
+        reg.inc("wu_retries_total", pg.wu_retries);
+        reg.inc("escalations_total", pg.escalations);
+        reg.inc("faults_injected_total", pg.faults_injected);
+        reg.hist_mut("packet_latency_cycles")
+            .merge(&self.stats.latency_hist);
+        let (w, h) = (
+            self.view.topo.width() as usize,
+            self.view.topo.height() as usize,
+        );
+        let planes: [(&str, &[u64]); 6] = [
+            ("router_off_cycles", &pg.off_cycles),
+            ("router_waking_cycles", &pg.waking_cycles),
+            ("router_sleep_events", &pg.sleep_events),
+            ("router_wake_events", &pg.wake_events),
+            ("router_wu_assertions", &pg.wu_assertions_at),
+            ("router_escalations", &pg.escalations_at),
+        ];
+        for (name, values) in planes {
+            reg.plane_mut(name, w, h).add_row_major(w, values);
+        }
+        if let Some(hops) = self.pm.punch_hops_at() {
+            reg.plane_mut("router_punch_hops", w, h)
+                .add_row_major(w, hops);
         }
     }
 
@@ -572,6 +664,11 @@ impl Network {
             idle_scratch: Vec::with_capacity(self.routers.len()),
             seen_scratch: Vec::with_capacity(self.routers.len()),
             any_streak: self.any_streak,
+            // Like the sink, profiling state does not clone: forks explore
+            // state space, they are not wall-time subjects.
+            profiler: None,
+            spawn_count: 0,
+            spawn_nanos: 0,
         })
     }
 
@@ -729,15 +826,25 @@ impl Network {
         self.soa_dirty = true;
         let now = self.cycle;
         self.moved = false;
+        self.mark(Phase::Host);
         self.deliver_flits(now);
+        self.mark(Phase::DeliverFlits);
         self.deliver_credits(now);
+        self.mark(Phase::DeliverCredits);
         self.allocate_routers(now);
+        self.mark(Phase::Allocate);
         self.deliver_ejections(now);
+        self.mark(Phase::Eject);
         self.inject_from_nis(now);
+        self.mark(Phase::Inject);
         self.watchdog_escalate(now);
+        self.mark(Phase::Watchdog);
         self.power_tick(now);
+        self.mark(Phase::PowerTick);
         self.cycle = now + 1;
-        self.watchdog_check(now)
+        let r = self.watchdog_check(now);
+        self.mark(Phase::Watchdog);
+        r
     }
 
     /// The SoA word-sweep kernel: phase A computes each shard's slice of
@@ -745,17 +852,25 @@ impl Network {
     /// cross-router effect serially in router-index order — bit-exact with
     /// [`Network::tick_struct`] for any shard count.
     fn tick_soa(&mut self) -> Result<(), SimError> {
+        self.mark(Phase::Host);
         if self.soa_dirty {
             self.rebuild_soa();
+            self.mark(Phase::SoaRebuild);
         }
         let now = self.cycle;
         self.moved = false;
         self.soa_phase_a(now);
+        self.mark(Phase::SoaPhaseA);
         self.soa_commit(now);
+        self.mark(Phase::SoaCommit);
         self.watchdog_escalate(now);
+        self.mark(Phase::Watchdog);
         self.power_tick_soa(now);
+        self.mark(Phase::PowerTick);
         self.cycle = now + 1;
-        self.watchdog_check(now)
+        let r = self.watchdog_check(now);
+        self.mark(Phase::Watchdog);
+        r
     }
 
     /// Recomputes every SoA bit from the authoritative structs (after the
@@ -874,11 +989,16 @@ impl Network {
             eject_in,
             &bounds,
         );
+        // Spawn-issue overhead is measured unconditionally (two timestamps
+        // per sharded tick): it is the baseline number the persistent
+        // shard-pool work needs, reported via the timing sidecar.
+        let mut spawn_ns = 0u64;
         std::thread::scope(|scope| {
             let ctx = &ctx;
             let avail = &avail;
             let mut bufs = shard_bufs.iter_mut();
             let mut shard0 = None;
+            let t0 = Instant::now();
             for (i, mut sv) in views.into_iter().enumerate() {
                 let buf = bufs.next().expect("one buffer per shard");
                 if i == 0 {
@@ -888,9 +1008,12 @@ impl Network {
                     scope.spawn(move || soa::shard_phase_a(&mut sv, ctx, avail, buf));
                 }
             }
+            spawn_ns = t0.elapsed().as_nanos() as u64;
             let (mut sv, buf) = shard0.expect("at least one shard");
             soa::shard_phase_a(&mut sv, ctx, avail, buf);
         });
+        self.spawn_count += shards as u64 - 1;
+        self.spawn_nanos += spawn_ns;
     }
 
     /// Applies every shard's phase-A outcome serially, shard-ascending (=
@@ -1034,6 +1157,7 @@ impl Network {
                     self.stats.packets_delivered += 1;
                     self.stats.flits_delivered += meta.len_flits as u64;
                     self.stats.latency.record((now - meta.ni_enqueue) as f64);
+                    self.stats.latency_hist.record(now - meta.ni_enqueue);
                     self.stats
                         .net_latency
                         .record(now.saturating_sub(meta.inject) as f64);
@@ -1146,6 +1270,7 @@ impl Network {
     /// [`Network::quiescent`] and that no event sink is attached (per-cycle
     /// transition recording needs the per-cycle path).
     fn fast_forward(&mut self, span: u64) {
+        self.mark(Phase::Host);
         debug_assert!(self.quiescent() && self.sink.is_none());
         debug_assert!(self
             .routers
@@ -1167,6 +1292,7 @@ impl Network {
         // packets are in flight; mirror its final value so stall detection
         // sees no phantom gap across the jump.
         self.last_progress = to - 1;
+        self.mark(Phase::FastForward);
     }
 
     /// `true` when `run`/`run_hooked` may skip ahead right now.
@@ -1250,6 +1376,11 @@ impl Network {
         self.stats.reset();
         self.ni_flits = 0;
         self.injected_flits = 0;
+        self.spawn_count = 0;
+        self.spawn_nanos = 0;
+        if let Some(pr) = self.profiler.as_mut() {
+            pr.reset();
+        }
         for meta in self.packets.values_mut() {
             meta.measured = false;
         }
@@ -1468,6 +1599,7 @@ impl Network {
                         self.stats.packets_delivered += 1;
                         self.stats.flits_delivered += meta.len_flits as u64;
                         self.stats.latency.record((now - meta.ni_enqueue) as f64);
+                        self.stats.latency_hist.record(now - meta.ni_enqueue);
                         self.stats
                             .net_latency
                             .record(now.saturating_sub(meta.inject) as f64);

@@ -121,6 +121,13 @@ pub struct PgCounters {
     pub punch_hops: u64,
     /// Total cycles a conventional WU wire was asserted.
     pub wu_assertions: u64,
+    /// Per-router WU assertions: `wu_assertions_at[r]` counts the cycles
+    /// a WU wire was asserted *for* router `r` (the router being woken).
+    /// Sums to `wu_assertions`; the heatmap plane behind
+    /// `router_wu_assertions`.
+    pub wu_assertions_at: Vec<u64>,
+    /// Per-router force-wake escalations (sums to `escalations`).
+    pub escalations_at: Vec<u64>,
     /// WU assertions that found the target already mid-wakeup — the level
     /// signal retrying while the gate transient completes.
     pub wu_retries: u64,
@@ -143,9 +150,28 @@ impl PgCounters {
             wake_events: vec![0; n],
             punch_hops: 0,
             wu_assertions: 0,
+            wu_assertions_at: vec![0; n],
+            escalations_at: vec![0; n],
             wu_retries: 0,
             escalations: 0,
             faults_injected: 0,
+        }
+    }
+
+    /// Records one WU-wire assertion toward router `r` (global total and
+    /// the per-router plane together).
+    pub fn record_wu_assertion(&mut self, r: NodeId) {
+        self.wu_assertions += 1;
+        if let Some(c) = self.wu_assertions_at.get_mut(r.index()) {
+            *c += 1;
+        }
+    }
+
+    /// Records one force-wake escalation of router `r`.
+    pub fn record_escalation(&mut self, r: NodeId) {
+        self.escalations += 1;
+        if let Some(c) = self.escalations_at.get_mut(r.index()) {
+            *c += 1;
         }
     }
 
@@ -171,6 +197,8 @@ impl PgCounters {
             &mut self.waking_cycles,
             &mut self.sleep_events,
             &mut self.wake_events,
+            &mut self.wu_assertions_at,
+            &mut self.escalations_at,
         ] {
             v.iter_mut().for_each(|c| *c = 0);
         }
@@ -257,6 +285,14 @@ pub trait PowerManager {
 
     /// Activity counters accumulated so far.
     fn counters(&self) -> &PgCounters;
+
+    /// Per-router punch-hop counts: `v[r]` is the number of sideband
+    /// punch-signal link traversals *departing* router `r` (sums to
+    /// [`PgCounters::punch_hops`]). `None` for schemes without a punch
+    /// fabric. Wrapper managers must forward to the wrapped manager.
+    fn punch_hops_at(&self) -> Option<&[u64]> {
+        None
+    }
 
     /// Resets activity counters (end of warm-up). Power states are kept.
     fn reset_counters(&mut self);

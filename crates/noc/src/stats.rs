@@ -1,5 +1,6 @@
 //! Network-level statistics and the end-of-run report.
 
+use punchsim_metrics::LogHistogram;
 use punchsim_stats::RunningStats;
 use punchsim_types::{Cycle, SchemeKind};
 
@@ -17,6 +18,12 @@ pub struct NetStats {
     pub flits_delivered: u64,
     /// End-to-end latency: NI enqueue to tail ejection.
     pub latency: RunningStats,
+    /// Log-bucketed end-to-end latency distribution, recorded alongside
+    /// `latency` for every measured delivery. Always on: the record is a
+    /// handful of integer ops per packet, and cycle-valued samples make
+    /// the histogram — and therefore the report percentiles — fully
+    /// deterministic across kernels, shard counts and thread counts.
+    pub latency_hist: LogHistogram,
     /// Network latency: head injection into the router to tail ejection.
     pub net_latency: RunningStats,
     /// Hop counts of delivered packets.
@@ -69,6 +76,28 @@ impl NetworkReport {
         self.stats.latency.mean()
     }
 
+    /// Median end-to-end packet latency in cycles (0 on an empty run;
+    /// like all histogram quantiles, within one sub-bucket of the true
+    /// order statistic — see [`LogHistogram::percentile`]).
+    pub fn latency_p50(&self) -> u64 {
+        self.stats.latency_hist.percentile(0.50)
+    }
+
+    /// 95th-percentile end-to-end packet latency in cycles.
+    pub fn latency_p95(&self) -> u64 {
+        self.stats.latency_hist.percentile(0.95)
+    }
+
+    /// 99th-percentile end-to-end packet latency in cycles.
+    pub fn latency_p99(&self) -> u64 {
+        self.stats.latency_hist.percentile(0.99)
+    }
+
+    /// Exact maximum end-to-end packet latency in cycles.
+    pub fn latency_max(&self) -> u64 {
+        self.stats.latency_hist.max()
+    }
+
     /// Fraction of router-cycles spent fully off (static-energy saving
     /// potential before overheads).
     pub fn off_fraction(&self) -> f64 {
@@ -113,6 +142,8 @@ mod tests {
     fn report_ratios() {
         let mut stats = NetStats::default();
         stats.latency.extend([10.0, 20.0]);
+        stats.latency_hist.record(10);
+        stats.latency_hist.record(20);
         stats.flits_delivered = 640;
         let mut pg = PgCounters::new(2);
         pg.off_cycles = vec![50, 150];
@@ -127,6 +158,8 @@ mod tests {
             offered_load: 0.0,
         };
         assert_eq!(r.avg_packet_latency(), 15.0);
+        assert_eq!(r.latency_p50(), 10);
+        assert_eq!(r.latency_max(), 20);
         assert_eq!(r.off_fraction(), 1.0);
         assert!((r.throughput() - 3.2).abs() < 1e-12);
     }

@@ -187,6 +187,10 @@ impl PowerManager for SuppressWu {
         self.inner.counters()
     }
 
+    fn punch_hops_at(&self) -> Option<&[u64]> {
+        self.inner.punch_hops_at()
+    }
+
     fn reset_counters(&mut self) {
         self.inner.reset_counters();
     }

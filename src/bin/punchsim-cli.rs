@@ -8,14 +8,17 @@
 //! punchsim-cli table1
 //! punchsim-cli schemes  [--mesh WxH] [--topology T] [--routing R] [--rate R]
 //! punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--corrupt P] [--fault-seed N]
-//!                       [--trace-out PATH] [--trace-cap N]
+//!                       [--trace-out PATH] [--trace-cap N] [--metrics-out PATH]
 //! punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
 //!                       [--trace-out PATH] [--format chrome|jsonl|csv] [--trace-cap N]
+//!                       [--metrics-out PATH]
+//! punchsim-cli metrics  [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
+//!                       [--pattern P] [--metrics-out PATH]
 //! punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy]
 //!                       [--threads N] [--shards N] [--out DIR]
 //!                       [--name NAME] [--seed N] [--no-cache] [--naive-tick]
 //!                       [--struct-tick] [--sample N] [--trace-out DIR]
-//!                       [--trace-cap N]
+//!                       [--trace-cap N] [--metrics-out PATH]
 //! punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
 //!                       [--tol-delivered R] [--tol-escalations N]
 //! punchsim-cli verify   [--mesh WxH] [--scheme S] [--faulty] [--broken]
@@ -40,6 +43,15 @@
 //! writes a trace artifact: Chrome trace-event JSON (open in Perfetto or
 //! `chrome://tracing` — one power-state track per router plus punch flow
 //! arrows), JSONL, or CSV.
+//!
+//! The `metrics` command runs one profiled busy-regime simulation and
+//! prints its full metric registry as Prometheus text exposition —
+//! counters, latency histograms, per-router heatmap planes and the
+//! tick-phase wall-time profile — with a trailing parseable coverage
+//! comment that `scripts/metrics_gate.sh` asserts on. `--metrics-out`
+//! (here and on `faults`/`trace`/`campaign`) additionally writes the
+//! registry snapshot to a file: Prometheus text for `.prom`/`.txt`
+//! paths, JSON otherwise.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,6 +59,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use punchsim::campaign::{self, compare, Json, Tolerances};
+use punchsim::metrics::validate_exposition;
 use punchsim::obs::{self, EventSink, RingSink, Stamped, VecSink};
 use punchsim::prelude::*;
 use punchsim::stats::Table;
@@ -70,7 +83,14 @@ fn main() -> ExitCode {
         "verify" => return verify_cmd(&args[1..]),
         _ => {}
     }
-    let opts = match Opts::parse(&args[1..]) {
+    // The `metrics` subcommand shares the flag/value grammar but defaults
+    // to the busy-suite regime instead of the sweep regime.
+    let defaults = if cmd == "metrics" {
+        Opts::metrics_defaults()
+    } else {
+        Opts::defaults()
+    };
+    let opts = match Opts::parse_from(defaults, &args[1..]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -84,6 +104,7 @@ fn main() -> ExitCode {
         "schemes" => schemes(&opts).map_err(sim_err),
         "faults" => faults(&opts),
         "trace" => trace(&opts),
+        "metrics" => metrics(&opts),
         other => {
             eprintln!("unknown command {other:?}\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -111,15 +132,17 @@ const USAGE: &str = "usage:
                         [--cycles N]
   punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--corrupt P] [--fault-seed N] [--trace-out PATH]
-                        [--trace-cap N]
+                        [--trace-cap N] [--metrics-out PATH]
   punchsim-cli trace    [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--pattern P] [--trace-out PATH] [--trace-cap N]
-                        [--format chrome|jsonl|csv]
+                        [--format chrome|jsonl|csv] [--metrics-out PATH]
+  punchsim-cli metrics  [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
+                        [--pattern P] [--metrics-out PATH]
   punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy]
                         [--threads N] [--shards N] [--out DIR]
                         [--name NAME] [--seed N] [--no-cache] [--naive-tick]
                         [--struct-tick] [--sample N] [--trace-out DIR]
-                        [--trace-cap N]
+                        [--trace-cap N] [--metrics-out PATH]
   punchsim-cli compare  BASELINE.json CURRENT.json [--tol-latency R]
                         [--tol-delivered R] [--tol-escalations N]
   punchsim-cli verify   [--mesh WxH] [--scheme S] [--faulty] [--broken]
@@ -170,7 +193,14 @@ campaign flags:
   --sample N       sample per-interval series every N cycles into the
                    .timing.json sidecar (forces simulation)
   --trace-out DIR  write per-run flight-recorder dumps (JSONL) into DIR
+  --metrics-out P  collect per-run metric registries (forces simulation),
+                   embed the merge into the .timing.json sidecar and write
+                   it to P (.prom/.txt: Prometheus text; else JSON)
   PP_FAST=1 in the environment shortens every run (CI smoke mode)
+
+metrics flags:
+  --metrics-out P  write the registry snapshot to P in addition to the
+                   stdout exposition (metrics/faults/trace commands)
 
 substrate flags (any synthetic command):
   --topology T     mesh (default), torus, or cmesh:C (concentrated mesh
@@ -199,6 +229,7 @@ struct Opts {
     trace_out: Option<PathBuf>,
     trace_cap: usize,
     format: TraceFormat,
+    metrics_out: Option<PathBuf>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,8 +280,8 @@ impl TopoChoice {
 }
 
 impl Opts {
-    fn parse(args: &[String]) -> Result<Opts, String> {
-        let mut o = Opts {
+    fn defaults() -> Opts {
+        Opts {
             pattern: TrafficPattern::UniformRandom,
             scheme: SchemeKind::PowerPunchFull,
             mesh: Mesh::new(8, 8),
@@ -266,7 +297,24 @@ impl Opts {
             trace_out: None,
             trace_cap: 0,
             format: TraceFormat::Chrome,
-        };
+            metrics_out: None,
+        }
+    }
+
+    /// Defaults for the `metrics` subcommand: the busy-suite regime (a
+    /// 16x16 mesh under uniform traffic), so the tick-phase profile
+    /// exercises the SoA kernel, the power manager and the fast-forward
+    /// path in one run.
+    fn metrics_defaults() -> Opts {
+        Opts {
+            mesh: Mesh::new(16, 16),
+            rate: 0.0005,
+            cycles: 12_000,
+            ..Opts::defaults()
+        }
+    }
+
+    fn parse_from(mut o: Opts, args: &[String]) -> Result<Opts, String> {
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let val = it
@@ -331,6 +379,7 @@ impl Opts {
                     o.format = TraceFormat::from_tag(val)
                         .ok_or_else(|| format!("unknown trace format {val}"))?;
                 }
+                "--metrics-out" => o.metrics_out = Some(PathBuf::from(val)),
                 f => return Err(format!("unknown flag {f}")),
             }
         }
@@ -386,19 +435,21 @@ fn parse_prob(val: &str) -> Result<f64, String> {
 }
 
 fn run_synth(opts: &Opts, scheme: SchemeKind, rate: f64) -> Result<NetworkReport, SimError> {
-    Ok(run_synth_observed(opts, scheme, rate, opts.fault_drop, 0)?.0)
+    Ok(run_synth_observed(opts, scheme, rate, opts.fault_drop, 0, false)?.0)
 }
 
 /// Runs one synthetic experiment, optionally with a flight recorder of
-/// `trace_cap` events attached; returns the report and the recorded tail
-/// (empty when `trace_cap` is 0).
+/// `trace_cap` events attached and/or a metric registry collected;
+/// returns the report, the recorded tail (empty when `trace_cap` is 0)
+/// and the registry (`None` unless `collect_metrics`).
 fn run_synth_observed(
     opts: &Opts,
     scheme: SchemeKind,
     rate: f64,
     drop: f64,
     trace_cap: usize,
-) -> Result<(NetworkReport, Vec<Stamped>), SimError> {
+    collect_metrics: bool,
+) -> Result<(NetworkReport, Vec<Stamped>, Option<Registry>), SimError> {
     let mut cfg = SimConfig::with_scheme(scheme);
     let (topo, routing) = opts.noc_view()?;
     cfg.noc.topology = topo;
@@ -409,13 +460,42 @@ fn run_synth_observed(
         sim.network_mut()
             .set_sink(Box::new(RingSink::new(trace_cap)));
     }
+    if collect_metrics {
+        sim.network_mut().enable_profiler();
+    }
     let r = sim.run_experiment(opts.cycles / 4, opts.cycles)?;
     let events = sim
         .network_mut()
         .take_sink()
         .map(|s| s.snapshot())
         .unwrap_or_default();
-    Ok((r, events))
+    let registry = collect_metrics.then(|| collect_registry(sim.network_mut()));
+    Ok((r, events, registry))
+}
+
+/// Drains a network's metric surface into a fresh registry: every
+/// deterministic counter/histogram/plane, the tick-phase profile, and the
+/// shard-spawn overhead counters.
+fn collect_registry(net: &mut Network) -> Registry {
+    let mut reg = Registry::new();
+    net.export_metrics(&mut reg);
+    if let Some(profiler) = net.take_profiler() {
+        profiler.export(&mut reg);
+    }
+    let (spawn_count, spawn_nanos) = net.spawn_stats();
+    reg.inc("shard_spawns_total", spawn_count);
+    reg.inc("shard_spawn_nanos_total", spawn_nanos);
+    reg
+}
+
+/// Writes a registry to `path`: Prometheus text exposition when the
+/// extension is `.prom` or `.txt`, the JSON snapshot otherwise.
+fn write_metrics(path: &std::path::Path, reg: &Registry) -> Result<(), String> {
+    let text = match path.extension().and_then(|e| e.to_str()) {
+        Some("prom") | Some("txt") => reg.to_prometheus(),
+        _ => reg.to_json().render(),
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 fn sweep(opts: &Opts) -> Result<(), SimError> {
@@ -503,9 +583,15 @@ fn faults(opts: &Opts) -> Result<(), String> {
         "off %",
     ]);
     let mut dumps = Vec::new();
+    let mut merged: Option<Registry> = None;
     for drop in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let (r, events) =
-            run_synth_observed(opts, opts.scheme, opts.rate, drop, cap).map_err(sim_err)?;
+        let collect = opts.metrics_out.is_some();
+        let (r, events, registry) =
+            run_synth_observed(opts, opts.scheme, opts.rate, drop, cap, collect)
+                .map_err(sim_err)?;
+        if let Some(reg) = registry {
+            merged.get_or_insert_with(Registry::new).merge(&reg);
+        }
         t.row([
             format!("{drop:.2}"),
             format!("{}", r.stats.packets_delivered),
@@ -525,6 +611,13 @@ fn faults(opts: &Opts) -> Result<(), String> {
     println!("{t}");
     for (path, n) in dumps {
         println!("wrote {} ({n} events)", path.display());
+    }
+    if let (Some(path), Some(reg)) = (&opts.metrics_out, &merged) {
+        write_metrics(path, reg)?;
+        println!(
+            "wrote {} (merged across all 5 sweep points)",
+            path.display()
+        );
     }
     println!("every run completed without a stall report: punches are an");
     println!("optimization; the WU handshake keeps the delivery guarantee.");
@@ -554,6 +647,9 @@ fn trace(opts: &Opts) -> Result<(), String> {
         Box::new(VecSink::new())
     };
     sim.network_mut().set_sink(sink);
+    if opts.metrics_out.is_some() {
+        sim.network_mut().enable_profiler();
+    }
     sim.run_experiment(opts.cycles / 4, opts.cycles)
         .map_err(sim_err)?;
     let events = sim
@@ -583,6 +679,65 @@ fn trace(opts: &Opts) -> Result<(), String> {
     if opts.format == TraceFormat::Chrome {
         println!("open it in https://ui.perfetto.dev or chrome://tracing");
     }
+    if let Some(mpath) = &opts.metrics_out {
+        let reg = collect_registry(sim.network_mut());
+        write_metrics(mpath, &reg)?;
+        println!("wrote {}", mpath.display());
+    }
+    Ok(())
+}
+
+/// Runs one profiled run in the busy regime (overridable with the usual
+/// synthetic flags) and emits its metric registry: Prometheus text
+/// exposition on stdout — self-validated before printing — plus a
+/// trailing parseable coverage comment for `scripts/metrics_gate.sh`,
+/// and optionally the JSON snapshot via `--metrics-out`.
+fn metrics(opts: &Opts) -> Result<(), String> {
+    let mut cfg = SimConfig::with_scheme(opts.scheme);
+    let (topo, routing) = opts.noc_view().map_err(sim_err)?;
+    cfg.noc.topology = topo;
+    cfg.noc.routing = routing;
+    cfg.faults = opts.fault_config(opts.fault_drop);
+    let mut sim = SyntheticSim::new(cfg, opts.pattern, opts.rate);
+    sim.network_mut().enable_profiler();
+    // No warmup/reset split: the profiler and the histograms cover the
+    // whole run, so phase attribution can be gated against this wall
+    // clock measured around the simulation loop alone.
+    let started = Instant::now();
+    sim.run(opts.cycles).map_err(sim_err)?;
+    let wall_nanos = (started.elapsed().as_nanos() as u64).max(1);
+    let r = sim.report();
+    let phase_nanos = sim
+        .network()
+        .profiler()
+        .expect("enabled above")
+        .total_nanos();
+    let reg = collect_registry(sim.network_mut());
+    let expo = reg.to_prometheus();
+    let stats = validate_exposition(&expo).map_err(|e| format!("invalid exposition: {e}"))?;
+    let coverage = phase_nanos as f64 / wall_nanos as f64;
+    print!("{expo}");
+    println!(
+        "# punchsim_coverage phase_nanos={phase_nanos} wall_nanos={wall_nanos} \
+         ratio={coverage:.4}"
+    );
+    if let Some(path) = &opts.metrics_out {
+        write_metrics(path, &reg)?;
+        eprintln!("wrote {}", path.display());
+    }
+    eprintln!(
+        "{} samples across {} families ({} histograms); latency p50/p95/p99/max = \
+         {}/{}/{}/{} cycles; phase attribution {:.1}% of {:.2} ms wall",
+        stats.samples,
+        stats.families,
+        stats.histograms,
+        r.latency_p50(),
+        r.latency_p95(),
+        r.latency_p99(),
+        r.latency_max(),
+        coverage * 100.0,
+        wall_nanos as f64 / 1e6,
+    );
     Ok(())
 }
 
@@ -643,6 +798,7 @@ struct CampaignOpts {
     sample: u64,
     trace_out: Option<PathBuf>,
     trace_cap: usize,
+    metrics_out: Option<PathBuf>,
 }
 
 impl CampaignOpts {
@@ -660,6 +816,7 @@ impl CampaignOpts {
             sample: 0,
             trace_out: None,
             trace_cap: 0,
+            metrics_out: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -706,6 +863,7 @@ impl CampaignOpts {
                 "--trace-cap" => {
                     o.trace_cap = val.parse().map_err(|_| "bad trace capacity".to_string())?;
                 }
+                "--metrics-out" => o.metrics_out = Some(PathBuf::from(val)),
                 f => return Err(format!("unknown flag {f}")),
             }
         }
@@ -792,6 +950,7 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
         },
         sample_every: opts.sample,
         trace_cap: opts.effective_trace_cap(),
+        collect_metrics: opts.metrics_out.is_some(),
     };
     let threads = runner.effective_threads(specs.len());
     eprintln!(
@@ -839,6 +998,18 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
         if let Err(e) = write_campaign_dumps(dir, &report) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        match report.merged_registry() {
+            Some(reg) => {
+                if let Err(e) = write_metrics(path, &reg) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+            None => eprintln!("note: no run produced metrics; nothing to write"),
         }
     }
     let cached = report
@@ -918,6 +1089,59 @@ impl CompareOpts {
     }
 }
 
+/// Per-run latency percentiles of a campaign artifact, keyed by run id
+/// (empty for pre-v2 artifacts without percentile keys).
+fn artifact_percentiles(doc: &Json) -> Vec<(String, [u64; 4])> {
+    let mut out = Vec::new();
+    let Some(runs) = doc.get("runs").and_then(|r| r.as_arr()) else {
+        return out;
+    };
+    for run in runs {
+        let (Some(id), Some(m)) = (run.get("id").and_then(|i| i.as_str()), run.get("metrics"))
+        else {
+            continue;
+        };
+        let q = |key: &str| m.get(key).and_then(|v| v.as_u64());
+        if let (Some(p50), Some(p95), Some(p99), Some(max)) = (
+            q("latency_p50"),
+            q("latency_p95"),
+            q("latency_p99"),
+            q("latency_max"),
+        ) {
+            out.push((id.to_string(), [p50, p95, p99, max]));
+        }
+    }
+    out
+}
+
+/// Prints per-run latency percentiles side by side (baseline → current)
+/// for every run both artifacts carry percentiles for. Informational —
+/// the perf gate itself stays mean-latency based, so older v1 artifacts
+/// (no percentile keys) simply print nothing here.
+fn print_percentiles(base: &Json, cur: &Json) {
+    let b = artifact_percentiles(base);
+    let c = artifact_percentiles(cur);
+    let mut t = Table::new(["run", "p50", "p95", "p99", "max"]);
+    let mut rows = 0;
+    for (id, bq) in &b {
+        let Some((_, cq)) = c.iter().find(|(cid, _)| cid == id) else {
+            continue;
+        };
+        t.row([
+            id.clone(),
+            format!("{} -> {}", bq[0], cq[0]),
+            format!("{} -> {}", bq[1], cq[1]),
+            format!("{} -> {}", bq[2], cq[2]),
+            format!("{} -> {}", bq[3], cq[3]),
+        ]);
+        rows += 1;
+    }
+    if rows > 0 {
+        println!("latency percentiles, cycles (baseline -> current):");
+        println!("{t}");
+    }
+}
+
 fn load_artifact(path: &std::path::Path) -> Result<Json, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -934,9 +1158,10 @@ fn compare_cmd(args: &[String]) -> ExitCode {
     };
     let result = load_artifact(&opts.baseline).and_then(|base| {
         let cur = load_artifact(&opts.current)?;
-        compare::compare(&base, &cur, &opts.tol)
+        let cmp = compare::compare(&base, &cur, &opts.tol)?;
+        Ok((base, cur, cmp))
     });
-    let cmp = match result {
+    let (base, cur, cmp) = match result {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
@@ -955,6 +1180,7 @@ fn compare_cmd(args: &[String]) -> ExitCode {
     for id in &cmp.extra {
         println!("note: ungated new run {id}");
     }
+    print_percentiles(&base, &cur);
     if cmp.passed() {
         println!(
             "perf gate passed: {} run(s) within tolerance (latency ±{:.0}%, \
@@ -1157,7 +1383,7 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<Opts, String> {
         let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-        Opts::parse(&v)
+        Opts::parse_from(Opts::defaults(), &v)
     }
 
     #[test]
@@ -1288,6 +1514,24 @@ mod tests {
     }
 
     #[test]
+    fn metrics_flags_and_defaults_parse() {
+        // No registry collection unless asked for.
+        assert_eq!(parse(&[]).unwrap().metrics_out, None);
+        let o = parse(&["--metrics-out", "m.prom"]).unwrap();
+        assert_eq!(o.metrics_out, Some(PathBuf::from("m.prom")));
+        // The metrics subcommand defaults to the busy regime, still
+        // overridable by the usual flags.
+        let m = Opts::parse_from(Opts::metrics_defaults(), &[]).unwrap();
+        assert_eq!(m.mesh, Mesh::new(16, 16));
+        assert_eq!(m.rate, 0.0005);
+        assert_eq!(m.cycles, 12_000);
+        assert_eq!(m.scheme, SchemeKind::PowerPunchFull);
+        let m = Opts::parse_from(Opts::metrics_defaults(), &strs(&["--mesh", "4x4"])).unwrap();
+        assert_eq!(m.mesh, Mesh::new(4, 4));
+        assert_eq!(m.cycles, 12_000);
+    }
+
+    #[test]
     fn faults_dump_paths_encode_drop_rate() {
         let p = faults_dump_path(std::path::Path::new("out/dump.jsonl"), 0.25);
         assert_eq!(p, PathBuf::from("out/dump-d0.25.jsonl"));
@@ -1410,6 +1654,11 @@ mod tests {
         let o = CampaignOpts::parse(&strs(&["--trace-cap", "64"])).unwrap();
         assert_eq!(o.effective_trace_cap(), 0);
         assert!(CampaignOpts::parse(&strs(&["--sample", "often"])).is_err());
+        // --metrics-out drives registry collection.
+        let o = CampaignOpts::parse(&[]).unwrap();
+        assert_eq!(o.metrics_out, None);
+        let o = CampaignOpts::parse(&strs(&["--metrics-out", "m.json"])).unwrap();
+        assert_eq!(o.metrics_out, Some(PathBuf::from("m.json")));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   exporters (load the latter in Perfetto)
 //! * [`faults`] — deterministic fault injection for the power-gating
 //!   machinery (punch drops/corruption, stuck-off routers)
+//! * [`metrics`] — typed metric registry, log-bucketed latency
+//!   histograms, per-router counter planes, tick-phase profiler, and
+//!   Prometheus/JSON exposition
 //! * [`power`] — DSENT-like router energy model and accounting
 //! * [`traffic`] — synthetic traffic patterns and injection processes
 //! * [`cmp`] — MESI-directory CMP substrate standing in for gem5+PARSEC
@@ -43,6 +46,7 @@ pub use punchsim_campaign as campaign;
 pub use punchsim_cmp as cmp;
 pub use punchsim_core as core;
 pub use punchsim_faults as faults;
+pub use punchsim_metrics as metrics;
 pub use punchsim_noc as noc;
 pub use punchsim_obs as obs;
 pub use punchsim_power as power;
@@ -60,6 +64,7 @@ pub mod prelude {
     pub use punchsim_cmp::{Benchmark, CmpConfig, CmpReport, CmpSim};
     pub use punchsim_core::build_power_manager;
     pub use punchsim_faults::{FaultInjector, FaultStats};
+    pub use punchsim_metrics::{LogHistogram, Phase, PhaseProfiler, Plane, Registry};
     pub use punchsim_noc::{BusyKernel, Network, NetworkReport, PowerManager, TickMode};
     pub use punchsim_obs::{Event, EventSink, RingSink, Sampler, Stamped, VecSink};
     pub use punchsim_power::{EnergyBreakdown, PowerModel};
