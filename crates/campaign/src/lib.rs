@@ -262,6 +262,29 @@ pub fn busy_suite(seed: u64) -> Vec<RunSpec> {
     specs
 }
 
+/// The persistent-pool perf-gate suite: a single PowerPunchFull 32x32 run
+/// under the busy-regime load, the spec `shard_gate.sh` times at
+/// `--shards 4` pooled vs per-tick spawn (`PP_SPAWN_TICK=1`) and holds to
+/// a ≥1.3x cycles/sec ratio. Kept to one spec so the gate's wall-clock
+/// ratio is a clean per-run measurement instead of an average across
+/// meshes and schemes (the byte-identity half of the gate still runs the
+/// full [`busy_suite`]).
+pub fn pool_suite(seed: u64) -> Vec<RunSpec> {
+    let measure = busy_cycles();
+    vec![RunSpec {
+        scheme: SchemeKind::PowerPunchFull,
+        seed,
+        workload: Workload::Synthetic {
+            pattern: TrafficPattern::UniformRandom,
+            topo: Mesh::new(32, 32).into(),
+            routing: RoutingKind::Xy,
+            rate: 0.0005,
+            warmup_cycles: measure / 8,
+            measure_cycles: measure,
+        },
+    }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +322,9 @@ mod tests {
             };
             assert!(rate < 0.001, "fastpath runs must be idle-dominated");
         }
+        let pool = pool_suite(seed);
+        assert_eq!(pool.len(), 1, "one spec keeps the perf ratio clean");
+        assert!(pool[0].id().contains("32x32"), "gate runs the large mesh");
         let busy = busy_suite(seed);
         assert_eq!(busy.len(), 2 * 3, "two meshes x three schemes");
         let mut bids: Vec<String> = busy.iter().map(RunSpec::id).collect();

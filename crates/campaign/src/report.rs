@@ -17,8 +17,12 @@ use crate::runner::Outcome;
 use crate::spec::SCHEMA_VERSION;
 
 /// Timing-sidecar schema tag. v2 added per-run shard-spawn overhead and
-/// the optional campaign-level merged metric registry.
-pub const TIMING_SCHEMA_VERSION: &str = "punchsim-campaign-timing/v2";
+/// the optional campaign-level merged metric registry; v3 added per-run
+/// persistent-pool counters (`pool_ticks`, `pool_wait_nanos`) and changed
+/// `spawn_count` to count thread *creations* (at most `shards - 1` per
+/// pool lifetime under the default pooled executor, and 0 in the measured
+/// window when the pool came up during warm-up).
+pub const TIMING_SCHEMA_VERSION: &str = "punchsim-campaign-timing/v3";
 
 /// A finished campaign, ready to render into artifacts.
 #[derive(Debug)]
@@ -106,10 +110,13 @@ impl CampaignReport {
             if let Some(cps) = rec.cycles_per_sec() {
                 r.push("cycles_per_sec", Json::Float(cps));
             }
-            // Shard-thread spawn overhead (ROADMAP's persistent-pool
-            // question needs this baseline in every sidecar).
+            // Shard-thread overhead: creations (pool-lifetime-bounded by
+            // default) plus the pooled-tick barrier-wait counters the
+            // shard gate checks.
             r.push("spawn_count", Json::Int(rec.spawn_count as i64));
             r.push("spawn_nanos", Json::Int(rec.spawn_nanos as i64));
+            r.push("pool_ticks", Json::Int(rec.pool_ticks as i64));
+            r.push("pool_wait_nanos", Json::Int(rec.pool_wait_nanos as i64));
             if !rec.series.is_empty() {
                 r.push(
                     "series",
@@ -240,6 +247,9 @@ mod tests {
         assert!(runs[0].get("series").is_none());
         assert!(runs[0].get("spawn_count").unwrap().as_u64().is_some());
         assert!(runs[0].get("spawn_nanos").unwrap().as_u64().is_some());
+        // v3: persistent-pool counters are always present too.
+        assert!(runs[0].get("pool_ticks").unwrap().as_u64().is_some());
+        assert!(runs[0].get("pool_wait_nanos").unwrap().as_u64().is_some());
         // No metrics requested: no campaign-level registry either.
         assert!(t.get("metrics").is_none());
     }

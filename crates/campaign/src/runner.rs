@@ -48,10 +48,18 @@ pub struct RunRecord {
     /// the run was a cache hit; feeds the timing sidecar and exposition,
     /// never the deterministic artifact).
     pub registry: Option<Box<Registry>>,
-    /// Shard worker threads the run spawned (0 for cache hits).
+    /// Shard worker threads the run created (0 for cache hits; at most
+    /// `shards - 1` under the persistent pool, per-tick only under
+    /// `PP_SPAWN_TICK=1`).
     pub spawn_count: u64,
-    /// Wall-clock nanoseconds spent issuing those spawns.
+    /// Wall-clock nanoseconds spent creating those threads.
     pub spawn_nanos: u64,
+    /// Sharded ticks executed through the persistent worker pool (0 for
+    /// cache hits and spawn-per-tick runs).
+    pub pool_ticks: u64,
+    /// Host nanoseconds blocked at the pool's completion barrier (0 for
+    /// cache hits).
+    pub pool_wait_nanos: u64,
 }
 
 impl RunRecord {
@@ -224,6 +232,8 @@ fn execute_one(spec: &RunSpec, store: Option<&Store>, opts: ObserveOpts) -> Outc
                     registry: None,
                     spawn_count: 0,
                     spawn_nanos: 0,
+                    pool_ticks: 0,
+                    pool_wait_nanos: 0,
                 }));
             }
         }
@@ -250,6 +260,8 @@ fn execute_one(spec: &RunSpec, store: Option<&Store>, opts: ObserveOpts) -> Outc
                 registry: observed.registry,
                 spawn_count: observed.spawn_count,
                 spawn_nanos: observed.spawn_nanos,
+                pool_ticks: observed.pool_ticks,
+                pool_wait_nanos: observed.pool_wait_nanos,
             }))
         }
         Ok(Err(sim)) => Outcome::Failed(RunError {

@@ -270,6 +270,7 @@ impl RunSpec {
                     completed: r.completed,
                 };
                 let (spawn_count, spawn_nanos) = sim.network().spawn_stats();
+                let (pool_ticks, pool_wait_nanos) = sim.network().pool_stats();
                 Ok(Observed {
                     metrics,
                     series: sampler.into_rows(),
@@ -277,6 +278,8 @@ impl RunSpec {
                     registry: take_registry(sim.network_mut(), opts),
                     spawn_count,
                     spawn_nanos,
+                    pool_ticks,
+                    pool_wait_nanos,
                 })
             }
             Workload::Synthetic {
@@ -340,6 +343,7 @@ impl RunSpec {
                     completed: true,
                 };
                 let (spawn_count, spawn_nanos) = sim.network().spawn_stats();
+                let (pool_ticks, pool_wait_nanos) = sim.network().pool_stats();
                 Ok(Observed {
                     metrics,
                     series: sampler.into_rows(),
@@ -347,6 +351,8 @@ impl RunSpec {
                     registry: take_registry(sim.network_mut(), opts),
                     spawn_count,
                     spawn_nanos,
+                    pool_ticks,
+                    pool_wait_nanos,
                 })
             }
         }
@@ -417,12 +423,23 @@ pub struct Observed {
     pub events: Vec<Stamped>,
     /// Metric registry (`None` unless `metrics` was requested).
     pub registry: Option<Box<Registry>>,
-    /// Shard worker threads spawned across the run (0 when phase A never
-    /// took the sharded path). Always collected — it is a single counter
-    /// read — so the timing sidecar can report spawn overhead per run.
+    /// Shard worker threads created across the run (0 when phase A never
+    /// took the sharded path). Under the default persistent pool this
+    /// counts pool creations — at most `shards - 1` per pool lifetime,
+    /// and 0 in the measured window when the pool came up during warm-up;
+    /// under `PP_SPAWN_TICK=1` it reverts to per-tick spawns. Always
+    /// collected — it is a single counter read — so the timing sidecar
+    /// can report thread overhead per run.
     pub spawn_count: u64,
-    /// Wall-clock nanoseconds spent issuing those spawns.
+    /// Wall-clock nanoseconds spent creating those threads.
     pub spawn_nanos: u64,
+    /// Sharded ticks executed through the persistent worker pool (0 in
+    /// spawn-per-tick mode or when never sharded).
+    pub pool_ticks: u64,
+    /// Wall-clock nanoseconds the host thread spent blocked at the pool's
+    /// completion barrier after finishing its own shard — cross-shard
+    /// load imbalance, not compute.
+    pub pool_wait_nanos: u64,
 }
 
 /// The deterministic, machine-readable result of one run. Everything here

@@ -1,4 +1,20 @@
 //! Per-router power-gate state machines shared by every gating scheme.
+//!
+//! Since PR 9 the hot per-cycle entry points ([`GateArray::begin_cycle`]
+//! and [`GateArray::advance_idle`]) are sub-O(routers): they sweep an
+//! *active-set* bitset (routers that are `On` or `Waking`) instead of
+//! the whole gate vector, and powered-off routers accrue their
+//! off-cycle statistics lazily — a per-router accounting watermark plus
+//! a global unit counter, folded into [`PgCounters`] on demand. In the
+//! regime power gating exists for (almost every router asleep) a cycle
+//! costs O(occupied) instead of O(n). The folded values are exactly
+//! equal to what the eager implementation would report at every
+//! observation point; that contract is pinned by the unit tests below,
+//! by `tests/gating_lazy.rs` replaying random traces against
+//! [`reference::EagerGateArray`], and end to end by the CI no-drift
+//! gates.
+
+use std::cell::UnsafeCell;
 
 use punchsim_noc::{PgCounters, PowerState};
 use punchsim_types::{Cycle, NodeId};
@@ -14,6 +30,98 @@ enum Gate {
     Waking { ready_at: Cycle },
 }
 
+/// A fixed-size bitset over router indices, swept word-at-a-time (the
+/// same shape as the SoA kernel's occupancy index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    fn empty(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    fn full(len: usize) -> Self {
+        let mut s = Self::empty(len);
+        for (w, word) in s.words.iter_mut().enumerate() {
+            let lo = w * 64;
+            let bits = (len - lo).min(64);
+            *word = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+        s
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    #[cfg(test)]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Calls `f` for every set bit, ascending. `f` may mutate this set's
+    /// bits freely: each word is snapshotted before its sweep, which is
+    /// exactly the semantics the gate loops need (a gate cleared during
+    /// the sweep is still visited once this cycle, like the eager full
+    /// scan would).
+    #[inline]
+    fn for_each_set(this: &mut GateArray, mut f: impl FnMut(&mut GateArray, usize)) {
+        for w in 0..this.active.words.len() {
+            let mut word = this.active.words[w];
+            while word != 0 {
+                let i = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                f(this, i);
+            }
+        }
+    }
+
+    /// Calls `f` for every *clear* bit below `len`, ascending.
+    fn for_each_clear(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let lo = w * 64;
+            let bits = (self.len - lo).min(64);
+            let mask = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+            let mut inv = !word & mask;
+            while inv != 0 {
+                let i = lo + inv.trailing_zeros() as usize;
+                inv &= inv - 1;
+                f(i);
+            }
+        }
+    }
+}
+
+/// The lazily-folded statistics half of the array: the counters plus the
+/// per-router watermark that says how much off-time is already folded
+/// in. Kept behind an [`UnsafeCell`] so [`GateArray::counters`] can
+/// materialize on demand through `&self` (see the safety discussion on
+/// [`GateArray::materialize_shared`]).
+#[derive(Debug, Clone)]
+struct Acct {
+    counters: PgCounters,
+    /// For an `Off` router `i`: the [`GateArray::acct_units`] value
+    /// through which `counters.off_cycles[i]` is folded; the router is
+    /// owed `acct_units - off_mark[i]` more off-cycles. Meaningless (and
+    /// unread) while the router is not `Off`.
+    off_mark: Vec<u64>,
+    /// `acct_units` value at the last full materialization; when equal
+    /// to the live counter, every entry of `counters` is exact.
+    folded_at: u64,
+}
+
 /// The array of sleep switches for all routers, with the wakeup/timeout
 /// bookkeeping every scheme needs (Figure 1/2 of the paper).
 ///
@@ -21,12 +129,34 @@ enum Gate {
 /// network cycle `c` (inside the power manager's `tick`). State changes
 /// requested during `tick(c)` become visible to the network at cycle `c+1`,
 /// modelling the one-cycle latency of the power-gating controller.
-#[derive(Debug, Clone)]
+///
+/// # Laziness invariants
+///
+/// - `active` bit `i` is set iff `gates[i]` is `On` or `Waking`; `Off`
+///   routers are swept by no per-cycle path.
+/// - `acct_units` advances by 1 per [`GateArray::begin_cycle`] call and
+///   by the span length per [`GateArray::advance_quiet`] call — the two
+///   ways the eager implementation would have credited an off router.
+/// - An `Off` router `i` is owed `acct_units - off_mark[i]` off-cycles
+///   beyond `counters.off_cycles[i]`; every transition out of `Off`
+///   folds that debt eagerly, and [`GateArray::counters`] folds all
+///   remaining debt before returning.
+///
+/// Gate *states* (and therefore [`GateArray::state`],
+/// [`GateArray::fill_availability`], [`GateArray::next_event_at`] and
+/// [`GateArray::encode_state`]) are never deferred — only the off-cycle
+/// statistics are.
 pub struct GateArray {
     gates: Vec<Gate>,
     wakeup_latency: Cycle,
     idle_timeout: u32,
-    counters: PgCounters,
+    /// Routers that are `On` or `Waking` — the only ones the per-cycle
+    /// sweeps visit.
+    active: BitSet,
+    /// Lazy off-cycle accounting units elapsed (see the type-level
+    /// invariants).
+    acct_units: u64,
+    acct: UnsafeCell<Acct>,
 }
 
 impl GateArray {
@@ -36,7 +166,13 @@ impl GateArray {
             gates: vec![Gate::On { idle_cycles: 0 }; n],
             wakeup_latency: wakeup_latency as Cycle,
             idle_timeout,
-            counters: PgCounters::new(n),
+            active: BitSet::full(n),
+            acct_units: 0,
+            acct: UnsafeCell::new(Acct {
+                counters: PgCounters::new(n),
+                off_mark: vec![0; n],
+                folded_at: 0,
+            }),
         }
     }
 
@@ -84,38 +220,102 @@ impl GateArray {
         }
     }
 
-    /// Activity counters.
+    /// Activity counters, folded up to date: values are exactly what the
+    /// eager implementation ([`reference::EagerGateArray`]) would hold
+    /// after the same call sequence.
     pub fn counters(&self) -> &PgCounters {
-        &self.counters
+        self.materialize_shared();
+        // SAFETY: see `materialize_shared` — after it returns, no path
+        // reachable through `&self` mutates the accounting until a
+        // `&mut self` method runs, which ends this borrow first.
+        unsafe { &(*self.acct.get()).counters }
     }
 
-    /// Resets counters (end of warm-up); states are preserved.
+    /// Folds every off router's owed off-cycles into the counters.
+    ///
+    /// # Safety argument (why `&self` mutation here is sound)
+    ///
+    /// The only mutation through `&self` in this type happens below, and
+    /// only while `folded_at != acct_units`. `acct_units` advances
+    /// exclusively in `&mut self` methods, and this fold ends with
+    /// `folded_at == acct_units`. Therefore, while any `&`-reference
+    /// returned by [`GateArray::counters`] is alive (pinning `&self`),
+    /// every further `counters` call sees `folded_at == acct_units` and
+    /// returns without touching the accounting — no mutation can overlap
+    /// an outstanding shared borrow. `UnsafeCell` makes the type `!Sync`,
+    /// so no cross-thread interleaving exists either.
+    fn materialize_shared(&self) {
+        // SAFETY: per the argument above, this exclusive access never
+        // overlaps another reference into the cell.
+        let acct = unsafe { &mut *self.acct.get() };
+        if acct.folded_at == self.acct_units {
+            return;
+        }
+        let units = self.acct_units;
+        let counters = &mut acct.counters;
+        let off_mark = &mut acct.off_mark;
+        self.active.for_each_clear(|i| {
+            let owed = units - off_mark[i];
+            if owed > 0 {
+                counters.off_cycles[i] += owed;
+                off_mark[i] = units;
+            }
+        });
+        acct.folded_at = units;
+    }
+
+    /// Folds router `i`'s owed off-cycles (called on every transition
+    /// out of `Off`, so the debt never survives a state change).
+    fn fold_one(&mut self, i: usize) {
+        let units = self.acct_units;
+        let acct = self.acct.get_mut();
+        let owed = units - acct.off_mark[i];
+        if owed > 0 {
+            acct.counters.off_cycles[i] += owed;
+            acct.off_mark[i] = units;
+        }
+    }
+
+    /// Resets counters (end of warm-up); states are preserved. Off
+    /// routers restart their lazy accounting from zero debt.
     pub fn reset_counters(&mut self) {
-        self.counters.reset();
+        let units = self.acct_units;
+        let acct = self.acct.get_mut();
+        acct.counters.reset();
+        for m in &mut acct.off_mark {
+            *m = units;
+        }
+        acct.folded_at = units;
     }
 
     /// Extra sideband-activity counter hooks for the schemes.
+    ///
+    /// This handle is for *writing* scheme-owned scalars (punch hops, WU
+    /// assertions, escalations); the per-router `off_cycles` plane may be
+    /// stale through it, because folding it here every tick would undo
+    /// the lazy accounting. Read through [`GateArray::counters`], which
+    /// folds first.
     pub fn counters_mut(&mut self) -> &mut PgCounters {
-        &mut self.counters
+        &mut self.acct.get_mut().counters
     }
 
     /// Accounts the state each router held during `cycle` and promotes
     /// routers whose wakeup completes before the next cycle. Call exactly
     /// once at the start of every power-manager tick, before processing
     /// events.
+    ///
+    /// Cost: O(active routers) — powered-off routers are credited lazily
+    /// via the accounting watermark.
     pub fn begin_cycle(&mut self, cycle: Cycle) {
-        for (i, g) in self.gates.iter_mut().enumerate() {
-            match *g {
-                Gate::Off => self.counters.off_cycles[i] += 1,
-                Gate::Waking { ready_at } => {
-                    self.counters.waking_cycles[i] += 1;
-                    if cycle + 1 >= ready_at {
-                        *g = Gate::On { idle_cycles: 0 };
-                    }
+        self.acct_units += 1;
+        BitSet::for_each_set(self, |this, i| {
+            if let Gate::Waking { ready_at } = this.gates[i] {
+                this.acct.get_mut().counters.waking_cycles[i] += 1;
+                if cycle + 1 >= ready_at {
+                    this.gates[i] = Gate::On { idle_cycles: 0 };
                 }
-                Gate::On { .. } => {}
             }
-        }
+        });
     }
 
     /// Requests a wakeup of router `r` during `cycle`: an off router starts
@@ -128,14 +328,16 @@ impl GateArray {
         let i = r.index();
         match self.gates[i] {
             Gate::Off => {
-                self.counters.wake_events[i] += 1;
+                self.fold_one(i);
+                self.acct.get_mut().counters.wake_events[i] += 1;
                 self.gates[i] = Gate::Waking {
                     ready_at: cycle + self.wakeup_latency,
                 };
+                self.active.set(i);
             }
             Gate::On { .. } => self.gates[i] = Gate::On { idle_cycles: 0 },
             // The level signal keeps retrying while the transient completes.
-            Gate::Waking { .. } => self.counters.wu_retries += 1,
+            Gate::Waking { .. } => self.acct.get_mut().counters.wu_retries += 1,
         }
     }
 
@@ -144,13 +346,15 @@ impl GateArray {
     /// sleep gate asserted. Counted separately from normal wake events so a
     /// non-zero [`PgCounters::escalations`] flags that the safety net fired.
     pub fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
-        self.counters.record_escalation(r);
+        self.acct.get_mut().counters.record_escalation(r);
         if self.gates[r.index()] == Gate::Off {
             let i = r.index();
-            self.counters.wake_events[i] += 1;
+            self.fold_one(i);
+            self.acct.get_mut().counters.wake_events[i] += 1;
             self.gates[i] = Gate::Waking {
                 ready_at: cycle + self.wakeup_latency,
             };
+            self.active.set(i);
         }
     }
 
@@ -167,27 +371,32 @@ impl GateArray {
     /// sleep tick (its idle timeout, deferred past the scheme's
     /// `sleep_floor(i)` — the first cycle at which `may_sleep(i)` would hold).
     /// `None` when every gate is already off, i.e. the array is a fixed
-    /// point apart from its off-cycle accounting.
+    /// point apart from its off-cycle accounting. O(active routers).
     pub fn next_event_at(
         &self,
         now: Cycle,
         mut sleep_floor: impl FnMut(usize) -> Cycle,
     ) -> Option<Cycle> {
         let mut horizon: Option<Cycle> = None;
-        for (i, g) in self.gates.iter().enumerate() {
-            let at = match *g {
-                Gate::Off => continue,
-                Gate::Waking { ready_at } => now.max(ready_at.saturating_sub(1)),
-                Gate::On { idle_cycles } => {
-                    let timeout_at = now
-                        + self
-                            .idle_timeout
-                            .saturating_sub(idle_cycles.saturating_add(1))
-                            as Cycle;
-                    timeout_at.max(sleep_floor(i))
-                }
-            };
-            horizon = Some(horizon.map_or(at, |h| h.min(at)));
+        for (w, &word) in self.active.words.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let i = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let at = match self.gates[i] {
+                    Gate::Off => continue,
+                    Gate::Waking { ready_at } => now.max(ready_at.saturating_sub(1)),
+                    Gate::On { idle_cycles } => {
+                        let timeout_at = now
+                            + self
+                                .idle_timeout
+                                .saturating_sub(idle_cycles.saturating_add(1))
+                                as Cycle;
+                        timeout_at.max(sleep_floor(i))
+                    }
+                };
+                horizon = Some(horizon.map_or(at, |h| h.min(at)));
+            }
         }
         horizon
     }
@@ -195,9 +404,11 @@ impl GateArray {
     /// Closed-form replay of the quiet span `[from, to)`: for every cycle
     /// `c` in the span, behaves exactly like
     /// `begin_cycle(c); advance_idle(&all_true, |i| c >= sleep_floor(i))`
-    /// but in O(routers) total instead of O(routers × span). `sleep_floor`
-    /// is the scheme's sleep veto expressed as a cycle: router `i` may not
-    /// sleep before cycle `sleep_floor(i)` (0 for unconditional sleeping).
+    /// but in O(active routers) total instead of O(routers × span) —
+    /// off routers' accounting advances through the shared unit counter
+    /// without being visited. `sleep_floor` is the scheme's sleep veto
+    /// expressed as a cycle: router `i` may not sleep before cycle
+    /// `sleep_floor(i)` (0 for unconditional sleeping).
     ///
     /// The per-cycle equivalence is pinned by `quiet_advance_matches_loop`
     /// below and, end to end, by `tests/differential.rs`.
@@ -211,21 +422,24 @@ impl GateArray {
             return;
         }
         let span = to - from;
-        for (i, g) in self.gates.iter_mut().enumerate() {
+        // Off routers owe `span` more off-cycles after this call — the
+        // unit counter advances, their watermarks stay put.
+        self.acct_units += span;
+        let units = self.acct_units;
+        let timeout = self.idle_timeout;
+        BitSet::for_each_set(self, |this, i| {
             // Resolve a waking gate first: it accrues waking cycles up to and
             // including its promotion tick, then evolves as On from there.
-            let (on_from, ic0) = match *g {
-                Gate::Off => {
-                    self.counters.off_cycles[i] += span;
-                    continue;
-                }
+            let acct = this.acct.get_mut();
+            let (on_from, ic0) = match this.gates[i] {
+                Gate::Off => return,
                 Gate::Waking { ready_at } => {
                     let promo = from.max(ready_at.saturating_sub(1));
                     if promo >= to {
-                        self.counters.waking_cycles[i] += span;
-                        continue;
+                        acct.counters.waking_cycles[i] += span;
+                        return;
                     }
-                    self.counters.waking_cycles[i] += promo - from + 1;
+                    acct.counters.waking_cycles[i] += promo - from + 1;
                     (promo, 0u32)
                 }
                 Gate::On { idle_cycles } => (from, idle_cycles),
@@ -234,20 +448,23 @@ impl GateArray {
             // `ic0 + (c - on_from) + 1`, so the timeout filter first passes
             // at `timeout_at`; the sleep lands at the later of that and the
             // scheme's floor.
-            let timeout_at =
-                on_from + self.idle_timeout.saturating_sub(ic0.saturating_add(1)) as Cycle;
+            let timeout_at = on_from + timeout.saturating_sub(ic0.saturating_add(1)) as Cycle;
             let sleep_at = timeout_at.max(sleep_floor(i));
             if sleep_at < to {
-                self.counters.sleep_events[i] += 1;
-                self.counters.off_cycles[i] += (to - 1) - sleep_at;
-                *g = Gate::Off;
+                acct.counters.sleep_events[i] += 1;
+                // The eager form credits `(to - 1) - sleep_at` off-cycles
+                // inside the span; express the same amount as lazy debt so
+                // a follow-up fold is exact.
+                acct.off_mark[i] = units - ((to - 1) - sleep_at);
+                this.gates[i] = Gate::Off;
+                this.active.clear(i);
             } else {
                 let add = (to - on_from).min(u32::MAX as Cycle) as u32;
-                *g = Gate::On {
+                this.gates[i] = Gate::On {
                     idle_cycles: ic0.saturating_add(add),
                 };
             }
-        }
+        });
     }
 
     /// Appends the canonical snapshot encoding of every gate (see
@@ -281,21 +498,201 @@ impl GateArray {
     /// Advances idle timers using the network's per-router idleness and
     /// powers off routers that pass the timeout filter and the
     /// scheme-specific `may_sleep` predicate. Call once per tick, after
-    /// event processing.
+    /// event processing. O(active routers): off and waking gates are
+    /// skipped, exactly like the eager full scan would no-op them, and
+    /// `may_sleep` is consulted for the same routers in the same order.
     pub fn advance_idle(&mut self, idle: &[bool], mut may_sleep: impl FnMut(usize) -> bool) {
-        for (i, g) in self.gates.iter_mut().enumerate() {
-            if let Gate::On { idle_cycles } = *g {
+        let timeout = self.idle_timeout;
+        BitSet::for_each_set(self, |this, i| {
+            if let Gate::On { idle_cycles } = this.gates[i] {
                 if idle[i] {
                     let ic = idle_cycles + 1;
-                    if ic >= self.idle_timeout && may_sleep(i) {
-                        self.counters.sleep_events[i] += 1;
-                        *g = Gate::Off;
+                    if ic >= timeout && may_sleep(i) {
+                        let acct = this.acct.get_mut();
+                        acct.counters.sleep_events[i] += 1;
+                        // Freshly asleep: zero debt as of now.
+                        acct.off_mark[i] = this.acct_units;
+                        this.gates[i] = Gate::Off;
+                        this.active.clear(i);
                     } else {
-                        *g = Gate::On { idle_cycles: ic };
+                        this.gates[i] = Gate::On { idle_cycles: ic };
                     }
                 } else {
-                    *g = Gate::On { idle_cycles: 0 };
+                    this.gates[i] = Gate::On { idle_cycles: 0 };
                 }
+            }
+        });
+    }
+}
+
+impl Clone for GateArray {
+    fn clone(&self) -> Self {
+        // SAFETY: shared read only; per `materialize_shared`'s argument no
+        // mutation of the cell can overlap it.
+        let acct = unsafe { (*self.acct.get()).clone() };
+        GateArray {
+            gates: self.gates.clone(),
+            wakeup_latency: self.wakeup_latency,
+            idle_timeout: self.idle_timeout,
+            active: self.active.clone(),
+            acct_units: self.acct_units,
+            acct: UnsafeCell::new(acct),
+        }
+    }
+}
+
+impl std::fmt::Debug for GateArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // No materialization here: Debug may run while a `counters()`
+        // borrow is alive, so it must stay read-only on the cell.
+        f.debug_struct("GateArray")
+            .field("gates", &self.gates)
+            .field("wakeup_latency", &self.wakeup_latency)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("acct_units", &self.acct_units)
+            .finish_non_exhaustive()
+    }
+}
+
+pub mod reference {
+    //! The eager reference implementation of the gate array: a full
+    //! O(routers) sweep per cycle with counters updated in place — the
+    //! executable specification the lazy [`super::GateArray`] is
+    //! differentially tested against (`tests/gating_lazy.rs`), in the
+    //! same spirit as the struct-vs-SoA and naive-vs-fast tick oracles.
+
+    use super::*;
+
+    /// Internal state of one router's sleep switch (eager twin).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum EGate {
+        On { idle_cycles: u32 },
+        Off,
+        Waking { ready_at: Cycle },
+    }
+
+    /// Eagerly-accounted gate array; same observable API subset as
+    /// [`super::GateArray`], O(routers) per cycle by construction.
+    #[derive(Debug, Clone)]
+    pub struct EagerGateArray {
+        gates: Vec<EGate>,
+        wakeup_latency: Cycle,
+        idle_timeout: u32,
+        counters: PgCounters,
+    }
+
+    impl EagerGateArray {
+        /// Creates `n` routers, all powered on.
+        pub fn new(n: usize, wakeup_latency: u32, idle_timeout: u32) -> Self {
+            EagerGateArray {
+                gates: vec![EGate::On { idle_cycles: 0 }; n],
+                wakeup_latency: wakeup_latency as Cycle,
+                idle_timeout,
+                counters: PgCounters::new(n),
+            }
+        }
+
+        /// Public power state of router `r`.
+        pub fn state(&self, r: NodeId) -> PowerState {
+            match self.gates[r.index()] {
+                EGate::On { .. } => PowerState::On,
+                EGate::Off => PowerState::Off,
+                EGate::Waking { ready_at } => PowerState::WakingUp { ready_at },
+            }
+        }
+
+        /// Activity counters (always exact — every cycle is accounted in
+        /// place).
+        pub fn counters(&self) -> &PgCounters {
+            &self.counters
+        }
+
+        /// Eager per-cycle accounting sweep over every router.
+        pub fn begin_cycle(&mut self, cycle: Cycle) {
+            for (i, g) in self.gates.iter_mut().enumerate() {
+                match *g {
+                    EGate::Off => self.counters.off_cycles[i] += 1,
+                    EGate::Waking { ready_at } => {
+                        self.counters.waking_cycles[i] += 1;
+                        if cycle + 1 >= ready_at {
+                            *g = EGate::On { idle_cycles: 0 };
+                        }
+                    }
+                    EGate::On { .. } => {}
+                }
+            }
+        }
+
+        /// See [`super::GateArray::request_wake`].
+        pub fn request_wake(&mut self, r: NodeId, cycle: Cycle) {
+            let i = r.index();
+            match self.gates[i] {
+                EGate::Off => {
+                    self.counters.wake_events[i] += 1;
+                    self.gates[i] = EGate::Waking {
+                        ready_at: cycle + self.wakeup_latency,
+                    };
+                }
+                EGate::On { .. } => self.gates[i] = EGate::On { idle_cycles: 0 },
+                EGate::Waking { .. } => self.counters.wu_retries += 1,
+            }
+        }
+
+        /// See [`super::GateArray::force_wake`].
+        pub fn force_wake(&mut self, r: NodeId, cycle: Cycle) {
+            self.counters.record_escalation(r);
+            if self.gates[r.index()] == EGate::Off {
+                let i = r.index();
+                self.counters.wake_events[i] += 1;
+                self.gates[i] = EGate::Waking {
+                    ready_at: cycle + self.wakeup_latency,
+                };
+            }
+        }
+
+        /// See [`super::GateArray::keep_awake`].
+        pub fn keep_awake(&mut self, r: NodeId) {
+            if let EGate::On { .. } = self.gates[r.index()] {
+                self.gates[r.index()] = EGate::On { idle_cycles: 0 };
+            }
+        }
+
+        /// See [`super::GateArray::reset_counters`].
+        pub fn reset_counters(&mut self) {
+            self.counters.reset();
+        }
+
+        /// Eager full-scan sleep sweep over every router.
+        pub fn advance_idle(&mut self, idle: &[bool], mut may_sleep: impl FnMut(usize) -> bool) {
+            for (i, g) in self.gates.iter_mut().enumerate() {
+                if let EGate::On { idle_cycles } = *g {
+                    if idle[i] {
+                        let ic = idle_cycles + 1;
+                        if ic >= self.idle_timeout && may_sleep(i) {
+                            self.counters.sleep_events[i] += 1;
+                            *g = EGate::Off;
+                        } else {
+                            *g = EGate::On { idle_cycles: ic };
+                        }
+                    } else {
+                        *g = EGate::On { idle_cycles: 0 };
+                    }
+                }
+            }
+        }
+
+        /// Per-cycle loop equivalent of [`super::GateArray::advance_quiet`]
+        /// (the eager spec has no closed form — it just replays the span).
+        pub fn advance_quiet(
+            &mut self,
+            from: Cycle,
+            to: Cycle,
+            mut sleep_floor: impl FnMut(usize) -> Cycle,
+        ) {
+            let all_idle = vec![true; self.gates.len()];
+            for c in from..to {
+                self.begin_cycle(c);
+                self.advance_idle(&all_idle, |i| c >= sleep_floor(i));
             }
         }
     }
@@ -394,6 +791,50 @@ mod tests {
         assert_eq!(g.counters().total_off_cycles(), 9);
     }
 
+    /// Lazy off-cycle debt folds identically no matter how observation
+    /// points interleave with the cycle loop — including back-to-back
+    /// `counters()` calls with no accounting progress in between.
+    #[test]
+    fn lazy_folding_is_observation_point_independent() {
+        let mut sometimes = GateArray::new(3, 8, 1);
+        let mut once = GateArray::new(3, 8, 1);
+        let idle = [true, true, true];
+        for c in 0..50 {
+            sometimes.begin_cycle(c);
+            sometimes.advance_idle(&idle, |i| i != 2);
+            once.begin_cycle(c);
+            once.advance_idle(&idle, |i| i != 2);
+            if c % 7 == 0 {
+                // Observing mid-run must not perturb later accounting.
+                let a = sometimes.counters().total_off_cycles();
+                let b = sometimes.counters().total_off_cycles();
+                assert_eq!(a, b, "repeated observation changed the counters");
+            }
+        }
+        assert_eq!(sometimes.counters(), once.counters());
+        // Routers 0/1 slept after tick(0), router 2 was vetoed forever.
+        assert_eq!(sometimes.counters().off_cycles, vec![49, 49, 0]);
+    }
+
+    /// `reset_counters` also cancels the lazy debt: off-time before the
+    /// reset must never leak into the measured window.
+    #[test]
+    fn reset_counters_cancels_off_debt() {
+        let mut g = GateArray::new(2, 8, 1);
+        for c in 0..20 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true, true], |_| true);
+        }
+        g.reset_counters();
+        assert_eq!(g.counters().total_off_cycles(), 0);
+        for c in 20..25 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true, true], |_| true);
+        }
+        // Both routers off for the 5 post-reset cycles only.
+        assert_eq!(g.counters().total_off_cycles(), 10);
+    }
+
     /// Replays the quiet span per-cycle and via the closed form and demands
     /// bit-identical gates *and* counters, over randomized initial states,
     /// sleep floors and span lengths. This is the unit-level half of the
@@ -446,6 +887,10 @@ mod tests {
             fast.advance_quiet(from, from + span, |i| floors[i]);
             assert_eq!(slow.gates, fast.gates, "trial {trial} gates diverged");
             assert_eq!(
+                slow.active, fast.active,
+                "trial {trial} active set diverged"
+            );
+            assert_eq!(
                 slow.counters(),
                 fast.counters(),
                 "trial {trial} counters diverged"
@@ -475,5 +920,30 @@ mod tests {
             g.advance_idle(&[true], |_| true);
         }
         assert_eq!(g.next_event_at(5, |_| 0), None);
+    }
+
+    /// The active set must mirror gate states exactly through every
+    /// transition path (sleep, wake, force-wake, quiet spans).
+    #[test]
+    fn active_set_tracks_gate_states() {
+        let mut g = GateArray::new(4, 3, 1);
+        for c in 0..4 {
+            g.begin_cycle(c);
+            g.advance_idle(&[true, true, false, true], |i| i != 3);
+        }
+        // Routers 0/1 slept; 2 stayed busy; 3 was vetoed.
+        for i in 0..4 {
+            let on = !matches!(g.state(NodeId(i as u16)), PowerState::Off);
+            assert_eq!(g.active.get(i), on, "router {i}");
+        }
+        g.request_wake(NodeId(0), 10);
+        assert!(g.active.get(0));
+        g.force_wake(NodeId(1), 10);
+        assert!(g.active.get(1));
+        g.advance_quiet(11, 40, |_| 0);
+        for i in 0..4 {
+            let on = !matches!(g.state(NodeId(i as u16)), PowerState::Off);
+            assert_eq!(g.active.get(i), on, "router {i} after quiet span");
+        }
     }
 }

@@ -48,11 +48,15 @@ pub enum Phase {
     Watchdog,
     /// Quiescence fast-forward (closed-form quiet advance).
     FastForward,
+    /// SoA kernel, pooled sharded ticks only: host wall time blocked at
+    /// the worker pool's completion barrier after finishing its own
+    /// shard (load imbalance across shards, not compute).
+    PoolWait,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Host,
         Phase::DeliverFlits,
         Phase::DeliverCredits,
@@ -65,6 +69,7 @@ impl Phase {
         Phase::PowerTick,
         Phase::Watchdog,
         Phase::FastForward,
+        Phase::PoolWait,
     ];
 
     /// Stable snake_case name used as the `phase` label value.
@@ -82,6 +87,7 @@ impl Phase {
             Phase::PowerTick => "power_tick",
             Phase::Watchdog => "watchdog",
             Phase::FastForward => "fast_forward",
+            Phase::PoolWait => "pool_wait",
         }
     }
 
@@ -124,6 +130,23 @@ impl PhaseProfiler {
     /// (used when leaving profiled code for an unbounded wait).
     pub fn detach(&mut self) {
         self.last = None;
+    }
+
+    /// Reattributes `nanos` of already-charged time from `from` to `to`
+    /// (saturating at what `from` currently holds). For callers that
+    /// measured an inner wait within a marked span — e.g. the shard
+    /// pool's completion barrier inside the phase-A interval — and want
+    /// it under its own phase without adding boundary timestamps to the
+    /// hot path. The all-phase total (and thus the CI coverage ratio) is
+    /// conserved exactly.
+    pub fn transfer(&mut self, from: Phase, to: Phase, nanos: u64) {
+        let moved = nanos.min(self.nanos[from.index()]);
+        if moved == 0 {
+            return;
+        }
+        self.nanos[from.index()] -= moved;
+        self.nanos[to.index()] += moved;
+        self.marks[to.index()] += 1;
     }
 
     /// Accumulated nanoseconds for `phase`.

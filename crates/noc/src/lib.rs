@@ -39,6 +39,7 @@ pub mod flit;
 pub mod link;
 pub mod network;
 pub mod ni;
+mod pool;
 pub mod power;
 pub mod router;
 pub mod snapshot;
@@ -48,7 +49,7 @@ pub mod trace;
 pub mod vc;
 
 pub use flit::{Flit, FlitKind, Message, MsgClass, PacketMeta};
-pub use network::{Network, TickMode};
+pub use network::{Network, ShardExec, TickMode};
 pub use power::{AlwaysOn, IdleInfo, PgCounters, PmEvent, PowerManager, PowerState};
 pub use router::{Router, RouterActivity};
 pub use soa::{BitWords, BusyKernel};

@@ -22,6 +22,7 @@ use punchsim_types::{
 use crate::flit::{Flit, Message, MsgClass, PacketMeta};
 use crate::link::Pipe;
 use crate::ni::Ni;
+use crate::pool::{Job, ShardPool};
 use crate::power::{IdleInfo, PmEvent, PowerManager, PowerState};
 use crate::router::{Router, RouterActivity};
 use crate::soa::{self, BusyKernel, FlatAvail, PmAvail, ShardBuf, ShardView, SoaState, TickCtx};
@@ -59,6 +60,70 @@ impl TickMode {
             _ => TickMode::Fast,
         }
     }
+}
+
+/// How the sharded SoA tick executes phase A when `shards > 1`.
+///
+/// Both modes are observationally identical — the shard pool reuses the
+/// exact record-then-commit protocol, only the thread lifecycle differs —
+/// pinned end to end by `tests/shard_pool_determinism.rs` and by the CI
+/// `shard_gate.sh` artifact diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardExec {
+    /// Persistent worker pool (the default): shard threads are created
+    /// lazily on the first sharded tick, parked on a condvar epoch
+    /// barrier between ticks, resized on [`Network::set_shards`], and
+    /// joined on drop. Amortizes the ~6 μs/spawn per-tick cost measured
+    /// in PR 7's timing sidecars.
+    #[default]
+    Pool,
+    /// The reference lifecycle: `std::thread::scope` spawns fresh shard
+    /// threads every tick. Selected by `PP_SPAWN_TICK=1` at
+    /// construction, or [`Network::set_shard_exec`].
+    Spawn,
+}
+
+impl ShardExec {
+    /// Resolves the mode from the `PP_SPAWN_TICK` environment variable:
+    /// `1` selects [`ShardExec::Spawn`], anything else (or unset)
+    /// selects [`ShardExec::Pool`].
+    pub fn from_env() -> Self {
+        match std::env::var("PP_SPAWN_TICK") {
+            Ok(v) if v == "1" => ShardExec::Spawn,
+            _ => ShardExec::Pool,
+        }
+    }
+}
+
+/// One pooled shard's phase-A work for one tick: the shard view plus the
+/// shared read-only tick context, bundled so a type-erased pool [`Job`]
+/// can point at it. Lives on `soa_phase_a`'s stack; the pool's
+/// completion barrier guarantees workers are done with it before that
+/// frame unwinds.
+struct ShardTask<'a, 'b> {
+    sv: ShardView<'b>,
+    ctx: &'a TickCtx<'b>,
+    avail: &'a FlatAvail<'b>,
+    buf: &'a mut ShardBuf,
+}
+
+/// Pool job entry point for one shard's phase A.
+///
+/// # Safety
+///
+/// `p` must point at a live, exclusively-owned [`ShardTask`] — upheld by
+/// `soa_phase_a`, which hands each task to exactly one worker and blocks
+/// at the pool barrier until all of them are done.
+unsafe fn run_shard_task(p: *mut ()) {
+    let t = unsafe { &mut *(p as *mut ShardTask<'_, '_>) };
+    soa::shard_phase_a(&mut t.sv, t.ctx, t.avail, t.buf);
+}
+
+/// Test-hook variant of [`run_shard_task`] that panics instead of
+/// working, driving the pool's typed-error path
+/// (see [`Network::debug_panic_next_pooled_tick`]).
+unsafe fn run_shard_task_panicking(_p: *mut ()) {
+    panic!("injected shard panic (test hook)");
 }
 
 /// A cycle-accurate mesh network under a pluggable power-gating scheme.
@@ -172,12 +237,29 @@ pub struct Network {
     /// boundary). Wall-clock data never feeds back into simulation state
     /// and is exported only toward the nondeterministic timing sidecar.
     profiler: Option<PhaseProfiler>,
-    /// Shard threads spawned by `soa_phase_a` since the last stats reset
-    /// (ROADMAP item 1's persistent-pool baseline: what a pool would
-    /// amortize away).
+    /// Shard threads created since the last stats reset: per-tick scoped
+    /// spawns under [`ShardExec::Spawn`], pool thread creations under
+    /// [`ShardExec::Pool`] (at most `shards - 1` per pool lifetime — the
+    /// amortization the pool exists for).
     spawn_count: u64,
     /// Wall nanoseconds spent issuing those spawns.
     spawn_nanos: u64,
+    /// Phase-A thread lifecycle under `shards > 1` (pool vs per-tick
+    /// spawn; an execution detail like the shard count itself).
+    shard_exec: ShardExec,
+    /// The persistent shard worker pool, created lazily on the first
+    /// pooled sharded tick; `None` under `ShardExec::Spawn`, for
+    /// `shards == 1`, or before that first tick.
+    pool: Option<ShardPool>,
+    /// Sharded ticks dispatched through the pool since the last stats
+    /// reset.
+    pool_ticks: u64,
+    /// Wall nanoseconds the host spent blocked at the pool's completion
+    /// barrier (after finishing its own shard 0) since the last reset.
+    pool_wait_nanos: u64,
+    /// Test hook: makes the next pooled phase A panic in its last worker
+    /// (see [`Network::debug_panic_next_pooled_tick`]).
+    panic_next_shard: bool,
 }
 
 impl std::fmt::Debug for Network {
@@ -269,6 +351,11 @@ impl Network {
             profiler: None,
             spawn_count: 0,
             spawn_nanos: 0,
+            shard_exec: ShardExec::from_env(),
+            pool: None,
+            pool_ticks: 0,
+            pool_wait_nanos: 0,
+            panic_next_shard: false,
         })
     }
 
@@ -298,12 +385,47 @@ impl Network {
     pub fn set_shards(&mut self, shards: usize) -> Result<(), ConfigError> {
         Self::validate_shards(shards, self.view.topo.height())?;
         self.shards = shards;
+        // An existing pool sized for a different count is torn down here
+        // (workers joined); the right-sized pool is re-created lazily on
+        // the next pooled sharded tick.
+        let keep = shards > 1
+            && self
+                .pool
+                .as_ref()
+                .is_some_and(|p| p.workers() == shards - 1);
+        if !keep {
+            self.pool = None;
+        }
         Ok(())
     }
 
     /// The active shard count.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Selects the phase-A thread lifecycle for sharded ticks (overrides
+    /// the `PP_SPAWN_TICK` environment resolution done at construction).
+    /// Switching to [`ShardExec::Spawn`] joins any live pool workers.
+    pub fn set_shard_exec(&mut self, exec: ShardExec) {
+        self.shard_exec = exec;
+        if exec == ShardExec::Spawn {
+            self.pool = None;
+        }
+    }
+
+    /// The active phase-A thread lifecycle.
+    pub fn shard_exec(&self) -> ShardExec {
+        self.shard_exec
+    }
+
+    /// Test hook: the next pooled sharded tick runs a panicking job in
+    /// its last worker, exercising the pool's typed-error path
+    /// ([`punchsim_types::SimError::ShardPanic`] instead of a hang). Only
+    /// meaningful while `shards > 1` under [`ShardExec::Pool`].
+    #[doc(hidden)]
+    pub fn debug_panic_next_pooled_tick(&mut self) {
+        self.panic_next_shard = true;
     }
 
     /// Selects the busy-cycle kernel (overrides the `PP_STRUCT_TICK`
@@ -420,13 +542,25 @@ impl Network {
         self.profiler.take()
     }
 
-    /// Shard-thread spawn overhead since the last stats reset:
-    /// `(spawn_count, spawn_nanos)` — threads spawned by the sharded SoA
-    /// phase A and the wall time spent issuing those spawns. Always
-    /// measured while `shards > 1` (two timestamps per sharded tick);
-    /// `(0, 0)` otherwise.
+    /// Shard-thread creation overhead since the last stats reset:
+    /// `(spawn_count, spawn_nanos)` — threads created for the sharded SoA
+    /// phase A and the wall time spent issuing those creations. Under
+    /// [`ShardExec::Spawn`] this grows by `shards - 1` every sharded tick
+    /// (the PR 7 baseline); under [`ShardExec::Pool`] it counts pool
+    /// thread creations only, so it stays `<= shards - 1` per pool
+    /// lifetime no matter how many ticks run. `(0, 0)` while
+    /// `shards == 1`.
     pub fn spawn_stats(&self) -> (u64, u64) {
         (self.spawn_count, self.spawn_nanos)
+    }
+
+    /// Pool dispatch overhead since the last stats reset:
+    /// `(pool_ticks, pool_wait_nanos)` — sharded ticks dispatched through
+    /// the persistent worker pool, and the wall time the host thread
+    /// spent blocked at the completion barrier after finishing its own
+    /// shard. `(0, 0)` under [`ShardExec::Spawn`] or while `shards == 1`.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool_ticks, self.pool_wait_nanos)
     }
 
     /// Charges the wall time since the previous phase boundary to `p`.
@@ -669,6 +803,13 @@ impl Network {
             profiler: None,
             spawn_count: 0,
             spawn_nanos: 0,
+            shard_exec: self.shard_exec,
+            // Worker threads are per-instance; the clone builds its own
+            // pool lazily if it ever runs a pooled sharded tick.
+            pool: None,
+            pool_ticks: 0,
+            pool_wait_nanos: 0,
+            panic_next_shard: false,
         })
     }
 
@@ -859,8 +1000,16 @@ impl Network {
         }
         let now = self.cycle;
         self.moved = false;
-        self.soa_phase_a(now);
+        let pool_wait = self.soa_phase_a(now)?;
         self.mark(Phase::SoaPhaseA);
+        if pool_wait > 0 {
+            // The SoaPhaseA interval above includes the host's blocked
+            // wait at the pool barrier; reattribute the measured wait to
+            // its own phase (totals, and thus coverage, are conserved).
+            if let Some(pr) = self.profiler.as_mut() {
+                pr.transfer(Phase::SoaPhaseA, Phase::PoolWait, pool_wait);
+            }
+        }
         self.soa_commit(now);
         self.mark(Phase::SoaCommit);
         self.watchdog_escalate(now);
@@ -911,10 +1060,20 @@ impl Network {
     }
 
     /// Runs phase A over all shards: inline for one shard (power-manager
-    /// queries go straight to the boxed manager), on scoped threads for
-    /// more (availability is precomputed into flat arrays first — the
-    /// manager is host-thread-only).
-    fn soa_phase_a(&mut self, now: Cycle) {
+    /// queries go straight to the boxed manager), on the persistent
+    /// worker pool — or per-tick scoped threads under
+    /// [`ShardExec::Spawn`] — for more (availability is precomputed into
+    /// flat arrays first; the manager is host-thread-only).
+    ///
+    /// Returns the wall nanoseconds the host spent blocked at the pool's
+    /// completion barrier this tick (0 for inline and spawn execution),
+    /// so the tick loop can reattribute that wait to [`Phase::PoolWait`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ShardPanic`] when a pool worker's shard panicked; the
+    /// pool itself survives and later ticks may proceed.
+    fn soa_phase_a(&mut self, now: Cycle) -> Result<u64, SimError> {
         let shards = self.shards;
         if self.shard_bufs.len() != shards {
             self.shard_bufs.resize_with(shards, ShardBuf::default);
@@ -928,7 +1087,11 @@ impl Network {
         if shards > 1 {
             let Network { pm, soa, .. } = self;
             soa.fill_avail(pm.as_ref(), now + 2 + link, now + 1 + link);
+            if self.shard_exec == ShardExec::Pool {
+                self.ensure_pool(shards - 1);
+            }
         }
+        let inject_panic = std::mem::take(&mut self.panic_next_shard);
         let Network {
             routers,
             nis,
@@ -940,6 +1103,7 @@ impl Network {
             soa,
             shard_bufs,
             view,
+            pool,
             ..
         } = self;
         let soa = &*soa;
@@ -972,7 +1136,7 @@ impl Network {
                 eject_in,
             };
             soa::shard_phase_a(&mut sv, &ctx, &avail, &mut shard_bufs[0]);
-            return;
+            return Ok(0);
         }
         let avail = FlatAvail {
             arrival: &soa.avail_arrival,
@@ -989,9 +1153,51 @@ impl Network {
             eject_in,
             &bounds,
         );
-        // Spawn-issue overhead is measured unconditionally (two timestamps
-        // per sharded tick): it is the baseline number the persistent
-        // shard-pool work needs, reported via the timing sidecar.
+        if let Some(pool) = pool.as_ref() {
+            // Persistent-pool execution: publish one job per parked
+            // worker, run shard 0 on this thread, then wait at the
+            // completion barrier. Jobs borrow this stack frame; that is
+            // sound because `run_tick` never returns (even by unwinding)
+            // before every worker passed the barrier.
+            let mut views = views.into_iter();
+            let mut sv0 = views.next().expect("at least one shard");
+            let (buf0, bufs) = shard_bufs.split_at_mut(1);
+            let mut tasks: Vec<ShardTask<'_, '_>> = views
+                .zip(bufs.iter_mut())
+                .map(|(sv, buf)| ShardTask {
+                    sv,
+                    ctx: &ctx,
+                    avail: &avail,
+                    buf,
+                })
+                .collect();
+            let last = tasks.len().saturating_sub(1);
+            let jobs = tasks.iter_mut().enumerate().map(|(i, t)| Job {
+                run: if inject_panic && i == last {
+                    run_shard_task_panicking
+                } else {
+                    run_shard_task
+                },
+                data: t as *mut ShardTask<'_, '_> as *mut (),
+            });
+            let wait = pool
+                .run_tick(jobs, || {
+                    soa::shard_phase_a(&mut sv0, &ctx, &avail, &mut buf0[0])
+                })
+                .map_err(|p| SimError::ShardPanic {
+                    // Worker k owns shard k + 1 (shard 0 is the host).
+                    shard: p.worker + 1,
+                    message: p.message,
+                })?;
+            self.pool_ticks += 1;
+            self.pool_wait_nanos += wait;
+            return Ok(wait);
+        }
+        // Reference lifecycle (`ShardExec::Spawn`, or pool creation
+        // failed): fresh scoped threads every tick. Spawn-issue overhead
+        // is measured unconditionally (two timestamps per sharded tick):
+        // it is the baseline the pool is gated against, reported via the
+        // timing sidecar.
         let mut spawn_ns = 0u64;
         std::thread::scope(|scope| {
             let ctx = &ctx;
@@ -1014,6 +1220,22 @@ impl Network {
         });
         self.spawn_count += shards as u64 - 1;
         self.spawn_nanos += spawn_ns;
+        Ok(0)
+    }
+
+    /// Creates (or re-creates) the persistent pool for `workers` shard
+    /// threads. A creation failure is not fatal: the tick falls back to
+    /// per-tick scoped spawns and retries pool creation next tick.
+    fn ensure_pool(&mut self, workers: usize) {
+        if self.pool.as_ref().is_some_and(|p| p.workers() == workers) {
+            return;
+        }
+        self.pool = None;
+        if let Ok((pool, spawn_ns)) = ShardPool::new(workers) {
+            self.spawn_count += workers as u64;
+            self.spawn_nanos += spawn_ns;
+            self.pool = Some(pool);
+        }
     }
 
     /// Applies every shard's phase-A outcome serially, shard-ascending (=
@@ -1378,6 +1600,8 @@ impl Network {
         self.injected_flits = 0;
         self.spawn_count = 0;
         self.spawn_nanos = 0;
+        self.pool_ticks = 0;
+        self.pool_wait_nanos = 0;
         if let Some(pr) = self.profiler.as_mut() {
             pr.reset();
         }

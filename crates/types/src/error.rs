@@ -278,6 +278,17 @@ pub enum SimError {
     Stall(Box<StallReport>),
     /// A per-cycle invariant check failed.
     Invariant(InvariantViolation),
+    /// A sharded-tick worker thread panicked. The persistent shard pool
+    /// converts worker panics into this typed error (instead of hanging
+    /// at its completion barrier or aborting the process); the pool — and
+    /// the simulation loop around it — stay usable.
+    ShardPanic {
+        /// Index of the shard whose worker panicked (shard 0 runs on the
+        /// host thread and propagates panics natively).
+        shard: usize,
+        /// Stringified panic payload from the worker.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -292,6 +303,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::Stall(r) => write!(f, "network stalled: {r}"),
             SimError::Invariant(v) => write!(f, "invariant violated: {v}"),
+            SimError::ShardPanic { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
         }
     }
 }

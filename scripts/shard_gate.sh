@@ -1,12 +1,28 @@
 #!/usr/bin/env sh
-# Shard-determinism gate: rerun the busy-dominated `busy` campaign at
-# several `--shards` counts and require every benchmark artifact to be
-# byte-identical to the single-shard run. Sharding is an execution detail
-# like `--threads` — the two-phase tick (parallel per-shard compute, then
-# a serial commit in router order) must be bit-exact for any shard count,
-# and this gate is where that promise is enforced end to end.
+# Shard gate, in three parts:
 #
-# Usage: scripts/shard_gate.sh [OUT_DIR] [SHARD_COUNTS]
+#   1. Determinism — rerun the busy-dominated `busy` campaign at several
+#      `--shards` counts and require every benchmark artifact to be
+#      byte-identical to the single-shard run. Sharding is an execution
+#      detail like `--threads` — the two-phase tick (parallel per-shard
+#      compute, then a serial commit in router order) must be bit-exact
+#      for any shard count. Since the persistent worker pool became the
+#      default executor this part also reruns the largest shard count
+#      under PP_SPAWN_TICK=1 (the spawn-per-tick reference executor) and
+#      demands the same bytes: pool vs spawn is a scheduling detail too.
+#
+#   2. Pool speedup — the `pool` suite (one PowerPunchFull 32x32 run at
+#      moderate, non-saturated busy load) at --shards 4 must be at least
+#      MIN_SPEEDUP faster in cycles/sec on the pooled executor than under
+#      per-tick spawning. This is the reason the pool exists; regressing
+#      it silently would make the default executor pointless.
+#
+#   3. Thread accounting — the pooled run's timing sidecar must report at
+#      most `shards` thread creations (the pool spawns shards-1 workers
+#      once, not per tick) and a non-zero pooled-tick count, proving the
+#      sharded path actually took the pool.
+#
+# Usage: scripts/shard_gate.sh [OUT_DIR] [SHARD_COUNTS] [MIN_SPEEDUP]
 # SHARD_COUNTS is a space-separated list compared against the "1" run
 # (default "2 4"; every count must fit the suite's smallest mesh rows).
 # Honors PP_FAST like every other campaign entry point.
@@ -16,12 +32,14 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-bench-out/shards}"
 COUNTS="${2:-2 4}"
+MIN_SPEEDUP="${3:-1.3}"
 
 cargo build --release -q
 
 target/release/punchsim-cli campaign --suite busy --name busy \
     --out "$OUT/s1" --no-cache --shards 1
 
+LAST=1
 for n in $COUNTS; do
     target/release/punchsim-cli campaign --suite busy --name busy \
         --out "$OUT/s$n" --no-cache --shards "$n"
@@ -30,6 +48,70 @@ for n in $COUNTS; do
         exit 1
     fi
     echo "shard_gate: --shards $n byte-identical to --shards 1"
+    LAST=$n
 done
 
+# Pool vs spawn-per-tick reference at the largest shard count: same bytes.
+PP_SPAWN_TICK=1 target/release/punchsim-cli campaign --suite busy \
+    --name busy --out "$OUT/spawn$LAST" --no-cache --shards "$LAST"
+if ! cmp "$OUT/s$LAST/BENCH_busy.json" "$OUT/spawn$LAST/BENCH_busy.json"; then
+    echo "shard_gate: PP_SPAWN_TICK=1 changed the --shards $LAST artifact" >&2
+    exit 1
+fi
+echo "shard_gate: pooled and spawn-per-tick executors byte-identical (--shards $LAST)"
+
 echo "shard_gate: artifacts byte-identical across shard counts (1 $COUNTS)"
+
+# --- Part 2: the pool must actually be faster than per-tick spawning. ---
+
+POOL_SHARDS=4
+target/release/punchsim-cli campaign --suite pool --name pool \
+    --out "$OUT/pool" --no-cache --shards "$POOL_SHARDS"
+PP_SPAWN_TICK=1 target/release/punchsim-cli campaign --suite pool \
+    --name pool --out "$OUT/pool-spawn" --no-cache --shards "$POOL_SHARDS"
+if ! cmp "$OUT/pool/BENCH_pool.json" "$OUT/pool-spawn/BENCH_pool.json"; then
+    echo "shard_gate: pool-suite artifacts diverged between executors" >&2
+    exit 1
+fi
+
+# First "cycles_per_sec" in each timing sidecar is the campaign aggregate.
+cps() {
+    grep -o '"cycles_per_sec": [0-9.eE+-]*' "$1" | head -1 | awk '{print $2}'
+}
+POOLED=$(cps "$OUT/pool/BENCH_pool.timing.json")
+SPAWNED=$(cps "$OUT/pool-spawn/BENCH_pool.timing.json")
+if [ -z "$POOLED" ] || [ -z "$SPAWNED" ]; then
+    echo "shard_gate: missing cycles_per_sec in pool timing sidecars" >&2
+    exit 1
+fi
+echo "shard_gate: pooled=$POOLED cyc/s spawn-per-tick=$SPAWNED cyc/s" \
+    "(floor ${MIN_SPEEDUP}x)"
+awk -v p="$POOLED" -v s="$SPAWNED" -v min="$MIN_SPEEDUP" 'BEGIN {
+    if (s <= 0) { print "shard_gate: bad spawn-per-tick throughput"; exit 1 }
+    ratio = p / s
+    printf "shard_gate: pooled executor %.2fx of spawn-per-tick\n", ratio
+    if (ratio < min) {
+        printf "shard_gate: pool speedup below the %.1fx floor\n", min
+        exit 1
+    }
+}'
+
+# --- Part 3: pool-era thread accounting in the timing sidecar. ---
+
+SPAWNS=$(grep -o '"spawn_count": [0-9]*' "$OUT/pool/BENCH_pool.timing.json" |
+    head -1 | awk '{print $2}')
+TICKS=$(grep -o '"pool_ticks": [0-9]*' "$OUT/pool/BENCH_pool.timing.json" |
+    head -1 | awk '{print $2}')
+if [ -z "$SPAWNS" ] || [ -z "$TICKS" ]; then
+    echo "shard_gate: missing pool counters in the timing sidecar" >&2
+    exit 1
+fi
+if [ "$SPAWNS" -gt "$POOL_SHARDS" ]; then
+    echo "shard_gate: pooled run created $SPAWNS threads (cap $POOL_SHARDS)" >&2
+    exit 1
+fi
+if [ "$TICKS" -eq 0 ]; then
+    echo "shard_gate: pooled run reports zero pool ticks" >&2
+    exit 1
+fi
+echo "shard_gate: pooled run created $SPAWNS threads over $TICKS pooled ticks"

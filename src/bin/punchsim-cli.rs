@@ -14,7 +14,7 @@
 //!                       [--metrics-out PATH]
 //! punchsim-cli metrics  [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
 //!                       [--pattern P] [--metrics-out PATH]
-//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy]
+//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy|pool]
 //!                       [--threads N] [--shards N] [--out DIR]
 //!                       [--name NAME] [--seed N] [--no-cache] [--naive-tick]
 //!                       [--struct-tick] [--sample N] [--trace-out DIR]
@@ -138,7 +138,7 @@ const USAGE: &str = "usage:
                         [--format chrome|jsonl|csv] [--metrics-out PATH]
   punchsim-cli metrics  [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--pattern P] [--metrics-out PATH]
-  punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy]
+  punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy|pool]
                         [--threads N] [--shards N] [--out DIR]
                         [--name NAME] [--seed N] [--no-cache] [--naive-tick]
                         [--struct-tick] [--sample N] [--trace-out DIR]
@@ -176,8 +176,10 @@ verify flags:
 
 campaign flags:
   --suite S        spec list: parsec, synth, ci (both; default),
-                   fastpath (idle-dominated speedup-gate runs) or
-                   substrate (torus / YX / west-first sweep)
+                   fastpath (idle-dominated speedup-gate runs),
+                   substrate (torus / YX / west-first sweep),
+                   busy (large-mesh busy-regime scalability runs) or
+                   pool (single 32x32 busy run for the shard-pool gate)
   --threads N      worker threads; 0 = one per core (default)
   --out DIR        artifact directory (default bench-out)
   --name NAME      artifact name: BENCH_<NAME>.json (default: the suite)
@@ -189,7 +191,9 @@ campaign flags:
                    scans; same as PP_STRUCT_TICK=1)
   --shards N       tick each network in N row shards (same as PP_SHARDS=N;
                    bit-exact for any N; N must be >= 1 and no larger than
-                   the smallest mesh's rows)
+                   the smallest mesh's rows). Shards run on a persistent
+                   worker pool by default; PP_SPAWN_TICK=1 reverts to
+                   spawning threads every tick (reference executor)
   --sample N       sample per-interval series every N cycles into the
                    .timing.json sidecar (forces simulation)
   --trace-out DIR  write per-run flight-recorder dumps (JSONL) into DIR
@@ -475,7 +479,8 @@ fn run_synth_observed(
 
 /// Drains a network's metric surface into a fresh registry: every
 /// deterministic counter/histogram/plane, the tick-phase profile, and the
-/// shard-spawn overhead counters.
+/// shard thread-overhead counters (creations plus pooled-tick barrier
+/// waits).
 fn collect_registry(net: &mut Network) -> Registry {
     let mut reg = Registry::new();
     net.export_metrics(&mut reg);
@@ -485,6 +490,9 @@ fn collect_registry(net: &mut Network) -> Registry {
     let (spawn_count, spawn_nanos) = net.spawn_stats();
     reg.inc("shard_spawns_total", spawn_count);
     reg.inc("shard_spawn_nanos_total", spawn_nanos);
+    let (pool_ticks, pool_wait_nanos) = net.pool_stats();
+    reg.inc("shard_pool_ticks_total", pool_ticks);
+    reg.inc("shard_pool_wait_nanos_total", pool_wait_nanos);
     reg
 }
 
@@ -838,8 +846,16 @@ impl CampaignOpts {
                 .ok_or_else(|| format!("missing value for {flag}"))?;
             match flag.as_str() {
                 "--suite" => {
-                    if !["parsec", "synth", "ci", "fastpath", "substrate", "busy"]
-                        .contains(&val.as_str())
+                    if ![
+                        "parsec",
+                        "synth",
+                        "ci",
+                        "fastpath",
+                        "substrate",
+                        "busy",
+                        "pool",
+                    ]
+                    .contains(&val.as_str())
                     {
                         return Err(format!("unknown suite {val}"));
                     }
@@ -886,6 +902,7 @@ impl CampaignOpts {
             "fastpath" => campaign::fastpath_suite(self.seed),
             "substrate" => campaign::substrate_suite(self.seed),
             "busy" => campaign::busy_suite(self.seed),
+            "pool" => campaign::pool_suite(self.seed),
             _ => campaign::ci_suite(self.seed),
         }
     }

@@ -1,0 +1,152 @@
+//! Differential conformance suite for the lazy O(occupied) gate-array
+//! accounting.
+//!
+//! Reference: [`EagerGateArray`] — the full O(routers)-per-cycle sweep
+//! with counters updated in place. Every trial drives the lazy
+//! [`GateArray`] and the eager reference through an identical random
+//! call sequence (idle vectors, wake requests, forced wakes, keep-awakes,
+//! quiet-span jumps, counter resets) and demands equal per-router power
+//! states and equal [`punchsim::noc::PgCounters`] at every observation
+//! point — including after *every single cycle*, which is exactly the
+//! access pattern laziness could silently break. Watermark folding is an
+//! execution detail; any observable divergence is a bug.
+
+use punchsim::core::gating::reference::EagerGateArray;
+use punchsim::core::gating::GateArray;
+use punchsim::prelude::*;
+
+/// One observation point: states and counters must match exactly.
+fn assert_same(trial: usize, cycle: Cycle, lazy: &GateArray, eager: &EagerGateArray, n: usize) {
+    for i in 0..n {
+        assert_eq!(
+            lazy.state(NodeId(i as u16)),
+            eager.state(NodeId(i as u16)),
+            "trial {trial} cycle {cycle}: state of router {i} diverged"
+        );
+    }
+    assert_eq!(
+        lazy.counters(),
+        eager.counters(),
+        "trial {trial} cycle {cycle}: counters diverged"
+    );
+}
+
+/// Random single-cycle traces, observed after every cycle. The sleep
+/// veto, wake pattern and idleness all come from the same seeded stream
+/// on both sides, so the two arrays see byte-identical call sequences.
+#[test]
+fn lazy_matches_eager_on_random_cycle_traces() {
+    let mut rng = SimRng::seed_from_u64(0x1A2E61);
+    for trial in 0..40 {
+        let n = 1 + (rng.next_u64() % 24) as usize;
+        let latency = 1 + (rng.next_u64() % 10) as u32;
+        let timeout = (rng.next_u64() % 5) as u32;
+        let mut lazy = GateArray::new(n, latency, timeout);
+        let mut eager = EagerGateArray::new(n, latency, timeout);
+        // A per-router veto horizon: router i may not sleep before this
+        // cycle (stands in for the schemes' punch/forewarning vetoes).
+        let floors: Vec<Cycle> = (0..n).map(|_| rng.next_u64() % 120).collect();
+        for cycle in 0..160u64 {
+            lazy.begin_cycle(cycle);
+            eager.begin_cycle(cycle);
+            // Sparse random events, identical on both sides.
+            match rng.next_u64() % 8 {
+                0 => {
+                    let r = NodeId((rng.next_u64() % n as u64) as u16);
+                    lazy.request_wake(r, cycle);
+                    eager.request_wake(r, cycle);
+                }
+                1 => {
+                    let r = NodeId((rng.next_u64() % n as u64) as u16);
+                    lazy.force_wake(r, cycle);
+                    eager.force_wake(r, cycle);
+                }
+                2 => {
+                    let r = NodeId((rng.next_u64() % n as u64) as u16);
+                    lazy.keep_awake(r);
+                    eager.keep_awake(r);
+                }
+                _ => {}
+            }
+            let idle: Vec<bool> = (0..n).map(|_| rng.next_u64() % 4 != 0).collect();
+            lazy.advance_idle(&idle, |i| cycle >= floors[i]);
+            eager.advance_idle(&idle, |i| cycle >= floors[i]);
+            // Observe after EVERY cycle: the counters must already be
+            // exact, no matter how much debt the lazy side is carrying.
+            assert_same(trial, cycle, &lazy, &eager, n);
+        }
+    }
+}
+
+/// Interleaved cycle-by-cycle stretches and bulk quiet-span jumps, with
+/// mid-trace counter resets. Observation happens after every cycle *and*
+/// after every jump; a jump that leaves stale debt or a reset that fails
+/// to cancel it diverges immediately.
+#[test]
+fn lazy_matches_eager_across_bulk_jumps_and_resets() {
+    let mut rng = SimRng::seed_from_u64(0xFA57_F01D);
+    for trial in 0..30 {
+        let n = 1 + (rng.next_u64() % 16) as usize;
+        let latency = 1 + (rng.next_u64() % 8) as u32;
+        let timeout = (rng.next_u64() % 4) as u32;
+        let mut lazy = GateArray::new(n, latency, timeout);
+        let mut eager = EagerGateArray::new(n, latency, timeout);
+        let floors: Vec<Cycle> = (0..n).map(|_| rng.next_u64() % 200).collect();
+        let mut cycle: Cycle = 0;
+        for _segment in 0..12 {
+            match rng.next_u64() % 4 {
+                // Bulk jump: the quiet fast-forward path.
+                0 => {
+                    let span = 1 + rng.next_u64() % 60;
+                    lazy.advance_quiet(cycle, cycle + span, |i| floors[i]);
+                    eager.advance_quiet(cycle, cycle + span, |i| floors[i]);
+                    cycle += span;
+                }
+                // Counter reset at a window boundary (both sides must
+                // forget exactly the same history, including lazy debt).
+                1 => {
+                    lazy.reset_counters();
+                    eager.reset_counters();
+                }
+                // A cycle-by-cycle stretch with random wakes.
+                _ => {
+                    for _ in 0..(1 + rng.next_u64() % 20) {
+                        lazy.begin_cycle(cycle);
+                        eager.begin_cycle(cycle);
+                        if rng.next_u64() % 5 == 0 {
+                            let r = NodeId((rng.next_u64() % n as u64) as u16);
+                            lazy.request_wake(r, cycle);
+                            eager.request_wake(r, cycle);
+                        }
+                        let idle: Vec<bool> = (0..n).map(|_| rng.next_u64() % 3 != 0).collect();
+                        lazy.advance_idle(&idle, |i| cycle >= floors[i]);
+                        eager.advance_idle(&idle, |i| cycle >= floors[i]);
+                        assert_same(trial, cycle, &lazy, &eager, n);
+                        cycle += 1;
+                    }
+                }
+            }
+            assert_same(trial, cycle, &lazy, &eager, n);
+        }
+    }
+}
+
+/// Cloning mid-run must carry the lazy debt with it: the clone and the
+/// original fold to identical counters, and diverge only through calls
+/// made after the split.
+#[test]
+fn clone_carries_pending_debt_exactly() {
+    let mut lazy = GateArray::new(6, 4, 1);
+    let mut eager = EagerGateArray::new(6, 4, 1);
+    for cycle in 0..30u64 {
+        lazy.begin_cycle(cycle);
+        eager.begin_cycle(cycle);
+        lazy.advance_idle(&[true; 6], |i| i != 0);
+        eager.advance_idle(&[true; 6], |i| i != 0);
+    }
+    // Clone while routers 1..6 are off and owe unfolded debt (no
+    // counters() observation has happened yet).
+    let cloned = lazy.clone();
+    assert_eq!(cloned.counters(), eager.counters());
+    assert_eq!(lazy.counters(), eager.counters());
+}

@@ -1,0 +1,227 @@
+//! Determinism battery for the persistent shard worker pool.
+//!
+//! The pool is an *execution* detail: sharded phase A runs on long-lived
+//! parked workers instead of per-tick spawned scoped threads, but the
+//! record-then-commit order is unchanged, so every observable — the
+//! bit-exact [`NetworkReport`] digest (latency histogram percentiles
+//! included), [`punchsim::noc::PgCounters`], per-router power states —
+//! must be byte-identical across shard counts, across the pooled and
+//! spawn-per-tick executors, across mid-run reconfiguration (shard
+//! resizes, executor toggles, pool teardown/re-create), and across pool
+//! lifetimes. The battery also pins the pool-era thread-accounting
+//! contract (creations bounded by the shard count, never per tick) and
+//! the typed worker-panic error path (a panicking shard surfaces as
+//! [`SimError::ShardPanic`], never a hang, and the pool survives it).
+
+use punchsim::prelude::*;
+
+/// Exact digest of a report: every field of [`NetworkReport`] (f64 Debug
+/// formatting round-trips, so string equality is bit equality).
+fn digest(r: &NetworkReport) -> String {
+    format!("{r:?}")
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Variant {
+    exec: ShardExec,
+    shards: usize,
+}
+
+/// Serial single-shard ticking under the spawn executor: no worker
+/// threads of either kind exist, so this is the reference everything
+/// else must match bit for bit.
+const REFERENCE: Variant = Variant {
+    exec: ShardExec::Spawn,
+    shards: 1,
+};
+
+fn build(cfg: &SimConfig, rate: f64, v: Variant) -> SyntheticSim {
+    let mut sim = SyntheticSim::new(cfg.clone(), TrafficPattern::UniformRandom, rate);
+    let net = sim.network_mut();
+    net.set_shard_exec(v.exec);
+    net.set_shards(v.shards).expect("valid shard count");
+    sim
+}
+
+fn assert_same_state(label: &str, at: u64, a: &SyntheticSim, b: &SyntheticSim) {
+    let (an, bn) = (a.network(), b.network());
+    assert_eq!(an.cycle(), bn.cycle(), "{label}: clock diverged at {at}");
+    for r in 0..an.topology().nodes() {
+        let node = NodeId(r as u16);
+        assert_eq!(
+            an.power_state(node),
+            bn.power_state(node),
+            "{label} cycle {at}: power state of router {r} diverged"
+        );
+    }
+    let (ar, br) = (an.report(), bn.report());
+    assert_eq!(ar.pg, br.pg, "{label} cycle {at}: PgCounters diverged");
+    assert_eq!(
+        digest(&ar),
+        digest(&br),
+        "{label} cycle {at}: NetworkReport diverged"
+    );
+}
+
+/// The full matrix: shards {1,2,4,7} x {pool, per-tick spawn} on mesh and
+/// torus under both gating schemes, checkpointed against the serial
+/// reference every 200 cycles.
+#[test]
+fn pooled_execution_is_bit_exact_across_the_matrix() {
+    let substrates: [(&str, Substrate); 2] = [
+        ("mesh8x8", Mesh::new(8, 8).into()),
+        ("torus8x8", Substrate::Torus(Torus::new(8, 8))),
+    ];
+    let schemes = [SchemeKind::ConvOptPg, SchemeKind::PowerPunchFull];
+    let variants: Vec<Variant> = [1usize, 2, 4, 7]
+        .iter()
+        .flat_map(|&shards| {
+            [ShardExec::Pool, ShardExec::Spawn]
+                .into_iter()
+                .map(move |exec| Variant { exec, shards })
+        })
+        .collect();
+    for (si, &(name, topo)) in substrates.iter().enumerate() {
+        for (ki, &scheme) in schemes.iter().enumerate() {
+            let mut cfg = SimConfig::with_scheme(scheme);
+            cfg.noc.topology = topo;
+            cfg.seed = 0xB007 + (si * 2 + ki) as u64;
+            let rate = 0.02;
+            let mut reference = build(&cfg, rate, REFERENCE);
+            let mut subjects: Vec<(String, SyntheticSim)> = variants
+                .iter()
+                .map(|&v| (format!("{name}/{scheme:?} vs {v:?}"), build(&cfg, rate, v)))
+                .collect();
+            let (warmup, measure, chunk) = (200u64, 600u64, 200u64);
+            reference.run(warmup).unwrap();
+            reference.network_mut().reset_stats();
+            for (label, s) in &mut subjects {
+                s.run(warmup).unwrap();
+                s.network_mut().reset_stats();
+                assert_same_state(label, warmup, s, &reference);
+            }
+            let mut at = warmup;
+            for _ in 0..(measure / chunk) {
+                reference.run(chunk).unwrap();
+                at += chunk;
+                for (label, s) in &mut subjects {
+                    s.run(chunk).unwrap();
+                    assert_same_state(label, at, s, &reference);
+                }
+            }
+        }
+    }
+}
+
+/// Mid-run reconfiguration: shard resizes (pool re-created at the new
+/// width) and executor toggles (pool torn down, then lazily re-created)
+/// must be seamless — the run must land on the same digest as a serial
+/// run that never reconfigured anything.
+#[test]
+fn midrun_resizes_and_exec_toggles_change_nothing() {
+    let run = |reconfigure: bool| {
+        let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+        cfg.noc.topology = Mesh::new(8, 8).into();
+        cfg.seed = 0x9E512E;
+        let mut sim = SyntheticSim::new(cfg, TrafficPattern::Transpose, 0.02);
+        // Walk through shard widths (growing, shrinking, re-growing) and
+        // flip the executor twice: Pool -> Spawn tears the pool down,
+        // Spawn -> Pool re-creates it on the next sharded tick.
+        let plan: [(usize, ShardExec); 6] = [
+            (1, ShardExec::Pool),
+            (2, ShardExec::Pool),
+            (7, ShardExec::Pool),
+            (4, ShardExec::Spawn),
+            (4, ShardExec::Pool),
+            (2, ShardExec::Pool),
+        ];
+        for &(shards, exec) in &plan {
+            if reconfigure {
+                let net = sim.network_mut();
+                net.set_shard_exec(exec);
+                net.set_shards(shards).unwrap();
+            }
+            sim.run(250).unwrap();
+        }
+        digest(&sim.report())
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// Pool-era thread accounting: a pooled run creates at most `shards - 1`
+/// worker threads over its whole lifetime (versus one per shard per busy
+/// tick for the spawn executor), and every pooled sharded tick is counted.
+#[test]
+fn pooled_runs_create_at_most_shards_threads() {
+    let shards = 4usize;
+    let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+    cfg.noc.topology = Mesh::new(8, 8).into();
+    cfg.seed = 0x1007;
+    let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.05);
+    let net = sim.network_mut();
+    net.set_shard_exec(ShardExec::Pool);
+    net.set_shards(shards).unwrap();
+    sim.run(2_000).unwrap();
+    let (spawn_count, _spawn_nanos) = sim.network().spawn_stats();
+    let (pool_ticks, _pool_wait) = sim.network().pool_stats();
+    assert!(
+        pool_ticks > 0,
+        "busy run never took the pooled sharded path"
+    );
+    assert!(
+        spawn_count <= shards as u64,
+        "pooled run created {spawn_count} threads; \
+         the pool must cap creations at shards - 1 = {}",
+        shards - 1
+    );
+    // Resetting stats at a measured-window boundary leaves an
+    // already-created pool invisible: the window reports zero creations.
+    sim.network_mut().reset_stats();
+    sim.run(1_000).unwrap();
+    let (windowed, _) = sim.network().spawn_stats();
+    assert_eq!(
+        windowed, 0,
+        "the pool was created during warm-up; the measured window must \
+         report zero thread creations"
+    );
+    let (windowed_ticks, _) = sim.network().pool_stats();
+    assert!(windowed_ticks > 0, "pooled ticks continue after the reset");
+}
+
+/// A panicking shard worker must surface as the typed
+/// [`SimError::ShardPanic`] — not deadlock the barrier, not abort the
+/// process — and the pool must survive to run later ticks.
+#[test]
+fn worker_panic_is_a_typed_error_and_the_pool_survives() {
+    let mut cfg = SimConfig::with_scheme(SchemeKind::PowerPunchFull);
+    cfg.noc.topology = Mesh::new(8, 8).into();
+    cfg.seed = 0xDEAD;
+    let mut sim = SyntheticSim::new(cfg, TrafficPattern::UniformRandom, 0.05);
+    let net = sim.network_mut();
+    net.set_shard_exec(ShardExec::Pool);
+    net.set_shards(4).unwrap();
+    sim.run(100).unwrap();
+    // Arm the test hook: the next pooled sharded tick runs its last
+    // worker job as a deliberate panic. The worker's unwind is noisy on
+    // stderr but must be *contained*.
+    sim.network_mut().debug_panic_next_pooled_tick();
+    let err = sim
+        .run(200)
+        .expect_err("the armed tick must fail, not complete");
+    match err {
+        SimError::ShardPanic { shard, message } => {
+            assert!(shard >= 1, "shard 0 is the host thread, never a worker");
+            assert!(
+                message.contains("injected shard panic"),
+                "panic payload must round-trip: {message}"
+            );
+        }
+        other => panic!("expected ShardPanic, got {other:?}"),
+    }
+    // The barrier was fully drained: later ticks reuse the same pool and
+    // dropping the simulation joins every worker without hanging.
+    sim.run(200)
+        .expect("the pool must survive a contained worker panic");
+    let (pool_ticks, _) = sim.network().pool_stats();
+    assert!(pool_ticks > 1, "post-panic ticks still run pooled");
+}
