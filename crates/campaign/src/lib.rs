@@ -285,6 +285,72 @@ pub fn pool_suite(seed: u64) -> Vec<RunSpec> {
     }]
 }
 
+/// The rivals study: Power Punch against the structurally different
+/// power schemes of ROADMAP item 3 — SDM circuit switching and the
+/// bufferless ring router — bracketed by No-PG, at a low and a high
+/// uniform-random load on the default 8x8 mesh. The low-load point
+/// exposes cold-start costs (circuit setup latency vs. punch-ahead
+/// latency); the high-load point exposes steady-state behavior (circuit
+/// reuse vs. deflection penalties). EXPERIMENTS.md's "rivals" recipe
+/// reads this suite's artifacts.
+pub fn rivals_suite(seed: u64) -> Vec<RunSpec> {
+    let measure = synth_cycles();
+    let mut specs = Vec::new();
+    for rate in [0.002, 0.02] {
+        for scheme in [
+            SchemeKind::NoPg,
+            SchemeKind::PowerPunchFull,
+            SchemeKind::SdmCircuit,
+            SchemeKind::RingRouter,
+        ] {
+            specs.push(RunSpec {
+                scheme,
+                seed,
+                workload: Workload::Synthetic {
+                    pattern: TrafficPattern::UniformRandom,
+                    topo: Mesh::new(8, 8).into(),
+                    routing: RoutingKind::Xy,
+                    rate,
+                    warmup_cycles: measure / 4,
+                    measure_cycles: measure,
+                },
+            });
+        }
+    }
+    specs
+}
+
+/// The scheme-coverage drift suite: one identical uniform-random run
+/// under every scheme that predates the registry refactor.
+/// `bench/baseline_schemes.json` is this suite under `PP_FAST=1`, and
+/// `scripts/no_drift.sh` re-asserts it byte-identical on every run — the
+/// registry (and any future scheme addition) must not perturb a single
+/// bit of the historical schemes' artifacts.
+pub fn schemes_suite(seed: u64) -> Vec<RunSpec> {
+    let measure = synth_cycles();
+    [
+        SchemeKind::NoPg,
+        SchemeKind::ConvPg,
+        SchemeKind::ConvOptPg,
+        SchemeKind::PowerPunchSignal,
+        SchemeKind::PowerPunchFull,
+    ]
+    .into_iter()
+    .map(|scheme| RunSpec {
+        scheme,
+        seed,
+        workload: Workload::Synthetic {
+            pattern: TrafficPattern::UniformRandom,
+            topo: Mesh::new(8, 8).into(),
+            routing: RoutingKind::Xy,
+            rate: 0.005,
+            warmup_cycles: measure / 4,
+            measure_cycles: measure,
+        },
+    })
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +411,30 @@ mod tests {
                 "busy runs must keep packets continuously in flight"
             );
         }
+        let rivals = rivals_suite(seed);
+        assert_eq!(rivals.len(), 2 * 4, "two rates x four schemes");
+        assert!(
+            rivals
+                .iter()
+                .any(|s| s.scheme == SchemeKind::SdmCircuit || s.scheme == SchemeKind::RingRouter),
+            "the rivals suite must exercise the rival schemes"
+        );
+        let mut rids: Vec<String> = rivals.iter().map(RunSpec::id).collect();
+        rids.sort();
+        rids.dedup();
+        assert_eq!(rids.len(), rivals.len());
+        let schemes = schemes_suite(seed);
+        assert_eq!(
+            schemes.len(),
+            5,
+            "drift suite pins exactly the pre-registry schemes"
+        );
+        assert!(
+            schemes
+                .iter()
+                .all(|s| !SchemeKind::RIVALS.contains(&s.scheme)),
+            "rival schemes have no historical baseline to drift from"
+        );
         // Ids are unique within a suite (artifact keys).
         let mut ids: Vec<String> = ci.iter().map(RunSpec::id).collect();
         ids.sort();

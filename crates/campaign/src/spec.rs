@@ -220,7 +220,9 @@ impl RunSpec {
     ///
     /// Same as [`RunSpec::execute`].
     pub fn execute_observed(&self, opts: ObserveOpts) -> Result<Observed, SimError> {
-        let pm = PowerModel::default_45nm();
+        // Per-scheme model: identical to `default_45nm()` for every scheme
+        // with the BASELINE power profile, so historical artifacts hold.
+        let pm = PowerModel::for_scheme(self.scheme);
         match &self.workload {
             Workload::Parsec {
                 benchmark,
@@ -620,6 +622,27 @@ mod tests {
         let text = m.to_json().render();
         let back = Metrics::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn every_registered_scheme_executes_under_its_tag() {
+        // The campaign layer must accept every registry tag: ids embed
+        // the tag, and the spec must simulate end to end for every
+        // scheme, rivals included.
+        for scheme in SchemeKind::ALL {
+            let spec = RunSpec {
+                scheme,
+                ..synth_spec()
+            };
+            assert!(
+                spec.id().contains(&format!("/{}/", scheme.tag())),
+                "id {} must embed the registry tag",
+                spec.id()
+            );
+            let m = spec.execute().unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            assert!(m.completed, "{scheme} did not complete");
+            assert!(m.delivered > 0, "{scheme} delivered nothing");
+        }
     }
 
     #[test]

@@ -31,16 +31,20 @@ pub mod gating;
 pub mod manager;
 pub mod oracle;
 pub mod punch;
+pub mod registry;
+pub mod rivals;
 
 pub use codebook::{Codebook, LinkCodebook};
 pub use gating::GateArray;
 pub use manager::{ConvPgManager, PowerPunchManager};
 pub use oracle::StepOracle;
 pub use punch::{PunchFabric, PunchSet};
+pub use registry::{descriptor, SchemeCtor, SchemeDescriptor, REGISTRY};
+pub use rivals::{RingRouterManager, SdmCircuitManager};
 
 use punchsim_faults::FaultInjector;
-use punchsim_noc::{AlwaysOn, PowerManager};
-use punchsim_types::{SchemeKind, SimConfig, SimError};
+use punchsim_noc::PowerManager;
+use punchsim_types::{SimConfig, SimError};
 
 /// Builds the [`PowerManager`] for the scheme selected in `cfg`.
 ///
@@ -53,17 +57,9 @@ use punchsim_types::{SchemeKind, SimConfig, SimError};
 /// Returns [`SimError::Config`] if `cfg` fails validation.
 pub fn build_power_manager(cfg: &SimConfig) -> Result<Box<dyn PowerManager>, SimError> {
     cfg.validate()?;
-    let view = cfg.noc.view();
-    let hop = cfg.noc.hop_latency();
-    let base: Box<dyn PowerManager> = match cfg.scheme {
-        SchemeKind::NoPg => Box::new(AlwaysOn::new(view.topo.nodes())),
-        SchemeKind::ConvPg => Box::new(ConvPgManager::new(view, &cfg.power, false)),
-        SchemeKind::ConvOptPg => Box::new(ConvPgManager::new(view, &cfg.power, true)),
-        SchemeKind::PowerPunchSignal => {
-            Box::new(PowerPunchManager::new(view, &cfg.power, hop, false))
-        }
-        SchemeKind::PowerPunchFull => Box::new(PowerPunchManager::new(view, &cfg.power, hop, true)),
-    };
+    // The scheme registry is the one place in the workspace that maps a
+    // scheme to its manager constructor.
+    let base = (registry::descriptor(cfg.scheme).build)(cfg, &cfg.noc.topology)?;
     if cfg.faults.is_active() {
         let inj = FaultInjector::new(base, &cfg.faults, cfg.noc.topology)?;
         Ok(Box::new(inj))
@@ -75,17 +71,11 @@ pub fn build_power_manager(cfg: &SimConfig) -> Result<Box<dyn PowerManager>, Sim
 #[cfg(test)]
 mod tests {
     use super::*;
-    use punchsim_types::FaultConfig;
+    use punchsim_types::{FaultConfig, SchemeKind};
 
     #[test]
     fn builder_maps_every_scheme() {
-        for k in [
-            SchemeKind::NoPg,
-            SchemeKind::ConvPg,
-            SchemeKind::ConvOptPg,
-            SchemeKind::PowerPunchSignal,
-            SchemeKind::PowerPunchFull,
-        ] {
+        for k in SchemeKind::ALL {
             let cfg = SimConfig::with_scheme(k);
             assert_eq!(build_power_manager(&cfg).unwrap().kind(), k);
         }

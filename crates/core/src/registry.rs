@@ -1,0 +1,159 @@
+//! The scheme registry: the single place where a [`SchemeKind`] is bound
+//! to the constructor of its [`PowerManager`].
+//!
+//! Every other scheme-indexed surface in the workspace is *derived* from
+//! scheme metadata rather than re-enumerated:
+//!
+//! * [`SchemeKind::METAS`] (in `punchsim-types`) carries the data half —
+//!   tag, paper label, description, and power-model profile;
+//! * [`REGISTRY`] (here) carries the behavior half — one constructor per
+//!   scheme, in [`SchemeKind::ALL`] order;
+//! * `PowerModel::for_scheme` / `AreaModel::for_scheme` (in
+//!   `punchsim-power`) apply the metadata's power profile.
+//!
+//! Adding a scheme therefore means: one enum variant, one `METAS` row, one
+//! constructor here — the CLI `--scheme` parser, `list-schemes`, campaign
+//! tags, the verify scenario factory, and cmp's scheme table all pick it
+//! up without edits.
+
+use punchsim_noc::{AlwaysOn, PowerManager};
+use punchsim_types::{SchemeKind, SchemeMeta, SimConfig, SimError, Substrate};
+
+use crate::manager::{ConvPgManager, PowerPunchManager};
+use crate::rivals::{RingRouterManager, SdmCircuitManager};
+
+/// Constructor signature for a scheme's power manager. The substrate is
+/// passed alongside the config so schemes that only need the node count
+/// (e.g. `NoPg`) do not have to materialize a routing view.
+pub type SchemeCtor = fn(&SimConfig, &Substrate) -> Result<Box<dyn PowerManager>, SimError>;
+
+/// One registered scheme: its kind plus the constructor of its manager.
+/// The metadata half lives in [`SchemeKind::METAS`]; [`Self::meta`] joins
+/// the two.
+pub struct SchemeDescriptor {
+    /// The scheme this descriptor builds.
+    pub kind: SchemeKind,
+    /// Builds the scheme's (unwrapped) power manager for a validated
+    /// configuration.
+    pub build: SchemeCtor,
+}
+
+impl SchemeDescriptor {
+    /// The scheme's metadata row (tag, label, description, power profile).
+    pub fn meta(&self) -> &'static SchemeMeta {
+        self.kind.meta()
+    }
+}
+
+fn build_nopg(_cfg: &SimConfig, topo: &Substrate) -> Result<Box<dyn PowerManager>, SimError> {
+    Ok(Box::new(AlwaysOn::new(topo.nodes())))
+}
+
+fn build_conv(cfg: &SimConfig, _topo: &Substrate) -> Result<Box<dyn PowerManager>, SimError> {
+    Ok(Box::new(ConvPgManager::new(
+        cfg.noc.view(),
+        &cfg.power,
+        false,
+    )))
+}
+
+fn build_convopt(cfg: &SimConfig, _topo: &Substrate) -> Result<Box<dyn PowerManager>, SimError> {
+    Ok(Box::new(ConvPgManager::new(
+        cfg.noc.view(),
+        &cfg.power,
+        true,
+    )))
+}
+
+fn build_pps(cfg: &SimConfig, _topo: &Substrate) -> Result<Box<dyn PowerManager>, SimError> {
+    Ok(Box::new(PowerPunchManager::new(
+        cfg.noc.view(),
+        &cfg.power,
+        cfg.noc.hop_latency(),
+        false,
+    )))
+}
+
+fn build_ppf(cfg: &SimConfig, _topo: &Substrate) -> Result<Box<dyn PowerManager>, SimError> {
+    Ok(Box::new(PowerPunchManager::new(
+        cfg.noc.view(),
+        &cfg.power,
+        cfg.noc.hop_latency(),
+        true,
+    )))
+}
+
+fn build_sdm(cfg: &SimConfig, _topo: &Substrate) -> Result<Box<dyn PowerManager>, SimError> {
+    Ok(Box::new(SdmCircuitManager::new(
+        cfg.noc.view(),
+        &cfg.power,
+        cfg.noc.hop_latency(),
+    )))
+}
+
+fn build_ring(_cfg: &SimConfig, topo: &Substrate) -> Result<Box<dyn PowerManager>, SimError> {
+    Ok(Box::new(RingRouterManager::new(topo.nodes())))
+}
+
+/// The scheme registry, in [`SchemeKind::ALL`] order (pinned by test so
+/// [`descriptor`] can index by discriminant).
+pub const REGISTRY: [SchemeDescriptor; 7] = [
+    SchemeDescriptor {
+        kind: SchemeKind::NoPg,
+        build: build_nopg,
+    },
+    SchemeDescriptor {
+        kind: SchemeKind::ConvPg,
+        build: build_conv,
+    },
+    SchemeDescriptor {
+        kind: SchemeKind::ConvOptPg,
+        build: build_convopt,
+    },
+    SchemeDescriptor {
+        kind: SchemeKind::PowerPunchSignal,
+        build: build_pps,
+    },
+    SchemeDescriptor {
+        kind: SchemeKind::PowerPunchFull,
+        build: build_ppf,
+    },
+    SchemeDescriptor {
+        kind: SchemeKind::SdmCircuit,
+        build: build_sdm,
+    },
+    SchemeDescriptor {
+        kind: SchemeKind::RingRouter,
+        build: build_ring,
+    },
+];
+
+/// Looks up the descriptor for a scheme. Total: every [`SchemeKind`] is
+/// registered.
+pub fn descriptor(kind: SchemeKind) -> &'static SchemeDescriptor {
+    &REGISTRY[kind as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_schemes_in_order() {
+        assert_eq!(REGISTRY.len(), SchemeKind::ALL.len());
+        for (i, d) in REGISTRY.iter().enumerate() {
+            assert_eq!(d.kind, SchemeKind::ALL[i], "registry order mismatch");
+            assert_eq!(descriptor(d.kind).kind, d.kind);
+            assert_eq!(d.meta().kind, d.kind);
+        }
+    }
+
+    #[test]
+    fn every_constructor_builds_its_scheme() {
+        for d in &REGISTRY {
+            let cfg = SimConfig::with_scheme(d.kind);
+            let pm = (d.build)(&cfg, &cfg.noc.topology).unwrap();
+            assert_eq!(pm.kind(), d.kind, "{} built the wrong manager", d.kind);
+        }
+    }
+}

@@ -25,9 +25,89 @@ pub enum SchemeKind {
     /// Full Power Punch: multi-hop punch signals plus injection-node slack —
     /// `PowerPunch-PG`.
     PowerPunchFull,
+    /// Rival baseline: SDM-based circuit switching ("Ultra Low-Power
+    /// SDM-based Circuit-Switching for NoCs"). A setup request walks the
+    /// route ahead of the head flit; once the circuit is established, its
+    /// routers are bypassed — data flows through the pre-configured SDM
+    /// lanes while the router control plane stays gated off.
+    SdmCircuit,
+    /// Rival baseline: bufferless ring-style router ("A Ring Router
+    /// Microarchitecture for NoCs"). Removes the input buffers leakage
+    /// comes from; contention costs deflection/latching latency instead of
+    /// buffering.
+    RingRouter,
+}
+
+/// Per-scheme knobs for the analytical power/area models — the
+/// "power-model parameter hook" of the scheme registry. The pre-existing
+/// schemes all use [`SchemePowerProfile::BASELINE`] (every scale exactly
+/// `1.0`), which keeps their energy numbers bit-identical to the historic
+/// `default_45nm` model; rivals deviate where their microarchitecture
+/// differs from the paper's buffered VC router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemePowerProfile {
+    /// Scale on per-cycle router leakage. The bufferless ring router
+    /// removes the input buffers, which hold the dominant share of router
+    /// leakage at 45 nm.
+    pub static_scale: f64,
+    /// Scale on buffer read/write dynamic energy. SDM circuits bypass VC
+    /// buffering once established; the ring router replaces buffers with
+    /// pipeline latches.
+    pub buffer_dynamic_scale: f64,
+    /// Extra dynamic energy per link traversal, in pJ — the ring router's
+    /// deflection/latching cost paid on every hop.
+    pub extra_link_pj: f64,
+    /// Whether the router keeps packet buffers at all (drives the area
+    /// model: a bufferless router is substantially smaller).
+    pub buffered: bool,
+}
+
+impl SchemePowerProfile {
+    /// The paper's buffered VC router: all scales neutral.
+    pub const BASELINE: SchemePowerProfile = SchemePowerProfile {
+        static_scale: 1.0,
+        buffer_dynamic_scale: 1.0,
+        extra_link_pj: 0.0,
+        buffered: true,
+    };
+}
+
+/// One scheme's registry metadata: the stable tag, the paper-legend label,
+/// a one-line description, and the power-model parameter hook. This table
+/// ([`SchemeKind::METAS`]) is **the** single place scheme identity data
+/// lives — parsing, `Display`, CLI help, artifact ids and the power model
+/// all derive from it. The constructor half of the registry (scheme →
+/// `PowerManager`) lives in `punchsim-core`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeMeta {
+    /// The scheme this entry describes.
+    pub kind: SchemeKind,
+    /// Stable machine-readable tag (CLI values, spec ids, artifact keys).
+    pub tag: &'static str,
+    /// Paper-legend display label.
+    pub label: &'static str,
+    /// One-line description for `punchsim-cli list-schemes`.
+    pub description: &'static str,
+    /// Whether the scheme appears in the paper's Figures 7–13 comparison
+    /// set ([`SchemeKind::EVALUATED`] must mirror this flag in table
+    /// order; pinned by a test).
+    pub in_paper_figures: bool,
+    /// Power/area-model parameters.
+    pub power: SchemePowerProfile,
 }
 
 impl SchemeKind {
+    /// Every registered scheme, in registry order.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::NoPg,
+        SchemeKind::ConvPg,
+        SchemeKind::ConvOptPg,
+        SchemeKind::PowerPunchSignal,
+        SchemeKind::PowerPunchFull,
+        SchemeKind::SdmCircuit,
+        SchemeKind::RingRouter,
+    ];
+
     /// The four schemes evaluated in the paper's figures, in figure order.
     pub const EVALUATED: [SchemeKind; 4] = [
         SchemeKind::NoPg,
@@ -36,40 +116,133 @@ impl SchemeKind {
         SchemeKind::PowerPunchFull,
     ];
 
+    /// The structurally different rival baselines (ROADMAP item 3): not in
+    /// the paper's figures, never added to [`SchemeKind::EVALUATED`] (the
+    /// checked-in BENCH baselines key on that set staying fixed).
+    pub const RIVALS: [SchemeKind; 2] = [SchemeKind::SdmCircuit, SchemeKind::RingRouter];
+
+    /// The scheme registry's data half: one entry per scheme, in
+    /// [`SchemeKind::ALL`] order. Tags are **forever** — cached campaign
+    /// results and checked-in baselines key on them; never rename one.
+    pub const METAS: [SchemeMeta; 7] = [
+        SchemeMeta {
+            kind: SchemeKind::NoPg,
+            tag: "nopg",
+            label: "No-PG",
+            description: "all routers always on; the paper's no-power-gating baseline",
+            in_paper_figures: true,
+            power: SchemePowerProfile::BASELINE,
+        },
+        SchemeMeta {
+            kind: SchemeKind::ConvPg,
+            tag: "conv",
+            label: "Conv-PG",
+            description: "conventional power-gating: the WU handshake wakes routers on demand",
+            in_paper_figures: false,
+            power: SchemePowerProfile::BASELINE,
+        },
+        SchemeMeta {
+            kind: SchemeKind::ConvOptPg,
+            tag: "convopt",
+            label: "ConvOpt-PG",
+            description: "conventional PG plus idle-timeout filter and one-hop early wakeup",
+            in_paper_figures: true,
+            power: SchemePowerProfile::BASELINE,
+        },
+        SchemeMeta {
+            kind: SchemeKind::PowerPunchSignal,
+            tag: "pps",
+            label: "PowerPunch-Signal",
+            description: "multi-hop punch signals only, no injection-node slack (paper 4.1)",
+            in_paper_figures: true,
+            power: SchemePowerProfile::BASELINE,
+        },
+        SchemeMeta {
+            kind: SchemeKind::PowerPunchFull,
+            tag: "ppf",
+            label: "PowerPunch-PG",
+            description: "punch signals plus NI slack 1/2; the paper's full scheme (4.2)",
+            in_paper_figures: true,
+            power: SchemePowerProfile::BASELINE,
+        },
+        SchemeMeta {
+            kind: SchemeKind::SdmCircuit,
+            tag: "sdm",
+            label: "SDM-Circuit",
+            description: "SDM circuit switching: setup walks ahead, established circuits \
+                          bypass gated-off routers",
+            in_paper_figures: false,
+            power: SchemePowerProfile {
+                // Router leakage is unchanged — savings come from circuits
+                // letting the control plane stay gated while data flows.
+                static_scale: 1.0,
+                // Established circuits bypass VC buffering; most flits ride
+                // the pre-configured lanes.
+                buffer_dynamic_scale: 0.4,
+                extra_link_pj: 0.0,
+                buffered: true,
+            },
+        },
+        SchemeMeta {
+            kind: SchemeKind::RingRouter,
+            tag: "ring",
+            label: "Ring-Router",
+            description: "bufferless ring-style router: no buffer leakage, deflection \
+                          latency instead of buffering",
+            in_paper_figures: false,
+            power: SchemePowerProfile {
+                // Input buffers hold the dominant share of router leakage
+                // at 45 nm; removing them leaves crossbar + control.
+                static_scale: 0.45,
+                // Pipeline latches replace buffer reads/writes.
+                buffer_dynamic_scale: 0.35,
+                // Deflection/latching cost per hop.
+                extra_link_pj: 3.0,
+                buffered: false,
+            },
+        },
+    ];
+
+    /// This scheme's registry metadata.
+    pub fn meta(self) -> &'static SchemeMeta {
+        // ALL order == METAS order (pinned by `metas_cover_all_in_order`);
+        // a direct index keeps the hot tag()/label() paths O(1).
+        &Self::METAS[self as usize]
+    }
+
     /// Short label used in figure output, matching the paper's legends.
     pub fn label(self) -> &'static str {
-        match self {
-            SchemeKind::NoPg => "No-PG",
-            SchemeKind::ConvPg => "Conv-PG",
-            SchemeKind::ConvOptPg => "ConvOpt-PG",
-            SchemeKind::PowerPunchSignal => "PowerPunch-Signal",
-            SchemeKind::PowerPunchFull => "PowerPunch-PG",
-        }
+        self.meta().label
     }
 
     /// Stable machine-readable tag: CLI flag values, campaign spec ids and
     /// `BENCH_*.json` artifacts all use these. Never rename a tag — cached
     /// campaign results and checked-in baselines key on them.
     pub fn tag(self) -> &'static str {
-        match self {
-            SchemeKind::NoPg => "nopg",
-            SchemeKind::ConvPg => "conv",
-            SchemeKind::ConvOptPg => "convopt",
-            SchemeKind::PowerPunchSignal => "pps",
-            SchemeKind::PowerPunchFull => "ppf",
-        }
+        self.meta().tag
+    }
+
+    /// The power/area-model parameter hook for this scheme.
+    pub fn power_profile(self) -> &'static SchemePowerProfile {
+        &self.meta().power
     }
 
     /// Parses a [`SchemeKind::tag`] back into a scheme.
     pub fn from_tag(tag: &str) -> Option<SchemeKind> {
-        Some(match tag {
-            "nopg" => SchemeKind::NoPg,
-            "conv" => SchemeKind::ConvPg,
-            "convopt" => SchemeKind::ConvOptPg,
-            "pps" => SchemeKind::PowerPunchSignal,
-            "ppf" => SchemeKind::PowerPunchFull,
-            _ => return None,
-        })
+        Self::METAS.iter().find(|m| m.tag == tag).map(|m| m.kind)
+    }
+
+    /// Parses a scheme from its tag *or* its display label, so
+    /// `parse(k.to_string())` round-trips for every registered scheme.
+    /// Unknown inputs yield the typed [`ConfigError::UnknownScheme`].
+    pub fn parse(s: &str) -> Result<SchemeKind, ConfigError> {
+        Self::METAS
+            .iter()
+            .find(|m| m.tag == s || m.label == s)
+            .map(|m| m.kind)
+            .ok_or_else(|| ConfigError::UnknownScheme {
+                input: s.to_string(),
+            })
     }
 }
 
@@ -612,6 +785,62 @@ mod tests {
 
     #[test]
     fn scheme_tags_roundtrip() {
+        for s in SchemeKind::ALL {
+            assert_eq!(SchemeKind::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(SchemeKind::from_tag("warp9"), None);
+    }
+
+    #[test]
+    fn scheme_parse_display_parse_is_identity() {
+        for s in SchemeKind::ALL {
+            // tag -> scheme -> Display(label) -> scheme round-trips.
+            let parsed = SchemeKind::parse(s.tag()).unwrap();
+            assert_eq!(parsed, s);
+            assert_eq!(SchemeKind::parse(&parsed.to_string()).unwrap(), s);
+        }
+        assert!(matches!(
+            SchemeKind::parse("warp9"),
+            Err(ConfigError::UnknownScheme { input }) if input == "warp9"
+        ));
+    }
+
+    #[test]
+    fn metas_cover_all_in_order() {
+        // `meta()` indexes METAS by discriminant: declaration order, ALL
+        // order and METAS order must all agree.
+        assert_eq!(SchemeKind::METAS.len(), SchemeKind::ALL.len());
+        for (i, (m, k)) in SchemeKind::METAS.iter().zip(SchemeKind::ALL).enumerate() {
+            assert_eq!(m.kind, k);
+            assert_eq!(k as usize, i);
+        }
+        // Tags and labels are unique (artifact keys / legend names).
+        for a in SchemeKind::ALL {
+            for b in SchemeKind::ALL {
+                if a != b {
+                    assert_ne!(a.tag(), b.tag());
+                    assert_ne!(a.label(), b.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluated_mirrors_paper_figure_flag() {
+        let flagged: Vec<SchemeKind> = SchemeKind::METAS
+            .iter()
+            .filter(|m| m.in_paper_figures)
+            .map(|m| m.kind)
+            .collect();
+        assert_eq!(flagged, SchemeKind::EVALUATED.to_vec());
+    }
+
+    #[test]
+    fn pre_existing_schemes_keep_baseline_power_profile() {
+        // The historic five schemes must keep the exactly-neutral profile:
+        // the 45 nm power model multiplies by these scales, and any value
+        // other than literal 1.0/0.0 would drift the checked-in BENCH
+        // baselines' energy fields.
         for s in [
             SchemeKind::NoPg,
             SchemeKind::ConvPg,
@@ -619,8 +848,11 @@ mod tests {
             SchemeKind::PowerPunchSignal,
             SchemeKind::PowerPunchFull,
         ] {
-            assert_eq!(SchemeKind::from_tag(s.tag()), Some(s));
+            assert_eq!(*s.power_profile(), SchemePowerProfile::BASELINE);
         }
-        assert_eq!(SchemeKind::from_tag("warp9"), None);
+        // Rivals differ from the baseline router where their hardware does.
+        assert!(SchemeKind::RingRouter.power_profile().static_scale < 1.0);
+        assert!(!SchemeKind::RingRouter.power_profile().buffered);
+        assert!(SchemeKind::SdmCircuit.power_profile().buffer_dynamic_scale < 1.0);
     }
 }

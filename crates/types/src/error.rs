@@ -68,6 +68,11 @@ pub enum ConfigError {
         /// Topology kind name.
         topology: &'static str,
     },
+    /// A scheme tag/label did not match any registered scheme.
+    UnknownScheme {
+        /// The unrecognized input string.
+        input: String,
+    },
     /// Sharded ticking was requested with zero shards (`--shards 0`).
     ZeroShards,
     /// Sharded ticking was asked to cut the mesh into more row shards than
@@ -124,6 +129,13 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "routing {routing} admits cycles on a {topology} \
                      (only dimension-ordered routing is deadlock-free there)"
+                )
+            }
+            ConfigError::UnknownScheme { input } => {
+                write!(
+                    f,
+                    "unknown scheme {input:?} (see `punchsim-cli list-schemes` \
+                     for the registered tags)"
                 )
             }
             ConfigError::ZeroShards => {

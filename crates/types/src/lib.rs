@@ -28,8 +28,8 @@ pub mod topology;
 
 pub use choice::FaultChoice;
 pub use config::{
-    FaultConfig, NocConfig, PowerConfig, SchemeKind, SimConfig, StuckEpoch, TraceConfig,
-    WatchdogConfig,
+    FaultConfig, NocConfig, PowerConfig, SchemeKind, SchemeMeta, SchemePowerProfile, SimConfig,
+    StuckEpoch, TraceConfig, WatchdogConfig,
 };
 pub use direction::{Direction, Port, PortMap};
 pub use error::{BlockedPacket, ConfigError, InvariantViolation, SimError, StallReport};

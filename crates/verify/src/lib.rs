@@ -44,8 +44,7 @@ pub use checker::{
 pub use replay::{replay, Replay};
 pub use report::{render_report, SCHEMA};
 pub use scenario::{
-    build_network, scheme_tag, SuppressWu, VerifyConfig, ESCALATE_AFTER, STALL_BOUND,
-    STICK_DURATION, WARMUP,
+    build_network, SuppressWu, VerifyConfig, ESCALATE_AFTER, STALL_BOUND, STICK_DURATION, WARMUP,
 };
 
 /// One completed verification: the exploration plus the rendered artifact.

@@ -9,7 +9,7 @@
 use punchsim_obs::Json;
 
 use crate::checker::Exploration;
-use crate::scenario::{scheme_tag, VerifyConfig, STALL_BOUND};
+use crate::scenario::{VerifyConfig, STALL_BOUND};
 
 /// Schema identifier stamped into every artifact.
 pub const SCHEMA: &str = "punchsim-verify-v1";
@@ -22,7 +22,7 @@ pub fn render_report(cfg: &VerifyConfig, exp: &Exploration) -> String {
 
     let mut config = Json::obj();
     config.push("mesh", Json::Str(format!("{}x{}", cfg.width, cfg.height)));
-    config.push("scheme", Json::Str(scheme_tag(cfg.scheme).to_string()));
+    config.push("scheme", Json::Str(cfg.scheme.tag().to_string()));
     config.push("faulty", Json::Bool(cfg.faulty));
     config.push("max_faults", Json::Int(i64::from(cfg.max_faults)));
     config.push("broken", Json::Bool(cfg.broken));

@@ -109,20 +109,9 @@ impl VerifyConfig {
             "{}x{}_{}_{}",
             self.width,
             self.height,
-            scheme_tag(self.scheme),
+            self.scheme.tag(),
             mode
         )
-    }
-}
-
-/// Stable lowercase tag for a scheme, matching the CLI's `--scheme` values.
-pub fn scheme_tag(scheme: SchemeKind) -> &'static str {
-    match scheme {
-        SchemeKind::NoPg => "nopg",
-        SchemeKind::ConvPg => "conv",
-        SchemeKind::ConvOptPg => "convopt",
-        SchemeKind::PowerPunchSignal => "pps",
-        SchemeKind::PowerPunchFull => "ppf",
     }
 }
 

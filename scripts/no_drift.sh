@@ -13,6 +13,15 @@
 #      counts must produce byte-identical BENCH_substrate.json artifacts.
 #      Derived codebooks and non-XY routing get no determinism discount.
 #
+#   3. Scheme-registry identity — the `schemes` suite (one run per
+#      pre-registry scheme: nopg, conv, convopt, pps, ppf) must produce a
+#      BENCH_schemes.json byte-identical to the checked-in
+#      bench/baseline_schemes.json. The pluggable scheme registry and the
+#      per-scheme power model are supposed to be invisible for these five
+#      schemes: `PowerModel::for_scheme` must be bit-identical to
+#      `default_45nm()` wherever the profile is BASELINE, and registering
+#      new schemes (sdm, ring) must not perturb the old ones.
+#
 # Usage: scripts/no_drift.sh [OUT_DIR]
 # Honors PP_FAST like every other campaign entry point; CI runs it with
 # PP_FAST=1 (bench/baseline.json is the ci suite under PP_FAST=1).
@@ -41,3 +50,11 @@ if ! cmp "$OUT/sub-a/BENCH_substrate.json" "$OUT/sub-b/BENCH_substrate.json"; th
     exit 1
 fi
 echo "no_drift: substrate artifacts byte-identical across fresh recomputes"
+
+target/release/punchsim-cli campaign --suite schemes --name schemes \
+    --out "$OUT/schemes" --no-cache
+if ! cmp bench/baseline_schemes.json "$OUT/schemes/BENCH_schemes.json"; then
+    echo "no_drift: pre-registry scheme artifacts drifted from bench/baseline_schemes.json" >&2
+    exit 1
+fi
+echo "no_drift: pre-registry scheme artifacts byte-identical to the checked-in baseline"

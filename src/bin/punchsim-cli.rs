@@ -14,7 +14,9 @@
 //!                       [--metrics-out PATH]
 //! punchsim-cli metrics  [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
 //!                       [--pattern P] [--metrics-out PATH]
-//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy|pool]
+//! punchsim-cli list-schemes
+//! punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy|pool
+//!                        |rivals|schemes]
 //!                       [--threads N] [--shards N] [--out DIR]
 //!                       [--name NAME] [--seed N] [--no-cache] [--naive-tick]
 //!                       [--struct-tick] [--sample N] [--trace-out DIR]
@@ -25,8 +27,10 @@
 //!                       [--max-faults N] [--out PATH] [--replay-out PATH]
 //! ```
 //!
-//! Schemes: `nopg`, `conv`, `convopt`, `pps` (PowerPunch-Signal),
-//! `ppf` (PowerPunch-PG). Patterns: `uniform`, `transpose`, `bitcomp`,
+//! Schemes come from the scheme registry — `punchsim-cli list-schemes`
+//! prints every registered tag with its paper label and a one-line
+//! description (`nopg`, `conv`, `convopt`, `pps`, `ppf`, plus the rival
+//! baselines `sdm` and `ring`). Patterns: `uniform`, `transpose`, `bitcomp`,
 //! `bitrev`, `shuffle`, `tornado`, `neighbor`. Topologies: `mesh`
 //! (default), `torus`, `cmesh:C` (concentrated mesh, C terminals per
 //! router). Routings: `xy` (default), `yx`, `wf` (west-first), `nl`
@@ -71,7 +75,7 @@ const DEFAULT_DUMP_CAP: usize = 4_096;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("{USAGE}");
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
     // `campaign` and `compare` take boolean flags and positional arguments,
@@ -81,6 +85,7 @@ fn main() -> ExitCode {
         "campaign" => return campaign_cmd(&args[1..]),
         "compare" => return compare_cmd(&args[1..]),
         "verify" => return verify_cmd(&args[1..]),
+        "list-schemes" => return list_schemes(),
         _ => {}
     }
     // The `metrics` subcommand shares the flag/value grammar but defaults
@@ -93,7 +98,7 @@ fn main() -> ExitCode {
     let opts = match Opts::parse_from(defaults, &args[1..]) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", usage());
             return ExitCode::FAILURE;
         }
     };
@@ -106,7 +111,7 @@ fn main() -> ExitCode {
         "trace" => trace(&opts),
         "metrics" => metrics(&opts),
         other => {
-            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            eprintln!("unknown command {other:?}\n\n{}", usage());
             return ExitCode::FAILURE;
         }
     };
@@ -123,13 +128,25 @@ fn sim_err(e: SimError) -> String {
     format!("simulation error: {e}")
 }
 
-const USAGE: &str = "usage:
+/// The full usage text: the static template plus the scheme list derived
+/// from the registry, so a newly registered scheme shows up here without
+/// a hand edit.
+fn usage() -> String {
+    let tags: Vec<&str> = SchemeKind::ALL.iter().map(|k| k.tag()).collect();
+    format!(
+        "{USAGE_TEMPLATE}\nschemes: {} (details: punchsim-cli list-schemes)\n{USAGE_TAIL}",
+        tags.join(" ")
+    )
+}
+
+const USAGE_TEMPLATE: &str = "usage:
   punchsim-cli sweep    [--pattern P] [--scheme S] [--mesh WxH] [--topology T]
                         [--routing R] [--cycles N]
   punchsim-cli parsec   [--benchmark B] [--scheme S] [--instr N]
   punchsim-cli table1
   punchsim-cli schemes  [--mesh WxH] [--topology T] [--routing R] [--rate R]
                         [--cycles N]
+  punchsim-cli list-schemes
   punchsim-cli faults   [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--corrupt P] [--fault-seed N] [--trace-out PATH]
                         [--trace-cap N] [--metrics-out PATH]
@@ -138,7 +155,8 @@ const USAGE: &str = "usage:
                         [--format chrome|jsonl|csv] [--metrics-out PATH]
   punchsim-cli metrics  [--scheme S] [--mesh WxH] [--rate R] [--cycles N]
                         [--pattern P] [--metrics-out PATH]
-  punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy|pool]
+  punchsim-cli campaign [--suite parsec|synth|ci|fastpath|substrate|busy|pool
+                         |rivals|schemes]
                         [--threads N] [--shards N] [--out DIR]
                         [--name NAME] [--seed N] [--no-cache] [--naive-tick]
                         [--struct-tick] [--sample N] [--trace-out DIR]
@@ -178,8 +196,12 @@ campaign flags:
   --suite S        spec list: parsec, synth, ci (both; default),
                    fastpath (idle-dominated speedup-gate runs),
                    substrate (torus / YX / west-first sweep),
-                   busy (large-mesh busy-regime scalability runs) or
-                   pool (single 32x32 busy run for the shard-pool gate)
+                   busy (large-mesh busy-regime scalability runs),
+                   pool (single 32x32 busy run for the shard-pool gate),
+                   rivals (Power Punch vs. SDM circuits vs. ring router
+                   at low and high load) or
+                   schemes (one run per pre-registry scheme; the
+                   no_drift.sh byte-identity baseline)
   --threads N      worker threads; 0 = one per core (default)
   --out DIR        artifact directory (default bench-out)
   --name NAME      artifact name: BENCH_<NAME>.json (default: the suite)
@@ -212,9 +234,9 @@ substrate flags (any synthetic command):
   --routing R      xy (default), yx, wf (west-first), nl (north-last),
                    nf (negative-first); turn-model routings are rejected on
                    the torus (wrap links would close their turn cycles)
+";
 
-schemes: nopg conv convopt pps ppf
-patterns: uniform transpose bitcomp bitrev shuffle tornado neighbor
+const USAGE_TAIL: &str = "patterns: uniform transpose bitcomp bitrev shuffle tornado neighbor
 benchmarks: blackscholes bodytrack canneal dedup ferret fluidanimate swaptions x264";
 
 struct Opts {
@@ -330,8 +352,7 @@ impl Opts {
                         .ok_or_else(|| format!("unknown pattern {val}"))?;
                 }
                 "--scheme" => {
-                    o.scheme =
-                        SchemeKind::from_tag(val).ok_or_else(|| format!("unknown scheme {val}"))?;
+                    o.scheme = SchemeKind::parse(val).map_err(|e| e.to_string())?;
                 }
                 "--mesh" => {
                     let (w, h) = val
@@ -506,8 +527,25 @@ fn write_metrics(path: &std::path::Path, reg: &Registry) -> Result<(), String> {
     std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
+/// Prints the scheme registry: every registered tag with its paper label
+/// and one-line description. The single source of truth for what
+/// `--scheme` accepts.
+fn list_schemes() -> ExitCode {
+    let mut t = Table::new(["tag", "scheme", "description"]);
+    for k in SchemeKind::ALL {
+        t.row([
+            k.tag().to_string(),
+            k.label().to_string(),
+            k.meta().description.to_string(),
+        ]);
+    }
+    println!("registered schemes (pass a tag or label to --scheme):");
+    println!("{t}");
+    ExitCode::SUCCESS
+}
+
 fn sweep(opts: &Opts) -> Result<(), SimError> {
-    let pm = PowerModel::default_45nm();
+    let pm = PowerModel::for_scheme(opts.scheme);
     println!(
         "load sweep: {} on {} under {}",
         opts.pattern,
@@ -531,7 +569,6 @@ fn sweep(opts: &Opts) -> Result<(), SimError> {
 }
 
 fn schemes(opts: &Opts) -> Result<(), SimError> {
-    let pm = PowerModel::default_45nm();
     println!(
         "scheme comparison: {} at {} flits/node/cycle on {}",
         opts.pattern,
@@ -546,7 +583,10 @@ fn schemes(opts: &Opts) -> Result<(), SimError> {
         "off %",
         "static saved %",
     ]);
-    for scheme in SchemeKind::EVALUATED {
+    // Every registered scheme, rivals included, with its own power model
+    // (identical to the default model for the paper's five schemes).
+    for scheme in SchemeKind::ALL {
+        let pm = PowerModel::for_scheme(scheme);
         let r = run_synth(opts, scheme, opts.rate)?;
         t.row([
             scheme.label().to_string(),
@@ -854,6 +894,8 @@ impl CampaignOpts {
                         "substrate",
                         "busy",
                         "pool",
+                        "rivals",
+                        "schemes",
                     ]
                     .contains(&val.as_str())
                     {
@@ -903,6 +945,8 @@ impl CampaignOpts {
             "substrate" => campaign::substrate_suite(self.seed),
             "busy" => campaign::busy_suite(self.seed),
             "pool" => campaign::pool_suite(self.seed),
+            "rivals" => campaign::rivals_suite(self.seed),
+            "schemes" => campaign::schemes_suite(self.seed),
             _ => campaign::ci_suite(self.seed),
         }
     }
@@ -937,7 +981,7 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
     let opts = match CampaignOpts::parse(args) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", usage());
             return ExitCode::FAILURE;
         }
     };
@@ -1169,7 +1213,7 @@ fn compare_cmd(args: &[String]) -> ExitCode {
     let opts = match CompareOpts::parse(args) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", usage());
             return ExitCode::FAILURE;
         }
     };
@@ -1267,8 +1311,7 @@ impl VerifyOpts {
                             o.height = h.parse().map_err(|_| "bad mesh height".to_string())?;
                         }
                         "--scheme" => {
-                            o.scheme = SchemeKind::from_tag(val)
-                                .ok_or_else(|| format!("unknown scheme {val}"))?;
+                            o.scheme = SchemeKind::parse(val).map_err(|e| e.to_string())?;
                         }
                         "--max-faults" => {
                             o.max_faults =
@@ -1297,7 +1340,7 @@ fn verify_cmd(args: &[String]) -> ExitCode {
     let opts = match VerifyOpts::parse(args) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            eprintln!("error: {e}\n\n{}", usage());
             return ExitCode::FAILURE;
         }
     };
